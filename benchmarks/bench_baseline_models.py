@@ -1,0 +1,20 @@
+"""Bench: instruction-level grey-box model vs microarchitecture-aware.
+
+Quantifies the paper's core claim — per-instruction models (the scalar
+state of the art) mispredict a superscalar core's leakage in both
+directions, while the microarchitecture-aware model matches the traces.
+"""
+
+from repro.experiments.baseline_models import run_baseline_comparison
+
+
+def test_baseline_model_comparison(once):
+    result = once(run_baseline_comparison, n_traces=2000)
+    print("\n" + result.render())
+    assert result.microarch_errors == 0
+    assert result.isa_level_errors == 2  # one false positive, one false negative
+    by_name = {case.name: case for case in result.cases}
+    assert by_name["adjacent-dual-issued"].isa_level_predicts_leak
+    assert not by_name["adjacent-dual-issued"].measured_leak
+    assert not by_name["non-adjacent-via-dual-issue"].isa_level_predicts_leak
+    assert by_name["non-adjacent-via-dual-issue"].measured_leak

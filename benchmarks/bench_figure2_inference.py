@@ -1,0 +1,26 @@
+"""Regenerate Figure 2: the pipeline structure inferred from CPI data."""
+
+from repro.experiments.figure2 import run_figure2
+from repro.uarch.presets import cortex_a7_single_issue
+
+
+def test_figure2_pipeline_inference(once):
+    result = once(run_figure2, reps=200)
+    print("\n" + result.render())
+    assert result.matches_paper, result.disagreements
+    # Spot-check each headline deduction of the paper.
+    inferred = result.inferred
+    assert inferred.fetch_width == 2
+    assert inferred.n_alus == 2 and not inferred.alus_identical
+    assert inferred.shifter_on_single_alu and inferred.multiplier_on_shifter_alu
+    assert inferred.lsu_pipelined and inferred.multiplier_pipelined
+    assert inferred.rf_read_ports == 3 and inferred.rf_write_ports == 2
+    assert inferred.agu_in_issue_stage
+    assert not inferred.nop_dual_issued
+
+
+def test_figure2_control_single_issue_core(once):
+    """The method must *discriminate*: a scalar core infers differently."""
+    result = once(run_figure2, config=cortex_a7_single_issue(), reps=60)
+    assert not result.matches_paper
+    assert result.inferred.fetch_width == 1

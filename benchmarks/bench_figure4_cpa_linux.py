@@ -1,0 +1,21 @@
+"""Regenerate Figure 4: CPA against AES under a loaded Linux system.
+
+100 traces, each the average of 16 executions, full Apache-style load on
+the second core, preemptive scheduler in play; the chained
+HD(consecutive SubBytes stores) attack still recovers the key byte with
+>99% best-vs-second confidence, at visibly reduced correlation.
+"""
+
+from repro.experiments.figure4 import run_figure4
+
+
+def test_figure4_cpa_under_load(once):
+    result = once(run_figure4, n_traces=100)
+    print("\n" + result.render())
+
+    assert result.matches_paper, result.checks
+    assert result.cpa.rank_of(result.true_pair[1]) == 0
+    assert result.margin_confidence > 0.99
+    assert result.peak_loaded < 0.92 * result.peak_bare
+    # Dropping the 16x averaging degrades the attack at the same budget.
+    assert result.no_averaging_rank is not None and result.no_averaging_rank > 0

@@ -1,0 +1,27 @@
+"""Bench: success-rate curves for both attack models.
+
+Extends the paper's evaluation with the standard success-rate-vs-budget
+methodology: the matched microarchitectural model (Figure 4's
+HD-of-consecutive-stores) dominates the coarse HW model at every budget,
+and both saturate with enough traces.
+"""
+
+from repro.experiments.success_curves import run_success_curves
+
+
+def test_success_rate_curves(once):
+    curves = once(run_success_curves)
+    print("\n" + curves.render())
+    # Monotone-ish ramps: big budgets succeed (almost) always.
+    top_budget = max(curves.hw_model)
+    assert curves.hw_model[top_budget] >= 0.9
+    assert curves.hd_model[top_budget] >= 0.9
+    # The matched model never does (meaningfully) worse per trace.
+    assert curves.crossover_holds()
+    # And it wins clearly somewhere in the ramp.
+    gains = [
+        curves.hd_model[c] - curves.hw_model[c]
+        for c in curves.hw_model
+        if c in curves.hd_model
+    ]
+    assert max(gains) > 0.2

@@ -1,0 +1,21 @@
+"""Shared benchmark configuration.
+
+Every experiment benchmark runs the full regeneration exactly once
+(``benchmark.pedantic(..., rounds=1)``): the timing it reports is the
+cost of reproducing that table/figure, and the assertions verify the
+paper-shape criteria on the produced result.  Substrate micro-benchmarks
+(assembler, executor, scheduler, CPA throughput) use normal repeated
+rounds.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an expensive experiment once under the benchmark clock."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,70 @@
+"""Audit masked assembly for microarchitectural share collisions.
+
+The tool the paper motivates: given a routine and a declaration of which
+registers hold which secret shares, report every pipeline-level value
+collision that recombines them — including those invisible to an
+ISA-level analysis (operand swaps, dual-issue adjacency, write-back port
+sharing, LSU remanence).
+
+Run:  python examples/leakage_audit.py
+"""
+
+from repro.audit.auditor import IsaLevelAuditor, MicroarchAuditor
+from repro.isa.parser import assemble
+from repro.isa.registers import Reg
+
+#: r5 holds the masked value (v ^ m), r6 the mask m.
+TAINTS = {Reg.R5: frozenset({"masked"}), Reg.R6: frozenset({"mask"})}
+FORBIDDEN = [frozenset({"masked", "mask"})]
+
+VARIANTS = {
+    "original (shares in the same operand position)": """
+    eor r7, r5, r8
+    eor r9, r6, r10
+    bx lr
+""",
+    "operand-swapped second eor (ISA-equivalent!)": """
+    eor r7, r5, r8
+    eor r9, r10, r6
+    bx lr
+""",
+    "shares separated by public fillers": """
+    eor r7, r5, r8
+    mov r9, r10
+    mov r11, r10
+    eor r12, r10, r6
+    bx lr
+""",
+    "share spilled next to the other share (LSU remanence)": """
+    movw r9, #0x9000
+    movw r10, #0x9100
+    strb r5, [r9]
+    add r7, r8, #1
+    strb r6, [r10]
+    bx lr
+""",
+}
+
+
+def main() -> None:
+    for name, source in VARIANTS.items():
+        program = assemble(source)
+        micro = MicroarchAuditor(program, FORBIDDEN, TAINTS).audit()
+        isa = IsaLevelAuditor(program, FORBIDDEN, TAINTS).audit()
+        print(f"=== {name} ===")
+        print(source.strip())
+        print(f"-- ISA-level audit : {'clean' if isa.clean else f'{len(isa.findings)} finding(s)'}")
+        print(f"-- microarch audit : {'clean' if micro.clean else f'{len(micro.findings)} finding(s)'}")
+        for finding in micro.findings:
+            print(f"     {finding}")
+        print()
+
+    print(
+        "Every variant is ISA-clean (no architectural value ever combines\n"
+        "the shares), yet only one survives the microarchitectural audit —\n"
+        "Section 4.2 of the paper, as a tool."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Section 4.2, measured: how the microarchitecture un-masks masked code.
+
+Each scenario builds two semantically equivalent (or trivially different)
+code variants, acquires synthetic traces for both, and correlates the
+*unmasked secret's* Hamming weight against the power: if masking works,
+nothing correlates; if a microarchitectural collision recombines the
+shares, the secret lights up.
+
+Scenarios (all from the paper's Section 4.1/4.2):
+
+* swapping the operands of a commutative eor        (points i + ii)
+* dual-issue pairing across an unrelated instruction (point iii)
+* inserting a semantically neutral nop               (Section 4.1)
+* spilling both shares through the LSU byte lanes    (point iv)
+* scheduling the shares to dual-issue in parallel    (defensive use)
+* the scalar-core write-port baseline                (related work [18,19])
+
+Run:  python examples/masking_pitfalls.py
+"""
+
+from repro.experiments.ablations import run_all_ablations
+
+
+def main() -> None:
+    print("Measuring all six masking-pitfall scenarios (2000 traces each)...\n")
+    for result in run_all_ablations(n_traces=2000):
+        print(result.render())
+        print()
+    print(
+        "Every contrast isolates one microarchitectural mechanism: the same\n"
+        "shares, the same data flow, different pipeline-level value\n"
+        "collisions. This is why the paper argues leakage models must be\n"
+        "microarchitecture-aware."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Quickstart: assemble a snippet, schedule it, synthesize leakage, test it.
+
+This walks the full stack on a five-instruction kernel:
+
+1. assemble ARM code;
+2. run it and schedule it on the Cortex-A7 pipeline model;
+3. look at the microarchitectural events (who touches which bus when);
+4. acquire synthetic power traces for random inputs;
+5. check with Pearson's correlation which intermediate values leak.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.isa.executor import run_program
+from repro.isa.parser import assemble
+from repro.isa.registers import Reg
+from repro.power.acquisition import TraceCampaign, random_inputs
+from repro.power.hamming import hamming_distance, hamming_weight
+from repro.power.scope import ScopeConfig
+from repro.sca.stats import pearson_corr, significance_threshold
+from repro.uarch.pipeline import Pipeline
+
+SOURCE = """
+    add r1, r2, r3        @ r2, r3: random inputs
+    add r4, r5, r6        @ r5, r6: random inputs (single-issued after the first)
+    eor r7, r1, r4
+    mov r8, r7
+    bx lr
+"""
+
+
+def main() -> None:
+    program = assemble(SOURCE)
+    print("== listing ==")
+    print(program.listing())
+
+    # Schedule once: timing is input-independent.
+    result = run_program(program)
+    schedule = Pipeline().schedule(result.records)
+    print("\n== pipeline schedule ==")
+    for record, cycle, slot, unit in zip(
+        result.records, schedule.issue_cycle, schedule.slot, schedule.unit
+    ):
+        dual = "dual" if schedule.dual[record.dyn_index] else "    "
+        print(f"  cycle {cycle:2d} slot {slot} {str(unit):6s} {dual}  {record.instr}")
+
+    print("\n== microarchitectural events (issue-layer) ==")
+    for event in schedule.events:
+        if event.component.startswith(("issue_", "wb_")):
+            print(f"  {event}")
+
+    # Acquire 2000 synthetic traces with random r2, r3, r5, r6.
+    campaign = TraceCampaign(
+        program, scope=ScopeConfig(noise_sigma=8.0, kernel=(1.0,)), seed=1
+    )
+    inputs = random_inputs(2000, reg_names=(Reg.R2, Reg.R3, Reg.R5, Reg.R6), seed=2)
+    trace_set = campaign.acquire(inputs)
+    print(f"\nacquired {trace_set.n_traces} traces x {trace_set.n_samples} samples")
+
+    # Which of these models fits the measured power somewhere?
+    r2, r5 = inputs.regs[Reg.R2], inputs.regs[Reg.R5]
+    threshold = significance_threshold(trace_set.n_traces)
+    models = {
+        "HW(r2)                 ": hamming_weight(r2).astype(float),
+        "HD(r2, r5) [op1 bus]   ": hamming_distance(r2, r5).astype(float),
+        "HW(r2 + r3) [ALU out]  ": hamming_weight(
+            (r2.astype(np.uint64) + inputs.regs[Reg.R3]).astype(np.uint32)
+        ).astype(float),
+        "HW(random junk)        ": np.random.default_rng(3).normal(size=len(r2)),
+    }
+    print(f"\n== leakage check (99.5% threshold |r| > {threshold:.3f}) ==")
+    for label, model in models.items():
+        corr = pearson_corr(model, trace_set.traces)
+        peak = float(np.max(np.abs(corr)))
+        verdict = "LEAKS" if peak > threshold else "quiet"
+        print(f"  {label} peak |r| = {peak:.3f}  -> {verdict}")
+
+    print(
+        "\nNote the HD(r2, r5) leak: the two adds are data-independent, yet\n"
+        "their first operands meet on the slot-0 issue bus — the paper's\n"
+        "central observation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — microarchitectural side-channel leakage of superscalar CPUs.
+
+A full reproduction of Barenghi & Pelosi, "Side-channel security of
+superscalar CPUs: Evaluating the Impact of Micro-architectural
+Features" (DAC 2018), as a self-contained Python library: an ARM ISA
+subset and assembler, a cycle-accurate Cortex-A7-like partial-dual-issue
+pipeline with a microarchitectural event stream, a calibrated
+switching-activity power synthesizer with an oscilloscope model, a CPA /
+statistics toolkit, the attacked AES-128 implementation, an OS-load
+environment model, and a microarchitecture-aware leakage auditor.
+
+Start with the subpackage that matches your question:
+
+* "what does this code do to the pipeline?"      -> :mod:`repro.uarch`
+* "what would its power traces look like?"       -> :mod:`repro.power`
+* "can I attack it / is it leaking?"             -> :mod:`repro.sca`
+* "does my masked code survive this core?"       -> :mod:`repro.audit`
+* "reproduce the paper's tables and figures"     -> :mod:`repro.experiments`
+  (or ``python -m repro all``)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "audit",
+    "crypto",
+    "experiments",
+    "isa",
+    "mem",
+    "os_sim",
+    "power",
+    "sca",
+    "uarch",
+]

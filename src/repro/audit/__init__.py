@@ -1,0 +1,17 @@
+"""Microarchitecture-aware leakage auditing.
+
+The paper's closing argument is that its leakage model "can be fruitfully
+integrated into a side channel resistant software development toolchain".
+This package is that integration: given an assembly routine and a
+declaration of which registers/memory hold which secret shares, the
+auditor replays the routine through the pipeline model and reports every
+microarchitectural value collision that combines incompatible shares —
+including the ones an ISA-level analysis cannot see (issue-bus adjacency,
+dual-issue pairing across an intervening instruction, write-back port
+sharing, MDR/align-buffer remanence).
+"""
+
+from repro.audit.auditor import Finding, IsaLevelAuditor, MicroarchAuditor
+from repro.audit.taint import Taint, TaintTracker
+
+__all__ = ["Finding", "IsaLevelAuditor", "MicroarchAuditor", "Taint", "TaintTracker"]

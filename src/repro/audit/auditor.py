@@ -1,0 +1,227 @@
+"""The microarchitecture-aware leakage auditor.
+
+For every tracked component, the auditor inspects consecutive value
+assertions: if the Hamming distance between two values would combine a
+*forbidden* label set (e.g. both shares of a masked secret) that neither
+value carries alone, the collision is reported with its microarchitectural
+cause.  This catches exactly the §4.2 hazards:
+
+i.   instruction scheduling order (consecutive single-issued operands),
+ii.  source operand positions (same-position bus sharing; operand swaps),
+iii. dual-issue adjacency (non-consecutive instructions colliding because
+     the one between them issued in parallel),
+iv.  LSU data remanence (MDR/align values surviving across instructions).
+
+``IsaLevelAuditor`` is the strawman the paper argues against: it only
+sees *architectural* value combinations (a single value whose data flow
+mixes both shares), so it reports nothing for an operand swap — the
+comparison bench demonstrates the gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.audit.taint import EMPTY, Taint, TaintRecord, TaintTracker
+from repro.isa.program import Program
+from repro.isa.registers import Reg
+from repro.isa.values import ValueKind
+from repro.uarch.config import PipelineConfig
+from repro.uarch.events import ZERO_INDEX
+from repro.uarch.pipeline import Pipeline
+from repro.power.synth import LeakageSchedule
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One reported leakage hazard."""
+
+    component: str
+    cycle: int
+    rule: str
+    labels: Taint
+    older_dyn: int
+    younger_dyn: int
+    older_text: str
+    younger_text: str
+    description: str
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.rule}] {self.component} @cycle {self.cycle}: "
+            f"{sorted(self.labels)} combined by "
+            f"({self.older_text}) -> ({self.younger_text}); {self.description}"
+        )
+
+
+@dataclass
+class AuditReport:
+    """All findings of one audit run."""
+
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def by_component(self) -> dict[str, list[Finding]]:
+        grouped: dict[str, list[Finding]] = {}
+        for finding in self.findings:
+            grouped.setdefault(finding.component, []).append(finding)
+        return grouped
+
+    def summary(self) -> str:
+        if self.clean:
+            return "audit clean: no forbidden share combinations found"
+        lines = [f"{len(self.findings)} potential leak(s):"]
+        lines.extend(f"  {finding}" for finding in self.findings)
+        return "\n".join(lines)
+
+
+class MicroarchAuditor:
+    """Audits a routine against the pipeline's value-collision graph."""
+
+    def __init__(
+        self,
+        program: Program,
+        forbidden: list[frozenset[str]],
+        reg_taints: dict[Reg, Taint] | None = None,
+        mem_taints: dict[int, Taint] | None = None,
+        config: PipelineConfig | None = None,
+    ):
+        self.program = program
+        self.forbidden = [frozenset(f) for f in forbidden]
+        self.reg_taints = reg_taints or {}
+        self.mem_taints = mem_taints or {}
+        self.config = config if config is not None else PipelineConfig()
+
+    def audit(self, entry: str | None = None) -> AuditReport:
+        tracker = TaintTracker(self.program, self.reg_taints, self.mem_taints)
+        execution, taints = tracker.run(entry=entry)
+        self._texts = [str(record.instr) for record in execution.records]
+        pipeline = Pipeline(self.config)
+        schedule = pipeline.schedule(execution.records)
+        leakage = LeakageSchedule(schedule, pipeline.components, samples_per_cycle=1)
+
+        report = AuditReport()
+        for name, compiled in leakage.compiled.items():
+            component = compiled.component
+            if component.precharged:
+                self._audit_values(name, compiled, taints, report, schedule)
+            else:
+                self._audit_transitions(name, compiled, taints, report, schedule)
+        report.findings.sort(key=lambda f: (f.cycle, f.component))
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _taint_of(self, taints: list[TaintRecord], dyn: int, kind: ValueKind | None) -> Taint:
+        if dyn == ZERO_INDEX or kind is None:
+            return EMPTY
+        return taints[dyn].get(kind)
+
+    def _violations(self, combined: Taint, *parts: Taint) -> list[frozenset[str]]:
+        hits = []
+        for forbidden in self.forbidden:
+            if forbidden <= combined and not any(forbidden <= part for part in parts):
+                hits.append(forbidden)
+        return hits
+
+    def _describe_adjacency(self, schedule, older_dyn: int, younger_dyn: int) -> str:
+        if older_dyn < 0 or younger_dyn < 0:
+            return "bus reset interaction"
+        gap = younger_dyn - older_dyn
+        if gap == 1 and schedule.dual[older_dyn] and schedule.dual[younger_dyn]:
+            return "values met because the pair dual-issued together"
+        if gap > 1:
+            return (
+                f"non-adjacent instructions ({gap - 1} apart) collided: the "
+                "instructions between them were dual-issued or used other resources"
+            )
+        return "consecutive single-issued instructions share this resource"
+
+    def _audit_transitions(self, name, compiled, taints, report, schedule) -> None:
+        refs = compiled.refs
+        cycles = compiled.cycles.tolist()
+        for index in range(1, len(refs)):
+            prev, cur = refs[index - 1], refs[index]
+            taint_prev = self._taint_of(taints, prev[0], prev[1])
+            taint_cur = self._taint_of(taints, cur[0], cur[1])
+            combined = taint_prev | taint_cur
+            for violated in self._violations(combined, taint_prev, taint_cur):
+                report.findings.append(
+                    Finding(
+                        component=name,
+                        cycle=cycles[index],
+                        rule="hd-combination",
+                        labels=violated,
+                        older_dyn=prev[0],
+                        younger_dyn=cur[0],
+                        older_text=self._text(prev[0]),
+                        younger_text=self._text(cur[0]),
+                        description=self._describe_adjacency(schedule, prev[0], cur[0]),
+                    )
+                )
+
+    def _audit_values(self, name, compiled, taints, report, schedule) -> None:
+        cycles = compiled.cycles.tolist()
+        for index, ref in enumerate(compiled.refs):
+            taint = self._taint_of(taints, ref[0], ref[1])
+            for violated in self._violations(taint):
+                report.findings.append(
+                    Finding(
+                        component=name,
+                        cycle=cycles[index],
+                        rule="hw-combination",
+                        labels=violated,
+                        older_dyn=ref[0],
+                        younger_dyn=ref[0],
+                        older_text=self._text(ref[0]),
+                        younger_text=self._text(ref[0]),
+                        description="a single architectural value combines the shares",
+                    )
+                )
+
+    def _text(self, dyn: int) -> str:
+        if dyn < 0:
+            return "<bus reset>"
+        return self._texts[dyn]
+
+
+class IsaLevelAuditor:
+    """The ISA-only baseline: sees architectural values, not buses."""
+
+    def __init__(
+        self,
+        program: Program,
+        forbidden: list[frozenset[str]],
+        reg_taints: dict[Reg, Taint] | None = None,
+        mem_taints: dict[int, Taint] | None = None,
+    ):
+        self.program = program
+        self.forbidden = [frozenset(f) for f in forbidden]
+        self.reg_taints = reg_taints or {}
+        self.mem_taints = mem_taints or {}
+
+    def audit(self, entry: str | None = None) -> AuditReport:
+        tracker = TaintTracker(self.program, self.reg_taints, self.mem_taints)
+        execution, taints = tracker.run(entry=entry)
+        report = AuditReport()
+        for dyn, record in enumerate(taints):
+            value_taint = record.get(ValueKind.RESULT)
+            for forbidden in self.forbidden:
+                if forbidden <= value_taint:
+                    report.findings.append(
+                        Finding(
+                            component="architectural-value",
+                            cycle=-1,
+                            rule="value-combination",
+                            labels=forbidden,
+                            older_dyn=dyn,
+                            younger_dyn=dyn,
+                            older_text=str(record.instr),
+                            younger_text=str(record.instr),
+                            description="the instruction's result mixes the shares",
+                        )
+                    )
+        return report

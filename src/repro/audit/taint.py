@@ -1,0 +1,160 @@
+"""Share/secret taint propagation through a program's data flow.
+
+Each secret share carries a string label (e.g. ``"mask"``, ``"masked"``).
+The tracker runs alongside the reference executor and records, for every
+dynamic instruction, the label set of each intermediate value the power
+model tracks (operands, shifter output, result, store data, memory word,
+sub-word).  Labels propagate as unions: any function of a tainted value
+is tainted — sound for leak *detection* (no false negatives from
+cancellation, at the cost of possible false positives, which masking
+audits prefer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.executor import ExecutionResult, Executor
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.operands import Imm, RegShift
+from repro.isa.program import Program
+from repro.isa.registers import Reg
+from repro.isa.semantics import InstrRecord
+from repro.isa.values import ValueKind
+
+Taint = frozenset[str]
+
+EMPTY: Taint = frozenset()
+
+
+@dataclass
+class TaintRecord:
+    """Label sets of one dynamic instruction's tracked values."""
+
+    instr: Instruction
+    labels: dict[ValueKind, Taint] = field(default_factory=dict)
+
+    def get(self, kind: ValueKind) -> Taint:
+        return self.labels.get(kind, EMPTY)
+
+
+class TaintTracker:
+    """Propagates share labels along an execution's data flow."""
+
+    def __init__(
+        self,
+        program: Program,
+        reg_taints: dict[Reg, Taint] | None = None,
+        mem_taints: dict[int, Taint] | None = None,
+    ):
+        self.program = program
+        self.reg_taints: dict[int, Taint] = {
+            int(reg): frozenset(taint) for reg, taint in (reg_taints or {}).items()
+        }
+        #: per-byte-address label sets
+        self.mem_taints: dict[int, Taint] = dict(mem_taints or {})
+
+    # ------------------------------------------------------------------
+
+    def taint_memory(self, address: int, length: int, taint: Taint) -> None:
+        for offset in range(length):
+            self.mem_taints[address + offset] = frozenset(taint)
+
+    def _reg(self, reg: Reg | None) -> Taint:
+        if reg is None:
+            return EMPTY
+        return self.reg_taints.get(int(reg), EMPTY)
+
+    def _mem_range(self, address: int, length: int) -> Taint:
+        combined: set[str] = set()
+        for offset in range(length):
+            combined |= self.mem_taints.get(address + offset, EMPTY)
+        return frozenset(combined)
+
+    # ------------------------------------------------------------------
+
+    def track(self, execution: ExecutionResult) -> list[TaintRecord]:
+        """Label every dynamic instruction of an existing execution."""
+        return [self._track_one(record) for record in execution.records]
+
+    def run(self, entry: str | None = None) -> tuple[ExecutionResult, list[TaintRecord]]:
+        """Execute the program and taint-track it in one pass."""
+        executor = Executor(self.program)
+        execution = executor.run(entry=entry)
+        return execution, self.track(execution)
+
+    # ------------------------------------------------------------------
+
+    def _track_one(self, record: InstrRecord) -> TaintRecord:
+        instr = record.instr
+        out = TaintRecord(instr)
+        labels = out.labels
+        if instr.is_nop:
+            return out
+
+        if instr.is_memory:
+            self._track_memory(record, labels)
+        elif instr.is_multiply:
+            labels[ValueKind.OP1] = self._reg(instr.rm)
+            labels[ValueKind.OP2] = self._reg(instr.rs)
+            acc = self._reg(instr.rn) if instr.opcode is Opcode.MLA else EMPTY
+            result = labels[ValueKind.OP1] | labels[ValueKind.OP2] | acc
+            labels[ValueKind.RESULT] = result
+        elif instr.is_branch:
+            if instr.opcode is Opcode.BX and instr.rm is not None:
+                labels[ValueKind.OP1] = self._reg(instr.rm)
+        else:
+            self._track_data_processing(instr, labels)
+
+        if record.executed and record.writes_result and instr.rd is not None:
+            self.reg_taints[int(instr.rd)] = out.get(ValueKind.RESULT)
+        return out
+
+    def _track_data_processing(self, instr: Instruction, labels: dict[ValueKind, Taint]) -> None:
+        op1 = self._reg(instr.rn)
+        if instr.opcode is Opcode.MOVT:
+            op1 = self._reg(instr.rd)
+        op2 = EMPTY
+        if isinstance(instr.op2, RegShift):
+            op2 = self._reg(instr.op2.reg)
+            if instr.op2.shift_by_register:
+                labels[ValueKind.OP3] = self._reg(instr.op2.amount)  # type: ignore[arg-type]
+            if instr.op2.is_shifted:
+                labels[ValueKind.SHIFTED] = op2
+        if instr.rn is not None or instr.opcode is Opcode.MOVT:
+            labels[ValueKind.OP1] = op1
+        if isinstance(instr.op2, (RegShift, Imm)):
+            labels[ValueKind.OP2] = op2
+        labels[ValueKind.RESULT] = op1 | op2 | labels.get(ValueKind.OP3, EMPTY)
+
+    def _track_memory(self, record: InstrRecord, labels: dict[ValueKind, Taint]) -> None:
+        instr = record.instr
+        assert instr.mem is not None
+        base = self._reg(instr.mem.base)
+        offset = self._reg(instr.mem.offset) if instr.mem.offset_is_reg else EMPTY
+        labels[ValueKind.BASE] = base
+        labels[ValueKind.OFFSET] = offset
+        labels[ValueKind.ADDR] = base | offset
+        width = instr.access_width
+        word_addr = record.addr & ~3
+        if instr.is_load:
+            loaded = self._mem_range(record.addr, width)
+            # A table lookup of a tainted index yields a tainted value.
+            loaded |= labels[ValueKind.ADDR]
+            labels[ValueKind.RESULT] = loaded
+            labels[ValueKind.MEM_WORD] = self._mem_range(word_addr, 4) | labels[ValueKind.ADDR]
+            if width < 4:
+                labels[ValueKind.SUB_WORD] = loaded
+            if record.executed and instr.rd is not None:
+                self.reg_taints[int(instr.rd)] = loaded
+        else:
+            data = self._reg(instr.rd)
+            labels[ValueKind.STORE_DATA] = data
+            labels[ValueKind.OP2] = data
+            if record.executed:
+                for off in range(width):
+                    self.mem_taints[record.addr + off] = data
+            labels[ValueKind.MEM_WORD] = self._mem_range(word_addr, 4)
+            if width < 4:
+                labels[ValueKind.SUB_WORD] = data

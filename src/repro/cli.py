@@ -1,0 +1,116 @@
+"""Command-line interface: regenerate any experiment from a shell.
+
+Usage::
+
+    python -m repro table1
+    python -m repro figure2
+    python -m repro table2    [--traces 3000]
+    python -m repro figure3   [--traces 3000]
+    python -m repro figure4   [--traces 100]
+    python -m repro ablations [--traces 2000]
+    python -m repro baselines [--traces 2000]
+    python -m repro success-curves
+    python -m repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _run_table1(args) -> str:
+    from repro.experiments.table1 import run_table1
+
+    return run_table1(reps=args.reps).render()
+
+
+def _run_figure2(args) -> str:
+    from repro.experiments.figure2 import run_figure2
+
+    return run_figure2(reps=args.reps).render()
+
+
+def _run_table2(args) -> str:
+    from repro.experiments.table2 import run_table2
+
+    return run_table2(n_traces=args.traces or 3000).render()
+
+
+def _run_figure3(args) -> str:
+    from repro.experiments.figure3 import run_figure3
+
+    return run_figure3(n_traces=args.traces or 3000).render()
+
+
+def _run_figure4(args) -> str:
+    from repro.experiments.figure4 import run_figure4
+
+    return run_figure4(n_traces=args.traces or 100).render()
+
+
+def _run_ablations(args) -> str:
+    from repro.experiments.ablations import run_all_ablations
+
+    results = run_all_ablations(n_traces=args.traces or 2000)
+    return "\n\n".join(result.render() for result in results)
+
+
+def _run_baselines(args) -> str:
+    from repro.experiments.baseline_models import run_baseline_comparison
+
+    return run_baseline_comparison(n_traces=args.traces or 2000).render()
+
+
+def _run_success_curves(args) -> str:
+    from repro.experiments.success_curves import run_success_curves
+
+    return run_success_curves().render()
+
+
+_COMMANDS = {
+    "table1": _run_table1,
+    "figure2": _run_figure2,
+    "table2": _run_table2,
+    "figure3": _run_figure3,
+    "figure4": _run_figure4,
+    "ablations": _run_ablations,
+    "baselines": _run_baselines,
+    "success-curves": _run_success_curves,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables and figures of Barenghi & Pelosi (DAC 2018).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_COMMANDS) + ["all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--traces", type=int, default=None, help="trace count override (statistical experiments)"
+    )
+    parser.add_argument(
+        "--reps", type=int, default=200, help="microbenchmark repetitions (CPI experiments)"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = sorted(_COMMANDS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.time()
+        output = _COMMANDS[name](args)
+        print(f"==== {name} ({time.time() - start:.1f}s) ====")
+        print(output)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""AES-128: a golden Python model and the attacked assembly implementation.
+
+``repro.crypto.aes`` is a FIPS-197 reference implementation used as the
+functional oracle; ``repro.crypto.aes_asm`` emits the byte-oriented ARM
+assembly whose leakage Section 5 of the paper analyzes (table S-box via
+``ldrb``/``strb``, ShiftRows composed with byte shifts, MixColumns through
+a non-inlined shift-reduce GF(2^8) doubling helper with stack spills).
+"""
+
+from repro.crypto.aes import (
+    aes128_encrypt_block,
+    aes128_round_keys,
+    add_round_key,
+    mix_columns,
+    shift_rows,
+    sub_bytes,
+    sub_bytes_out_round1,
+)
+from repro.crypto.sbox import INV_SBOX, SBOX, xtime
+
+__all__ = [
+    "INV_SBOX",
+    "SBOX",
+    "add_round_key",
+    "aes128_encrypt_block",
+    "aes128_round_keys",
+    "mix_columns",
+    "shift_rows",
+    "sub_bytes",
+    "sub_bytes_out_round1",
+    "xtime",
+]

@@ -1,0 +1,114 @@
+"""Reference AES-128 (FIPS-197), the functional oracle for the assembly.
+
+The state is kept as a 16-byte array in the standard column-major layout
+(byte ``i`` sits at row ``i % 4``, column ``i // 4``), matching the
+memory layout of the assembly implementation.  Vectorized helpers
+compute attack-model intermediates (first-round SubBytes outputs) for
+whole trace batches at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto.sbox import RCON, SBOX, xtime
+
+_SBOX_ARRAY = np.frombuffer(SBOX, dtype=np.uint8)
+
+#: byte index permutation implementing ShiftRows on the column-major state
+SHIFT_ROWS_PERM = tuple((i + 4 * (i % 4)) % 16 for i in range(16))
+
+
+def aes128_round_keys(key: bytes) -> list[bytes]:
+    """Expand a 16-byte key into the 11 round keys."""
+    if len(key) != 16:
+        raise ValueError("AES-128 key must be 16 bytes")
+    words = [list(key[4 * i : 4 * i + 4]) for i in range(4)]
+    for i in range(4, 44):
+        temp = list(words[i - 1])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]  # RotWord
+            temp = [SBOX[b] for b in temp]  # SubWord
+            temp[0] ^= RCON[i // 4 - 1]
+        words.append([a ^ b for a, b in zip(words[i - 4], temp)])
+    round_keys = []
+    for r in range(11):
+        round_keys.append(bytes(b for w in words[4 * r : 4 * r + 4] for b in w))
+    return round_keys
+
+
+def add_round_key(state: bytes, round_key: bytes) -> bytes:
+    return bytes(s ^ k for s, k in zip(state, round_key))
+
+
+def sub_bytes(state: bytes) -> bytes:
+    return bytes(SBOX[b] for b in state)
+
+
+def shift_rows(state: bytes) -> bytes:
+    return bytes(state[SHIFT_ROWS_PERM[i]] for i in range(16))
+
+
+def mix_single_column(column: bytes) -> bytes:
+    a0, a1, a2, a3 = column
+    total = a0 ^ a1 ^ a2 ^ a3
+    return bytes(
+        (
+            a0 ^ total ^ xtime(a0 ^ a1),
+            a1 ^ total ^ xtime(a1 ^ a2),
+            a2 ^ total ^ xtime(a2 ^ a3),
+            a3 ^ total ^ xtime(a3 ^ a0),
+        )
+    )
+
+
+def mix_columns(state: bytes) -> bytes:
+    out = bytearray(16)
+    for col in range(4):
+        out[4 * col : 4 * col + 4] = mix_single_column(state[4 * col : 4 * col + 4])
+    return bytes(out)
+
+
+def aes128_encrypt_block(plaintext: bytes, key: bytes) -> bytes:
+    """Encrypt one 16-byte block."""
+    if len(plaintext) != 16:
+        raise ValueError("AES block must be 16 bytes")
+    round_keys = aes128_round_keys(key)
+    state = add_round_key(plaintext, round_keys[0])
+    for r in range(1, 10):
+        state = mix_columns(shift_rows(sub_bytes(state)))
+        state = add_round_key(state, round_keys[r])
+    state = shift_rows(sub_bytes(state))
+    return add_round_key(state, round_keys[10])
+
+
+def round1_states(plaintext: bytes, key: bytes) -> dict[str, bytes]:
+    """Intermediates of round 1, keyed by primitive name."""
+    round_keys = aes128_round_keys(key)
+    ark = add_round_key(plaintext, round_keys[0])
+    sb = sub_bytes(ark)
+    shr = shift_rows(sb)
+    mc = mix_columns(shr)
+    return {"ark": ark, "sb": sb, "shr": shr, "mc": mc}
+
+
+# ----------------------------------------------------------------------
+# Vectorized attack-model helpers
+# ----------------------------------------------------------------------
+
+
+def sub_bytes_out_round1(
+    plaintext_bytes: np.ndarray, key_byte_guess: int, byte_index: int | None = None
+) -> np.ndarray:
+    """First-round SubBytes output for a key-byte guess.
+
+    ``plaintext_bytes`` is ``uint8[n_traces]`` (one state byte position
+    across a campaign) or ``uint8[n_traces, 16]`` with ``byte_index``
+    selecting the position.  Returns ``uint8[n_traces]``.
+    """
+    pt = np.asarray(plaintext_bytes, dtype=np.uint8)
+    if pt.ndim == 2:
+        if byte_index is None:
+            raise ValueError("byte_index required for a [n,16] plaintext array")
+        pt = pt[:, byte_index]
+    return _SBOX_ARRAY[pt ^ np.uint8(key_byte_guess)]

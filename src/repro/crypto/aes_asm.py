@@ -1,0 +1,255 @@
+"""The attacked AES-128 implementation, in the paper's code shape.
+
+Section 5 analyzes a byte-oriented reference AES whose compiled form has
+very specific leakage-relevant features, all reproduced here:
+
+* **SubBytes**: per byte, a ``ldrb`` of the state byte, a table lookup
+  ``ldrb`` indexed off the S-box base, and a ``strb`` back — "the load
+  and subsequent store of the value from the AES substitution table";
+* **ShiftRows**: each rotated row is composed in a register from byte
+  loads with "three leaking time instants where the said register is
+  shifted progressively by one byte at once", the composed word is
+  stored to a row buffer, then scattered back into the column-major
+  state;
+* after ShiftRows a zero is stored ("the MDR, which contains the last
+  stored value, receives a zero value to be stored back into memory");
+* **MixColumns**: the GF(2^8) doubling is a *called*, not inlined,
+  function (``bl xtime_fn``) with callee-save stack spills and fills,
+  "additional leakage ... due to spills and fills";
+* the doubling itself is branchless (mask from the MSB), so control
+  flow is input-independent — required by the batch executor and true
+  of constant-time reference code.
+
+The key schedule is precomputed and baked into the data image (the
+attack targets the first round, whose round key is the cipher key).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.aes import aes128_round_keys
+from repro.crypto.sbox import SBOX
+from repro.isa.parser import assemble
+from repro.isa.program import Program
+
+
+@dataclass(frozen=True)
+class AesLayout:
+    """Memory map of the AES program."""
+
+    state: int = 0x11000
+    round_keys: int = 0x12000
+    sbox: int = 0x13000
+    saved_lr: int = 0x14000
+    row_buffer: int = 0x14010
+    zero_scratch: int = 0x14020
+    stack_top: int = 0x15000
+
+
+LAYOUT = AesLayout()
+
+# Register conventions used throughout the generated code:
+#   r4 state base, r5 round-key pointer, r6 S-box base, r7 round counter.
+#   ARK/SB scratch: r0, r1.  ShiftRows: r0 row word, r1 byte, r2 row buf.
+#   MixColumns: r8-r11 column bytes, r12 column xor, r0 xtime arg/result,
+#   r3 output accumulator.
+
+
+def _add_round_key(lines: list[str]) -> None:
+    lines.append("@ ---- AddRoundKey ----")
+    for i in range(16):
+        lines.append(f"    ldrb r0, [r4, #{i}]")
+        lines.append(f"    ldrb r1, [r5, #{i}]")
+        lines.append("    eor r0, r0, r1")
+        lines.append(f"    strb r0, [r4, #{i}]")
+
+
+def _sub_bytes(lines: list[str]) -> None:
+    lines.append("@ ---- SubBytes: ldrb state, ldrb table, strb state ----")
+    for i in range(16):
+        lines.append(f"    ldrb r0, [r4, #{i}]")
+        lines.append("    ldrb r0, [r6, r0]")
+        lines.append(f"    strb r0, [r4, #{i}]")
+
+
+def _shift_rows(lines: list[str]) -> None:
+    lines.append("@ ---- ShiftRows: compose each rotated row with shifts ----")
+    lines.append("    ldr r2, =row_buffer")
+    for row in range(1, 4):
+        source = [row + 4 * ((col + row) % 4) for col in range(4)]
+        lines.append(f"@ row {row}")
+        lines.append(f"    ldrb r0, [r4, #{source[0]}]")
+        for lane in range(1, 4):
+            lines.append(f"    ldrb r1, [r4, #{source[lane]}]")
+            lines.append(f"    orr r0, r0, r1, lsl #{8 * lane}")
+        lines.append("    str r0, [r2]")
+        for lane in range(4):
+            lines.append(f"    ldrb r1, [r2, #{lane}]")
+            lines.append(f"    strb r1, [r4, #{row + 4 * lane}]")
+    # Compiler artifact the paper observes: a zero is stored right after
+    # ShiftRows, putting the MDR through a transition to zero.
+    lines.append("@ zero store observed after ShiftRows (MDR -> 0)")
+    lines.append("    mov r0, #0")
+    lines.append("    ldr r1, =zero_scratch")
+    lines.append("    str r0, [r1]")
+
+
+def _mix_columns(lines: list[str]) -> None:
+    lines.append("@ ---- MixColumns: shift-reduce products via called helper ----")
+    for col in range(4):
+        base = 4 * col
+        lines.append(f"@ column {col}")
+        lines.append(f"    ldrb r8, [r4, #{base}]")
+        lines.append(f"    ldrb r9, [r4, #{base + 1}]")
+        lines.append(f"    ldrb r10, [r4, #{base + 2}]")
+        lines.append(f"    ldrb r11, [r4, #{base + 3}]")
+        lines.append("    eor r12, r8, r9")
+        lines.append("    eor r12, r12, r10")
+        lines.append("    eor r12, r12, r11")
+        pairs = [("r8", "r9"), ("r9", "r10"), ("r10", "r11"), ("r11", "r8")]
+        for lane, (a, b) in enumerate(pairs):
+            lines.append(f"    eor r0, {a}, {b}")
+            lines.append("    bl xtime_fn")
+            lines.append(f"    eor r3, {a}, r12")
+            lines.append("    eor r3, r3, r0")
+            lines.append(f"    strb r3, [r4, #{base + lane}]")
+
+
+def _xtime_function(lines: list[str]) -> None:
+    lines.append("@ ---- xtime: branchless GF(2^8) doubling, not inlined ----")
+    lines.append("xtime_fn:")
+    lines.append("    str r1, [sp, #-4]   @ callee-save spill")
+    lines.append("    str r2, [sp, #-8]")
+    lines.append("    lsl r1, r0, #1")
+    lines.append("    lsr r2, r0, #7")
+    lines.append("    rsb r2, r2, #0      @ 0x00000000 or 0xffffffff")
+    lines.append("    and r2, r2, #0x1b")
+    lines.append("    eor r0, r1, r2")
+    lines.append("    and r0, r0, #0xff")
+    lines.append("    ldr r1, [sp, #-4]   @ fill")
+    lines.append("    ldr r2, [sp, #-8]")
+    lines.append("    bx lr")
+
+
+def _data_section(key: bytes, layout: AesLayout) -> list[str]:
+    round_keys = b"".join(aes128_round_keys(key))
+    lines = [f"    .org {layout.round_keys:#x}", "round_keys_data:"]
+    for off in range(0, len(round_keys), 16):
+        chunk = ", ".join(str(b) for b in round_keys[off : off + 16])
+        lines.append(f"    .byte {chunk}")
+    lines.append(f"    .org {layout.sbox:#x}")
+    lines.append("sbox_table:")
+    for off in range(0, 256, 16):
+        chunk = ", ".join(str(b) for b in SBOX[off : off + 16])
+        lines.append(f"    .byte {chunk}")
+    lines.append(f"    .org {layout.saved_lr:#x}")
+    lines.append("saved_lr:")
+    lines.append("    .word 0")
+    lines.append(f"    .org {layout.row_buffer:#x}")
+    lines.append("row_buffer:")
+    lines.append("    .word 0")
+    lines.append(f"    .org {layout.zero_scratch:#x}")
+    lines.append("zero_scratch:")
+    lines.append("    .word 0")
+    lines.append(f"    .org {layout.state:#x}")
+    lines.append("state:")
+    lines.append("    .space 16")
+    return lines
+
+
+def aes128_source(key: bytes, n_rounds: int = 10, layout: AesLayout = LAYOUT) -> str:
+    """Generate the full encryption (or a truncated ``n_rounds`` prefix).
+
+    The plaintext is expected at ``layout.state`` before entry; the
+    (partial) ciphertext replaces it.  Labels mark every primitive
+    boundary so experiments can map pipeline cycles back to AES phases.
+    """
+    if not 1 <= n_rounds <= 10:
+        raise ValueError("n_rounds must be in 1..10")
+    lines: list[str] = []
+    lines.append("aes_main:")
+    lines.append("    ldr r4, =state")
+    lines.append("    ldr r5, =round_keys_data")
+    lines.append("    ldr r6, =sbox_table")
+    lines.append("    ldr r3, =saved_lr")
+    lines.append("    str lr, [r3]")
+    lines.append(f"    ldr sp, ={layout.stack_top:#x}")
+    lines.append("trigger_start:")
+    lines.append("ark0_start:")
+    _add_round_key(lines)
+    main_rounds = n_rounds - 1
+    if main_rounds > 0:
+        lines.append(f"    mov r7, #{main_rounds}")
+        lines.append("round_loop:")
+        lines.append("sb_start:")
+        _sub_bytes(lines)
+        lines.append("shr_start:")
+        _shift_rows(lines)
+        lines.append("mc_start:")
+        _mix_columns(lines)
+        lines.append("ark_start:")
+        lines.append("    add r5, r5, #16")
+        _add_round_key(lines)
+        lines.append("round_end:")
+        lines.append("    subs r7, r7, #1")
+        lines.append("    bne round_loop")
+    lines.append("final_sb:")
+    _sub_bytes(lines)
+    lines.append("final_shr:")
+    _shift_rows(lines)
+    lines.append("final_ark:")
+    lines.append("    add r5, r5, #16")
+    if main_rounds == 0:
+        # Truncated one-round variant: final ARK uses round key 1.
+        pass
+    _add_round_key(lines)
+    lines.append("trigger_end:")
+    lines.append("    ldr r3, =saved_lr")
+    lines.append("    ldr lr, [r3]")
+    lines.append("    bx lr")
+    _xtime_function(lines)
+    lines.extend(_data_section(key, layout))
+    return "\n".join(lines)
+
+
+def aes128_program(key: bytes, n_rounds: int = 10, layout: AesLayout = LAYOUT) -> Program:
+    """Assemble the AES implementation for the given key."""
+    return assemble(aes128_source(key, n_rounds=n_rounds, layout=layout))
+
+
+def round1_only_source(key: bytes, layout: AesLayout = LAYOUT) -> str:
+    """AddRoundKey + SubBytes + ShiftRows + MixColumns of round 1 only.
+
+    This is the window Figure 3 plots.  The program halts after the
+    first MixColumns (no trailing AddRoundKey), leaving round-1
+    intermediates in the state buffer.
+    """
+    lines: list[str] = []
+    lines.append("aes_round1:")
+    lines.append("    ldr r4, =state")
+    lines.append("    ldr r5, =round_keys_data")
+    lines.append("    ldr r6, =sbox_table")
+    lines.append("    ldr r3, =saved_lr")
+    lines.append("    str lr, [r3]")
+    lines.append(f"    ldr sp, ={layout.stack_top:#x}")
+    lines.append("trigger_start:")
+    lines.append("ark0_start:")
+    _add_round_key(lines)
+    lines.append("sb_start:")
+    _sub_bytes(lines)
+    lines.append("shr_start:")
+    _shift_rows(lines)
+    lines.append("mc_start:")
+    _mix_columns(lines)
+    lines.append("trigger_end:")
+    lines.append("    ldr r3, =saved_lr")
+    lines.append("    ldr lr, [r3]")
+    lines.append("    bx lr")
+    _xtime_function(lines)
+    lines.extend(_data_section(key, layout))
+    return "\n".join(lines)
+
+
+def round1_only_program(key: bytes, layout: AesLayout = LAYOUT) -> Program:
+    return assemble(round1_only_source(key, layout=layout))

@@ -1,0 +1,73 @@
+"""AES S-box tables and GF(2^8) primitives.
+
+The S-box is generated from first principles (multiplicative inverse in
+GF(2^8) modulo the Rijndael polynomial, followed by the affine map) and
+checked against its well-known corner values, rather than pasted as an
+opaque table.
+"""
+
+from __future__ import annotations
+
+_RIJNDAEL_POLY = 0x11B
+
+
+def xtime(value: int) -> int:
+    """Multiply by x (i.e. 2) in GF(2^8) mod the Rijndael polynomial."""
+    value <<= 1
+    if value & 0x100:
+        value ^= _RIJNDAEL_POLY
+    return value & 0xFF
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Full GF(2^8) product (shift-and-add / Russian peasant)."""
+    result = 0
+    a &= 0xFF
+    b &= 0xFF
+    while b:
+        if b & 1:
+            result ^= a
+        a = xtime(a)
+        b >>= 1
+    return result & 0xFF
+
+
+def _gf_inverse(a: int) -> int:
+    if a == 0:
+        return 0
+    # a^(2^8 - 2) = a^254 is the inverse in GF(2^8).
+    result = 1
+    power = a
+    exponent = 254
+    while exponent:
+        if exponent & 1:
+            result = gf_mul(result, power)
+        power = gf_mul(power, power)
+        exponent >>= 1
+    return result
+
+
+def _affine(a: int) -> int:
+    result = 0x63
+    for shift in (0, 1, 2, 3, 4):
+        result ^= ((a << shift) | (a >> (8 - shift))) & 0xFF
+    return result & 0xFF
+
+
+def _build_sbox() -> tuple[bytes, bytes]:
+    forward = bytearray(256)
+    inverse = bytearray(256)
+    for value in range(256):
+        s = _affine(_gf_inverse(value))
+        forward[value] = s
+        inverse[s] = value
+    return bytes(forward), bytes(inverse)
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+assert SBOX[0x00] == 0x63 and SBOX[0x01] == 0x7C and SBOX[0x53] == 0xED
+assert INV_SBOX[SBOX[0xAB]] == 0xAB
+
+#: Round constants for AES-128 key expansion.
+RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)

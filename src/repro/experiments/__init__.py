@@ -1,0 +1,16 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each module exposes a ``run_*`` function returning a result object with
+a ``render()`` (human-readable reproduction of the table/figure) and a
+``matches_paper()`` shape check, plus the module-level constants
+recording what the paper reports.  The ``benchmarks/`` tree calls these
+drivers; ``EXPERIMENTS.md`` records their output.
+"""
+
+from repro.experiments.table1 import run_table1
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.table2 import run_table2
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+
+__all__ = ["run_figure2", "run_figure3", "run_figure4", "run_table1", "run_table2"]

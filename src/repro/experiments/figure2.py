@@ -1,0 +1,59 @@
+"""Figure 2: the pipeline structure deduced from the CPI measurements.
+
+Runs the Table-1 campaign (or reuses a provided matrix), feeds it to the
+Section-3.2 inference chain, and compares every deduction with what the
+paper's Figure 2 depicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.uarch.config import PipelineConfig
+from repro.uarch.cpi import CpiMatrix, measure_matrix
+from repro.uarch.inference import CORTEX_A7_EXPECTED, InferredPipeline, infer_pipeline
+
+
+@dataclass
+class Figure2Result:
+    """Inferred structure and the per-field comparison with the paper."""
+
+    inferred: InferredPipeline
+    expected: InferredPipeline
+    disagreements: list[str]
+
+    @property
+    def matches_paper(self) -> bool:
+        return not self.disagreements
+
+    def render(self) -> str:
+        parts = [self.inferred.describe()]
+        if self.matches_paper:
+            parts.append("\nall deductions match the paper's Figure 2")
+        else:
+            parts.append("\ndisagreements with the paper's Figure 2:")
+            for name in self.disagreements:
+                parts.append(
+                    f"  {name}: inferred {getattr(self.inferred, name)!r}, "
+                    f"paper {getattr(self.expected, name)!r}"
+                )
+        return "\n".join(parts)
+
+
+def run_figure2(
+    config: PipelineConfig | None = None,
+    matrix: CpiMatrix | None = None,
+    reps: int = 200,
+) -> Figure2Result:
+    """Infer the pipeline from CPI data and compare with Figure 2."""
+    if matrix is None:
+        matrix = measure_matrix(config=config, reps=reps, with_hazards=False)
+    inferred = infer_pipeline(matrix)
+    disagreements = [
+        f.name
+        for f in fields(InferredPipeline)
+        if getattr(inferred, f.name) != getattr(CORTEX_A7_EXPECTED, f.name)
+    ]
+    return Figure2Result(
+        inferred=inferred, expected=CORTEX_A7_EXPECTED, disagreements=disagreements
+    )

@@ -1,0 +1,95 @@
+"""Text rendering for experiment outputs (tables and line plots)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def render_check_matrix(
+    cells: dict[tuple[str, str], bool],
+    rows: tuple[str, ...],
+    cols: tuple[str, ...],
+    title: str = "",
+) -> str:
+    """Render a ✓/✗ matrix like the paper's Table 1."""
+    col_width = max(len(c) for c in cols) + 2
+    row_width = max(len(r) for r in rows) + 2
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * row_width + "".join(c.ljust(col_width) for c in cols)
+    lines.append(header)
+    for row in rows:
+        marks = []
+        for col in cols:
+            mark = "ok" if cells[(row, col)] else "--"
+            marks.append(mark.ljust(col_width))
+        lines.append(row.ljust(row_width) + "".join(marks))
+    return "\n".join(lines)
+
+
+def render_table(
+    headers: list[str], rows: list[list[str]], title: str = ""
+) -> str:
+    """Simple aligned text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_plot(
+    series: np.ndarray,
+    width: int = 100,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    markers: dict[int, str] | None = None,
+) -> str:
+    """Plot a 1-D series as ASCII art (used for correlation-vs-time).
+
+    ``markers`` maps sample indices to single-character annotations drawn
+    on a dedicated line (primitive boundaries in the Figure-3 plot).
+    """
+    values = np.asarray(series, dtype=np.float64)
+    if values.size == 0:
+        return "(empty series)"
+    n = values.size
+    bucket = max(1, n // width)
+    buckets = [values[i : i + bucket] for i in range(0, n, bucket)]
+    condensed = np.array([np.max(np.abs(b)) * np.sign(b[np.argmax(np.abs(b))]) for b in buckets])
+    lo, hi = float(np.min(condensed)), float(np.max(condensed))
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+    grid = [[" "] * len(condensed) for _ in range(height)]
+    for x, value in enumerate(condensed):
+        y = int(round((value - lo) / (hi - lo) * (height - 1)))
+        grid[height - 1 - y][x] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"max={hi:+.4f}")
+    lines.extend("".join(row) for row in grid)
+    lines.append(f"min={lo:+.4f}")
+    if markers:
+        marker_line = [" "] * len(condensed)
+        for sample, char in markers.items():
+            x = min(len(condensed) - 1, sample // bucket)
+            marker_line[x] = char
+        lines.append("".join(marker_line))
+    if x_label:
+        lines.append(x_label)
+    return "\n".join(lines)
+
+
+def samples_to_microseconds(sample: int, samples_per_cycle: int, clock_hz: float = 120e6) -> float:
+    """Convert a trace sample index into microseconds of execution."""
+    return sample / samples_per_cycle / clock_hz * 1e6

@@ -1,0 +1,31 @@
+"""ARM ISA subset: registers, operands, instructions, assembler, semantics.
+
+This package models the integer subset of the ARMv7-A instruction set that
+the paper's micro-benchmarks and the reference AES implementation use:
+data-processing (with the barrel shifter), multiply, load/store including
+sub-word accesses, branches, and the ``nop`` whose microarchitectural
+behaviour Section 4.1 of the paper characterizes.
+"""
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Cond, InstrClass, Opcode
+from repro.isa.operands import Imm, LabelRef, MemRef, RegShift, ShiftKind
+from repro.isa.parser import AssemblyError, assemble
+from repro.isa.program import Program
+from repro.isa.registers import Reg
+
+__all__ = [
+    "AssemblyError",
+    "Cond",
+    "Imm",
+    "Instruction",
+    "InstrClass",
+    "LabelRef",
+    "MemRef",
+    "Opcode",
+    "Program",
+    "Reg",
+    "RegShift",
+    "ShiftKind",
+    "assemble",
+]

@@ -1,0 +1,384 @@
+"""ARM (A32) machine-code encoder and decoder for the supported subset.
+
+The simulator executes parsed instructions directly, but real encodings
+matter for two reasons: they validate that generated programs are real ARM
+code (immediates actually encodable, branch offsets in range), and they
+give the repository a binary interchange format.  Round-trip
+(``decode(encode(i)) == i``) is property-tested.
+
+Encodings follow the ARM Architecture Reference Manual (ARMv7-A, A32):
+
+* data-processing register/immediate (with the 8-bit-rotated immediate),
+* ``movw``/``movt`` (16-bit wide moves),
+* ``mul``/``mla``,
+* ``ldr``/``str``/``ldrb``/``strb`` (single data transfer),
+* ``ldrh``/``strh`` (halfword transfer, addressing mode 3),
+* ``b``/``bl`` (24-bit signed word offset), ``bx``,
+* ``nop`` (the ARMv7 hint encoding).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import (
+    COMPARE,
+    DATA_PROCESSING,
+    MEMORY,
+    Cond,
+    Opcode,
+)
+from repro.isa.operands import AddrMode, Imm, LabelRef, MemRef, RegShift, ShiftKind
+from repro.isa.program import Program
+from repro.isa.registers import Reg
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction has no valid A32 encoding."""
+
+
+_COND_BITS = {
+    Cond.EQ: 0x0, Cond.NE: 0x1, Cond.CS: 0x2, Cond.CC: 0x3,
+    Cond.MI: 0x4, Cond.PL: 0x5, Cond.VS: 0x6, Cond.VC: 0x7,
+    Cond.HI: 0x8, Cond.LS: 0x9, Cond.GE: 0xA, Cond.LT: 0xB,
+    Cond.GT: 0xC, Cond.LE: 0xD, Cond.AL: 0xE, Cond.NV: 0xF,
+}
+_COND_FROM_BITS = {bits: cond for cond, bits in _COND_BITS.items()}
+
+_DP_OPCODE_BITS = {
+    Opcode.AND: 0x0, Opcode.EOR: 0x1, Opcode.SUB: 0x2, Opcode.RSB: 0x3,
+    Opcode.ADD: 0x4, Opcode.ADC: 0x5, Opcode.SBC: 0x6,
+    Opcode.TST: 0x8, Opcode.TEQ: 0x9, Opcode.CMP: 0xA, Opcode.CMN: 0xB,
+    Opcode.ORR: 0xC, Opcode.MOV: 0xD, Opcode.BIC: 0xE, Opcode.MVN: 0xF,
+}
+_DP_FROM_BITS = {bits: op for op, bits in _DP_OPCODE_BITS.items()}
+
+_SHIFT_TYPE_BITS = {
+    ShiftKind.LSL: 0b00,
+    ShiftKind.LSR: 0b01,
+    ShiftKind.ASR: 0b10,
+    ShiftKind.ROR: 0b11,
+}
+_SHIFT_FROM_BITS = {bits: kind for kind, bits in _SHIFT_TYPE_BITS.items()}
+
+_NOP_BODY = 0x0320F000  # hint #0 ("nop"), cond field prepended
+
+
+def encode_immediate(value: int) -> int | None:
+    """Find the ARM modified-immediate encoding (imm8 rotated right 2*rot).
+
+    Returns the 12-bit ``rot:imm8`` field, or None if unencodable.
+    """
+    value &= 0xFFFFFFFF
+    for rot in range(16):
+        # value must equal ror32(imm8, 2*rot), i.e. imm8 = rol32(value, 2*rot).
+        imm8 = ((value << (2 * rot)) | (value >> (32 - 2 * rot))) & 0xFFFFFFFF if rot else value
+        if imm8 <= 0xFF:
+            return (rot << 8) | imm8
+    return None
+
+
+def is_encodable_immediate(value: int) -> bool:
+    return encode_immediate(value) is not None
+
+
+def _ror32(value: int, amount: int) -> int:
+    amount %= 32
+    if amount == 0:
+        return value & 0xFFFFFFFF
+    return ((value >> amount) | (value << (32 - amount))) & 0xFFFFFFFF
+
+
+def encode(instr: Instruction, program: Program | None = None) -> int:
+    """Encode one instruction to its 32-bit A32 word.
+
+    Branches to labels need ``program`` for target resolution (pc-relative
+    offsets); all other instructions encode standalone.
+    """
+    cond = _COND_BITS[instr.cond] << 28
+    op = instr.opcode
+    if op is Opcode.NOP:
+        return cond | _NOP_BODY
+    if op in (Opcode.B, Opcode.BL):
+        return cond | _encode_branch(instr, program)
+    if op is Opcode.BX:
+        assert instr.rm is not None
+        return cond | 0x012FFF10 | int(instr.rm)
+    if op in (Opcode.MUL, Opcode.MLA):
+        return cond | _encode_multiply(instr)
+    if op in (Opcode.MOVW, Opcode.MOVT):
+        return cond | _encode_wide_move(instr)
+    if op in MEMORY:
+        return cond | _encode_memory(instr)
+    if op in DATA_PROCESSING or op in COMPARE:
+        return cond | _encode_data_processing(instr)
+    raise EncodingError(f"no encoding for {instr}")
+
+
+def _encode_branch(instr: Instruction, program: Program | None) -> int:
+    assert isinstance(instr.target, LabelRef)
+    if program is None:
+        raise EncodingError("encoding a label branch requires the program")
+    target = program.label_address(instr.target.name)
+    offset = target - (instr.address + 8)
+    if offset % 4:
+        raise EncodingError(f"misaligned branch offset {offset}")
+    word_offset = offset >> 2
+    if not -(1 << 23) <= word_offset < (1 << 23):
+        raise EncodingError(f"branch offset out of range: {offset}")
+    link = 1 << 24 if instr.opcode is Opcode.BL else 0
+    return 0x0A000000 | link | (word_offset & 0xFFFFFF)
+
+
+def _encode_multiply(instr: Instruction) -> int:
+    assert instr.rd is not None and instr.rm is not None and instr.rs is not None
+    s_bit = 1 << 20 if instr.set_flags else 0
+    base = int(instr.rd) << 16 | int(instr.rs) << 8 | 0x90 | int(instr.rm)
+    if instr.opcode is Opcode.MLA:
+        assert instr.rn is not None
+        return 0x00200000 | s_bit | base | int(instr.rn) << 12
+    return s_bit | base
+
+
+def _encode_wide_move(instr: Instruction) -> int:
+    assert instr.rd is not None and isinstance(instr.op2, Imm)
+    imm16 = instr.op2.unsigned
+    if imm16 > 0xFFFF:
+        raise EncodingError(f"{instr.opcode} immediate exceeds 16 bits")
+    opc = 0x03000000 if instr.opcode is Opcode.MOVW else 0x03400000
+    return opc | ((imm16 >> 12) << 16) | int(instr.rd) << 12 | (imm16 & 0xFFF)
+
+
+def _encode_shifted_register(op2: RegShift) -> int:
+    bits = int(op2.reg)
+    if not op2.is_shifted:
+        return bits
+    if op2.kind is ShiftKind.RRX:
+        return bits | (_SHIFT_TYPE_BITS[ShiftKind.ROR] << 5)  # ROR #0 == RRX
+    kind_bits = _SHIFT_TYPE_BITS[op2.kind]  # type: ignore[index]
+    if op2.shift_by_register:
+        return bits | 0x10 | (kind_bits << 5) | (int(op2.amount) << 8)  # type: ignore[arg-type]
+    amount = int(op2.amount)  # type: ignore[arg-type]
+    if amount == 32 and op2.kind in (ShiftKind.LSR, ShiftKind.ASR):
+        amount = 0  # encoded as 0 for lsr/asr #32
+    if not 0 <= amount <= 31:
+        raise EncodingError(f"immediate shift amount {op2.amount} unencodable")
+    return bits | (kind_bits << 5) | (amount << 7)
+
+
+def _encode_data_processing(instr: Instruction) -> int:
+    opcode_bits = _DP_OPCODE_BITS[instr.opcode] << 21
+    s_bit = 1 << 20 if (instr.set_flags or instr.is_compare) else 0
+    rn = int(instr.rn) << 16 if instr.rn is not None else 0
+    rd = int(instr.rd) << 12 if instr.rd is not None else 0
+    if isinstance(instr.op2, Imm):
+        imm12 = encode_immediate(instr.op2.unsigned)
+        if imm12 is None:
+            raise EncodingError(
+                f"immediate {instr.op2.unsigned:#x} has no modified-immediate encoding"
+            )
+        return 0x02000000 | opcode_bits | s_bit | rn | rd | imm12
+    assert isinstance(instr.op2, RegShift)
+    return opcode_bits | s_bit | rn | rd | _encode_shifted_register(instr.op2)
+
+
+def _encode_memory(instr: Instruction) -> int:
+    assert instr.rd is not None and instr.mem is not None
+    mem = instr.mem
+    load = instr.is_load
+    if instr.access_width == 2:
+        return _encode_halfword(instr, mem, load)
+    u_bit = 1
+    offset: int
+    if mem.offset_is_reg:
+        offset_bits = int(mem.offset)
+        i_bit = 1 << 25
+    else:
+        offset = int(mem.offset)
+        if offset < 0:
+            u_bit, offset = 0, -offset
+        if offset > 0xFFF:
+            raise EncodingError(f"load/store offset {mem.offset} exceeds 12 bits")
+        offset_bits = offset
+        i_bit = 0
+    p_bit = 0 if mem.mode is AddrMode.POST_INDEX else 1
+    w_bit = 1 if mem.mode is AddrMode.PRE_INDEX else 0
+    b_bit = 1 if instr.access_width == 1 else 0
+    return (
+        0x04000000
+        | i_bit
+        | (p_bit << 24)
+        | (u_bit << 23)
+        | (b_bit << 22)
+        | (w_bit << 21)
+        | ((1 if load else 0) << 20)
+        | int(mem.base) << 16
+        | int(instr.rd) << 12
+        | offset_bits
+    )
+
+
+def _encode_halfword(instr: Instruction, mem: MemRef, load: bool) -> int:
+    u_bit = 1
+    if mem.offset_is_reg:
+        i_bit = 0
+        low = int(mem.offset)
+        high = 0
+    else:
+        offset = int(mem.offset)
+        if offset < 0:
+            u_bit, offset = 0, -offset
+        if offset > 0xFF:
+            raise EncodingError(f"halfword offset {mem.offset} exceeds 8 bits")
+        i_bit = 1
+        low, high = offset & 0xF, (offset >> 4) & 0xF
+    p_bit = 0 if mem.mode is AddrMode.POST_INDEX else 1
+    w_bit = 1 if mem.mode is AddrMode.PRE_INDEX else 0
+    return (
+        (p_bit << 24)
+        | (u_bit << 23)
+        | (i_bit << 22)
+        | (w_bit << 21)
+        | ((1 if load else 0) << 20)
+        | int(mem.base) << 16
+        | int(instr.rd) << 12
+        | (high << 8)
+        | 0xB0
+        | low
+    )
+
+
+# ----------------------------------------------------------------------
+# Decoder
+# ----------------------------------------------------------------------
+
+
+def decode(word: int, address: int = 0) -> Instruction:
+    """Decode a 32-bit A32 word back to an :class:`Instruction`.
+
+    Label branches decode with a synthetic target name encoding the
+    absolute byte target (``L_<hex>``), which the round-trip tests resolve
+    through a synthetic label table.
+    """
+    cond = _COND_FROM_BITS[(word >> 28) & 0xF]
+    body = word & 0x0FFFFFFF
+    if body == _NOP_BODY:
+        return Instruction(Opcode.NOP, cond=cond)
+    if body & 0x0FFFFFF0 == 0x012FFF10:
+        return Instruction(Opcode.BX, cond=cond, rm=Reg(body & 0xF))
+    if body & 0x0E000000 == 0x0A000000:
+        offset = body & 0xFFFFFF
+        if offset & 0x800000:
+            offset -= 1 << 24
+        target = (address + 8 + (offset << 2)) & 0xFFFFFFFF
+        opcode = Opcode.BL if body & (1 << 24) else Opcode.B
+        return Instruction(opcode, cond=cond, target=LabelRef(f"L_{target:08x}"))
+    if body & 0x0FB00000 == 0x03000000:
+        rd = Reg((body >> 12) & 0xF)
+        imm16 = ((body >> 16) & 0xF) << 12 | (body & 0xFFF)
+        opcode = Opcode.MOVT if body & 0x00400000 else Opcode.MOVW
+        return Instruction(opcode, cond=cond, rd=rd, op2=Imm(imm16))
+    if body & 0x0FC000F0 == 0x00000090:
+        return _decode_multiply(body, cond)
+    if body & 0x0E0000F0 == 0x000000B0:
+        return _decode_halfword(body, cond)
+    if body & 0x0C000000 == 0x04000000:
+        return _decode_memory(body, cond)
+    if body & 0x0C000000 == 0x00000000 or body & 0x0E000000 == 0x02000000:
+        return _decode_data_processing(body, cond)
+    raise EncodingError(f"cannot decode word {word:#010x}")
+
+
+def _decode_multiply(body: int, cond: Cond) -> Instruction:
+    set_flags = bool(body & (1 << 20))
+    rd = Reg((body >> 16) & 0xF)
+    rs = Reg((body >> 8) & 0xF)
+    rm = Reg(body & 0xF)
+    if body & 0x00200000:
+        rn = Reg((body >> 12) & 0xF)
+        return Instruction(Opcode.MLA, cond=cond, set_flags=set_flags, rd=rd, rm=rm, rs=rs, rn=rn)
+    return Instruction(Opcode.MUL, cond=cond, set_flags=set_flags, rd=rd, rm=rm, rs=rs)
+
+
+def _decode_shifted_register(bits: int) -> RegShift:
+    reg = Reg(bits & 0xF)
+    kind_bits = (bits >> 5) & 0x3
+    if bits & 0x10:
+        rs = Reg((bits >> 8) & 0xF)
+        return RegShift(reg, _SHIFT_FROM_BITS[kind_bits], rs)
+    amount = (bits >> 7) & 0x1F
+    kind = _SHIFT_FROM_BITS[kind_bits]
+    if amount == 0:
+        if kind is ShiftKind.LSL:
+            return RegShift(reg)
+        if kind is ShiftKind.ROR:
+            return RegShift(reg, ShiftKind.RRX)
+        amount = 32  # lsr/asr #32 encode as amount 0
+    return RegShift(reg, kind, amount)
+
+
+def _decode_data_processing(body: int, cond: Cond) -> Instruction:
+    opcode = _DP_FROM_BITS.get((body >> 21) & 0xF)
+    if opcode is None:
+        raise EncodingError(f"bad data-processing opcode in {body:#010x}")
+    set_flags = bool(body & (1 << 20))
+    rn: Reg | None = Reg((body >> 16) & 0xF)
+    rd: Reg | None = Reg((body >> 12) & 0xF)
+    if body & 0x02000000:
+        imm12 = body & 0xFFF
+        value = _ror32(imm12 & 0xFF, 2 * (imm12 >> 8))
+        op2: Imm | RegShift = Imm(value)
+    else:
+        op2 = _decode_shifted_register(body & 0xFFF)
+    if opcode in (Opcode.MOV, Opcode.MVN):
+        rn = None
+    if opcode in COMPARE:
+        return Instruction(opcode, cond=cond, set_flags=True, rn=rn, op2=op2)
+    return Instruction(opcode, cond=cond, set_flags=set_flags, rd=rd, rn=rn, op2=op2)
+
+
+def _decode_memory(body: int, cond: Cond) -> Instruction:
+    load = bool(body & (1 << 20))
+    byte = bool(body & (1 << 22))
+    base = Reg((body >> 16) & 0xF)
+    rt = Reg((body >> 12) & 0xF)
+    if body & 0x02000000:
+        offset: int | Reg = Reg(body & 0xF)
+    else:
+        offset = body & 0xFFF
+        if not body & (1 << 23):
+            offset = -offset
+    mode = _decode_addr_mode(body)
+    opcode = {
+        (True, True): Opcode.LDRB,
+        (True, False): Opcode.LDR,
+        (False, True): Opcode.STRB,
+        (False, False): Opcode.STR,
+    }[(load, byte)]
+    return Instruction(opcode, cond=cond, rd=rt, mem=MemRef(base, offset, mode))
+
+
+def _decode_halfword(body: int, cond: Cond) -> Instruction:
+    load = bool(body & (1 << 20))
+    base = Reg((body >> 16) & 0xF)
+    rt = Reg((body >> 12) & 0xF)
+    if body & (1 << 22):
+        offset: int | Reg = ((body >> 8) & 0xF) << 4 | (body & 0xF)
+        if not body & (1 << 23):
+            offset = -offset
+    else:
+        offset = Reg(body & 0xF)
+    mode = _decode_addr_mode(body)
+    return Instruction(
+        Opcode.LDRH if load else Opcode.STRH, cond=cond, rd=rt, mem=MemRef(base, offset, mode)
+    )
+
+
+def _decode_addr_mode(body: int) -> AddrMode:
+    if not body & (1 << 24):
+        return AddrMode.POST_INDEX
+    return AddrMode.PRE_INDEX if body & (1 << 21) else AddrMode.OFFSET
+
+
+def encode_program(program: Program) -> list[int]:
+    """Encode every instruction of a program (validates real-ARM validity)."""
+    return [encode(instr, program) for instr in program.instructions]

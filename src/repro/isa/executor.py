@@ -1,0 +1,112 @@
+"""Scalar functional executor: runs a program and records the value stream.
+
+The executor is deliberately split from the cycle-accurate pipeline model:
+on an in-order core with warm caches the *schedule* of a program is
+data-independent, so the pipeline needs to run only once per program while
+the executor re-runs (cheaply) once per random input to collect the
+data-flow values that the power model turns into leakage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.program import Program
+from repro.isa.registers import Reg
+from repro.isa.semantics import (
+    HALT_ADDRESS,
+    ArchState,
+    ExecutionError,
+    InstrRecord,
+    execute_instruction,
+)
+from repro.mem.memory import Memory
+
+
+@dataclass
+class ExecutionResult:
+    """The dynamic instruction stream and final state of one program run."""
+
+    records: list[InstrRecord]
+    state: ArchState
+    #: static instruction index of each dynamic record (the "path")
+    path: list[int] = field(default_factory=list)
+
+    @property
+    def dynamic_length(self) -> int:
+        return len(self.records)
+
+    def register(self, reg: Reg) -> int:
+        return self.state.regs[reg]
+
+
+class Executor:
+    """Runs :class:`Program` objects to completion on an ``ArchState``."""
+
+    def __init__(self, program: Program, max_steps: int = 2_000_000):
+        self.program = program
+        self.max_steps = max_steps
+
+    def fresh_state(self, memory: Memory | None = None) -> ArchState:
+        """A reset state with the program's data image loaded and lr=HALT."""
+        state = ArchState(memory=memory if memory is not None else Memory())
+        state.memory.load_blocks(self.program.data_blocks)
+        state.regs[Reg.R14] = HALT_ADDRESS
+        state.pc = self.program.text_base
+        return state
+
+    def run(
+        self,
+        state: ArchState | None = None,
+        entry: str | None = None,
+        record: bool = True,
+    ) -> ExecutionResult:
+        """Execute from ``entry`` (label or text base) until halt.
+
+        Execution halts when the pc reaches :data:`HALT_ADDRESS` (i.e. a
+        ``bx lr`` from the outermost frame) or runs past the last
+        instruction of the program.
+        """
+        if state is None:
+            state = self.fresh_state()
+        if entry is not None:
+            state.pc = self.program.label_address(entry)
+        records: list[InstrRecord] = []
+        path: list[int] = []
+        steps = 0
+        text_end = self.program.text_end
+        while state.pc != HALT_ADDRESS and self.program.text_base <= state.pc < text_end:
+            instr = self.program.instruction_at(state.pc)
+            instr_record = execute_instruction(instr, state, self.program)
+            if record:
+                instr_record.dyn_index = len(records)
+                records.append(instr_record)
+                path.append(instr.index)
+            steps += 1
+            if steps > self.max_steps:
+                raise ExecutionError(
+                    f"program exceeded {self.max_steps} steps (infinite loop?)"
+                )
+        return ExecutionResult(records=records, state=state, path=path)
+
+
+def run_program(
+    program: Program,
+    regs: dict[Reg, int] | None = None,
+    memory_init: dict[int, bytes] | None = None,
+    entry: str | None = None,
+    max_steps: int = 2_000_000,
+) -> ExecutionResult:
+    """One-shot convenience wrapper around :class:`Executor`.
+
+    ``regs`` pre-loads register values (e.g. benchmark operands) and
+    ``memory_init`` writes raw bytes (e.g. a plaintext block) before
+    execution starts.
+    """
+    executor = Executor(program, max_steps=max_steps)
+    state = executor.fresh_state()
+    for reg, value in (regs or {}).items():
+        state.regs[reg] = value & 0xFFFFFFFF
+    for address, data in (memory_init or {}).items():
+        state.memory.write_bytes(address, data)
+    return executor.run(state=state, entry=entry)

@@ -1,0 +1,219 @@
+"""The ``Instruction`` record and its static-property queries.
+
+An ``Instruction`` is a parsed, label-resolved assembly instruction.  The
+micro-architectural simulator queries it for the properties that drive
+issue decisions on the Cortex-A7: which registers it reads and writes, how
+many register-file read ports it needs, whether it requires the barrel
+shifter or the multiplier (both live in the second ALU only), and which
+Table-1 class it belongs to.
+
+Shift mnemonics (``lsl rd, rm, #n`` etc.) are desugared by the parser into
+their UAL-equivalent ``mov rd, rm, lsl #n`` form, so the rest of the stack
+only ever sees data-processing instructions with an optionally shifted
+``op2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import (
+    ACCESS_WIDTH,
+    BRANCHES,
+    COMPARE,
+    DATA_PROCESSING,
+    LOADS,
+    MEMORY,
+    MULTIPLY,
+    STORES,
+    WIDE_MOVES,
+    Cond,
+    InstrClass,
+    Opcode,
+)
+from repro.isa.operands import AddrMode, Imm, LabelRef, MemRef, RegShift
+from repro.isa.registers import Reg
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One assembly instruction of the supported ARM subset.
+
+    Field usage by format:
+
+    * data processing: ``rd`` (absent for compares), ``rn`` (absent for
+      ``mov``/``mvn``), ``op2`` (``Imm`` or ``RegShift``);
+    * multiply: ``rd``, ``rm``, ``rs`` and, for ``mla`` only, the
+      accumulator ``rn``;
+    * load/store: ``rd`` (the transfer register ``rt``) and ``mem``;
+    * branch: ``target`` (``LabelRef``) for ``b``/``bl``, ``rm`` for ``bx``.
+    """
+
+    opcode: Opcode
+    cond: Cond = Cond.AL
+    set_flags: bool = False
+    rd: Reg | None = None
+    rn: Reg | None = None
+    rm: Reg | None = None
+    rs: Reg | None = None
+    op2: Imm | RegShift | None = None
+    mem: MemRef | None = None
+    target: LabelRef | None = None
+    #: Index in the program's instruction list (set by the assembler).
+    index: int = field(default=-1, compare=False)
+    #: Byte address of the instruction (set by the assembler).
+    address: int = field(default=-1, compare=False)
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+
+    @property
+    def instr_class(self) -> InstrClass:
+        """Table-1 category of this instruction."""
+        op = self.opcode
+        if op is Opcode.NOP:
+            return InstrClass.NOP
+        if op in BRANCHES:
+            return InstrClass.BRANCH
+        if op in MEMORY:
+            return InstrClass.LDST
+        if op in MULTIPLY:
+            return InstrClass.MUL
+        if self.uses_shifter:
+            return InstrClass.SHIFT
+        if op in (Opcode.MOV, Opcode.MVN):
+            return InstrClass.MOV
+        if isinstance(self.op2, Imm) or op in WIDE_MOVES:
+            return InstrClass.ALU_IMM
+        return InstrClass.ALU
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opcode in MEMORY
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode in LOADS
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode in STORES
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opcode in BRANCHES
+
+    @property
+    def is_nop(self) -> bool:
+        return self.opcode is Opcode.NOP
+
+    @property
+    def is_multiply(self) -> bool:
+        return self.opcode in MULTIPLY
+
+    @property
+    def is_compare(self) -> bool:
+        return self.opcode in COMPARE
+
+    @property
+    def access_width(self) -> int:
+        """Width in bytes of a memory access (raises for non-memory ops)."""
+        return ACCESS_WIDTH[self.opcode]
+
+    @property
+    def uses_shifter(self) -> bool:
+        """True when the barrel shifter is on this instruction's path."""
+        return isinstance(self.op2, RegShift) and self.op2.is_shifted
+
+    @property
+    def uses_multiplier(self) -> bool:
+        return self.opcode in MULTIPLY
+
+    # ------------------------------------------------------------------
+    # Register usage
+    # ------------------------------------------------------------------
+
+    def reads(self) -> tuple[Reg, ...]:
+        """Registers read by this instruction, in operand order."""
+        regs: list[Reg] = []
+        op = self.opcode
+        if op in MULTIPLY:
+            regs.extend(r for r in (self.rm, self.rs) if r is not None)
+            if op is Opcode.MLA and self.rn is not None:
+                regs.append(self.rn)
+        elif op in MEMORY:
+            assert self.mem is not None
+            if op in STORES and self.rd is not None:
+                regs.append(self.rd)
+            regs.append(self.mem.base)
+            if self.mem.offset_is_reg:
+                regs.append(self.mem.offset)  # type: ignore[arg-type]
+        elif op is Opcode.BX:
+            if self.rm is not None:
+                regs.append(self.rm)
+        elif op in DATA_PROCESSING or op in COMPARE:
+            if self.rn is not None:
+                regs.append(self.rn)
+            if isinstance(self.op2, RegShift):
+                regs.append(self.op2.reg)
+                if self.op2.shift_by_register:
+                    regs.append(self.op2.amount)  # type: ignore[arg-type]
+        elif op is Opcode.MOVT and self.rd is not None:
+            regs.append(self.rd)  # movt preserves the low halfword
+        return tuple(regs)
+
+    def writes(self) -> tuple[Reg, ...]:
+        """Registers written by this instruction."""
+        regs: list[Reg] = []
+        op = self.opcode
+        writes_rd = op in LOADS or op in DATA_PROCESSING or op in MULTIPLY or op in WIDE_MOVES
+        if writes_rd and self.rd is not None:
+            regs.append(self.rd)
+        if op is Opcode.BL:
+            regs.append(Reg.R14)
+        if self.mem is not None and self.mem.mode is not AddrMode.OFFSET:
+            regs.append(self.mem.base)
+        return tuple(regs)
+
+    @property
+    def writes_register(self) -> bool:
+        return bool(self.writes())
+
+    @property
+    def read_port_count(self) -> int:
+        """Register-file read ports consumed at issue."""
+        return len(self.reads())
+
+    @property
+    def has_immediate(self) -> bool:
+        return isinstance(self.op2, Imm) or (
+            self.mem is not None and not self.mem.offset_is_reg and self.mem.offset != 0
+        )
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def __str__(self) -> str:
+        op = self.opcode
+        mnem = f"{op}{'s' if self.set_flags else ''}{self.cond}"
+        if op is Opcode.NOP:
+            return "nop"
+        if op in BRANCHES:
+            if op is Opcode.BX:
+                return f"{mnem} {self.rm}"
+            return f"{mnem} {self.target}"
+        if op in MEMORY:
+            return f"{mnem} {self.rd}, {self.mem}"
+        if op in MULTIPLY:
+            if op is Opcode.MLA:
+                return f"{mnem} {self.rd}, {self.rm}, {self.rs}, {self.rn}"
+            return f"{mnem} {self.rd}, {self.rm}, {self.rs}"
+        if op in WIDE_MOVES:
+            return f"{mnem} {self.rd}, {self.op2}"
+        if op in COMPARE:
+            return f"{mnem} {self.rn}, {self.op2}"
+        if op in (Opcode.MOV, Opcode.MVN):
+            return f"{mnem} {self.rd}, {self.op2}"
+        return f"{mnem} {self.rd}, {self.rn}, {self.op2}"

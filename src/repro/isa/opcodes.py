@@ -1,0 +1,157 @@
+"""Opcode and instruction-class definitions for the ARM ISA subset.
+
+``InstrClass`` mirrors the row/column categories of Table 1 in the paper
+(the dual-issue pair matrix): ``mov``, ``ALU``, ``ALU w/ imm``, ``mul``,
+``shifts``, ``branch`` and ``ld/st``.  ``nop`` gets its own class because
+the Cortex-A7 never dual-issues it (Section 3.2) and because its
+microarchitectural behaviour (conditional never-execute with zero-valued
+operands) is itself a leakage source (Section 4.1).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Opcode(enum.Enum):
+    """Mnemonics of the supported ARM subset."""
+
+    # Data processing, register/immediate operand2.
+    MOV = "mov"
+    MVN = "mvn"
+    ADD = "add"
+    ADC = "adc"
+    SUB = "sub"
+    SBC = "sbc"
+    RSB = "rsb"
+    AND = "and"
+    ORR = "orr"
+    EOR = "eor"
+    BIC = "bic"
+    # Compare/test (set flags, no destination register).
+    CMP = "cmp"
+    CMN = "cmn"
+    TST = "tst"
+    TEQ = "teq"
+    # Explicit shifts (UAL aliases of mov with a shifted operand).
+    LSL = "lsl"
+    LSR = "lsr"
+    ASR = "asr"
+    ROR = "ror"
+    # Multiply.
+    MUL = "mul"
+    MLA = "mla"
+    # Wide immediate moves (ARMv7 movw/movt).
+    MOVW = "movw"
+    MOVT = "movt"
+    # Loads and stores.
+    LDR = "ldr"
+    LDRB = "ldrb"
+    LDRH = "ldrh"
+    STR = "str"
+    STRB = "strb"
+    STRH = "strh"
+    # Branches.
+    B = "b"
+    BL = "bl"
+    BX = "bx"
+    # No-operation (architecturally a conditional instruction that never
+    # executes, with zero-valued operands -- see Section 4.1 of the paper).
+    NOP = "nop"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class Cond(enum.Enum):
+    """ARM condition codes (subset sufficient for generated code)."""
+
+    EQ = "eq"
+    NE = "ne"
+    CS = "cs"
+    CC = "cc"
+    MI = "mi"
+    PL = "pl"
+    VS = "vs"
+    VC = "vc"
+    HI = "hi"
+    LS = "ls"
+    GE = "ge"
+    LT = "lt"
+    GT = "gt"
+    LE = "le"
+    AL = "al"
+    NV = "nv"
+
+    def __str__(self) -> str:
+        return "" if self is Cond.AL else self.value
+
+
+class InstrClass(enum.Enum):
+    """Instruction categories used by the dual-issue pair matrix (Table 1)."""
+
+    MOV = "mov"
+    ALU = "ALU"
+    ALU_IMM = "ALU w/ imm"
+    MUL = "mul"
+    SHIFT = "shifts"
+    BRANCH = "branch"
+    LDST = "ld/st"
+    NOP = "nop"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Classes appearing in the paper's Table 1, in its row order.
+TABLE1_CLASSES = (
+    InstrClass.MOV,
+    InstrClass.ALU,
+    InstrClass.ALU_IMM,
+    InstrClass.BRANCH,
+    InstrClass.LDST,
+    InstrClass.MUL,
+    InstrClass.SHIFT,
+)
+
+DATA_PROCESSING = frozenset(
+    {
+        Opcode.MOV,
+        Opcode.MVN,
+        Opcode.ADD,
+        Opcode.ADC,
+        Opcode.SUB,
+        Opcode.SBC,
+        Opcode.RSB,
+        Opcode.AND,
+        Opcode.ORR,
+        Opcode.EOR,
+        Opcode.BIC,
+    }
+)
+
+COMPARE = frozenset({Opcode.CMP, Opcode.CMN, Opcode.TST, Opcode.TEQ})
+
+SHIFT_ALIASES = frozenset({Opcode.LSL, Opcode.LSR, Opcode.ASR, Opcode.ROR})
+
+MULTIPLY = frozenset({Opcode.MUL, Opcode.MLA})
+
+WIDE_MOVES = frozenset({Opcode.MOVW, Opcode.MOVT})
+
+LOADS = frozenset({Opcode.LDR, Opcode.LDRB, Opcode.LDRH})
+
+STORES = frozenset({Opcode.STR, Opcode.STRB, Opcode.STRH})
+
+MEMORY = LOADS | STORES
+
+BRANCHES = frozenset({Opcode.B, Opcode.BL, Opcode.BX})
+
+#: Access width in bytes of each memory opcode.
+ACCESS_WIDTH = {
+    Opcode.LDR: 4,
+    Opcode.STR: 4,
+    Opcode.LDRH: 2,
+    Opcode.STRH: 2,
+    Opcode.LDRB: 1,
+    Opcode.STRB: 1,
+}

@@ -1,0 +1,130 @@
+"""Instruction operands: immediates, barrel-shifted registers, memory refs.
+
+The ARM data-processing ``<Operand2>`` is either an immediate or a register
+optionally routed through the barrel shifter (``lsl``/``lsr``/``asr``/``ror``
+by an immediate amount, or ``rrx``).  The shifter is a physical block of the
+Cortex-A7's second ALU, and its output buffer is one of the leakage sources
+characterized in Table 2 of the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.isa.registers import Reg
+
+WORD_MASK = 0xFFFFFFFF
+
+
+class ShiftKind(enum.Enum):
+    """Barrel shifter operation applied to a register operand."""
+
+    LSL = "lsl"
+    LSR = "lsr"
+    ASR = "asr"
+    ROR = "ror"
+    RRX = "rrx"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand (full 32-bit value at the assembly level)."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not -(2**31) <= self.value <= WORD_MASK:
+            raise ValueError(f"immediate out of 32-bit range: {self.value}")
+
+    @property
+    def unsigned(self) -> int:
+        return self.value & WORD_MASK
+
+    def __str__(self) -> str:
+        return f"#{self.value}"
+
+
+@dataclass(frozen=True)
+class RegShift:
+    """A register operand, optionally passed through the barrel shifter.
+
+    ``amount`` may be an immediate shift amount or a register holding the
+    amount (register-specified shifts are never dual-issued on the A7, as
+    they occupy the shifter for a full cycle).
+    """
+
+    reg: Reg
+    kind: ShiftKind | None = None
+    amount: int | Reg | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is None and self.amount is not None:
+            raise ValueError("shift amount given without a shift kind")
+        if self.kind is ShiftKind.RRX and self.amount is not None:
+            raise ValueError("rrx takes no shift amount")
+        if self.kind is not None and self.kind is not ShiftKind.RRX:
+            if self.amount is None:
+                raise ValueError(f"{self.kind} requires a shift amount")
+            if isinstance(self.amount, int) and not 0 <= self.amount <= 32:
+                raise ValueError(f"shift amount out of range: {self.amount}")
+
+    @property
+    def is_shifted(self) -> bool:
+        return self.kind is not None
+
+    @property
+    def shift_by_register(self) -> bool:
+        return isinstance(self.amount, Reg)
+
+    def __str__(self) -> str:
+        if self.kind is None:
+            return str(self.reg)
+        if self.kind is ShiftKind.RRX:
+            return f"{self.reg}, rrx"
+        # Note: Reg is an IntEnum, so test for it before plain int.
+        amount = str(self.amount) if isinstance(self.amount, Reg) else f"#{self.amount}"
+        return f"{self.reg}, {self.kind} {amount}"
+
+
+class AddrMode(enum.Enum):
+    """Addressing mode of a load/store."""
+
+    OFFSET = "offset"  # [rn, #off]      address = rn + off
+    PRE_INDEX = "pre"  # [rn, #off]!     address = rn + off, rn updated
+    POST_INDEX = "post"  # [rn], #off    address = rn, rn updated after
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """A load/store address: base register plus immediate or register offset."""
+
+    base: Reg
+    offset: int | Reg = 0
+    mode: AddrMode = AddrMode.OFFSET
+
+    @property
+    def offset_is_reg(self) -> bool:
+        return isinstance(self.offset, Reg)
+
+    def __str__(self) -> str:
+        off = str(self.offset) if isinstance(self.offset, Reg) else f"#{self.offset}"
+        if self.mode is AddrMode.POST_INDEX:
+            return f"[{self.base}], {off}"
+        body = f"[{self.base}]" if self.offset == 0 else f"[{self.base}, {off}]"
+        if self.mode is AddrMode.PRE_INDEX:
+            return body + "!"
+        return body
+
+
+@dataclass(frozen=True)
+class LabelRef:
+    """A symbolic branch target, resolved by the assembler's second pass."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name

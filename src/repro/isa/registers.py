@@ -1,0 +1,66 @@
+"""General-purpose register file names for the ARM ISA subset.
+
+ARM integer cores expose sixteen architectural registers ``r0``-``r15``;
+``r13``/``r14``/``r15`` double as the stack pointer, link register and
+program counter.  The enum is an ``IntEnum`` so registers can index the
+register file directly.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Reg(enum.IntEnum):
+    """An ARM general-purpose register, usable directly as an index."""
+
+    R0 = 0
+    R1 = 1
+    R2 = 2
+    R3 = 3
+    R4 = 4
+    R5 = 5
+    R6 = 6
+    R7 = 7
+    R8 = 8
+    R9 = 9
+    R10 = 10
+    R11 = 11
+    R12 = 12
+    R13 = 13
+    R14 = 14
+    R15 = 15
+
+    def __str__(self) -> str:
+        return _CANONICAL_NAMES[int(self)]
+
+    @property
+    def is_pc(self) -> bool:
+        return self is Reg.R15
+
+    @property
+    def is_sp(self) -> bool:
+        return self is Reg.R13
+
+    @classmethod
+    def parse(cls, text: str) -> "Reg":
+        """Parse a register name such as ``r3``, ``SP`` or ``lr``."""
+        name = text.strip().lower()
+        if name in _ALIASES:
+            return _ALIASES[name]
+        raise ValueError(f"unknown register name: {text!r}")
+
+
+SP = Reg.R13
+LR = Reg.R14
+PC = Reg.R15
+FP = Reg.R11
+IP = Reg.R12
+
+_CANONICAL_NAMES = [f"r{i}" for i in range(13)] + ["sp", "lr", "pc"]
+
+_ALIASES: dict[str, Reg] = {f"r{i}": Reg(i) for i in range(16)}
+_ALIASES.update({"sp": SP, "lr": LR, "pc": PC, "fp": FP, "ip": IP, "sl": Reg.R10})
+
+GENERAL_PURPOSE = tuple(Reg(i) for i in range(13))
+"""Registers freely usable by generated code (excludes sp/lr/pc)."""

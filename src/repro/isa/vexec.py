@@ -1,0 +1,610 @@
+"""Vectorized batch executor: runs N traces of one program simultaneously.
+
+Every architectural value is a ``uint32[n_traces]`` numpy array, so one
+pass over the dynamic instruction stream evaluates the whole acquisition
+campaign.  This is what keeps synthetic trace generation tractable in
+pure Python: the per-instruction cost is a handful of numpy kernels
+instead of ``n_traces`` interpreter round-trips.
+
+Restrictions (asserted, and satisfied by all programs in this repo):
+
+* control flow must be input-independent — every trace takes the same
+  path (branch conditions may depend on loop counters, not secret data;
+  the table-based AES satisfies this since its data dependence is through
+  *addresses*, not branches);
+* conditionally executed non-branch instructions must have uniform
+  condition outcomes across traces (same reason).
+
+The scalar :class:`repro.isa.executor.Executor` has no such restrictions
+and serves as the reference; equivalence is property-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Cond, Opcode
+from repro.isa.operands import AddrMode, Imm, RegShift, ShiftKind
+from repro.isa.program import Program
+from repro.isa.registers import Reg
+from repro.isa.semantics import HALT_ADDRESS, ExecutionError, condition_passed
+from repro.isa.values import ValueKind, ValueSource
+
+_PAGE_BITS = 12
+_PAGE_SIZE = 1 << _PAGE_BITS
+_PAGE_MASK = _PAGE_SIZE - 1
+
+_U32 = np.uint32
+_WORD_MASK = np.uint32(0xFFFFFFFF)
+
+
+class VectorMemory:
+    """Per-trace sparse memory: one ``uint8[n_traces, 4096]`` per page.
+
+    Accesses may use per-trace addresses, but every address in a batch
+    must fall in the same page (true for table lookups where only the
+    index varies); this is asserted.
+    """
+
+    def __init__(self, n_traces: int):
+        self.n_traces = n_traces
+        self._pages: dict[int, np.ndarray] = {}
+        self._rows = np.arange(n_traces)
+
+    def _page_for(self, addresses: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        page_nos = addresses >> _PAGE_BITS
+        first = int(page_nos[0])
+        if not np.all(page_nos == first):
+            raise ExecutionError("vectorized access straddles pages across traces")
+        page = self._pages.get(first)
+        if page is None:
+            page = np.zeros((self.n_traces, _PAGE_SIZE), dtype=np.uint8)
+            self._pages[first] = page
+        return page, addresses & _PAGE_MASK
+
+    def read_byte(self, addresses: np.ndarray) -> np.ndarray:
+        page, offs = self._page_for(addresses)
+        return page[self._rows, offs].astype(_U32)
+
+    def write_byte(self, addresses: np.ndarray, values: np.ndarray) -> None:
+        page, offs = self._page_for(addresses)
+        page[self._rows, offs] = values.astype(np.uint8)
+
+    def read_multi(self, addresses: np.ndarray, width: int) -> np.ndarray:
+        """Little-endian multi-byte read with per-trace addresses."""
+        value = np.zeros(self.n_traces, dtype=_U32)
+        for i in range(width):
+            value |= self.read_byte(addresses + i) << _U32(8 * i)
+        return value
+
+    def write_multi(self, addresses: np.ndarray, values: np.ndarray, width: int) -> None:
+        for i in range(width):
+            self.write_byte(addresses + i, (values >> _U32(8 * i)) & _U32(0xFF))
+
+    def load_uniform(self, address: int, data: bytes) -> None:
+        """Write the same bytes at the same address in every trace."""
+        if not data:
+            return
+        arr = np.frombuffer(bytes(data), dtype=np.uint8)
+        pos = 0
+        while pos < len(arr):
+            page_no = (address + pos) >> _PAGE_BITS
+            off = (address + pos) & _PAGE_MASK
+            chunk = min(_PAGE_SIZE - off, len(arr) - pos)
+            page = self._pages.get(page_no)
+            if page is None:
+                page = np.zeros((self.n_traces, _PAGE_SIZE), dtype=np.uint8)
+                self._pages[page_no] = page
+            page[:, off : off + chunk] = arr[pos : pos + chunk]
+            pos += chunk
+
+    def load_per_trace(self, address: int, data: np.ndarray) -> None:
+        """Write per-trace bytes (``uint8[n_traces, length]``) at ``address``."""
+        length = data.shape[1]
+        for i in range(length):
+            addrs = np.full(self.n_traces, address + i, dtype=_U32)
+            self.write_byte(addrs, data[:, i].astype(_U32))
+
+
+@dataclass
+class VectorFlags:
+    """NZCV flags as boolean arrays over the batch."""
+
+    n: np.ndarray
+    z: np.ndarray
+    c: np.ndarray
+    v: np.ndarray
+
+    @classmethod
+    def zeros(cls, n_traces: int) -> "VectorFlags":
+        return cls(*(np.zeros(n_traces, dtype=bool) for _ in range(4)))
+
+
+@dataclass
+class VectorState:
+    """Batch architectural state: regs[16][n_traces], flags, memory."""
+
+    n_traces: int
+    regs: list[np.ndarray] = field(default_factory=list)
+    flags: VectorFlags | None = None
+    memory: VectorMemory | None = None
+    pc: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.regs:
+            self.regs = [np.zeros(self.n_traces, dtype=_U32) for _ in range(16)]
+        if self.flags is None:
+            self.flags = VectorFlags.zeros(self.n_traces)
+        if self.memory is None:
+            self.memory = VectorMemory(self.n_traces)
+
+    def read_reg(self, reg: Reg, instr_address: int) -> np.ndarray:
+        if reg is Reg.R15:
+            return np.full(self.n_traces, (instr_address + 8) & 0xFFFFFFFF, dtype=_U32)
+        return self.regs[reg]
+
+    def write_reg(self, reg: Reg, values: np.ndarray) -> None:
+        self.regs[reg] = values.astype(_U32)
+
+
+@dataclass
+class _DynValues:
+    """Per-dynamic-instruction value arrays (sparse: only present kinds)."""
+
+    instr: Instruction
+    values: dict[ValueKind, np.ndarray]
+
+    def get(self, kind: ValueKind, n: int) -> np.ndarray:
+        arr = self.values.get(kind)
+        if arr is None:
+            return np.zeros(n, dtype=_U32)
+        return arr
+
+
+class RecordValues(ValueSource):
+    """Sparse :class:`ValueSource` over the batch executor's records.
+
+    Memory scales with the values the program actually produced (and the
+    retained dynamic range), not with ``n_dyn x n_kinds``.
+    """
+
+    def __init__(self, records: list[_DynValues], n_traces: int):
+        self.records = records
+        self.n_traces = n_traces
+        self.n_dyn = len(records)
+
+    def values(self, dyn_index: int, kind: ValueKind) -> np.ndarray | None:
+        return self.records[dyn_index].values.get(kind)
+
+
+@dataclass
+class VectorResult:
+    """Outcome of a batch run: the value source plus final state."""
+
+    table: RecordValues
+    state: VectorState
+    path: list[int]
+    records: list[_DynValues]
+
+
+def _uniform_bool(arr: np.ndarray, what: str) -> bool:
+    first = bool(arr.flat[0])
+    if not np.all(arr == first):
+        raise ExecutionError(f"divergent {what} across traces (control flow not uniform)")
+    return first
+
+
+def vector_barrel_shift(
+    values: np.ndarray, kind: ShiftKind, amount: int, carry_in: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized barrel shifter for immediate amounts; mirrors scalar."""
+    values = values.astype(_U32)
+    if kind is ShiftKind.RRX:
+        carry_out = (values & _U32(1)).astype(bool)
+        result = (values >> _U32(1)) | (carry_in.astype(_U32) << _U32(31))
+        return result, carry_out
+    if amount == 0:
+        return values, carry_in
+    if kind is ShiftKind.LSL:
+        if amount > 32:
+            return np.zeros_like(values), np.zeros_like(carry_in)
+        if amount == 32:
+            return np.zeros_like(values), (values & _U32(1)).astype(bool)
+        carry = ((values >> _U32(32 - amount)) & _U32(1)).astype(bool)
+        return (values << _U32(amount)) & _WORD_MASK, carry
+    if kind is ShiftKind.LSR:
+        if amount > 32:
+            return np.zeros_like(values), np.zeros_like(carry_in)
+        if amount == 32:
+            return np.zeros_like(values), (values >> _U32(31)).astype(bool)
+        carry = ((values >> _U32(amount - 1)) & _U32(1)).astype(bool)
+        return values >> _U32(amount), carry
+    if kind is ShiftKind.ASR:
+        amt = min(amount, 32)
+        signed = values.view(np.int32)
+        if amt == 32:
+            result = (signed >> np.int32(31)).view(_U32)
+            return result, (values >> _U32(31)).astype(bool)
+        carry = ((values >> _U32(amt - 1)) & _U32(1)).astype(bool)
+        return (signed >> np.int32(amt)).view(_U32), carry
+    if kind is ShiftKind.ROR:
+        amt = amount % 32
+        if amt == 0:
+            return values, (values >> _U32(31)).astype(bool)
+        result = ((values >> _U32(amt)) | (values << _U32(32 - amt))) & _WORD_MASK
+        return result, (result >> _U32(31)).astype(bool)
+    raise AssertionError(f"unhandled shift kind {kind}")
+
+
+class VectorExecutor:
+    """Runs a program once for a whole batch of input assignments.
+
+    ``keep_range`` optionally bounds the dynamic-index range whose value
+    arrays are retained (acquisition windows); values outside it are
+    dropped right after execution to cap memory on long programs.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        n_traces: int,
+        max_steps: int = 2_000_000,
+        keep_range: tuple[int, int] | None = None,
+    ):
+        self.program = program
+        self.n_traces = n_traces
+        self.max_steps = max_steps
+        self.keep_range = keep_range
+
+    def fresh_state(self) -> VectorState:
+        state = VectorState(self.n_traces)
+        assert state.memory is not None
+        for block in self.program.data_blocks:
+            state.memory.load_uniform(block.address, bytes(block.data))
+        state.regs[Reg.R14] = np.full(self.n_traces, HALT_ADDRESS, dtype=_U32)
+        state.pc = self.program.text_base
+        return state
+
+    def run(self, state: VectorState | None = None, entry: str | None = None) -> VectorResult:
+        if state is None:
+            state = self.fresh_state()
+        if entry is not None:
+            state.pc = self.program.label_address(entry)
+        records: list[_DynValues] = []
+        path: list[int] = []
+        steps = 0
+        text_end = self.program.text_end
+        n = self.n_traces
+        keep = self.keep_range
+        while state.pc != HALT_ADDRESS and self.program.text_base <= state.pc < text_end:
+            instr = self.program.instruction_at(state.pc)
+            self._step_into(instr, state, records)
+            path.append(instr.index)
+            if keep is not None:
+                dyn = len(records) - 1
+                if not keep[0] <= dyn < keep[1]:
+                    records[dyn].values.clear()
+            steps += 1
+            if steps > self.max_steps:
+                raise ExecutionError(f"program exceeded {self.max_steps} steps")
+        table = RecordValues(records, n)
+        return VectorResult(table=table, state=state, path=path, records=records)
+
+    def _step_into(self, instr: Instruction, state: VectorState, records: list[_DynValues]) -> None:
+        state.pc = self._step(instr, state, records)
+
+    # ------------------------------------------------------------------
+
+    def _step(self, instr: Instruction, state: VectorState, records: list[_DynValues]) -> int:
+        n = self.n_traces
+        values: dict[ValueKind, np.ndarray] = {}
+        records.append(_DynValues(instr, values))
+        next_pc = instr.address + 4
+        assert state.flags is not None and state.memory is not None
+
+        passed = self._condition(instr.cond, state.flags)
+        if instr.is_nop:
+            return next_pc
+        if instr.is_branch:
+            return self._branch(instr, state, values, passed, next_pc)
+        if instr.is_memory:
+            self._memory_op(instr, state, values, passed)
+            return next_pc
+        if instr.is_multiply:
+            self._multiply(instr, state, values, passed)
+            return next_pc
+        self._data_processing(instr, state, values, passed)
+        return next_pc
+
+    def _condition(self, cond: Cond, flags: VectorFlags) -> bool:
+        if cond is Cond.AL:
+            return True
+        if cond is Cond.NV:
+            return False
+        # Evaluate the scalar predicate over the batch and demand uniformity.
+        outcome = _vector_condition(cond, flags)
+        return _uniform_bool(outcome, f"condition {cond}")
+
+    # -- branches ------------------------------------------------------
+
+    def _branch(
+        self,
+        instr: Instruction,
+        state: VectorState,
+        values: dict[ValueKind, np.ndarray],
+        passed: bool,
+        fallthrough: int,
+    ) -> int:
+        if instr.opcode is Opcode.BX:
+            assert instr.rm is not None
+            target = state.read_reg(instr.rm, instr.address)
+            values[ValueKind.OP1] = target
+            if not passed:
+                return fallthrough
+            addr = int(target[0]) & ~1
+            if not np.all(target == target[0]):
+                raise ExecutionError("divergent bx target across traces")
+            return addr
+        if not passed:
+            return fallthrough
+        if instr.opcode is Opcode.BL:
+            state.write_reg(Reg.R14, np.full(self.n_traces, instr.address + 4, dtype=_U32))
+        assert instr.target is not None
+        return self.program.label_address(instr.target.name)
+
+    # -- data processing -----------------------------------------------
+
+    def _operands(
+        self, instr: Instruction, state: VectorState, values: dict[ValueKind, np.ndarray]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Returns (op1, op2_resolved, shifter_carry)."""
+        assert state.flags is not None
+        n = self.n_traces
+        op1 = np.zeros(n, dtype=_U32)
+        if instr.rn is not None:
+            op1 = state.read_reg(instr.rn, instr.address)
+            values[ValueKind.OP1] = op1
+        if instr.opcode is Opcode.MOVT and instr.rd is not None:
+            op1 = state.read_reg(instr.rd, instr.address)
+            values[ValueKind.OP1] = op1
+        carry = state.flags.c
+        if isinstance(instr.op2, Imm):
+            op2 = np.full(n, instr.op2.unsigned, dtype=_U32)
+            values[ValueKind.OP2] = op2  # mirrors the scalar record
+            return op1, op2, carry
+        if isinstance(instr.op2, RegShift):
+            raw = state.read_reg(instr.op2.reg, instr.address)
+            values[ValueKind.OP2] = raw
+            if not instr.op2.is_shifted:
+                return op1, raw, carry
+            if instr.op2.shift_by_register:
+                amounts = state.read_reg(instr.op2.amount, instr.address) & _U32(0xFF)  # type: ignore[arg-type]
+                amount = int(amounts[0])
+                if not np.all(amounts == amount):
+                    raise ExecutionError("divergent register shift amounts")
+                values[ValueKind.OP3] = amounts
+            else:
+                amount = int(instr.op2.amount or 0)
+            shifted, carry_out = vector_barrel_shift(raw, instr.op2.kind, amount, carry)  # type: ignore[arg-type]
+            values[ValueKind.SHIFTED] = shifted
+            return op1, shifted, carry_out
+        return op1, np.zeros(n, dtype=_U32), carry
+
+    def _data_processing(
+        self,
+        instr: Instruction,
+        state: VectorState,
+        values: dict[ValueKind, np.ndarray],
+        passed: bool,
+    ) -> None:
+        assert state.flags is not None
+        op = instr.opcode
+        n = self.n_traces
+        if op is Opcode.MOVW:
+            assert isinstance(instr.op2, Imm)
+            values[ValueKind.OP2] = np.full(n, instr.op2.unsigned, dtype=_U32)
+            result = np.full(n, instr.op2.unsigned & 0xFFFF, dtype=_U32)
+            self._writeback_logical(instr, state, values, result, state.flags.c, passed)
+            return
+        if op is Opcode.MOVT:
+            assert isinstance(instr.op2, Imm) and instr.rd is not None
+            old = state.read_reg(instr.rd, instr.address)
+            values[ValueKind.OP1] = old
+            values[ValueKind.OP2] = np.full(n, instr.op2.unsigned, dtype=_U32)
+            result = (_U32(instr.op2.unsigned & 0xFFFF) << _U32(16)) | (old & _U32(0xFFFF))
+            self._writeback_logical(instr, state, values, result, state.flags.c, passed)
+            return
+
+        op1, op2, shifter_carry = self._operands(instr, state, values)
+        if not passed:
+            # Squashed instructions read operands but never reach the
+            # shifter or the ALU (mirrors the scalar executor).
+            values.pop(ValueKind.SHIFTED, None)
+        carry_in = state.flags.c
+        if op is Opcode.MOV:
+            self._writeback_logical(instr, state, values, op2, shifter_carry, passed)
+        elif op is Opcode.MVN:
+            self._writeback_logical(instr, state, values, ~op2, shifter_carry, passed)
+        elif op in (Opcode.AND, Opcode.TST):
+            self._writeback_logical(instr, state, values, op1 & op2, shifter_carry, passed)
+        elif op in (Opcode.EOR, Opcode.TEQ):
+            self._writeback_logical(instr, state, values, op1 ^ op2, shifter_carry, passed)
+        elif op is Opcode.ORR:
+            self._writeback_logical(instr, state, values, op1 | op2, shifter_carry, passed)
+        elif op is Opcode.BIC:
+            self._writeback_logical(instr, state, values, op1 & ~op2, shifter_carry, passed)
+        elif op in (Opcode.ADD, Opcode.CMN):
+            self._writeback_arith(instr, state, values, op1, op2, np.zeros(n, _U32), passed)
+        elif op is Opcode.ADC:
+            self._writeback_arith(instr, state, values, op1, op2, carry_in.astype(_U32), passed)
+        elif op in (Opcode.SUB, Opcode.CMP):
+            self._writeback_arith(instr, state, values, op1, ~op2, np.ones(n, _U32), passed)
+        elif op is Opcode.SBC:
+            self._writeback_arith(instr, state, values, op1, ~op2, carry_in.astype(_U32), passed)
+        elif op is Opcode.RSB:
+            self._writeback_arith(instr, state, values, op2, ~op1, np.ones(n, _U32), passed)
+        else:
+            raise ExecutionError(f"unhandled data-processing opcode {op}")
+
+    def _writeback_logical(
+        self,
+        instr: Instruction,
+        state: VectorState,
+        values: dict[ValueKind, np.ndarray],
+        result: np.ndarray,
+        carry: np.ndarray,
+        passed: bool,
+    ) -> None:
+        assert state.flags is not None
+        result = result.astype(_U32)
+        if not passed:
+            return
+        values[ValueKind.RESULT] = result
+        if not instr.is_compare and instr.rd is not None:
+            state.write_reg(instr.rd, result)
+        if instr.set_flags:
+            state.flags.n = (result >> _U32(31)).astype(bool)
+            state.flags.z = result == 0
+            state.flags.c = carry.copy() if isinstance(carry, np.ndarray) else carry
+
+    def _writeback_arith(
+        self,
+        instr: Instruction,
+        state: VectorState,
+        values: dict[ValueKind, np.ndarray],
+        a: np.ndarray,
+        b: np.ndarray,
+        carry: np.ndarray,
+        passed: bool,
+    ) -> None:
+        assert state.flags is not None
+        if not passed:
+            return
+        a64 = a.astype(np.uint64)
+        b64 = (b.astype(_U32)).astype(np.uint64)
+        total = a64 + b64 + carry.astype(np.uint64)
+        result = (total & np.uint64(0xFFFFFFFF)).astype(_U32)
+        values[ValueKind.RESULT] = result
+        if not instr.is_compare and instr.rd is not None:
+            state.write_reg(instr.rd, result)
+        if instr.set_flags:
+            state.flags.n = (result >> _U32(31)).astype(bool)
+            state.flags.z = result == 0
+            state.flags.c = total > np.uint64(0xFFFFFFFF)
+            sign_a = (a >> _U32(31)).astype(bool)
+            sign_b = ((b.astype(_U32)) >> _U32(31)).astype(bool)
+            sign_r = (result >> _U32(31)).astype(bool)
+            state.flags.v = (sign_a == sign_b) & (sign_a != sign_r)
+
+    # -- multiply --------------------------------------------------------
+
+    def _multiply(
+        self,
+        instr: Instruction,
+        state: VectorState,
+        values: dict[ValueKind, np.ndarray],
+        passed: bool,
+    ) -> None:
+        assert instr.rm is not None and instr.rs is not None and state.flags is not None
+        op1 = state.read_reg(instr.rm, instr.address)
+        op2 = state.read_reg(instr.rs, instr.address)
+        values[ValueKind.OP1] = op1
+        values[ValueKind.OP2] = op2
+        if not passed:
+            return
+        product = (op1.astype(np.uint64) * op2.astype(np.uint64)) & np.uint64(0xFFFFFFFF)
+        if instr.opcode is Opcode.MLA and instr.rn is not None:
+            acc = state.read_reg(instr.rn, instr.address)
+            values[ValueKind.OP3] = acc
+            product = (product + acc.astype(np.uint64)) & np.uint64(0xFFFFFFFF)
+        result = product.astype(_U32)
+        values[ValueKind.RESULT] = result
+        if instr.rd is not None:
+            state.write_reg(instr.rd, result)
+        if instr.set_flags:
+            state.flags.n = (result >> _U32(31)).astype(bool)
+            state.flags.z = result == 0
+
+    # -- memory ----------------------------------------------------------
+
+    def _memory_op(
+        self,
+        instr: Instruction,
+        state: VectorState,
+        values: dict[ValueKind, np.ndarray],
+        passed: bool,
+    ) -> None:
+        assert instr.mem is not None and state.memory is not None
+        mem = instr.mem
+        n = self.n_traces
+        base = state.read_reg(mem.base, instr.address)
+        values[ValueKind.BASE] = base
+        if mem.offset_is_reg:
+            offset = state.read_reg(mem.offset, instr.address)  # type: ignore[arg-type]
+        else:
+            offset = np.full(n, int(mem.offset) & 0xFFFFFFFF, dtype=_U32)
+        values[ValueKind.OFFSET] = offset
+        if mem.mode is AddrMode.POST_INDEX:
+            addr = base.copy()
+        else:
+            addr = base + offset
+        values[ValueKind.ADDR] = addr
+        if instr.is_store and instr.rd is not None:
+            data = state.read_reg(instr.rd, instr.address)
+            values[ValueKind.STORE_DATA] = data
+            values[ValueKind.OP2] = data
+        if not passed:
+            return
+        width = instr.access_width
+        if np.any(addr % _U32(width)):
+            raise ExecutionError(f"unaligned {width}-byte access in {instr}")
+        word_addr = addr & ~_U32(3)
+
+        if instr.is_load:
+            if width == 4:
+                value = state.memory.read_multi(addr, 4)
+                values[ValueKind.MEM_WORD] = value
+            else:
+                value = state.memory.read_multi(addr, width)
+                values[ValueKind.MEM_WORD] = state.memory.read_multi(word_addr, 4)
+                values[ValueKind.SUB_WORD] = value
+            values[ValueKind.RESULT] = value
+            if instr.rd is not None:
+                state.write_reg(instr.rd, value)
+        else:
+            assert instr.rd is not None
+            data = values[ValueKind.STORE_DATA]
+            if width == 4:
+                state.memory.write_multi(addr, data, 4)
+                values[ValueKind.MEM_WORD] = data
+            else:
+                state.memory.write_multi(addr, data, width)
+                values[ValueKind.MEM_WORD] = state.memory.read_multi(word_addr, 4)
+                values[ValueKind.SUB_WORD] = data & _U32((1 << (8 * width)) - 1)
+
+        if mem.mode is not AddrMode.OFFSET:
+            state.write_reg(mem.base, base + offset)
+
+
+def _vector_condition(cond: Cond, flags: VectorFlags) -> np.ndarray:
+    n, z, c, v = flags.n, flags.z, flags.c, flags.v
+    table = {
+        Cond.EQ: z,
+        Cond.NE: ~z,
+        Cond.CS: c,
+        Cond.CC: ~c,
+        Cond.MI: n,
+        Cond.PL: ~n,
+        Cond.VS: v,
+        Cond.VC: ~v,
+        Cond.HI: c & ~z,
+        Cond.LS: ~c | z,
+        Cond.GE: n == v,
+        Cond.LT: n != v,
+        Cond.GT: ~z & (n == v),
+        Cond.LE: z | (n != v),
+    }
+    return table[cond]

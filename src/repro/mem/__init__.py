@@ -1,0 +1,6 @@
+"""Memory subsystem: flat sparse memory and a two-level cache model."""
+
+from repro.mem.cache import Cache, CacheConfig, CacheHierarchy, CacheStats
+from repro.mem.memory import Memory
+
+__all__ = ["Cache", "CacheConfig", "CacheHierarchy", "CacheStats", "Memory"]

@@ -1,0 +1,141 @@
+"""Set-associative cache model with LRU replacement and a two-level hierarchy.
+
+The Allwinner A20 target of the paper has two cache levels.  Section 3.2
+explains that the benchmarks are looped until the caches are warm so that
+execution time is deterministic; the pipeline model therefore assumes warm
+caches by default.  This module exists to *verify* that assumption (the
+CPI harness can check that a warmed cache produces no misses on the
+benchmark working set) and to model cold-start effects when a user asks
+for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level."""
+
+    size_bytes: int = 32 * 1024
+    line_bytes: int = 32
+    ways: int = 4
+    hit_latency: int = 1
+    name: str = "L1"
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.line_bytes * self.ways):
+            raise ValueError("cache size must be a multiple of line_bytes * ways")
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ValueError("line size must be a power of two")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.ways)
+
+
+#: Cortex-A7 L1 data cache (32 KiB, 4-way, 64 B lines per the TRM; we keep
+#: 32 B lines as a conservative default usable for both L1I and L1D).
+CORTEX_A7_L1 = CacheConfig(size_bytes=32 * 1024, line_bytes=64, ways=4, hit_latency=1, name="L1D")
+
+#: Allwinner A20 shared L2 (256 KiB, 8-way).
+CORTEX_A7_L2 = CacheConfig(
+    size_bytes=256 * 1024, line_bytes=64, ways=8, hit_latency=8, name="L2"
+)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """One set-associative, write-allocate, LRU cache level.
+
+    Only tags are modelled (data lives in :class:`repro.mem.Memory`); the
+    cache's job here is timing and warm-up state, not storage.
+    """
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.stats = CacheStats()
+        self._line_shift = config.line_bytes.bit_length() - 1
+        # Per-set list of tags in LRU order (most recent last).
+        self._sets: list[list[int]] = [[] for _ in range(config.n_sets)]
+
+    def _locate(self, address: int) -> tuple[list[int], int]:
+        line = address >> self._line_shift
+        return self._sets[line % self.config.n_sets], line
+
+    def access(self, address: int) -> bool:
+        """Touch ``address``; returns True on hit and updates LRU state."""
+        tags, tag = self._locate(address)
+        if tag in tags:
+            tags.remove(tag)
+            tags.append(tag)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        tags.append(tag)
+        if len(tags) > self.config.ways:
+            tags.pop(0)
+        return False
+
+    def contains(self, address: int) -> bool:
+        """Non-mutating lookup (no LRU update, no stats)."""
+        tags, tag = self._locate(address)
+        return tag in tags
+
+    def warm(self, address: int, length: int) -> None:
+        """Pre-load an address range, as the paper's warm-up loop does."""
+        line = self.config.line_bytes
+        start = address & ~(line - 1)
+        for addr in range(start, address + length, line):
+            tags, tag = self._locate(addr)
+            if tag in tags:
+                tags.remove(tag)
+            tags.append(tag)
+            if len(tags) > self.config.ways:
+                tags.pop(0)
+
+    def flush(self) -> None:
+        for tags in self._sets:
+            tags.clear()
+        self.stats = CacheStats()
+
+
+@dataclass
+class CacheHierarchy:
+    """L1 + L2 with miss propagation; returns total access latency."""
+
+    l1: Cache = field(default_factory=lambda: Cache(CORTEX_A7_L1))
+    l2: Cache = field(default_factory=lambda: Cache(CORTEX_A7_L2))
+    memory_latency: int = 60
+
+    def access(self, address: int) -> int:
+        """Access latency in cycles for ``address``."""
+        if self.l1.access(address):
+            return self.l1.config.hit_latency
+        if self.l2.access(address):
+            return self.l1.config.hit_latency + self.l2.config.hit_latency
+        return self.l1.config.hit_latency + self.l2.config.hit_latency + self.memory_latency
+
+    def warm(self, address: int, length: int) -> None:
+        self.l1.warm(address, length)
+        self.l2.warm(address, length)
+
+    def flush(self) -> None:
+        self.l1.flush()
+        self.l2.flush()

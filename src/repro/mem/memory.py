@@ -1,0 +1,95 @@
+"""A sparse, page-backed, little-endian byte-addressable memory.
+
+The simulator's data memory.  Pages are allocated lazily so programs can
+scatter code, tables and stacks across the address space without
+committing gigabytes.  All multi-byte accesses are little-endian, matching
+the ARM configuration of the paper's Allwinner A20 target.
+"""
+
+from __future__ import annotations
+
+WORD_MASK = 0xFFFFFFFF
+
+_PAGE_BITS = 12
+_PAGE_SIZE = 1 << _PAGE_BITS
+_PAGE_MASK = _PAGE_SIZE - 1
+
+
+class Memory:
+    """Sparse byte-addressable memory with lazy page allocation."""
+
+    def __init__(self) -> None:
+        self._pages: dict[int, bytearray] = {}
+
+    def _page(self, address: int) -> bytearray:
+        page_no = address >> _PAGE_BITS
+        page = self._pages.get(page_no)
+        if page is None:
+            page = bytearray(_PAGE_SIZE)
+            self._pages[page_no] = page
+        return page
+
+    # ------------------------------------------------------------------
+    # Byte granularity
+    # ------------------------------------------------------------------
+
+    def read_byte(self, address: int) -> int:
+        address &= WORD_MASK
+        return self._page(address)[address & _PAGE_MASK]
+
+    def write_byte(self, address: int, value: int) -> None:
+        address &= WORD_MASK
+        self._page(address)[address & _PAGE_MASK] = value & 0xFF
+
+    # ------------------------------------------------------------------
+    # Multi-byte granularity (little endian; may straddle pages)
+    # ------------------------------------------------------------------
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        return bytes(self.read_byte(address + i) for i in range(length))
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        for i, value in enumerate(data):
+            self.write_byte(address + i, value)
+
+    def read_half(self, address: int) -> int:
+        return int.from_bytes(self.read_bytes(address, 2), "little")
+
+    def write_half(self, address: int, value: int) -> None:
+        self.write_bytes(address, (value & 0xFFFF).to_bytes(2, "little"))
+
+    def read_word(self, address: int) -> int:
+        address &= WORD_MASK
+        offset = address & _PAGE_MASK
+        if offset <= _PAGE_SIZE - 4:
+            page = self._page(address)
+            return int.from_bytes(page[offset : offset + 4], "little")
+        return int.from_bytes(self.read_bytes(address, 4), "little")
+
+    def write_word(self, address: int, value: int) -> None:
+        address &= WORD_MASK
+        offset = address & _PAGE_MASK
+        data = (value & WORD_MASK).to_bytes(4, "little")
+        if offset <= _PAGE_SIZE - 4:
+            self._page(address)[offset : offset + 4] = data
+        else:
+            self.write_bytes(address, data)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def load_blocks(self, blocks) -> None:
+        """Load an iterable of objects with ``address``/``data`` attributes."""
+        for block in blocks:
+            self.write_bytes(block.address, bytes(block.data))
+
+    def snapshot(self) -> "Memory":
+        """Deep copy, used to reset state between trace acquisitions."""
+        clone = Memory()
+        clone._pages = {page_no: bytearray(page) for page_no, page in self._pages.items()}
+        return clone
+
+    @property
+    def allocated_bytes(self) -> int:
+        return len(self._pages) * _PAGE_SIZE

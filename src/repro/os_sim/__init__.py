@@ -1,0 +1,27 @@
+"""The Figure-4 environment: a loaded Linux system around the victim.
+
+The paper's realistic scenario runs AES as an unprivileged userspace
+process on Ubuntu 16.04 with a GUI, an Apache 2.4.18 webserver serving
+1000 HTTPerf requests per second, both Cortex-A7 cores at full load, no
+CPU affinity and no elevated priority.  Relative to bare metal this adds
+two effects, both modelled here:
+
+* broadband additive power noise from the second core and the other
+  processes sharing the SoC's supply rail (an autocorrelated random
+  activity process, scaled to dominate the victim's signal); and
+* occasional preemption of the victim: a preempted execution contributes
+  unrelated activity instead of the AES window, diluted by the 16-fold
+  trace averaging.
+"""
+
+from repro.os_sim.environment import Environment, bare_metal, loaded_linux
+from repro.os_sim.scheduler import PreemptionModel
+from repro.os_sim.workload import BackgroundWorkload
+
+__all__ = [
+    "BackgroundWorkload",
+    "Environment",
+    "PreemptionModel",
+    "bare_metal",
+    "loaded_linux",
+]

@@ -1,0 +1,105 @@
+"""Environment presets tying workload + scheduler into the acquisition.
+
+An :class:`Environment` produces the ``extra_noise`` matrix a
+:class:`repro.power.TraceCampaign` mixes into the victim's power before
+the oscilloscope chain, plus environment-appropriate scope settings
+(trigger jitter grows on a busy system; averaging stays at the paper's
+16 executions per stored trace).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.os_sim.scheduler import PreemptionModel
+from repro.os_sim.workload import BackgroundWorkload, apache_full_load, idle_desktop
+from repro.power.scope import ScopeConfig
+
+
+@dataclass
+class Environment:
+    """A measurement environment around the victim process."""
+
+    name: str
+    workload: BackgroundWorkload | None = None
+    preemption: PreemptionModel | None = None
+    trigger_jitter_samples: int = 0
+    n_averages: int = 16
+    seed: int = 0xB007
+
+    def scope_config(self, base: ScopeConfig | None = None) -> ScopeConfig:
+        base = base if base is not None else ScopeConfig()
+        return ScopeConfig(
+            samples_per_cycle=base.samples_per_cycle,
+            noise_sigma=base.noise_sigma,
+            kernel=base.kernel,
+            n_averages=self.n_averages,
+            quantize_bits=base.quantize_bits,
+            adc_range=base.adc_range,
+            jitter_samples=max(base.jitter_samples, self.trigger_jitter_samples),
+        )
+
+    def transform(self, power: np.ndarray) -> np.ndarray:
+        """The averaged power as recorded in this environment.
+
+        Each stored trace averages ``n_averages`` executions: preempted
+        executions replace their share of the victim's window with
+        foreign activity, and the background workload's power (averaged
+        over the executions, so its variance shrinks by ``1/n``) adds on
+        top.
+        """
+        rng = np.random.default_rng(self.seed)
+        if self.workload is None and self.preemption is None:
+            return power
+        n_traces, n_samples = power.shape
+        out = power.astype(np.float64)
+        if self.preemption is not None:
+            fraction = self.preemption.corruption_mask(n_traces, self.n_averages, rng)
+            foreign = rng.normal(
+                self.preemption.foreign_activity_power,
+                self.preemption.foreign_activity_sigma,
+                size=(n_traces, n_samples),
+            )
+            out = out * (1.0 - fraction[:, None]) + foreign * fraction[:, None]
+        if self.workload is not None:
+            # Emulate the n-execution average of the AR(1) background
+            # with a few draws rescaled to the same residual variance.
+            draws = min(self.n_averages, 4)
+            total = np.zeros((n_traces, n_samples))
+            for _ in range(draws):
+                total += self.workload.sample(n_traces, n_samples, rng)
+            total /= draws
+            residual_scale = np.sqrt(draws / self.n_averages)
+            centered = total - self.workload.mean_power
+            out += centered * residual_scale + self.workload.mean_power
+        return out
+
+
+def bare_metal() -> Environment:
+    """The Section-4/Figure-3 setup: u-boot, clock-gated peripherals."""
+    return Environment(name="bare-metal", workload=None, preemption=None)
+
+
+def idle_linux() -> Environment:
+    """Ubuntu with the desktop idle (intermediate scenario).
+
+    The GPIO trigger stays sample-accurate (the CPU clock is locked at
+    120 MHz as in the paper); timing disruption is carried by the
+    preemption model, not by trigger jitter.
+    """
+    return Environment(
+        name="idle-linux",
+        workload=idle_desktop(),
+        preemption=PreemptionModel(probability_per_execution=0.005),
+    )
+
+
+def loaded_linux() -> Environment:
+    """The Figure-4 environment: Apache at 1000 req/s, both cores busy."""
+    return Environment(
+        name="loaded-linux",
+        workload=apache_full_load(),
+        preemption=PreemptionModel(probability_per_execution=0.03),
+    )

@@ -1,0 +1,54 @@
+"""Preemption of the victim process by the OS scheduler.
+
+At 120 MHz a scheduler tick is on the order of a million cycles while
+the measured AES window is a few thousand, so most recorded executions
+run undisturbed; occasionally one is preempted mid-window and the
+oscilloscope averages in a window of unrelated activity.  The paper
+overcomes exactly this with per-input averaging of 16 executions (as in
+the 1 GHz attack of Balasch et al. that it builds on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PreemptionModel:
+    """Probability and effect of a mid-window preemption."""
+
+    #: probability that one *execution* (not averaged trace) is preempted
+    probability_per_execution: float = 0.02
+    #: power level of the foreign activity replacing the victim's window
+    foreign_activity_power: float = 45.0
+    foreign_activity_sigma: float = 12.0
+
+    def corruption_mask(
+        self, n_traces: int, n_averages: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Fraction of each trace's averaged executions that were preempted.
+
+        Returns ``float64[n_traces]`` in [0, 1]: a preempted execution
+        replaces its contribution to the 16-average with foreign power.
+        """
+        hits = rng.binomial(n_averages, self.probability_per_execution, size=n_traces)
+        return hits / float(n_averages)
+
+    def apply(
+        self,
+        power: np.ndarray,
+        n_averages: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Mix preempted executions into the averaged power matrix."""
+        n_traces, n_samples = power.shape
+        fraction = self.corruption_mask(n_traces, n_averages, rng)
+        foreign = rng.normal(
+            self.foreign_activity_power,
+            self.foreign_activity_sigma,
+            size=(n_traces, n_samples),
+        )
+        mixed = power * (1.0 - fraction[:, None]) + foreign * fraction[:, None]
+        return mixed

@@ -1,0 +1,36 @@
+"""Switching-activity power synthesis for the pipeline's event stream.
+
+This package replaces the paper's physical measurement chain (EM loop
+probe, two INA-10386 amplifiers, Picoscope 5203 at 500 MS/s over a CPU
+locked at 120 MHz) with a synthetic but statistically faithful model:
+
+* each microarchitectural component leaks the Hamming distance between
+  consecutively asserted values (bus/latch remanence) and, for
+  precharged structures like the ALU output, the Hamming weight of each
+  value (Section 4 of the paper);
+* per-component weights encode the paper's relative magnitudes (the
+  shifter buffer at ~1/10, stores strongest, register-file read ports
+  silent);
+* the oscilloscope model resamples cycles to scope samples (500/120 ~ 4
+  samples per cycle), applies an analog response kernel, amplifier
+  noise, 8-bit quantization, trigger jitter and 16-execution averaging.
+"""
+
+from repro.power.acquisition import BatchInputs, TraceCampaign, TraceSet
+from repro.power.hamming import hamming_distance, hamming_weight
+from repro.power.profile import ComponentWeights, LeakageProfile
+from repro.power.scope import Oscilloscope, ScopeConfig
+from repro.power.synth import LeakageSchedule
+
+__all__ = [
+    "BatchInputs",
+    "ComponentWeights",
+    "LeakageProfile",
+    "LeakageSchedule",
+    "Oscilloscope",
+    "ScopeConfig",
+    "TraceCampaign",
+    "TraceSet",
+    "hamming_distance",
+    "hamming_weight",
+]

@@ -1,0 +1,210 @@
+"""Trace acquisition campaigns: program + random inputs -> trace matrix.
+
+A :class:`TraceCampaign` compiles a program's pipeline schedule once
+(data-independent timing), then for each batch of random inputs runs the
+vectorized executor, evaluates the compiled leakage schedule, and applies
+the oscilloscope model.  The result is a :class:`TraceSet`: the trace
+matrix plus everything an attack or a characterization needs (inputs,
+the schedule, the per-component sample map).
+
+The control-flow path of every batch execution is verified against the
+compile-time path, enforcing the data-independent-timing assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.isa.executor import Executor
+from repro.isa.program import Program
+from repro.isa.registers import Reg
+from repro.isa.semantics import ExecutionError
+from repro.isa.values import ValueSource
+from repro.isa.vexec import VectorExecutor
+from repro.power.profile import LeakageProfile, cortex_a7_profile
+from repro.power.scope import Oscilloscope, ScopeConfig
+from repro.power.synth import LeakageSchedule
+from repro.uarch.config import PipelineConfig
+from repro.uarch.pipeline import Pipeline, Schedule
+
+
+@dataclass
+class BatchInputs:
+    """Per-trace input assignments applied before each execution."""
+
+    n_traces: int
+    #: address -> uint8[n_traces, length] written to memory
+    mem_bytes: dict[int, np.ndarray] = field(default_factory=dict)
+    #: register -> uint32[n_traces]
+    regs: dict[Reg, np.ndarray] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        for address, data in self.mem_bytes.items():
+            if data.ndim != 2 or data.shape[0] != self.n_traces:
+                raise ValueError(f"mem input at {address:#x} has shape {data.shape}")
+        for reg, values in self.regs.items():
+            if values.shape != (self.n_traces,):
+                raise ValueError(f"register input {reg} has shape {values.shape}")
+
+    def row(self, index: int) -> tuple[dict[int, bytes], dict[Reg, int]]:
+        """Scalar view of one trace's inputs (for the reference executor)."""
+        mem = {addr: bytes(data[index].tolist()) for addr, data in self.mem_bytes.items()}
+        regs = {reg: int(values[index]) for reg, values in self.regs.items()}
+        return mem, regs
+
+
+@dataclass
+class TraceSet:
+    """An acquired campaign: traces plus its full provenance."""
+
+    traces: np.ndarray  # float32 [n_traces, n_samples]
+    inputs: BatchInputs
+    schedule: Schedule
+    leakage: LeakageSchedule
+    table: ValueSource
+    #: static instruction index of each dynamic instruction
+    path: list[int] = field(default_factory=list)
+    power: np.ndarray | None = None  # noise-free leakage, if kept
+
+    @property
+    def n_traces(self) -> int:
+        return self.traces.shape[0]
+
+    @property
+    def n_samples(self) -> int:
+        return self.traces.shape[1]
+
+
+class TraceCampaign:
+    """Reusable acquisition harness for one program on one pipeline."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: PipelineConfig | None = None,
+        profile: LeakageProfile | None = None,
+        scope: ScopeConfig | None = None,
+        entry: str | None = None,
+        window_cycles: tuple[int, int] | None = None,
+        seed: int = 0xC0FFEE,
+        keep_power: bool = False,
+    ):
+        self.program = program
+        self.config = config if config is not None else PipelineConfig()
+        self.profile = profile if profile is not None else cortex_a7_profile()
+        self.scope_config = scope if scope is not None else ScopeConfig()
+        self.entry = entry
+        self.window_cycles = window_cycles
+        self.seed = seed
+        self.keep_power = keep_power
+        self.pipeline = Pipeline(self.config)
+        self._compiled: tuple[list[int], Schedule, LeakageSchedule] | None = None
+
+    # ------------------------------------------------------------------
+
+    def compile_with(self, inputs: BatchInputs) -> tuple[list[int], Schedule, LeakageSchedule]:
+        """Run the reference executor on trace 0 and compile the schedule."""
+        inputs.validate()
+        executor = Executor(self.program)
+        state = executor.fresh_state()
+        mem, regs = inputs.row(0)
+        for reg, value in regs.items():
+            state.regs[reg] = value & 0xFFFFFFFF
+        for address, data in mem.items():
+            state.memory.write_bytes(address, data)
+        result = executor.run(state=state, entry=self.entry)
+        schedule = self.pipeline.schedule(result.records)
+        leakage = LeakageSchedule(
+            schedule,
+            self.pipeline.components,
+            samples_per_cycle=self.scope_config.samples_per_cycle,
+            window=self.window_cycles,
+        )
+        self._compiled = (result.path, schedule, leakage)
+        return self._compiled
+
+    def acquire(
+        self,
+        inputs: BatchInputs,
+        extra_noise: np.ndarray | None = None,
+        power_transform=None,
+    ) -> TraceSet:
+        """Acquire one campaign of traces for the given inputs.
+
+        ``power_transform`` optionally rewrites the noise-free power
+        matrix before the oscilloscope chain — the OS environment models
+        of :mod:`repro.os_sim` plug in here (preemption scales the
+        victim's signal, the background workload adds on top).
+        """
+        inputs.validate()
+        path, schedule, leakage = self.compile_with(inputs)
+
+        keep_range: tuple[int, int] | None = None
+        if self.window_cycles is not None:
+            # Retain exactly the values the compiled leakage schedule
+            # references (window events plus each component's pre-window
+            # bus state).
+            referenced = [
+                dyn
+                for compiled in leakage.compiled.values()
+                for (dyn, _kind) in compiled.refs
+                if dyn >= 0
+            ]
+            if referenced:
+                keep_range = (min(referenced), max(referenced) + 1)
+            else:
+                keep_range = (0, 0)
+
+        vexec = VectorExecutor(self.program, inputs.n_traces, keep_range=keep_range)
+        vstate = vexec.fresh_state()
+        assert vstate.memory is not None
+        for reg, values in inputs.regs.items():
+            vstate.write_reg(reg, values.astype(np.uint32))
+        for address, data in inputs.mem_bytes.items():
+            vstate.memory.load_per_trace(address, np.asarray(data, dtype=np.uint8))
+        result = vexec.run(state=vstate, entry=self.entry)
+        if result.path != path:
+            raise ExecutionError(
+                "batch execution diverged from the compile-time path; "
+                "the program's control flow is input-dependent"
+            )
+
+        power = leakage.evaluate(result.table, self.profile)
+        if power_transform is not None:
+            power = power_transform(power)
+        scope = Oscilloscope(self.scope_config, seed=self.seed)
+        traces = scope.capture(power, extra_noise=extra_noise)
+        return TraceSet(
+            traces=traces,
+            inputs=inputs,
+            schedule=schedule,
+            leakage=leakage,
+            table=result.table,
+            path=result.path,
+            power=power if self.keep_power else None,
+        )
+
+
+def random_inputs(
+    n_traces: int,
+    reg_names: tuple[Reg, ...] = (),
+    mem_blocks: dict[int, int] | None = None,
+    seed: int = 0x5EED,
+    word_aligned_regs: bool = False,
+) -> BatchInputs:
+    """Uniform random inputs: registers and/or memory byte blocks."""
+    rng = np.random.default_rng(seed)
+    regs = {}
+    for reg in reg_names:
+        values = rng.integers(0, 2**32, size=n_traces, dtype=np.uint64).astype(np.uint32)
+        if word_aligned_regs:
+            values &= np.uint32(0xFFFFFFFC)
+        regs[reg] = values
+    mem = {}
+    for address, length in (mem_blocks or {}).items():
+        mem[address] = rng.integers(0, 256, size=(n_traces, length), dtype=np.uint16).astype(
+            np.uint8
+        )
+    return BatchInputs(n_traces=n_traces, regs=regs, mem_bytes=mem)

@@ -1,0 +1,37 @@
+"""Hamming weight/distance kernels (vectorized).
+
+The Hamming distance of successive values on a high-fanout net is the
+standard CMOS switching-power model the paper adopts (Section 4); the
+Hamming weight covers precharged structures.  numpy >= 2 provides a
+hardware popcount (``np.bitwise_count``); a portable fallback is kept for
+clarity and for property-testing against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def hamming_weight(values: np.ndarray | int) -> np.ndarray | int:
+    """Population count of 32-bit values (scalars or arrays)."""
+    if isinstance(values, (int, np.integer)):
+        return int(values & 0xFFFFFFFF).bit_count()
+    return np.bitwise_count(np.asarray(values, dtype=np.uint32))
+
+
+def hamming_distance(a: np.ndarray | int, b: np.ndarray | int) -> np.ndarray | int:
+    """Bit flips between two 32-bit values (scalars or arrays)."""
+    if isinstance(a, (int, np.integer)) and isinstance(b, (int, np.integer)):
+        return int((a ^ b) & 0xFFFFFFFF).bit_count()
+    a_arr = np.asarray(a, dtype=np.uint32)
+    b_arr = np.asarray(b, dtype=np.uint32)
+    return np.bitwise_count(a_arr ^ b_arr)
+
+
+def hamming_weight_portable(values: np.ndarray) -> np.ndarray:
+    """SWAR popcount without ``np.bitwise_count`` (reference/fallback)."""
+    v = np.asarray(values, dtype=np.uint32).copy()
+    v = v - ((v >> np.uint32(1)) & np.uint32(0x55555555))
+    v = (v & np.uint32(0x33333333)) + ((v >> np.uint32(2)) & np.uint32(0x33333333))
+    v = (v + (v >> np.uint32(4))) & np.uint32(0x0F0F0F0F)
+    return ((v * np.uint32(0x01010101)) >> np.uint32(24)).astype(np.uint8)

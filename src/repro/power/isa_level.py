@@ -1,0 +1,106 @@
+"""An instruction-level ("grey box") leakage model, ELMO-style.
+
+Tools like ELMO and the grey-box models the paper cites ([16, 19])
+predict leakage per *instruction*: a weighted sum of the Hamming weights
+of the instruction's operands and result plus the Hamming distances
+against the **previous instruction in program order**.  No pipeline
+state exists in the model: no issue slots, no dual-issue, no write-back
+ports, no LSU buffers.
+
+This is the baseline the paper's Section 4.2 argues is insufficient for
+superscalar cores.  The :mod:`repro.experiments.baseline_models`
+experiment quantifies the two failure modes:
+
+* it predicts operand interactions between *adjacent* instructions that
+  the real (modelled) core never produces, because they dual-issue onto
+  separate buses;
+* it misses interactions between *non-adjacent* instructions that the
+  core does produce, because the instruction in between was dual-issued
+  away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.isa.semantics import InstrRecord
+from repro.isa.values import ValueKind, ValueSource
+
+
+@dataclass(frozen=True)
+class IsaLevelCoefficients:
+    """Per-term weights of the instruction-level model."""
+
+    w_hw_op1: float = 0.5
+    w_hw_op2: float = 0.5
+    w_hw_result: float = 1.0
+    w_hd_op1: float = 1.0
+    w_hd_op2: float = 1.0
+    w_hd_result: float = 1.0
+
+
+class IsaLevelModel:
+    """Predicts one leakage sample per dynamic instruction."""
+
+    _TERMS = (
+        (ValueKind.OP1, "w_hw_op1", "w_hd_op1"),
+        (ValueKind.OP2, "w_hw_op2", "w_hd_op2"),
+        (ValueKind.RESULT, "w_hw_result", "w_hd_result"),
+    )
+
+    def __init__(self, coefficients: IsaLevelCoefficients | None = None):
+        self.coefficients = coefficients or IsaLevelCoefficients()
+
+    def predict(self, table: ValueSource) -> np.ndarray:
+        """Predicted leakage, ``float64[n_traces, n_dyn]``."""
+        n_dyn, n_traces = table.n_dyn, table.n_traces
+        out = np.zeros((n_traces, n_dyn))
+        previous: dict[ValueKind, np.ndarray] = {}
+        for dyn in range(n_dyn):
+            sample = np.zeros(n_traces)
+            for kind, hw_attr, hd_attr in self._TERMS:
+                values = table.values(dyn, kind)
+                if values is None:
+                    continue
+                values = values.astype(np.uint32)
+                sample += getattr(self.coefficients, hw_attr) * np.bitwise_count(
+                    values
+                ).astype(np.float64)
+                prev = previous.get(kind)
+                if prev is not None:
+                    sample += getattr(self.coefficients, hd_attr) * np.bitwise_count(
+                        values ^ prev
+                    ).astype(np.float64)
+                previous[kind] = values
+            out[:, dyn] = sample
+        return out
+
+    def predicts_interaction(
+        self, table: ValueSource, a: tuple[int, ValueKind], b: tuple[int, ValueKind]
+    ) -> bool:
+        """Does the model combine values ``a`` and ``b`` in any sample?
+
+        True iff the two references are the same operand kind on
+        *consecutive* dynamic instructions — the only pairing this model
+        family can express.
+        """
+        (dyn_a, kind_a), (dyn_b, kind_b) = a, b
+        if kind_a is not kind_b:
+            return False
+        if abs(dyn_a - dyn_b) != 1:
+            return False
+        return (
+            table.values(dyn_a, kind_a) is not None
+            and table.values(dyn_b, kind_b) is not None
+        )
+
+
+def predicted_timecourse(
+    records: list[InstrRecord], table: ValueSource, coefficients=None
+) -> np.ndarray:
+    """Convenience: predict and return [n_traces, n_dyn] leakage."""
+    if len(records) != table.n_dyn:
+        raise ValueError("records and value table length mismatch")
+    return IsaLevelModel(coefficients).predict(table)

@@ -1,0 +1,173 @@
+"""The leakage-schedule compiler and evaluator.
+
+A program's pipeline schedule is data-independent (warm caches, in-order
+issue), so its microarchitectural event stream is compiled **once** into
+per-component value-reference sequences with fixed sample positions.
+Evaluating a batch of traces is then pure array work: gather the
+referenced values from the batch :class:`~repro.isa.values.ValueTable`,
+popcount transitions, and scatter-add into the power matrix.
+
+Sub-cycle component phases (see :mod:`repro.uarch.components`) map each
+component's transition to a distinct sample inside its clock period,
+which is what lets the Table-2 harness test a model "in the correct clock
+cycle" against a specific structure, as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.isa.values import ValueKind, ValueSource
+from repro.power.profile import LeakageProfile
+from repro.uarch.components import Component
+from repro.uarch.events import ZERO_INDEX, BusEvent
+from repro.uarch.pipeline import Schedule
+
+
+@dataclass
+class CompiledComponent:
+    """One component's event sequence, ready for batch evaluation."""
+
+    component: Component
+    #: (dyn_index, kind) per event; dyn_index == ZERO_INDEX means all-zeros
+    refs: list[tuple[int, ValueKind | None]]
+    cycles: np.ndarray  # event cycle numbers
+    samples: np.ndarray  # event sample positions (window-relative)
+
+    @property
+    def n_events(self) -> int:
+        return len(self.refs)
+
+
+class LeakageSchedule:
+    """Compiled mapping from a pipeline schedule to trace samples.
+
+    ``window`` restricts compilation to cycles ``[start, stop)`` so long
+    programs (a full AES) can be acquired around a trigger window, as the
+    paper does with its GPIO-triggered oscilloscope.
+    """
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        components: dict[str, Component],
+        samples_per_cycle: int = 4,
+        window: tuple[int, int] | None = None,
+    ):
+        self.schedule = schedule
+        self.samples_per_cycle = samples_per_cycle
+        if window is None:
+            window = (0, schedule.n_cycles)
+        self.window = window
+        self.n_cycles = window[1] - window[0]
+        if self.n_cycles <= 0:
+            raise ValueError(f"empty acquisition window {window}")
+        self.n_samples = self.n_cycles * samples_per_cycle
+        self.components = components
+        self.compiled = self._compile(schedule.events)
+
+    def _compile(self, events: list[BusEvent]) -> dict[str, CompiledComponent]:
+        spc = self.samples_per_cycle
+        start, stop = self.window
+        per_component: dict[str, list[BusEvent]] = {}
+        for event in events:
+            per_component.setdefault(event.component, []).append(event)
+        compiled: dict[str, CompiledComponent] = {}
+        for name, component_events in per_component.items():
+            component = self.components.get(name)
+            if component is None:
+                raise KeyError(f"event for unregistered component {name!r}")
+            component_events.sort(key=lambda e: (e.cycle, e.order))
+            # Keep the last pre-window event as the initial bus state so
+            # HD at the window edge is correct.
+            kept: list[BusEvent] = []
+            prior: BusEvent | None = None
+            for event in component_events:
+                if event.cycle < start:
+                    prior = event
+                elif event.cycle < stop:
+                    kept.append(event)
+            refs: list[tuple[int, ValueKind | None]] = []
+            cycles: list[int] = []
+            if prior is not None:
+                refs.append((prior.dyn_index, prior.kind))
+                cycles.append(start - 1)  # marker: contributes no sample
+            for event in kept:
+                refs.append((event.dyn_index, event.kind))
+                cycles.append(event.cycle)
+            phase_offset = min(spc - 1, int(round(component.phase * spc)))
+            samples = np.array(
+                [(c - start) * spc + phase_offset for c in cycles], dtype=np.int64
+            )
+            compiled[name] = CompiledComponent(
+                component=component,
+                refs=refs,
+                cycles=np.array(cycles, dtype=np.int64),
+                samples=samples,
+            )
+        return compiled
+
+    # ------------------------------------------------------------------
+
+    def _event_values(self, compiled: CompiledComponent, table: ValueSource) -> np.ndarray:
+        """[n_events, n_traces] uint32 values asserted on the component."""
+        values = np.zeros((compiled.n_events, table.n_traces), dtype=np.uint32)
+        for row, (dyn_index, kind) in enumerate(compiled.refs):
+            if dyn_index == ZERO_INDEX or kind is None:
+                continue
+            row_values = table.values(dyn_index, kind)
+            if row_values is not None:
+                values[row] = row_values
+        return values
+
+    def evaluate(self, table: ValueSource, profile: LeakageProfile) -> np.ndarray:
+        """Noise-free leakage power, ``float64[n_traces, n_samples]``."""
+        power = np.zeros((self.n_samples, table.n_traces), dtype=np.float64)
+        for compiled in self.compiled.values():
+            weights = profile.weights_for(compiled.component)
+            if weights.silent or compiled.n_events == 0:
+                continue
+            values = self._event_values(compiled, table)
+            in_window = compiled.cycles >= self.window[0]
+            if compiled.component.precharged:
+                leak = weights.w_hw * np.bitwise_count(values).astype(np.float64)
+            else:
+                previous = np.zeros_like(values)
+                previous[1:] = values[:-1]
+                leak = weights.w_hd * np.bitwise_count(values ^ previous).astype(np.float64)
+                if weights.w_hw:
+                    leak += weights.w_hw * np.bitwise_count(values).astype(np.float64)
+            positions = compiled.samples[in_window]
+            contributions = leak[in_window]
+            np.add.at(power, positions, contributions)
+        return (power * profile.gain).T
+
+    # ------------------------------------------------------------------
+    # Introspection used by the Table-2 harness and tests
+    # ------------------------------------------------------------------
+
+    def sample_positions(self, component_name: str) -> np.ndarray:
+        """In-window sample indices at which ``component_name`` transitions."""
+        compiled = self.compiled.get(component_name)
+        if compiled is None:
+            return np.zeros(0, dtype=np.int64)
+        in_window = compiled.cycles >= self.window[0]
+        return compiled.samples[in_window]
+
+    def events_of(self, component_name: str) -> list[tuple[int, int, ValueKind | None]]:
+        """(cycle, dyn_index, kind) of in-window events on a component."""
+        compiled = self.compiled.get(component_name)
+        if compiled is None:
+            return []
+        out = []
+        for cycle, (dyn_index, kind) in zip(compiled.cycles.tolist(), compiled.refs):
+            if cycle >= self.window[0]:
+                out.append((cycle, dyn_index, kind))
+        return out
+
+    def sample_of_cycle(self, cycle: int, phase: float = 0.0) -> int:
+        """Window-relative sample index of a cycle+phase position."""
+        spc = self.samples_per_cycle
+        return (cycle - self.window[0]) * spc + min(spc - 1, int(round(phase * spc)))

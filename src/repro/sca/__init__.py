@@ -1,0 +1,31 @@
+"""Side-channel analysis: correlation statistics, CPA, distinguishers.
+
+Implements the statistical machinery of the paper's Sections 4 and 5:
+Pearson-correlation power analysis with Fisher-z significance (the
+"distinguishable from zero with confidence > 99.5%" criterion of the
+Table-2 characterization) and best-vs-second key distinguishing (the
+"> 99%" success criterion of the Figure-4 attack), plus a Welch t-test
+(TVLA) as an extension.
+"""
+
+from repro.sca.cpa import CpaResult, cpa_attack, cpa_timecourse
+from repro.sca.distinguish import best_vs_second_confidence, guessing_entropy, success_rate
+from repro.sca.stats import (
+    correlation_significant,
+    fisher_confidence,
+    pearson_corr,
+    significance_threshold,
+)
+
+__all__ = [
+    "CpaResult",
+    "best_vs_second_confidence",
+    "correlation_significant",
+    "cpa_attack",
+    "cpa_timecourse",
+    "fisher_confidence",
+    "guessing_entropy",
+    "pearson_corr",
+    "significance_threshold",
+    "success_rate",
+]

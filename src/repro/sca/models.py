@@ -1,0 +1,54 @@
+"""Leakage models used by the paper's attacks and characterizations.
+
+Two families:
+
+* the *microarchitecture-unaware* model of Figure 3 — the Hamming weight
+  of a SubBytes output byte (the classical DPA-book model);
+* the *microarchitecture-aware* model of Figure 4 — the Hamming distance
+  between two **consecutively stored** SubBytes output bytes, which maps
+  onto the LSU store-path byte-lane buffer this repository models as
+  ``align_store``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto.aes import sub_bytes_out_round1
+from repro.power.hamming import hamming_distance, hamming_weight
+
+
+def hw_sbox_model(plaintexts: np.ndarray, byte_index: int, key_guess: int) -> np.ndarray:
+    """HW(SBOX[pt[byte] ^ guess]) per trace (Figure 3's model)."""
+    sbox_out = sub_bytes_out_round1(plaintexts, key_guess, byte_index)
+    return hamming_weight(sbox_out).astype(np.float64)
+
+
+def hd_consecutive_stores_model(
+    plaintexts: np.ndarray,
+    byte_index: int,
+    key_guess_pair: tuple[int, int],
+) -> np.ndarray:
+    """HD between SubBytes outputs of bytes ``i`` and ``i+1`` (Figure 4).
+
+    The model needs both key bytes; ``key_guess_pair`` carries the guess
+    for ``byte_index`` and ``byte_index + 1``.  Attacks either search the
+    joint 16-bit space or chain: recover one byte with the HW model,
+    then extend byte by byte with this model.
+    """
+    guess_i, guess_next = key_guess_pair
+    sbox_i = sub_bytes_out_round1(plaintexts, guess_i, byte_index)
+    sbox_next = sub_bytes_out_round1(plaintexts, guess_next, byte_index + 1)
+    return hamming_distance(sbox_i, sbox_next).astype(np.float64)
+
+
+def hw_value_model(values: np.ndarray) -> np.ndarray:
+    """HW of arbitrary known intermediates (characterization helper)."""
+    return hamming_weight(np.asarray(values, dtype=np.uint32)).astype(np.float64)
+
+
+def hd_value_model(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """HD of two arbitrary known intermediates (characterization helper)."""
+    return hamming_distance(
+        np.asarray(a, dtype=np.uint32), np.asarray(b, dtype=np.uint32)
+    ).astype(np.float64)

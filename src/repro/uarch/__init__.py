@@ -1,0 +1,35 @@
+"""Cycle-accurate model of a Cortex-A7-like superscalar in-order pipeline.
+
+The model reproduces the microarchitecture the paper infers in Section 3
+(Figure 2): a partial dual-issue, 8-stage in-order pipeline with two
+asymmetric ALUs (the barrel shifter and multiplier live on the second
+one), a fully pipelined 3-stage load/store unit, three register-file read
+ports, two write ports and a 2-instruction-per-cycle fetch unit.
+
+Its distinguishing feature is the *microarchitectural event stream*: every
+cycle, the model records which values are asserted on which shared
+resources (issue-stage operand buses, execution-unit input latches, ALU
+outputs, the barrel-shifter buffer, write-back port buses, the Memory Data
+Register and the LSU align buffer).  The power model in
+:mod:`repro.power` turns these value transitions into synthetic
+side-channel traces.
+"""
+
+from repro.uarch.components import Component, ComponentKind, component_registry
+from repro.uarch.config import PipelineConfig
+from repro.uarch.dual_issue import DualIssueChecker, IssueDecision
+from repro.uarch.events import BusEvent, Unit
+from repro.uarch.pipeline import Pipeline, Schedule
+
+__all__ = [
+    "BusEvent",
+    "Component",
+    "ComponentKind",
+    "DualIssueChecker",
+    "IssueDecision",
+    "Pipeline",
+    "PipelineConfig",
+    "Schedule",
+    "Unit",
+    "component_registry",
+]

@@ -1,0 +1,126 @@
+"""The registry of leakage-relevant microarchitectural components.
+
+Each component models one set of gates driving a large capacitive load
+(the dominant side-channel source per Section 4 of the paper).  A
+component has a *kind* (which family of Table 2 it belongs to), a
+sub-cycle *phase* (where in the clock period its transition lands, which
+lets the synthesizer place, say, the register-file read and the issue-bus
+assertion of the same cycle at different sample positions), and a
+*precharged* flag: precharged components leak the Hamming weight of each
+asserted value (the paper's ALU output and shifter buffer behaviour),
+while ordinary components leak the Hamming distance between consecutive
+values (buses and latches with data remanence).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.uarch.events import Unit
+
+
+class ComponentKind(enum.Enum):
+    """Component families; these name the columns of the paper's Table 2."""
+
+    RF_READ = "register file read port"
+    ISSUE_BUS = "IS/EX issue operand bus"
+    UNIT_LATCH = "execution unit input latch"
+    AGU = "address generation bus"
+    SHIFT_BUF = "barrel shifter output buffer"
+    ALU_OUT = "ALU output buffer"
+    WB_BUS = "EX/WB write-back bus"
+    MDR = "memory data register"
+    ALIGN = "LSU sub-word align buffer"
+    IMM_PATH = "immediate path"
+
+
+@dataclass(frozen=True)
+class Component:
+    """One tracked microarchitectural resource."""
+
+    name: str
+    kind: ComponentKind
+    phase: float  # sub-cycle transition position in [0, 1)
+    precharged: bool = False
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def rf_read_port(port: int) -> str:
+    return f"rf_rp{port}"
+
+
+def issue_bus(slot: int, position: int) -> str:
+    return f"issue_op{position}_s{slot}"
+
+
+def unit_latch(unit: Unit, position: int) -> str:
+    return f"{unit.value}_in_op{position}"
+
+
+def alu_out(unit: Unit) -> str:
+    return f"{unit.value}_out"
+
+
+def wb_bus(port: int) -> str:
+    return f"wb_bus{port}"
+
+
+AGU_ADDR = "agu_addr"
+SHIFT_BUF = "shift_buf"
+MDR = "mdr"
+#: sub-word extraction on the load path (rotate/extract network latch)
+ALIGN_LOAD = "align_load"
+#: sub-word byte-lane merge on the store path (store buffer lanes)
+ALIGN_STORE = "align_store"
+IMM_PATH = "imm_path"
+
+
+def component_registry(n_read_ports: int = 3, n_wb_ports: int = 2) -> dict[str, Component]:
+    """Build the full component table for a pipeline configuration.
+
+    Phases stagger the components of one clock period so that co-cycle
+    events (e.g. the RF read and the issue-bus assertion of the same
+    issue cycle) land on different trace samples, mirroring the paper's
+    ability to attribute leakage "in the correct clock cycle" to distinct
+    structures.
+    """
+    # Phase slots (with the default 4 samples/cycle): the register file
+    # reads land on sub-sample 0, execution-unit latches and the shifter
+    # buffer on 1, the issue buses / write-back buses / MDR on 2, and the
+    # ALU outputs / AGU / align buffers on 3.  The slotting keeps the
+    # structures the paper distinguishes ("leakage in the correct clock
+    # cycle" attributed per component) on separable trace samples.
+    components: list[Component] = []
+    for port in range(1, n_read_ports + 1):
+        components.append(Component(rf_read_port(port), ComponentKind.RF_READ, phase=0.05))
+    for slot in (0, 1):
+        for position in (1, 2):
+            components.append(
+                Component(issue_bus(slot, position), ComponentKind.ISSUE_BUS, phase=0.50)
+            )
+    components.append(Component(IMM_PATH, ComponentKind.IMM_PATH, phase=0.50))
+    components.append(Component(AGU_ADDR, ComponentKind.AGU, phase=0.75))
+    for unit in (Unit.ALU0, Unit.ALU1, Unit.LSU):
+        for position in (1, 2):
+            components.append(
+                Component(unit_latch(unit, position), ComponentKind.UNIT_LATCH, phase=0.25)
+            )
+    # The shifter buffer sits on sub-sample 0 of its EX cycle, away from
+    # the unit input latches, so its small HW leak is measurable on its
+    # own sample (the paper quantifies it at ~1/10 of the others).
+    components.append(Component(SHIFT_BUF, ComponentKind.SHIFT_BUF, phase=0.05, precharged=True))
+    for unit in (Unit.ALU0, Unit.ALU1):
+        components.append(Component(alu_out(unit), ComponentKind.ALU_OUT, phase=0.75, precharged=True))
+    for port in range(n_wb_ports):
+        components.append(Component(wb_bus(port), ComponentKind.WB_BUS, phase=0.50))
+    components.append(Component(MDR, ComponentKind.MDR, phase=0.50))
+    # The load-path extract network and the store-path byte lanes are
+    # physically distinct latches; both exhibit the data remanence of
+    # Section 4.1 (each keeps its last sub-word across interleaved word
+    # accesses of the other kind).
+    components.append(Component(ALIGN_LOAD, ComponentKind.ALIGN, phase=0.75))
+    components.append(Component(ALIGN_STORE, ComponentKind.ALIGN, phase=0.75))
+    return {component.name: component for component in components}

@@ -1,0 +1,73 @@
+"""Pipeline configuration: the knobs of the modelled microarchitecture.
+
+The defaults describe the ARM Cortex-A7 MPCore as characterized in
+Section 3 of the paper (Figure 2 and Table 1).  Every ablation the
+repository ships (dual-issue off, sliding issue window, LSU remanence
+off, a scalar single-issue core) is expressed as a different
+``PipelineConfig``; see :mod:`repro.uarch.presets`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+
+class IssuePairing(enum.Enum):
+    """How the issue stage forms dual-issue candidate pairs.
+
+    ``FETCH_ALIGNED`` pairs instructions that were fetched together (the
+    64-bit-aligned fetch window), which is what reproduces the measured
+    *asymmetry* of the paper's Table 1: ``ldr;mov`` dual-issues while
+    ``mov;ldr`` does not, which can only be observed if a half-consumed
+    fetch pair does not re-pair with the next fetch group.  ``SLIDING``
+    pairs any two consecutive instructions and is provided for ablation.
+    """
+
+    FETCH_ALIGNED = "fetch_aligned"
+    SLIDING = "sliding"
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Structural and policy parameters of the superscalar pipeline."""
+
+    name: str = "cortex-a7"
+    # --- front end -----------------------------------------------------
+    fetch_width: int = 2
+    front_latency: int = 3  # F1, F2, Decode fill before first issue
+    branch_penalty: int = 3  # flush bubbles for a taken, non-fallthrough branch
+    # --- issue ----------------------------------------------------------
+    dual_issue: bool = True
+    issue_pairing: IssuePairing = IssuePairing.FETCH_ALIGNED
+    rf_read_ports: int = 3
+    rf_write_ports: int = 2
+    #: read-port budget a load/store reserves (base + index lanes)
+    ldst_port_cost: int = 2
+    # --- execution latencies (issue-to-result, cycles) -------------------
+    alu_latency: int = 1
+    shift_alu_latency: int = 2  # ops routed through the barrel shifter
+    mul_latency: int = 3
+    load_latency: int = 3
+    store_latency: int = 3
+    fpu_latency: int = 4
+    #: cycle (relative to issue) at which the MDR/align buffer transition
+    mdr_stage: int = 2
+    # --- policy quirks measured on the A7 (Table 1) ----------------------
+    mul_pairs_only_with_branch: bool = True
+    younger_ldst_requires_imm_older: bool = True
+    younger_shift_requires_movimm_older: bool = True
+    older_shift_requires_imm_younger: bool = True
+    nop_never_dual_issues: bool = True
+    # --- nop microarchitectural behaviour (Section 4.1) ------------------
+    nop_zeroes_issue_bus: bool = True
+    nop_resets_wb_bus: bool = True
+    # --- LSU data remanence (Section 4.2 point iv) ------------------------
+    lsu_remanence: bool = True
+
+    def with_overrides(self, **kwargs) -> "PipelineConfig":
+        """A copy with selected fields replaced (ablation helper)."""
+        return replace(self, **kwargs)
+
+    def latency_for(self, unit_latencies_key: str) -> int:
+        return getattr(self, unit_latencies_key)

@@ -1,0 +1,169 @@
+"""The partial dual-issue policy of the modelled Cortex-A7.
+
+``DualIssueChecker.check(older, younger)`` decides whether a candidate
+instruction pair may issue in the same cycle, and *why not* when it may
+not.  The decision combines:
+
+* structural constraints that follow from the pipeline of Figure 2
+  (three register-file read ports, one load/store unit, one barrel
+  shifter, one branch unit), and
+* policy quirks measured on the real core via the CPI method of
+  Section 3.2 (``mul`` pairs only with branches; a load/store can occupy
+  the younger slot only after an immediate-operand ALU instruction; shift
+  pairing restrictions; ``nop`` never dual-issues).
+
+Together these reproduce all 49 cells of the paper's Table 1.  Each cell
+of the matrix can be interrogated with :meth:`DualIssueChecker.explain`.
+
+Register dependences *between* the two instructions of a pair (RAW on a
+register or on the flags) are checked here too, since same-cycle
+forwarding does not exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Cond, InstrClass, Opcode
+from repro.isa.operands import RegShift, ShiftKind
+from repro.uarch.config import PipelineConfig
+
+
+@dataclass(frozen=True)
+class IssueDecision:
+    """Outcome of a dual-issue check: allowed or blocked by ``rule``."""
+
+    allowed: bool
+    rule: str
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.allowed
+
+
+_ALLOWED = IssueDecision(True, "allowed")
+
+
+def read_port_cost(instr: Instruction, config: PipelineConfig) -> int:
+    """Register-file read ports the instruction reserves at issue.
+
+    Loads/stores reserve ``ldst_port_cost`` lanes (base + index) even for
+    immediate-offset forms: the AGU port pair is allocated as a unit,
+    which is what makes ``ld/st + ALU`` pairs fail the 3-port budget and
+    reproduces the corresponding Table 1 cells.
+    """
+    if instr.is_nop:
+        return 0
+    if instr.opcode in (Opcode.B, Opcode.BL):
+        return 0
+    if instr.is_memory:
+        return max(config.ldst_port_cost, instr.read_port_count)
+    return instr.read_port_count
+
+
+class DualIssueChecker:
+    """Implements the pair-issue policy described above."""
+
+    def __init__(self, config: PipelineConfig | None = None):
+        self.config = config if config is not None else PipelineConfig()
+
+    # ------------------------------------------------------------------
+
+    def check(self, older: Instruction, younger: Instruction) -> IssueDecision:
+        """Full check: class policy, structural budgets and dependences."""
+        decision = self.check_classes(older, younger)
+        if not decision:
+            return decision
+        return self._check_dependences(older, younger)
+
+    def check_classes(self, older: Instruction, younger: Instruction) -> IssueDecision:
+        """Class/policy/structural part (what Table 1 tabulates)."""
+        config = self.config
+        if not config.dual_issue:
+            return IssueDecision(False, "dual-issue-disabled")
+        a, b = older.instr_class, younger.instr_class
+
+        if config.nop_never_dual_issues and (a is InstrClass.NOP or b is InstrClass.NOP):
+            return IssueDecision(False, "nop-single-issue", "the A7 never dual-issues nop")
+        if a is InstrClass.BRANCH and b is InstrClass.BRANCH:
+            return IssueDecision(False, "one-branch-unit", "a single branch unit exists")
+        if a is InstrClass.BRANCH or b is InstrClass.BRANCH:
+            # Branch folding: a branch consumes no issue-slot resources.
+            return _ALLOWED
+        if config.mul_pairs_only_with_branch and (a is InstrClass.MUL or b is InstrClass.MUL):
+            return IssueDecision(
+                False, "mul-issues-alone", "mul only dual-issues with a branch"
+            )
+        if a is InstrClass.LDST and b is InstrClass.LDST:
+            return IssueDecision(False, "one-lsu-port", "a single LSU issue port exists")
+        if older.uses_shifter and younger.uses_shifter:
+            return IssueDecision(False, "one-barrel-shifter", "only ALU1 has a shifter")
+        if (
+            config.younger_ldst_requires_imm_older
+            and b is InstrClass.LDST
+            and a is not InstrClass.ALU_IMM
+        ):
+            return IssueDecision(
+                False,
+                "younger-ldst-needs-imm-older",
+                "a ld/st in the younger slot pairs only after an ALU-with-immediate",
+            )
+        if (
+            config.younger_shift_requires_movimm_older
+            and b is InstrClass.SHIFT
+            and a not in (InstrClass.MOV, InstrClass.ALU_IMM)
+        ):
+            return IssueDecision(
+                False,
+                "younger-shift-needs-mov/imm-older",
+                "a shift in the younger slot pairs only after mov or ALU-with-immediate",
+            )
+        if (
+            config.older_shift_requires_imm_younger
+            and a is InstrClass.SHIFT
+            and b is not InstrClass.ALU_IMM
+        ):
+            return IssueDecision(
+                False,
+                "older-shift-needs-imm-younger",
+                "a shift in the older slot pairs only with an ALU-with-immediate",
+            )
+        ports = read_port_cost(older, config) + read_port_cost(younger, config)
+        if ports > config.rf_read_ports:
+            return IssueDecision(
+                False,
+                "read-port-budget",
+                f"pair needs {ports} read ports, only {config.rf_read_ports} exist",
+            )
+        return _ALLOWED
+
+    def _check_dependences(self, older: Instruction, younger: Instruction) -> IssueDecision:
+        written = set(older.writes())
+        if written & set(younger.reads()):
+            overlap = sorted(str(r) for r in written & set(younger.reads()))
+            return IssueDecision(
+                False, "raw-hazard", f"younger reads {', '.join(overlap)} written by older"
+            )
+        if written & set(younger.writes()):
+            return IssueDecision(False, "waw-hazard", "both write the same register")
+        if older.set_flags and _reads_flags(younger):
+            return IssueDecision(False, "flags-hazard", "younger consumes flags set by older")
+        return _ALLOWED
+
+    # ------------------------------------------------------------------
+
+    def explain(self, older: Instruction, younger: Instruction) -> str:
+        """Human-readable account of the pairing decision (for audits)."""
+        decision = self.check(older, younger)
+        verdict = "dual-issues" if decision.allowed else f"blocked [{decision.rule}]"
+        detail = f": {decision.detail}" if decision.detail else ""
+        return f"({older}) + ({younger}) -> {verdict}{detail}"
+
+
+def _reads_flags(instr: Instruction) -> bool:
+    if instr.cond not in (Cond.AL, Cond.NV):
+        return True
+    if instr.opcode in (Opcode.ADC, Opcode.SBC):
+        return True
+    return isinstance(instr.op2, RegShift) and instr.op2.kind is ShiftKind.RRX

@@ -1,0 +1,55 @@
+"""Microarchitectural bus events: the pipeline's observable activity.
+
+A :class:`BusEvent` says "at cycle ``cycle``, component ``component``
+latched / asserted the value ``kind`` of dynamic instruction
+``dyn_index``".  A ``dyn_index`` of ``ZERO_INDEX`` means the component was
+driven to all-zeros (the behaviour the paper infers for the Cortex-A7
+``nop`` on the issue operand buses and the write-back bus, Section 4.1).
+
+Events are value *references*, not values: the same schedule is evaluated
+against many random-input executions by the power synthesizer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.isa.values import ValueKind
+
+#: dyn_index used for explicit zero-drive events (nop resets).
+ZERO_INDEX = -1
+
+
+class Unit(enum.Enum):
+    """Execution units of the modelled Cortex-A7 pipeline (Figure 2)."""
+
+    ALU0 = "alu0"  # 1-stage simple ALU
+    ALU1 = "alu1"  # 3-stage ALU with the barrel shifter and multiplier
+    LSU = "lsu"  # 3-stage load/store unit
+    FPU = "fpu"  # 4-stage FPU/NEON (modelled for completeness)
+    BRANCH = "branch"  # branch resolution (folded at issue)
+    NONE = "none"  # nop: occupies an issue slot, executes nowhere
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class BusEvent:
+    """One value assertion on one component at one cycle."""
+
+    cycle: int
+    component: str
+    dyn_index: int
+    kind: ValueKind | None
+    #: tie-break for multiple assertions on one component in one cycle
+    order: int = 0
+
+    @property
+    def is_zero(self) -> bool:
+        return self.dyn_index == ZERO_INDEX
+
+    def __str__(self) -> str:
+        what = "0" if self.is_zero else f"i{self.dyn_index}.{self.kind}"
+        return f"@{self.cycle} {self.component} <= {what}"

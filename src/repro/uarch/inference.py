@@ -1,0 +1,145 @@
+"""Deduce the pipeline structure from CPI measurements (paper Section 3.2).
+
+Given only the Table-1 CPI matrix (which instruction pairs sustain
+CPI 0.5), this module re-derives every structural claim of the paper's
+Figure 2:
+
+* the fetch unit sustains two instructions per cycle;
+* two ALUs exist, but they are not identical;
+* exactly one ALU hosts the barrel shifter and the (pipelined) multiplier;
+* the load/store unit is fully pipelined;
+* the register file has three read ports and two write ports;
+* load/store address generation happens in the Issue stage;
+* ``nop`` is never dual-issued.
+
+The method "CPI data employed to deduce the microarchitecture of a CPU"
+is, per the paper, of independent interest; this module is its
+executable form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.uarch.cpi import CpiMatrix
+
+_DUAL = 0.75  # CPI below this means the pair dual-issued (paper criterion)
+_PIPELINED = 1.25  # hazard-free same-class CPI <= ~1 means the unit is pipelined
+
+
+@dataclass(frozen=True)
+class InferredPipeline:
+    """The structural deductions drawn from a CPI matrix."""
+
+    fetch_width: int
+    n_alus: int
+    alus_identical: bool
+    shifter_on_single_alu: bool
+    multiplier_on_shifter_alu: bool
+    lsu_pipelined: bool
+    multiplier_pipelined: bool
+    rf_read_ports: int
+    rf_write_ports: int
+    agu_in_issue_stage: bool
+    nop_dual_issued: bool
+
+    def describe(self) -> str:
+        """Render the deductions as a Figure-2-style structure report."""
+        lines = [
+            "Inferred pipeline structure (from CPI analysis):",
+            f"  fetch unit          : {self.fetch_width} instructions/cycle",
+            f"  ALUs                : {self.n_alus}"
+            + (" (identical)" if self.alus_identical else " (asymmetric)"),
+            "  barrel shifter      : "
+            + ("on one ALU only" if self.shifter_on_single_alu else "on every ALU"),
+            "  multiplier          : "
+            + ("co-located with the shifter ALU" if self.multiplier_on_shifter_alu else "separate")
+            + (", pipelined" if self.multiplier_pipelined else ", iterative"),
+            "  load/store unit     : "
+            + ("fully pipelined" if self.lsu_pipelined else "blocking"),
+            f"  RF read ports       : {self.rf_read_ports}",
+            f"  RF write ports      : {self.rf_write_ports}",
+            "  address generation  : "
+            + ("in the Issue stage" if self.agu_in_issue_stage else "on an ALU"),
+            "  nop                 : "
+            + ("dual-issued" if self.nop_dual_issued else "never dual-issued"),
+        ]
+        return "\n".join(lines)
+
+
+#: What the paper concludes for the Cortex-A7 (Figure 2).
+CORTEX_A7_EXPECTED = InferredPipeline(
+    fetch_width=2,
+    n_alus=2,
+    alus_identical=False,
+    shifter_on_single_alu=True,
+    multiplier_on_shifter_alu=True,
+    lsu_pipelined=True,
+    multiplier_pipelined=True,
+    rf_read_ports=3,
+    rf_write_ports=2,
+    agu_in_issue_stage=True,
+    nop_dual_issued=False,
+)
+
+
+def infer_pipeline(matrix: CpiMatrix) -> InferredPipeline:
+    """Apply the Section-3.2 deduction chain to a measured CPI matrix."""
+
+    def cpi(older: str, younger: str) -> float:
+        return matrix.free[(older, younger)].cpi
+
+    def dual(older: str, younger: str) -> bool:
+        return cpi(older, younger) < _DUAL
+
+    any_dual = any(m.dual_issued for m in matrix.free.values())
+    fetch_width = 2 if any_dual else 1
+
+    # Two arithmetic instructions dual-issue (one with an immediate), so
+    # two ALUs exist; two register-register ALU ops never do, so the
+    # register file cannot feed four operands: three read ports.
+    two_alus = dual("ALU w/ imm", "ALU") or dual("mov", "ALU")
+    n_alus = 2 if two_alus else 1
+    rf_read_ports = 3 if (two_alus and not dual("ALU", "ALU")) else (4 if two_alus else 2)
+
+    # Shifts never pair with each other and pair with almost nothing:
+    # a single barrel shifter, hosted by one ALU only (otherwise a shift
+    # would pair with a plain mov, which it does not as the older).
+    shifter_single = not dual("shifts", "shifts")
+    alus_identical = not shifter_single
+
+    # mul pairs with no computational instruction: it lives on the same
+    # (single) shifted ALU and monopolizes the issue group.
+    mul_with_computational = any(
+        dual(a, b)
+        for a, b in [
+            ("mul", "mov"), ("mov", "mul"), ("mul", "ALU w/ imm"), ("ALU w/ imm", "mul"),
+        ]
+    )
+    multiplier_on_shifter_alu = shifter_single and not mul_with_computational
+
+    # Sustained CPI 1 over hazard-free same-class sequences: pipelined.
+    lsu_pipelined = cpi("ld/st", "ld/st") <= _PIPELINED
+    multiplier_pipelined = cpi("mul", "mul") <= _PIPELINED
+
+    # Loads dual-issue with immediate-operand arithmetic: the address
+    # generation cannot be borrowing an ALU, so it sits in the Issue stage.
+    agu_in_issue = dual("ALU w/ imm", "ld/st")
+
+    # Sustained 0.5 CPI with both instructions writing a result needs two
+    # write-back ports.
+    rf_write_ports = 2 if dual("mov", "mov") else 1
+
+    return InferredPipeline(
+        fetch_width=fetch_width,
+        n_alus=n_alus,
+        alus_identical=alus_identical,
+        shifter_on_single_alu=shifter_single,
+        multiplier_on_shifter_alu=multiplier_on_shifter_alu,
+        lsu_pipelined=lsu_pipelined,
+        multiplier_pipelined=multiplier_pipelined,
+        rf_read_ports=rf_read_ports,
+        rf_write_ports=rf_write_ports,
+        agu_in_issue_stage=agu_in_issue,
+        nop_dual_issued=matrix.nop_cpi < _DUAL,
+    )

@@ -1,0 +1,374 @@
+"""The cycle-accurate scheduler of the superscalar in-order pipeline.
+
+``Pipeline.schedule`` consumes the *dynamic* instruction stream of one
+program run (the executor's ``InstrRecord`` list) and produces a
+:class:`Schedule`: per-instruction issue cycles, slot and unit
+assignments, and the full microarchitectural event stream that the power
+model evaluates.
+
+The schedule of a program is data-independent under the model's
+assumptions (warm caches, in-order issue, no data-dependent stalls), so
+it is computed once per program and reused across every random-input
+trace of an acquisition campaign.
+
+Timing model:
+
+* in-order issue, up to two instructions per cycle, pairing per the
+  :class:`repro.uarch.dual_issue.DualIssueChecker` policy and, in
+  ``FETCH_ALIGNED`` mode, only within 64-bit fetch windows (this aligned
+  pairing is what reproduces the asymmetry of the paper's Table 1);
+* registers become readable ``latency`` cycles after the producer's
+  issue (full forwarding; no same-cycle forwarding inside a pair);
+* every unit is fully pipelined (initiation interval 1), as the paper
+  concludes for the LSU and the multiplier from sustained CPI 1;
+* a taken branch whose target is not the fall-through address pays
+  ``branch_penalty`` refill bubbles (branches resolve at issue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Cond, Opcode
+from repro.isa.operands import Imm, RegShift
+from repro.isa.semantics import InstrRecord
+from repro.isa.values import ValueKind
+from repro.uarch import components as comp
+from repro.uarch.config import IssuePairing, PipelineConfig
+from repro.uarch.dual_issue import DualIssueChecker, _reads_flags
+from repro.uarch.events import ZERO_INDEX, BusEvent, Unit
+
+
+@dataclass
+class Schedule:
+    """Issue/writeback timing and the microarchitectural event stream."""
+
+    config: PipelineConfig
+    issue_cycle: list[int]
+    slot: list[int]
+    unit: list[Unit]
+    wb_cycle: list[int | None]
+    dual: list[bool]
+    events: list[BusEvent]
+    n_cycles: int
+
+    @property
+    def n_instructions(self) -> int:
+        return len(self.issue_cycle)
+
+    @property
+    def issue_cycles_total(self) -> int:
+        """Cycles from first issue to last writeback (drain included)."""
+        return self.n_cycles
+
+    def cpi(self, exclude_nops: bool = False, instructions: int | None = None) -> float:
+        """Crude clock-per-instruction over the whole schedule."""
+        count = instructions if instructions is not None else self.n_instructions
+        if count == 0:
+            return 0.0
+        span = max(self.issue_cycle) - min(self.issue_cycle) + 1
+        return span / count
+
+    def events_for(self, component: str) -> list[BusEvent]:
+        return [e for e in self.events if e.component == component]
+
+    def dual_issue_rate(self) -> float:
+        if not self.dual:
+            return 0.0
+        return sum(self.dual) / len(self.dual)
+
+
+class Pipeline:
+    """Schedules dynamic instruction streams on the configured pipeline."""
+
+    def __init__(self, config: PipelineConfig | None = None):
+        self.config = config if config is not None else PipelineConfig()
+        self.checker = DualIssueChecker(self.config)
+        self.components = comp.component_registry(
+            self.config.rf_read_ports, self.config.rf_write_ports
+        )
+
+    # ------------------------------------------------------------------
+    # Latency/unit helpers
+    # ------------------------------------------------------------------
+
+    def latency(self, instr: Instruction) -> int:
+        config = self.config
+        if instr.is_load:
+            return config.load_latency
+        if instr.is_store:
+            return config.store_latency
+        if instr.is_multiply:
+            return config.mul_latency
+        if instr.uses_shifter:
+            return config.shift_alu_latency
+        if instr.is_branch or instr.is_nop:
+            return 1
+        return config.alu_latency
+
+    def _unit_for(self, instr: Instruction, taken_units: set[Unit]) -> Unit:
+        if instr.is_nop:
+            return Unit.NONE
+        if instr.is_branch:
+            return Unit.BRANCH
+        if instr.is_memory:
+            return Unit.LSU
+        if instr.is_multiply or instr.uses_shifter:
+            return Unit.ALU1
+        if Unit.ALU0 not in taken_units:
+            return Unit.ALU0
+        return Unit.ALU1
+
+    # ------------------------------------------------------------------
+    # Main scheduling loop
+    # ------------------------------------------------------------------
+
+    def schedule(self, records: list[InstrRecord]) -> Schedule:
+        config = self.config
+        n = len(records)
+        issue_cycle = [0] * n
+        slots = [0] * n
+        units = [Unit.NONE] * n
+        wb_cycle: list[int | None] = [None] * n
+        dual = [False] * n
+
+        reg_ready: dict[int, int] = {}
+        flags_ready = 0
+        emitter = _EventEmitter(self.config)
+
+        cycle = config.front_latency
+        i = 0
+        while i < n:
+            first = records[i]
+            ready = self._ready_cycle(first.instr, reg_ready, flags_ready)
+            c = max(cycle, ready)
+
+            pair: InstrRecord | None = None
+            if config.dual_issue and i + 1 < n:
+                candidate = records[i + 1]
+                if (
+                    self._pairable_addresses(first.instr, candidate.instr)
+                    and self.checker.check(first.instr, candidate.instr)
+                    and self._ready_cycle(candidate.instr, reg_ready, flags_ready) <= c
+                ):
+                    pair = candidate
+
+            unit_a = self._unit_for(first.instr, set())
+            self._issue(first, i, c, 0, unit_a, issue_cycle, slots, units, wb_cycle, reg_ready)
+            emitter.emit(first, i, c, 0, unit_a, self.latency(first.instr))
+            if first.instr.set_flags and first.executed:
+                flags_ready = max(flags_ready, c + self.latency(first.instr))
+
+            if pair is not None:
+                j = i + 1
+                unit_b = self._unit_for(pair.instr, {unit_a})
+                self._issue(pair, j, c, 1, unit_b, issue_cycle, slots, units, wb_cycle, reg_ready)
+                emitter.emit(pair, j, c, 1, unit_b, self.latency(pair.instr))
+                if pair.instr.set_flags and pair.executed:
+                    flags_ready = max(flags_ready, c + self.latency(pair.instr))
+                dual[i] = dual[j] = True
+                i += 2
+                last = pair
+            else:
+                i += 1
+                last = first
+
+            cycle = c + 1
+            for issued in (first, last):
+                if issued.taken and issued.next_pc != issued.instr.address + 4:
+                    cycle = c + 1 + config.branch_penalty
+                    break
+
+        n_cycles = (max((e.cycle for e in emitter.events), default=cycle) + 2)
+        return Schedule(
+            config=config,
+            issue_cycle=issue_cycle,
+            slot=slots,
+            unit=units,
+            wb_cycle=wb_cycle,
+            dual=dual,
+            events=emitter.events,
+            n_cycles=n_cycles,
+        )
+
+    def _pairable_addresses(self, older: Instruction, younger: Instruction) -> bool:
+        if younger.address != older.address + 4:
+            return False  # not consecutive in fetch order (e.g. across a taken branch)
+        if self.config.issue_pairing is IssuePairing.FETCH_ALIGNED:
+            return older.address % 8 == 0
+        return True
+
+    def _ready_cycle(
+        self, instr: Instruction, reg_ready: dict[int, int], flags_ready: int
+    ) -> int:
+        ready = 0
+        for reg in instr.reads():
+            ready = max(ready, reg_ready.get(int(reg), 0))
+        if instr.cond is not Cond.AL or _reads_flags(instr):
+            ready = max(ready, flags_ready)
+        return ready
+
+    def _issue(
+        self,
+        record: InstrRecord,
+        index: int,
+        cycle: int,
+        slot: int,
+        unit: Unit,
+        issue_cycle: list[int],
+        slots: list[int],
+        units: list[Unit],
+        wb_cycle: list[int | None],
+        reg_ready: dict[int, int],
+    ) -> None:
+        issue_cycle[index] = cycle
+        slots[index] = slot
+        units[index] = unit
+        latency = self.latency(record.instr)
+        if record.executed and (record.writes_result or record.instr.is_store):
+            wb_cycle[index] = cycle + latency
+        if record.executed:
+            for reg in record.instr.writes():
+                reg_ready[int(reg)] = cycle + latency
+
+
+class _EventEmitter:
+    """Translates one issued instruction into its component events."""
+
+    def __init__(self, config: PipelineConfig):
+        self.config = config
+        self.events: list[BusEvent] = []
+        self._order = 0
+
+    def _push(self, cycle: int, component: str, dyn_index: int, kind: ValueKind | None) -> None:
+        self.events.append(BusEvent(cycle, component, dyn_index, kind, self._order))
+        self._order += 1
+
+    def emit(
+        self,
+        record: InstrRecord,
+        dyn_index: int,
+        cycle: int,
+        slot: int,
+        unit: Unit,
+        latency: int,
+    ) -> None:
+        instr = record.instr
+        config = self.config
+
+        if instr.is_nop:
+            if config.nop_zeroes_issue_bus:
+                self._push(cycle, comp.issue_bus(slot, 1), ZERO_INDEX, None)
+                self._push(cycle, comp.issue_bus(slot, 2), ZERO_INDEX, None)
+            if config.nop_resets_wb_bus:
+                for port in range(config.rf_write_ports):
+                    self._push(cycle + 1, comp.wb_bus(port), ZERO_INDEX, None)
+            return
+
+        self._emit_rf_reads(record, dyn_index, cycle, slot)
+        self._emit_issue_buses(record, dyn_index, cycle, slot)
+
+        if instr.is_memory:
+            self._push(cycle, comp.AGU_ADDR, dyn_index, ValueKind.ADDR)
+
+        if not record.executed:
+            return  # squashed: reads happened, execution did not
+
+        self._emit_unit_latches(record, dyn_index, cycle, unit)
+
+        if instr.uses_shifter:
+            self._push(cycle + 1, comp.SHIFT_BUF, dyn_index, ValueKind.SHIFTED)
+
+        if unit in (Unit.ALU0, Unit.ALU1):
+            self._push(cycle + latency, comp.alu_out(unit), dyn_index, ValueKind.RESULT)
+
+        if record.writes_result:
+            self._push(cycle + latency, comp.wb_bus(slot), dyn_index, ValueKind.RESULT)
+        elif instr.is_store:
+            self._push(cycle + latency, comp.wb_bus(slot), dyn_index, ValueKind.STORE_DATA)
+
+        if instr.is_memory:
+            self._push(cycle + config.mdr_stage, comp.MDR, dyn_index, ValueKind.MEM_WORD)
+            align: str | None = None
+            if instr.access_width < 4:
+                align = comp.ALIGN_LOAD if instr.is_load else comp.ALIGN_STORE
+                self._push(cycle + config.mdr_stage, align, dyn_index, ValueKind.SUB_WORD)
+            if not config.lsu_remanence:
+                # Ablation: the LSU clears its data buffers after every
+                # access, removing the Section-4.2(iv) remanence channel.
+                self._push(cycle + config.mdr_stage + 1, comp.MDR, ZERO_INDEX, None)
+                if align is not None:
+                    self._push(cycle + config.mdr_stage + 1, align, ZERO_INDEX, None)
+
+    # -- helpers ---------------------------------------------------------
+
+    def _source_kinds(self, instr: Instruction) -> list[ValueKind]:
+        """Value kinds of the register reads, matching ``Instruction.reads()``."""
+        kinds: list[ValueKind] = []
+        if instr.is_multiply:
+            kinds = [ValueKind.OP1, ValueKind.OP2]
+            if instr.opcode is Opcode.MLA:
+                kinds.append(ValueKind.OP3)
+        elif instr.is_memory:
+            if instr.is_store:
+                kinds.append(ValueKind.STORE_DATA)
+            kinds.append(ValueKind.BASE)
+            if instr.mem is not None and instr.mem.offset_is_reg:
+                kinds.append(ValueKind.OFFSET)
+        elif instr.opcode is Opcode.BX:
+            kinds.append(ValueKind.OP1)
+        elif instr.opcode is Opcode.MOVT:
+            kinds.append(ValueKind.OP1)
+        else:
+            if instr.rn is not None:
+                kinds.append(ValueKind.OP1)
+            if isinstance(instr.op2, RegShift):
+                kinds.append(ValueKind.OP2)
+                if instr.op2.shift_by_register:
+                    kinds.append(ValueKind.OP3)
+        return kinds
+
+    def _emit_rf_reads(self, record: InstrRecord, dyn_index: int, cycle: int, slot: int) -> None:
+        base_port = 1 if slot == 0 else 3
+        port = base_port
+        for kind in self._source_kinds(record.instr):
+            if port > self.config.rf_read_ports:
+                port = self.config.rf_read_ports  # saturate (shared lane)
+            self._push(cycle, comp.rf_read_port(port), dyn_index, kind)
+            port += 1
+
+    def _emit_issue_buses(self, record: InstrRecord, dyn_index: int, cycle: int, slot: int) -> None:
+        instr = record.instr
+        if instr.is_branch:
+            return
+        if instr.is_memory:
+            if instr.is_store:
+                self._push(cycle, comp.issue_bus(slot, 2), dyn_index, ValueKind.STORE_DATA)
+            return
+        if instr.is_multiply:
+            self._push(cycle, comp.issue_bus(slot, 1), dyn_index, ValueKind.OP1)
+            self._push(cycle, comp.issue_bus(slot, 2), dyn_index, ValueKind.OP2)
+            return
+        if instr.rn is not None or instr.opcode is Opcode.MOVT:
+            self._push(cycle, comp.issue_bus(slot, 1), dyn_index, ValueKind.OP1)
+        if isinstance(instr.op2, RegShift):
+            self._push(cycle, comp.issue_bus(slot, 2), dyn_index, ValueKind.OP2)
+        elif isinstance(instr.op2, Imm):
+            self._push(cycle, comp.IMM_PATH, dyn_index, ValueKind.OP2)
+
+    def _emit_unit_latches(
+        self, record: InstrRecord, dyn_index: int, cycle: int, unit: Unit
+    ) -> None:
+        instr = record.instr
+        if unit in (Unit.NONE, Unit.BRANCH):
+            return
+        latch_cycle = cycle + 1
+        if unit is Unit.LSU:
+            if instr.is_store:
+                self._push(latch_cycle, comp.unit_latch(unit, 2), dyn_index, ValueKind.STORE_DATA)
+            return
+        if instr.rn is not None or instr.opcode is Opcode.MOVT or instr.is_multiply:
+            self._push(latch_cycle, comp.unit_latch(unit, 1), dyn_index, ValueKind.OP1)
+        if instr.is_multiply or instr.op2 is not None:
+            self._push(latch_cycle, comp.unit_latch(unit, 2), dyn_index, ValueKind.OP2)

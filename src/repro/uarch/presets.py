@@ -1,0 +1,55 @@
+"""Named pipeline configurations: the characterized A7 and its ablations."""
+
+from __future__ import annotations
+
+from repro.uarch.config import IssuePairing, PipelineConfig
+
+
+def cortex_a7() -> PipelineConfig:
+    """The Cortex-A7 MPCore as characterized in the paper (Figure 2)."""
+    return PipelineConfig()
+
+
+def cortex_a7_single_issue() -> PipelineConfig:
+    """Dual-issue disabled: the §4.2(iii) ablation.
+
+    Semantically identical execution whose operand-bus collisions differ,
+    demonstrating that the *pairing* of instructions (not their data flow)
+    decides part of the leakage.
+    """
+    return PipelineConfig(name="cortex-a7-single-issue", dual_issue=False)
+
+
+def cortex_a7_sliding_issue() -> PipelineConfig:
+    """Pairing from a sliding window instead of aligned fetch groups.
+
+    Hypothetical variant used to show that Table 1's measured asymmetry
+    (``ldr;mov`` pairs, ``mov;ldr`` does not) requires aligned pairing.
+    """
+    return PipelineConfig(name="cortex-a7-sliding", issue_pairing=IssuePairing.SLIDING)
+
+
+def cortex_a7_no_remanence() -> PipelineConfig:
+    """LSU buffers cleared between accesses: the §4.2(iv) ablation."""
+    return PipelineConfig(name="cortex-a7-no-remanence", lsu_remanence=False)
+
+
+def cortex_a7_quiet_nop() -> PipelineConfig:
+    """A hypothetical nop that drives no buses (not the real A7).
+
+    Shows that the measured nop behaviour (zero operands on the issue
+    bus, write-back bus reset) is what makes nop insertion *not*
+    security-neutral (Section 4.1/4.2).
+    """
+    return PipelineConfig(
+        name="cortex-a7-quiet-nop", nop_zeroes_issue_bus=False, nop_resets_wb_bus=False
+    )
+
+
+PRESETS = {
+    "cortex-a7": cortex_a7,
+    "cortex-a7-single-issue": cortex_a7_single_issue,
+    "cortex-a7-sliding": cortex_a7_sliding_issue,
+    "cortex-a7-no-remanence": cortex_a7_no_remanence,
+    "cortex-a7-quiet-nop": cortex_a7_quiet_nop,
+}

@@ -1,0 +1,122 @@
+"""A scalar in-order baseline core (Cortex-M0-class).
+
+The related work the paper builds on ([18, 19] in its bibliography,
+Seuschek et al.) characterized *scalar* microcontrollers and found the
+register-file **write-port sharing** leak: the single write-back path
+carries the destination values of consecutive instructions, so their
+Hamming distance leaks even when the instructions are data-independent.
+
+This module provides that baseline: a 3-stage, single-issue pipeline with
+one ALU, one write-back bus and a single memory data register.  The
+superscalar-vs-scalar ablation bench contrasts its leakage modes with the
+Cortex-A7 model's (issue-bus pairs, dual-issue adjacency, align-buffer
+remanence are all absent here; the write-port leak is shared).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.semantics import InstrRecord
+from repro.isa.values import ValueKind
+from repro.uarch import components as comp
+from repro.uarch.components import Component, ComponentKind
+from repro.uarch.events import ZERO_INDEX, BusEvent, Unit
+from repro.uarch.pipeline import Schedule
+from repro.uarch.config import PipelineConfig
+
+
+@dataclass(frozen=True)
+class ScalarConfig:
+    """Timing knobs of the scalar core."""
+
+    name: str = "scalar-m0"
+    load_latency: int = 2
+    branch_penalty: int = 2
+    front_latency: int = 2
+    mul_latency: int = 1  # M0 single-cycle multiplier option
+
+
+def scalar_component_registry() -> dict[str, Component]:
+    """The scalar core's (much smaller) component set."""
+    components = [
+        Component(comp.rf_read_port(1), ComponentKind.RF_READ, phase=0.05),
+        Component(comp.rf_read_port(2), ComponentKind.RF_READ, phase=0.05),
+        Component(comp.issue_bus(0, 1), ComponentKind.ISSUE_BUS, phase=0.45),
+        Component(comp.issue_bus(0, 2), ComponentKind.ISSUE_BUS, phase=0.45),
+        Component(comp.alu_out(Unit.ALU0), ComponentKind.ALU_OUT, phase=0.60, precharged=True),
+        Component(comp.wb_bus(0), ComponentKind.WB_BUS, phase=0.20),
+        Component(comp.MDR, ComponentKind.MDR, phase=0.55),
+    ]
+    return {c.name: c for c in components}
+
+
+class ScalarPipeline:
+    """Single-issue scheduler with the write-port-sharing leak of [18,19]."""
+
+    def __init__(self, config: ScalarConfig | None = None):
+        self.config = config if config is not None else ScalarConfig()
+        self.components = scalar_component_registry()
+
+    def latency(self, record: InstrRecord) -> int:
+        if record.instr.is_load or record.instr.is_store:
+            return self.config.load_latency
+        if record.instr.is_multiply:
+            return self.config.mul_latency
+        return 1
+
+    def schedule(self, records: list[InstrRecord]) -> Schedule:
+        config = self.config
+        n = len(records)
+        issue_cycle = [0] * n
+        wb_cycle: list[int | None] = [None] * n
+        events: list[BusEvent] = []
+        order = 0
+
+        def push(cycle: int, component: str, dyn: int, kind: ValueKind | None) -> None:
+            nonlocal order
+            events.append(BusEvent(cycle, component, dyn, kind, order))
+            order += 1
+
+        cycle = config.front_latency
+        for i, record in enumerate(records):
+            instr = record.instr
+            issue_cycle[i] = cycle
+            latency = self.latency(record)
+            if instr.is_nop:
+                push(cycle, comp.issue_bus(0, 1), ZERO_INDEX, None)
+                push(cycle, comp.issue_bus(0, 2), ZERO_INDEX, None)
+                cycle += 1
+                continue
+            # Operand bus traffic (single issue slot).
+            if instr.is_store:
+                push(cycle, comp.issue_bus(0, 2), i, ValueKind.STORE_DATA)
+            elif not instr.is_branch and not instr.is_memory:
+                if instr.rn is not None or instr.is_multiply:
+                    push(cycle, comp.issue_bus(0, 1), i, ValueKind.OP1)
+                if instr.op2 is not None or instr.is_multiply:
+                    push(cycle, comp.issue_bus(0, 2), i, ValueKind.OP2)
+            if record.executed:
+                if not instr.is_branch and not instr.is_memory:
+                    push(cycle + latency, comp.alu_out(Unit.ALU0), i, ValueKind.RESULT)
+                if record.writes_result:
+                    # The single shared write port: the [18,19] leak.
+                    push(cycle + latency, comp.wb_bus(0), i, ValueKind.RESULT)
+                if instr.is_memory:
+                    push(cycle + 1, comp.MDR, i, ValueKind.MEM_WORD)
+                    wb_cycle[i] = cycle + latency
+            cycle += latency if (instr.is_load or instr.is_multiply) else 1
+            if record.taken and record.next_pc != instr.address + 4:
+                cycle += config.branch_penalty
+
+        n_cycles = max((e.cycle for e in events), default=cycle) + 2
+        return Schedule(
+            config=PipelineConfig(name=self.config.name, dual_issue=False),
+            issue_cycle=issue_cycle,
+            slot=[0] * n,
+            unit=[Unit.ALU0] * n,
+            wb_cycle=wb_cycle,
+            dual=[False] * n,
+            events=events,
+            n_cycles=n_cycles,
+        )

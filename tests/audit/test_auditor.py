@@ -1,0 +1,141 @@
+"""The microarchitecture-aware auditor vs the ISA-level baseline."""
+
+from repro.audit.auditor import IsaLevelAuditor, MicroarchAuditor
+from repro.isa.parser import assemble
+from repro.isa.registers import Reg
+from repro.uarch.config import PipelineConfig
+
+SHARES = [frozenset({"masked", "mask"})]
+TAINTS = {Reg.R5: frozenset({"masked"}), Reg.R6: frozenset({"mask"})}
+
+
+def audit(src: str, config=None, isa_level=False):
+    program = assemble(src + "\n    bx lr")
+    if isa_level:
+        return IsaLevelAuditor(program, SHARES, TAINTS).audit()
+    return MicroarchAuditor(program, SHARES, TAINTS, config=config).audit()
+
+
+UNSAFE_SWAP = """
+    eor r7, r5, r8
+    eor r9, r6, r10
+"""
+
+SAFE_SWAP = """
+    eor r7, r5, r8
+    eor r9, r10, r6
+"""
+
+#: Issue-layer *and* write-back safe: public-value fillers separate the
+#: shares on every bus and port.
+FULLY_SEPARATED = """
+    eor r7, r5, r8
+    mov r9, r10
+    mov r11, r10
+    eor r12, r10, r6
+"""
+
+VALUE_COMBINE = """
+    eor r7, r5, r6
+"""
+
+_ISSUE_LAYER_MARKERS = ("issue_op", "_in_op")
+
+
+def _issue_layer_findings(report):
+    return [
+        f
+        for f in report.findings
+        if any(marker in f.component for marker in _ISSUE_LAYER_MARKERS)
+    ]
+
+
+class TestOperandSwapDetection:
+    def test_unsafe_version_flagged(self):
+        report = audit(UNSAFE_SWAP)
+        assert not report.clean
+        assert any(f.rule == "hd-combination" for f in report.findings)
+        assert any("issue_op1" in f.component or "in_op1" in f.component
+                   for f in report.findings)
+
+    def test_swap_fixes_the_issue_layer(self):
+        assert not _issue_layer_findings(audit(SAFE_SWAP))
+        assert _issue_layer_findings(audit(UNSAFE_SWAP))
+
+    def test_swap_alone_does_not_fix_the_write_back_port(self):
+        """Consecutive *results* still combine the shares on wb_bus0 —
+        the [18,19] write-port effect survives the operand swap."""
+        report = audit(SAFE_SWAP)
+        assert any(f.component.startswith("wb_bus") for f in report.findings)
+
+    def test_fully_separated_version_clean(self):
+        assert audit(FULLY_SEPARATED).clean
+
+    def test_isa_level_auditor_misses_the_swap(self):
+        """The paper's point: no architectural value combines the shares."""
+        assert audit(UNSAFE_SWAP, isa_level=True).clean
+
+    def test_isa_level_auditor_sees_value_combination(self):
+        report = audit(VALUE_COMBINE, isa_level=True)
+        assert not report.clean
+        assert report.findings[0].rule == "value-combination"
+
+    def test_microarch_auditor_also_sees_value_combination(self):
+        report = audit(VALUE_COMBINE)
+        assert any(f.rule == "hw-combination" for f in report.findings)
+
+
+class TestAdjacencyCauses:
+    def test_dual_issue_collision_described(self):
+        # share1 and share2 movs with a pairing mov in between: the leak
+        # appears only because of dual-issue (Section 4.2 iii).
+        src = "mov r7, r5\n    mov r9, r8\n    mov r11, r6"
+        report = audit(src)
+        assert not report.clean
+        assert any("dual-issued" in f.description for f in report.findings)
+
+    def test_single_issue_config_removes_that_leak(self):
+        src = "mov r7, r5\n    mov r9, r8\n    mov r11, r6"
+        report = audit(src, config=PipelineConfig(dual_issue=False))
+        assert report.clean
+
+    def test_lsu_remanence_found(self):
+        src = """
+    movw r9, #0x9000
+    movw r10, #0x9100
+    strb r5, [r9]
+    add r7, r8, #1
+    strb r6, [r10]
+    """
+        report = audit(src)
+        assert any(f.component == "align_store" for f in report.findings)
+
+    def test_remanence_ablation_cleans_it(self):
+        src = """
+    movw r9, #0x9000
+    movw r10, #0x9100
+    strb r5, [r9]
+    add r7, r8, #1
+    strb r6, [r10]
+    """
+        report = audit(src, config=PipelineConfig(lsu_remanence=False))
+        assert not any(f.component == "align_store" for f in report.findings)
+
+
+class TestReporting:
+    def test_summary_counts_findings(self):
+        report = audit(UNSAFE_SWAP)
+        assert str(len(report.findings)) in report.summary()
+
+    def test_clean_summary(self):
+        assert "clean" in audit(FULLY_SEPARATED).summary()
+
+    def test_findings_render_instructions(self):
+        report = audit(UNSAFE_SWAP)
+        text = str(report.findings[0])
+        assert "eor" in text
+
+    def test_by_component_groups(self):
+        report = audit(UNSAFE_SWAP)
+        grouped = report.by_component()
+        assert all(findings for findings in grouped.values())

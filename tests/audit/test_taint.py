@@ -1,0 +1,96 @@
+"""Share-label propagation through the data flow."""
+
+from repro.audit.taint import TaintTracker
+from repro.isa.parser import assemble
+from repro.isa.registers import Reg
+from repro.isa.values import ValueKind
+
+S1 = frozenset({"share1"})
+S2 = frozenset({"share2"})
+BOTH = S1 | S2
+
+
+def track(src: str, reg_taints=None, mem_taints=None):
+    program = assemble(src + "\n    bx lr")
+    tracker = TaintTracker(program, reg_taints or {}, mem_taints or {})
+    execution, taints = tracker.run()
+    return tracker, taints
+
+
+class TestPropagation:
+    def test_mov_propagates(self):
+        tracker, taints = track("mov r1, r2", {Reg.R2: S1})
+        assert taints[0].get(ValueKind.OP2) == S1
+        assert tracker.reg_taints[Reg.R1] == S1
+
+    def test_alu_unions_sources(self):
+        tracker, taints = track("eor r0, r1, r2", {Reg.R1: S1, Reg.R2: S2})
+        assert taints[0].get(ValueKind.RESULT) == BOTH
+
+    def test_untainted_stays_clean(self):
+        tracker, taints = track("add r0, r1, r2")
+        assert taints[0].get(ValueKind.RESULT) == frozenset()
+
+    def test_immediate_adds_no_taint(self):
+        tracker, taints = track("add r0, r1, #7", {Reg.R1: S1})
+        assert taints[0].get(ValueKind.RESULT) == S1
+
+    def test_shifted_operand_carries_taint(self):
+        tracker, taints = track("add r0, r1, r2, lsl #3", {Reg.R2: S1})
+        assert taints[0].get(ValueKind.SHIFTED) == S1
+
+    def test_multiply(self):
+        tracker, taints = track("mla r0, r1, r2, r3", {Reg.R1: S1, Reg.R3: S2})
+        assert taints[0].get(ValueKind.RESULT) == BOTH
+
+    def test_overwrite_clears_old_taint(self):
+        tracker, _ = track("mov r1, r2\n    mov r1, r3", {Reg.R2: S1})
+        assert tracker.reg_taints[Reg.R1] == frozenset()
+
+
+class TestMemoryTaint:
+    def test_store_taints_memory_and_load_recovers(self):
+        tracker, taints = track(
+            "movw r4, #0x9000\n    str r1, [r4]\n    ldr r2, [r4]",
+            {Reg.R1: S1},
+        )
+        assert tracker.reg_taints[Reg.R2] == S1
+        assert taints[1].get(ValueKind.STORE_DATA) == S1
+        assert taints[2].get(ValueKind.RESULT) == S1
+
+    def test_table_lookup_taints_through_the_index(self):
+        tracker, taints = track(
+            "movw r4, #0x9000\n    ldrb r2, [r4, r1]", {Reg.R1: S1}
+        )
+        assert S1 <= tracker.reg_taints[Reg.R2]
+
+    def test_initial_memory_taint(self):
+        tracker, taints = track(
+            "movw r4, #0x9000\n    ldr r2, [r4]",
+            mem_taints={0x9000 + i: S2 for i in range(4)},
+        )
+        assert tracker.reg_taints[Reg.R2] == S2
+
+    def test_subword_taint_on_align_values(self):
+        tracker, taints = track(
+            "movw r4, #0x9000\n    strb r1, [r4]", {Reg.R1: S1}
+        )
+        assert taints[1].get(ValueKind.SUB_WORD) == S1
+
+    def test_taint_memory_helper(self):
+        program = assemble("movw r4, #0x9000\n    ldrb r2, [r4]\n    bx lr")
+        tracker = TaintTracker(program)
+        tracker.taint_memory(0x9000, 2, S1)
+        tracker.run()
+        assert tracker.reg_taints[Reg.R2] == S1
+
+
+class TestNopAndBranches:
+    def test_nop_carries_no_labels(self):
+        _, taints = track("nop", {Reg.R1: S1})
+        assert not taints[0].labels
+
+    def test_bl_and_bx_tracked(self):
+        _, taints = track("mov r1, r2", {Reg.R2: S1})
+        # final bx lr reads lr: untainted
+        assert taints[-1].get(ValueKind.OP1) == frozenset()

@@ -1,0 +1,102 @@
+"""Golden AES-128: FIPS-197 vectors and structural properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import (
+    SHIFT_ROWS_PERM,
+    add_round_key,
+    aes128_encrypt_block,
+    aes128_round_keys,
+    mix_columns,
+    mix_single_column,
+    round1_states,
+    shift_rows,
+    sub_bytes,
+)
+
+BLOCK = st.binary(min_size=16, max_size=16)
+
+FIPS_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+FIPS_PT = bytes.fromhex("00112233445566778899aabbccddeeff")
+FIPS_CT = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+APPENDIX_B_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+APPENDIX_B_PT = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+APPENDIX_B_CT = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+
+
+class TestKnownVectors:
+    def test_fips_appendix_c(self):
+        assert aes128_encrypt_block(FIPS_PT, FIPS_KEY) == FIPS_CT
+
+    def test_fips_appendix_b(self):
+        assert aes128_encrypt_block(APPENDIX_B_PT, APPENDIX_B_KEY) == APPENDIX_B_CT
+
+    def test_key_expansion_first_and_last_words(self):
+        round_keys = aes128_round_keys(APPENDIX_B_KEY)
+        assert round_keys[0] == APPENDIX_B_KEY
+        assert round_keys[10].hex() == "d014f9a8c9ee2589e13f0cc8b6630ca6"
+
+    def test_round1_intermediates_appendix_b(self):
+        states = round1_states(APPENDIX_B_PT, APPENDIX_B_KEY)
+        assert states["ark"].hex() == "193de3bea0f4e22b9ac68d2ae9f84808"
+        assert states["sb"].hex() == "d42711aee0bf98f1b8b45de51e415230"
+        assert states["shr"].hex() == "d4bf5d30e0b452aeb84111f11e2798e5"
+        assert states["mc"].hex() == "046681e5e0cb199a48f8d37a2806264c"
+
+
+class TestStructure:
+    def test_shift_rows_perm_is_permutation(self):
+        assert sorted(SHIFT_ROWS_PERM) == list(range(16))
+
+    def test_shift_rows_leaves_row0(self):
+        state = bytes(range(16))
+        shifted = shift_rows(state)
+        assert shifted[0::4] == state[0::4]
+
+    @given(BLOCK)
+    def test_shift_rows_four_times_is_identity(self, state):
+        out = state
+        for _ in range(4):
+            out = shift_rows(out)
+        assert out == state
+
+    @given(BLOCK, BLOCK)
+    def test_add_round_key_is_involution(self, state, key):
+        assert add_round_key(add_round_key(state, key), key) == state
+
+    @given(BLOCK)
+    def test_sub_bytes_invertible(self, state):
+        from repro.crypto.sbox import INV_SBOX
+
+        assert bytes(INV_SBOX[b] for b in sub_bytes(state)) == state
+
+    def test_mix_single_column_known(self):
+        # FIPS-197 MixColumns example column.
+        assert mix_single_column(bytes.fromhex("db135345")) == bytes.fromhex("8e4da1bc")
+
+    @given(BLOCK)
+    def test_mix_columns_is_linear(self, state):
+        zero = mix_columns(bytes(16))
+        assert zero == bytes(16)
+        other = bytes((b ^ 0xFF) for b in state)
+        left = mix_columns(bytes(a ^ b for a, b in zip(state, other)))
+        right = bytes(
+            a ^ b for a, b in zip(mix_columns(state), mix_columns(other))
+        )
+        assert left == right
+
+    @given(BLOCK, BLOCK)
+    @settings(max_examples=30)
+    def test_different_keys_differ(self, pt, key):
+        other_key = bytes((key[0] ^ 1,)) + key[1:]
+        assert aes128_encrypt_block(pt, key) != aes128_encrypt_block(pt, other_key)
+
+    def test_bad_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            aes128_encrypt_block(b"short", FIPS_KEY)
+        with pytest.raises(ValueError):
+            aes128_round_keys(b"short")

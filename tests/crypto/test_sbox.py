@@ -1,0 +1,69 @@
+"""S-box construction and GF(2^8) arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.sbox import INV_SBOX, RCON, SBOX, gf_mul, xtime
+
+BYTE = st.integers(min_value=0, max_value=255)
+
+
+class TestXtime:
+    def test_known_values(self):
+        assert xtime(0x57) == 0xAE
+        assert xtime(0xAE) == 0x47
+        assert xtime(0x80) == 0x1B
+
+    @given(BYTE)
+    def test_is_gf_mul_by_two(self, value):
+        assert xtime(value) == gf_mul(value, 2)
+
+    @given(BYTE)
+    def test_stays_in_byte_range(self, value):
+        assert 0 <= xtime(value) <= 255
+
+
+class TestGfMul:
+    def test_known_product(self):
+        assert gf_mul(0x57, 0x13) == 0xFE  # FIPS-197 example
+
+    @given(BYTE, BYTE)
+    def test_commutative(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(BYTE)
+    def test_identity(self, a):
+        assert gf_mul(a, 1) == a
+
+    @given(BYTE)
+    def test_zero_annihilates(self, a):
+        assert gf_mul(a, 0) == 0
+
+    @given(BYTE, BYTE, BYTE)
+    def test_distributes_over_xor(self, a, b, c):
+        assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+
+
+class TestSbox:
+    def test_fips_corner_values(self):
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x01] == 0x7C
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_is_a_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+    @given(BYTE)
+    def test_inverse_round_trip(self, value):
+        assert INV_SBOX[SBOX[value]] == value
+        assert SBOX[INV_SBOX[value]] == value
+
+    def test_no_fixed_points(self):
+        assert all(SBOX[i] != i for i in range(256))
+        assert all(SBOX[i] != (i ^ 0xFF) for i in range(256))
+
+    def test_rcon_values(self):
+        assert RCON[:4] == (0x01, 0x02, 0x04, 0x08)
+        assert RCON[8] == 0x1B

@@ -1,0 +1,45 @@
+"""The six §4.2 ablations (reduced trace count)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablate_dual_issue_adjacency,
+    ablate_lsu_remanence,
+    ablate_nop_insertion,
+    ablate_operand_swap,
+    ablate_parallel_shares,
+    ablate_scalar_write_port,
+)
+
+N = 1000
+
+
+class TestAblations:
+    def test_operand_swap(self):
+        result = ablate_operand_swap(n_traces=N)
+        assert result.demonstrated, result.render()
+
+    def test_dual_issue_adjacency(self):
+        result = ablate_dual_issue_adjacency(n_traces=N)
+        assert result.demonstrated, result.render()
+
+    def test_nop_insertion(self):
+        result = ablate_nop_insertion(n_traces=N)
+        assert result.demonstrated, result.render()
+
+    def test_lsu_remanence(self):
+        result = ablate_lsu_remanence(n_traces=N)
+        assert result.demonstrated, result.render()
+
+    def test_parallel_shares(self):
+        result = ablate_parallel_shares(n_traces=N)
+        assert result.demonstrated, result.render()
+
+    def test_scalar_write_port(self):
+        result = ablate_scalar_write_port(n_traces=N)
+        assert result.demonstrated, result.render()
+
+    def test_render_format(self):
+        result = ablate_operand_swap(n_traces=N)
+        text = result.render()
+        assert "leak present" in text and "leak absent" in text

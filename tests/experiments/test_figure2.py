@@ -1,0 +1,26 @@
+"""Figure-2 experiment: inference report."""
+
+import pytest
+
+from repro.experiments.figure2 import run_figure2
+from repro.uarch.config import PipelineConfig
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_figure2(reps=40)
+
+
+class TestReproduction:
+    def test_matches_paper(self, result):
+        assert result.matches_paper, result.disagreements
+
+    def test_render_reports_agreement(self, result):
+        assert "match the paper" in result.render()
+
+    def test_disagreements_reported_for_other_cores(self):
+        scalarized = run_figure2(config=PipelineConfig(dual_issue=False), reps=40)
+        assert not scalarized.matches_paper
+        assert "fetch_width" in scalarized.disagreements
+        text = scalarized.render()
+        assert "disagreements" in text

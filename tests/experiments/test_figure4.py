@@ -1,0 +1,33 @@
+"""Figure-4 experiment: the loaded-Linux attack (paper's trace budget)."""
+
+import pytest
+
+from repro.experiments.figure4 import run_figure4
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_figure4(n_traces=100)
+
+
+class TestReproduction:
+    def test_all_shape_checks_pass(self, result):
+        assert result.matches_paper, result.checks
+
+    def test_attack_succeeds_at_paper_budget(self, result):
+        assert result.cpa.rank_of(result.true_pair[1]) == 0
+
+    def test_margin_confidence(self, result):
+        assert result.margin_confidence > 0.99
+
+    def test_correlation_reduced_under_load(self, result):
+        assert result.peak_loaded < result.peak_bare
+
+    def test_averaging_matters(self, result):
+        assert result.no_averaging_rank is not None
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Figure 4" in text
+        assert "reduction factor" in text
+        assert "best-vs-second" in text

@@ -1,0 +1,55 @@
+"""Text rendering helpers."""
+
+import numpy as np
+
+from repro.experiments.reporting import (
+    ascii_plot,
+    render_check_matrix,
+    render_table,
+    samples_to_microseconds,
+)
+
+
+class TestCheckMatrix:
+    def test_marks(self):
+        cells = {("a", "x"): True, ("a", "y"): False}
+        text = render_check_matrix(cells, ("a",), ("x", "y"), title="T")
+        assert "T" in text
+        assert "ok" in text and "--" in text
+
+
+class TestTable:
+    def test_alignment(self):
+        text = render_table(["col", "value"], [["a", "1"], ["bb", "22"]])
+        lines = text.splitlines()
+        assert lines[0].index("value") == lines[2].index("1")
+
+    def test_title(self):
+        assert render_table(["c"], [["v"]], title="Header").startswith("Header")
+
+
+class TestAsciiPlot:
+    def test_empty(self):
+        assert "empty" in ascii_plot(np.array([]))
+
+    def test_contains_extremes(self):
+        series = np.zeros(200)
+        series[50] = 0.5
+        series[150] = -0.25
+        text = ascii_plot(series, width=50, height=8)
+        assert "max=+0.5" in text
+        assert "min=-0.25" in text
+
+    def test_flat_series(self):
+        text = ascii_plot(np.ones(10))
+        assert "*" in text
+
+    def test_markers_drawn(self):
+        text = ascii_plot(np.arange(100.0), markers={0: "A", 99: "Z"})
+        assert "A" in text and "Z" in text
+
+
+class TestUnits:
+    def test_sample_to_microseconds(self):
+        # 4 samples/cycle at 120 MHz: 480 samples = 1 us.
+        assert samples_to_microseconds(480, 4) == 1.0

@@ -1,0 +1,52 @@
+"""Table-1 experiment: full matrix reproduction (reduced repetitions)."""
+
+import pytest
+
+from repro.experiments.table1 import PAPER_TABLE1, run_table1
+from repro.uarch.config import PipelineConfig
+from repro.uarch.cpi import TABLE1_COLUMNS, TABLE1_ORDER
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_table1(reps=60, pad_nops=20, with_hazards=True)
+
+
+class TestReproduction:
+    def test_all_49_cells_match_the_paper(self, result):
+        assert result.matches_paper, result.mismatches
+
+    def test_paper_table_is_complete(self):
+        assert len(PAPER_TABLE1) == 49
+        assert set(PAPER_TABLE1) == {
+            (r, c) for r in TABLE1_ORDER for c in TABLE1_COLUMNS
+        }
+
+    def test_hazard_variants_serialize(self, result):
+        for (older, younger), measurement in result.matrix.hazard.items():
+            free = result.matrix.free[(older, younger)]
+            if free.dual_issued:
+                assert measurement.cpi > free.cpi + 0.2, (older, younger)
+
+    def test_nop_never_dual_issues(self, result):
+        assert result.matrix.nop_cpi == pytest.approx(1.0, abs=0.05)
+
+    def test_render_includes_verdict(self, result):
+        text = result.render()
+        assert "MATCH" in text
+        assert "nop CPI" in text
+        assert "mov" in text and "ld/st" in text
+
+
+class TestSingleIssueControl:
+    def test_disabled_dual_issue_fails_the_comparison(self):
+        result = run_table1(
+            config=PipelineConfig(dual_issue=False),
+            reps=40,
+            pad_nops=12,
+            with_hazards=False,
+        )
+        assert not result.matches_paper
+        # Every pair the paper marks as dual-issued now mismatches.
+        expected_dual = sum(PAPER_TABLE1.values())
+        assert len(result.mismatches) == expected_dual

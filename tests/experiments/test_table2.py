@@ -1,0 +1,77 @@
+"""Table-2 experiment: leakage characterization (reduced trace count)."""
+
+import pytest
+
+from repro.experiments.table2 import (
+    COLUMN_COMPONENTS,
+    TABLE2_COLUMNS,
+    benchmark_source,
+    benchmark_specs,
+    run_table2,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    # Byte-wide boundary leaks (row 7's rC/rG Hamming weights through a
+    # 32-bit bus) are the weakest entries; the default 2000 traces keep
+    # them reliably above the 99.5% threshold (the paper used 100k).
+    return run_table2(n_traces=2000)
+
+
+class TestSpecs:
+    def test_seven_rows(self):
+        assert len(benchmark_specs()) == 7
+
+    def test_every_model_column_is_known(self):
+        for spec in benchmark_specs():
+            for model in spec.models:
+                assert model.column in COLUMN_COMPONENTS, model
+
+    def test_sources_assemble(self):
+        from repro.isa.parser import assemble
+
+        for spec in benchmark_specs():
+            program = assemble(benchmark_source(spec))
+            assert "bench_start" in program.labels
+
+    def test_sequences_match_paper_rows(self):
+        names = [spec.name for spec in benchmark_specs()]
+        assert names[0].startswith("row1") and names[6].startswith("row7")
+        row1 = benchmark_specs()[0]
+        assert row1.sequence[1] == "nop"  # the interleaved nop of row 1
+
+
+class TestReproduction:
+    def test_red_black_pattern_matches(self, result):
+        assert result.matches_paper, "\n".join(result.disagreements())
+
+    def test_dual_issue_column(self, result):
+        by_name = {b.spec.name: b for b in result.benchmarks}
+        assert by_name["row3-add-addimm-dual"].dual_measured
+        assert not by_name["row2-add-add"].dual_measured
+
+    def test_shifter_magnitude_is_small(self, result):
+        assert result.shift_magnitude_ratio is not None
+        assert 0.03 < result.shift_magnitude_ratio < 0.45  # paper: ~1/10
+
+    def test_rf_read_ports_black_everywhere(self, result):
+        for bench in result.benchmarks:
+            for outcome in bench.outcomes:
+                if outcome.spec.column == "Register File":
+                    assert outcome.measured == "black", (
+                        bench.spec.name,
+                        outcome.spec.label,
+                    )
+
+    def test_remanence_result_present(self, result):
+        row7 = next(b for b in result.benchmarks if b.spec.name.startswith("row7"))
+        align = [o for o in row7.outcomes if o.spec.column == "Align Buffer"]
+        red = [o for o in align if o.spec.expect == "red"]
+        assert red and all(o.measured == "red" for o in red)
+
+    def test_render_mentions_every_column_used(self, result):
+        text = result.render()
+        for column in ("Is/Ex Buffer", "MDR", "Align Buffer"):
+            assert column in text
+        assert "paper comparison: MATCH" in text

@@ -1,0 +1,159 @@
+"""A32 encoder/decoder: known encodings and round-trip properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.encoding import (
+    EncodingError,
+    decode,
+    encode,
+    encode_immediate,
+    encode_program,
+    is_encodable_immediate,
+)
+from repro.isa.parser import assemble
+
+
+def enc(src: str) -> int:
+    program = assemble(src + "\ntarget:\n    nop")
+    return encode(program[0], program)
+
+
+class TestKnownEncodings:
+    """Encodings cross-checked against the ARM ARM / GNU as."""
+
+    @pytest.mark.parametrize(
+        "src,expected",
+        [
+            ("mov r0, r1", 0xE1A00001),
+            ("mov r0, #1", 0xE3A00001),
+            ("add r1, r2, r3", 0xE0821003),
+            ("add r1, r2, #4", 0xE2821004),
+            ("adds r1, r2, r3", 0xE0921003),
+            ("sub r0, r1, r2", 0xE0410002),
+            ("eor r3, r4, r5", 0xE0243005),
+            ("cmp r1, r2", 0xE1510002),
+            ("cmp r1, #255", 0xE35100FF),
+            ("mvn r0, r1", 0xE1E00001),
+            ("mov r0, r1, lsl #4", 0xE1A00201),
+            ("mov r0, r1, lsr #1", 0xE1A000A1),
+            ("mul r0, r1, r2", 0xE0000291),
+            ("mla r0, r1, r2, r3", 0xE0203291),
+            ("ldr r0, [r1]", 0xE5910000),
+            ("ldr r0, [r1, #4]", 0xE5910004),
+            ("ldr r0, [r1, #-4]", 0xE5110004),
+            ("ldrb r0, [r1]", 0xE5D10000),
+            ("str r0, [r1]", 0xE5810000),
+            ("strb r0, [r1, #1]", 0xE5C10001),
+            ("ldr r0, [r1, r2]", 0xE7910002),
+            ("ldrh r0, [r1]", 0xE1D100B0),
+            ("strh r0, [r1, #2]", 0xE1C100B2),
+            ("bx lr", 0xE12FFF1E),
+            ("nop", 0xE320F000),
+            ("movw r0, #0x1234", 0xE3010234),
+            ("movt r0, #0x1234", 0xE3410234),
+            ("addne r1, r2, r3", 0x10821003),
+        ],
+    )
+    def test_encoding_matches_reference(self, src, expected):
+        assert enc(src) == expected, f"{src}: {enc(src):#010x} != {expected:#010x}"
+
+    def test_branch_offsets(self):
+        program = assemble("b target\nnop\ntarget:\n    nop")
+        word = encode(program[0], program)
+        assert word == 0xEA000000  # offset 0 after pipeline bias
+
+    def test_backward_branch(self):
+        program = assemble("target:\n    nop\n    b target")
+        word = encode(program[1], program)
+        assert word == 0xEAFFFFFD
+
+    def test_bl_sets_link_bit(self):
+        program = assemble("bl target\ntarget:\n    nop")
+        assert encode(program[0], program) & (1 << 24)
+
+
+class TestImmediateEncoding:
+    @pytest.mark.parametrize("value", [0, 1, 0xFF, 0x3F0, 0xFF000000, 0xF000000F])
+    def test_encodable(self, value):
+        assert is_encodable_immediate(value)
+
+    @pytest.mark.parametrize("value", [0x101, 0x12345678, 0xFFFFFFFE & 0x1FF])
+    def test_unencodable(self, value):
+        assert not is_encodable_immediate(value)
+
+    @given(st.integers(min_value=0, max_value=0xFF), st.integers(min_value=0, max_value=15))
+    def test_all_rotations_round_trip(self, imm8, rot):
+        value = ((imm8 >> (2 * rot)) | (imm8 << (32 - 2 * rot))) & 0xFFFFFFFF
+        field = encode_immediate(value)
+        assert field is not None
+        decoded_rot, decoded_imm = field >> 8, field & 0xFF
+        reconstructed = (
+            (decoded_imm >> (2 * decoded_rot)) | (decoded_imm << (32 - 2 * decoded_rot))
+        ) & 0xFFFFFFFF
+        assert reconstructed == value
+
+    def test_unencodable_dp_immediate_raises(self):
+        with pytest.raises(EncodingError):
+            enc("add r0, r1, #0x12345678")
+
+
+class TestRoundTrip:
+    ROUND_TRIP_SOURCES = [
+        "mov r0, r1",
+        "mov r5, #42",
+        "mvn r2, r3",
+        "add r1, r2, r3",
+        "add r1, r2, #0xFF0",
+        "sub r4, r5, r6, lsl #7",
+        "eor r0, r1, r2, ror #3",
+        "mov r0, r1, rrx",
+        "add r0, r1, r2, lsr r3",
+        "cmp r1, r2",
+        "tst r1, #4",
+        "mul r0, r1, r2",
+        "mla r7, r8, r9, r10",
+        "muls r0, r1, r2",
+        "ldr r0, [r1, #100]",
+        "ldr r0, [r1, #-100]",
+        "str r2, [r3, r4]",
+        "ldrb r0, [r1]",
+        "strb r0, [r1, #7]",
+        "ldrh r0, [r1, #2]",
+        "strh r0, [r1]",
+        "ldr r0, [r1], #4",
+        "str r0, [r1, #4]!",
+        "bx r3",
+        "nop",
+        "movw r0, #0xFFFF",
+        "movt r9, #0xABCD",
+        "addne r1, r2, r3",
+        "subges r1, r2, #1",
+    ]
+
+    @pytest.mark.parametrize("src", ROUND_TRIP_SOURCES)
+    def test_decode_inverts_encode(self, src):
+        program = assemble(src + "\nnext: nop")
+        instr = program[0]
+        word = encode(instr, program)
+        decoded = decode(word, address=instr.address)
+        assert encode(decoded, program) == word, f"{src}: re-encode differs"
+
+    def test_decode_branch_recovers_target(self):
+        program = assemble("b target\nnop\ntarget:\n    nop")
+        word = encode(program[0], program)
+        decoded = decode(word, address=program[0].address)
+        assert decoded.target.name == f"L_{program.label_address('target'):08x}"
+
+    def test_encode_program_covers_whole_aes(self):
+        from repro.crypto.aes_asm import aes128_program
+
+        program = aes128_program(bytes(range(16)))
+        words = encode_program(program)
+        assert len(words) == len(program)
+        assert all(0 <= w <= 0xFFFFFFFF for w in words)
+
+    def test_undecodable_word_raises(self):
+        with pytest.raises(EncodingError):
+            decode(0xEE000000)  # coprocessor space, not in the subset

@@ -1,0 +1,111 @@
+"""Scalar executor: halt conditions, call/return, record stream."""
+
+import pytest
+
+from repro.isa.executor import Executor, run_program
+from repro.isa.parser import assemble
+from repro.isa.registers import Reg
+from repro.isa.semantics import ExecutionError
+
+
+class TestControlFlow:
+    def test_halts_on_bx_lr(self):
+        result = run_program(assemble("mov r0, #1\n    bx lr"))
+        assert result.register(Reg.R0) == 1
+
+    def test_halts_running_off_the_end(self):
+        result = run_program(assemble("mov r0, #1"))
+        assert result.register(Reg.R0) == 1
+
+    def test_loop_with_counter(self):
+        src = """
+        mov r0, #0
+        mov r1, #5
+    loop:
+        add r0, r0, #2
+        subs r1, r1, #1
+        bne loop
+        bx lr
+        """
+        result = run_program(assemble(src))
+        assert result.register(Reg.R0) == 10
+
+    def test_call_and_return(self):
+        src = """
+    main:
+        mov r4, lr      @ bl clobbers lr; preserve the halt sentinel
+        mov r0, #5
+        bl double
+        bl double
+        bx r4
+    double:
+        add r0, r0, r0
+        bx lr
+        """
+        result = run_program(assemble(src), entry="main")
+        assert result.register(Reg.R0) == 20
+
+    def test_infinite_loop_detected(self):
+        program = assemble("spin:\n    b spin")
+        with pytest.raises(ExecutionError):
+            Executor(program, max_steps=1000).run()
+
+    def test_entry_label_selects_start(self):
+        src = "a:\n    mov r0, #1\n    bx lr\nb:\n    mov r0, #2\n    bx lr"
+        assert run_program(assemble(src), entry="b").register(Reg.R0) == 2
+
+
+class TestRecords:
+    def test_dynamic_indices_are_sequential(self):
+        result = run_program(assemble("nop\nnop\nnop"))
+        assert [r.dyn_index for r in result.records] == [0, 1, 2]
+
+    def test_path_tracks_static_indices(self):
+        src = """
+        mov r1, #2
+    loop:
+        subs r1, r1, #1
+        bne loop
+        bx lr
+        """
+        result = run_program(assemble(src))
+        # mov, subs, bne(taken), subs, bne(not taken), bx
+        assert result.path == [0, 1, 2, 1, 2, 3]
+        assert result.records[2].taken
+        assert not result.records[4].taken
+
+    def test_operand_values_recorded(self):
+        result = run_program(
+            assemble("add r0, r1, r2\n    bx lr"), regs={Reg.R1: 10, Reg.R2: 32}
+        )
+        record = result.records[0]
+        assert record.op1 == 10 and record.op2 == 32 and record.result == 42
+
+    def test_shifted_value_recorded(self):
+        result = run_program(
+            assemble("add r0, r1, r2, lsl #4\n    bx lr"), regs={Reg.R1: 0, Reg.R2: 3}
+        )
+        assert result.records[0].shifted == 48
+
+    def test_memory_values_recorded(self):
+        result = run_program(
+            assemble("str r1, [r2]\n    bx lr"), regs={Reg.R1: 0xAA55, Reg.R2: 0x9000}
+        )
+        record = result.records[0]
+        assert record.store_data == 0xAA55
+        assert record.addr == 0x9000
+        assert record.mem_word == 0xAA55
+        assert record.op2 == 0xAA55  # store data rides the op2 position
+
+    def test_nop_record_is_zeroed_and_not_executed(self):
+        record = run_program(assemble("nop\n    bx lr")).records[0]
+        assert not record.executed
+        assert record.op1 == 0 and record.op2 == 0
+
+    def test_memory_init_applied(self):
+        result = run_program(
+            assemble("ldr r0, [r1]\n    bx lr"),
+            regs={Reg.R1: 0x9000},
+            memory_init={0x9000: (1234).to_bytes(4, "little")},
+        )
+        assert result.register(Reg.R0) == 1234

@@ -1,0 +1,120 @@
+"""Instruction classification and register-usage queries."""
+
+import pytest
+
+from repro.isa.opcodes import InstrClass, Opcode
+from repro.isa.parser import assemble
+from repro.isa.registers import Reg
+
+
+def first(src: str):
+    return assemble(src + "\nnext:\n    nop")[0]
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "src,expected",
+        [
+            ("mov r1, r2", InstrClass.MOV),
+            ("mvn r1, r2", InstrClass.MOV),
+            ("mov r1, #5", InstrClass.MOV),
+            ("add r1, r2, r3", InstrClass.ALU),
+            ("eor r1, r2, r3", InstrClass.ALU),
+            ("add r1, r2, #5", InstrClass.ALU_IMM),
+            ("movw r1, #5", InstrClass.ALU_IMM),
+            ("movt r1, #5", InstrClass.ALU_IMM),
+            ("mul r1, r2, r3", InstrClass.MUL),
+            ("mla r1, r2, r3, r4", InstrClass.MUL),
+            ("lsl r1, r2, #3", InstrClass.SHIFT),
+            ("add r1, r2, r3, lsl #3", InstrClass.SHIFT),
+            ("mov r1, r2, ror #1", InstrClass.SHIFT),
+            ("b next", InstrClass.BRANCH),
+            ("bl next", InstrClass.BRANCH),
+            ("bx lr", InstrClass.BRANCH),
+            ("ldr r1, [r2]", InstrClass.LDST),
+            ("strb r1, [r2]", InstrClass.LDST),
+            ("nop", InstrClass.NOP),
+            ("cmp r1, r2", InstrClass.ALU),
+            ("cmp r1, #2", InstrClass.ALU_IMM),
+        ],
+    )
+    def test_instr_class(self, src, expected):
+        assert first(src).instr_class is expected
+
+    def test_shift_aliases_desugar_to_mov(self):
+        instr = first("lsl r1, r2, #3")
+        assert instr.opcode is Opcode.MOV
+        assert instr.uses_shifter
+
+    def test_unshifted_mov_does_not_use_shifter(self):
+        assert not first("mov r1, r2").uses_shifter
+
+    def test_multiply_flags(self):
+        instr = first("mul r1, r2, r3")
+        assert instr.uses_multiplier and not instr.uses_shifter
+
+
+class TestRegisterUsage:
+    def test_dp_reads(self):
+        assert first("add r1, r2, r3").reads() == (Reg.R2, Reg.R3)
+        assert first("mov r1, r2").reads() == (Reg.R2,)
+        assert first("add r1, r2, #5").reads() == (Reg.R2,)
+
+    def test_shifted_operand_reads(self):
+        assert first("add r1, r2, r3, lsl #4").reads() == (Reg.R2, Reg.R3)
+        assert first("add r1, r2, r3, lsl r4").reads() == (Reg.R2, Reg.R3, Reg.R4)
+
+    def test_multiply_reads(self):
+        assert first("mul r1, r2, r3").reads() == (Reg.R2, Reg.R3)
+        assert first("mla r1, r2, r3, r4").reads() == (Reg.R2, Reg.R3, Reg.R4)
+
+    def test_load_reads_base_and_offset(self):
+        assert first("ldr r1, [r2]").reads() == (Reg.R2,)
+        assert first("ldr r1, [r2, r3]").reads() == (Reg.R2, Reg.R3)
+
+    def test_store_reads_data_first(self):
+        assert first("str r1, [r2]").reads() == (Reg.R1, Reg.R2)
+
+    def test_movt_reads_its_destination(self):
+        assert first("movt r1, #5").reads() == (Reg.R1,)
+
+    def test_writes(self):
+        assert first("add r1, r2, r3").writes() == (Reg.R1,)
+        assert first("cmp r1, r2").writes() == ()
+        assert first("str r1, [r2]").writes() == ()
+        assert first("ldr r1, [r2]").writes() == (Reg.R1,)
+        assert first("bl next").writes() == (Reg.R14,)
+
+    def test_writeback_modes_write_base(self):
+        assert Reg.R2 in first("ldr r1, [r2], #4").writes()
+        assert Reg.R2 in first("ldr r1, [r2, #4]!").writes()
+        assert Reg.R2 not in first("ldr r1, [r2, #4]").writes()
+
+    def test_read_port_count(self):
+        assert first("add r1, r2, r3").read_port_count == 2
+        assert first("mov r1, #5").read_port_count == 0
+        assert first("str r1, [r2]").read_port_count == 2
+
+    def test_compare_is_not_result_writing(self):
+        assert not first("cmp r1, r2").writes_register
+        assert first("adds r1, r2, r3").writes_register
+
+
+class TestRendering:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "mov r1, r2",
+            "add r1, r2, #5",
+            "add r1, r2, r3, lsl #4",
+            "mul r1, r2, r3",
+            "ldr r1, [r2, #4]",
+            "strb r1, [r2]",
+            "cmp r1, r2",
+            "nop",
+        ],
+    )
+    def test_round_trip_through_renderer(self, src):
+        rendered = str(first(src))
+        again = first(rendered)
+        assert str(again) == rendered

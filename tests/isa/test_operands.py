@@ -1,0 +1,75 @@
+"""Operand model: immediates, shifted registers, memory references."""
+
+import pytest
+
+from repro.isa.operands import AddrMode, Imm, MemRef, RegShift, ShiftKind
+from repro.isa.registers import Reg
+
+
+class TestImm:
+    def test_accepts_32bit_range(self):
+        assert Imm(0).value == 0
+        assert Imm(0xFFFFFFFF).unsigned == 0xFFFFFFFF
+        assert Imm(-1).unsigned == 0xFFFFFFFF
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Imm(2**32 + 1)
+        with pytest.raises(ValueError):
+            Imm(-(2**31) - 1)
+
+    def test_rendering(self):
+        assert str(Imm(42)) == "#42"
+
+
+class TestRegShift:
+    def test_plain_register(self):
+        op = RegShift(Reg.R3)
+        assert not op.is_shifted
+        assert str(op) == "r3"
+
+    def test_immediate_shift(self):
+        op = RegShift(Reg.R3, ShiftKind.LSL, 4)
+        assert op.is_shifted and not op.shift_by_register
+        assert str(op) == "r3, lsl #4"
+
+    def test_register_shift(self):
+        op = RegShift(Reg.R3, ShiftKind.LSR, Reg.R4)
+        assert op.shift_by_register
+        assert str(op) == "r3, lsr r4"
+
+    def test_rrx_takes_no_amount(self):
+        op = RegShift(Reg.R3, ShiftKind.RRX)
+        assert op.is_shifted
+        with pytest.raises(ValueError):
+            RegShift(Reg.R3, ShiftKind.RRX, 1)
+
+    def test_amount_without_kind_rejected(self):
+        with pytest.raises(ValueError):
+            RegShift(Reg.R3, None, 4)
+
+    def test_kind_without_amount_rejected(self):
+        with pytest.raises(ValueError):
+            RegShift(Reg.R3, ShiftKind.LSL)
+
+    def test_amount_range_checked(self):
+        with pytest.raises(ValueError):
+            RegShift(Reg.R3, ShiftKind.LSL, 33)
+        RegShift(Reg.R3, ShiftKind.LSR, 32)  # lsr #32 is legal ARM
+
+
+class TestMemRef:
+    def test_offset_mode_rendering(self):
+        assert str(MemRef(Reg.R1)) == "[r1]"
+        assert str(MemRef(Reg.R1, 8)) == "[r1, #8]"
+        assert str(MemRef(Reg.R1, Reg.R2)) == "[r1, r2]"
+
+    def test_pre_index_rendering(self):
+        assert str(MemRef(Reg.R1, 8, AddrMode.PRE_INDEX)) == "[r1, #8]!"
+
+    def test_post_index_rendering(self):
+        assert str(MemRef(Reg.R1, 8, AddrMode.POST_INDEX)) == "[r1], #8"
+
+    def test_offset_is_reg(self):
+        assert MemRef(Reg.R1, Reg.R2).offset_is_reg
+        assert not MemRef(Reg.R1, 4).offset_is_reg

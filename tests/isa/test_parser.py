@@ -1,0 +1,161 @@
+"""The two-pass assembler: syntax, labels, directives, pseudo-ops."""
+
+import pytest
+
+from repro.isa.opcodes import Cond, Opcode
+from repro.isa.operands import AddrMode, Imm, RegShift, ShiftKind
+from repro.isa.parser import AssemblyError, assemble
+from repro.isa.registers import Reg
+
+
+class TestBasicSyntax:
+    def test_empty_source(self):
+        assert len(assemble("")) == 0
+
+    def test_comments_stripped(self):
+        program = assemble("mov r0, r1 @ comment\n; whole line\n// also\nnop")
+        assert len(program) == 2
+
+    def test_condition_suffixes(self):
+        assert assemble("addne r0, r1, r2")[0].cond is Cond.NE
+        assert assemble("beq target\ntarget: nop")[0].cond is Cond.EQ
+
+    def test_s_suffix_both_orders(self):
+        assert assemble("adds r0, r1, r2")[0].set_flags
+        assert assemble("addseq r0, r1, r2")[0].set_flags
+        assert assemble("addeqs r0, r1, r2")[0].set_flags
+
+    def test_bls_is_branch_with_ls(self):
+        instr = assemble("bls target\ntarget: nop")[0]
+        assert instr.opcode is Opcode.B and instr.cond is Cond.LS
+
+    def test_bleq_is_branch_link_eq(self):
+        instr = assemble("bleq target\ntarget: nop")[0]
+        assert instr.opcode is Opcode.BL and instr.cond is Cond.EQ
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            assemble("frobnicate r0, r1")
+
+    def test_immediate_formats(self):
+        assert assemble("mov r0, #10")[0].op2 == Imm(10)
+        assert assemble("mov r0, #0x1F")[0].op2 == Imm(0x1F)
+        assert assemble("mov r0, #-1")[0].op2 == Imm(-1)
+
+
+class TestOperandParsing:
+    def test_shifted_operand(self):
+        instr = assemble("add r0, r1, r2, lsl #3")[0]
+        assert instr.op2 == RegShift(Reg.R2, ShiftKind.LSL, 3)
+
+    def test_register_shift_amount(self):
+        instr = assemble("add r0, r1, r2, lsr r3")[0]
+        assert instr.op2 == RegShift(Reg.R2, ShiftKind.LSR, Reg.R3)
+
+    def test_rrx(self):
+        instr = assemble("mov r0, r1, rrx")[0]
+        assert instr.op2 == RegShift(Reg.R1, ShiftKind.RRX)
+
+    def test_memory_addressing_modes(self):
+        assert assemble("ldr r0, [r1]")[0].mem.mode is AddrMode.OFFSET
+        assert assemble("ldr r0, [r1, #4]")[0].mem.offset == 4
+        assert assemble("ldr r0, [r1, #-4]")[0].mem.offset == -4
+        assert assemble("ldr r0, [r1, r2]")[0].mem.offset is Reg.R2
+        assert assemble("ldr r0, [r1, #4]!")[0].mem.mode is AddrMode.PRE_INDEX
+        assert assemble("ldr r0, [r1], #4")[0].mem.mode is AddrMode.POST_INDEX
+
+    def test_bad_address_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("ldr r0, [r1")
+        with pytest.raises(AssemblyError):
+            assemble("ldr r0, r1")
+
+    def test_operand_count_checked(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r0, r1")
+        with pytest.raises(AssemblyError):
+            assemble("mul r0, r1")
+
+
+class TestLabelsAndBranches:
+    def test_forward_and_backward_labels(self):
+        program = assemble("start:\n    b end\nmid:\n    b start\nend:\n    nop")
+        assert program.label_address("start") == program.text_base
+        assert program.label_address("end") == program.text_base + 8
+
+    def test_undefined_branch_target_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("b nowhere")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("dup:\n    nop\ndup:\n    nop")
+
+    def test_label_shares_line_with_instruction(self):
+        program = assemble("here: mov r0, r1")
+        assert program.label_address("here") == program.text_base
+
+
+class TestDirectives:
+    def test_word_byte_half(self):
+        program = assemble(
+            "nop\n.org 0x9000\ndata:\n.word 0x11223344\n.half 0x5566\n.byte 0x77, 0x88"
+        )
+        blob = b"".join(bytes(b.data) for b in sorted(program.data_blocks, key=lambda b: b.address))
+        assert blob == bytes.fromhex("4433221166557788")
+
+    def test_word_with_label_reference(self):
+        program = assemble("nop\n.org 0x9000\nptr:\n.word ptr")
+        block = program.data_blocks[0]
+        assert int.from_bytes(bytes(block.data), "little") == 0x9000
+
+    def test_space_reserves_zeroes(self):
+        program = assemble(".org 0x9000\nbuf:\n.space 8\nafter:\n.word 1")
+        assert program.label_address("after") == 0x9008
+
+    def test_align(self):
+        program = assemble(".org 0x9001\n.align 4\nhere:\n.word 1")
+        assert program.label_address("here") == 0x9004
+
+    def test_equ_constants(self):
+        program = assemble(".equ SIZE, 12\nmov r0, #SIZE")
+        assert program[0].op2 == Imm(12)
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblyError):
+            assemble(".bogus 1")
+
+
+class TestLdrConstPseudo:
+    def test_expands_to_movw_movt(self):
+        program = assemble("ldr r0, =0x12345678")
+        assert [i.opcode for i in program] == [Opcode.MOVW, Opcode.MOVT]
+        assert program[0].op2 == Imm(0x5678)
+        assert program[1].op2 == Imm(0x1234)
+
+    def test_label_value(self):
+        program = assemble("ldr r0, =table\n.org 0xA000\ntable:\n.word 0")
+        assert program[0].op2 == Imm(0xA000 & 0xFFFF)
+        assert program[1].op2 == Imm(0xA000 >> 16)
+
+    def test_addresses_stay_consistent(self):
+        program = assemble("ldr r0, =1\nafter: nop")
+        assert program.label_address("after") == program.text_base + 8
+        assert program[2].address == program.text_base + 8
+
+    def test_symbol_plus_offset(self):
+        program = assemble("ldr r0, =table+4\n.org 0xA000\ntable:\n.word 0, 0")
+        assert program[0].op2 == Imm(0xA004 & 0xFFFF)
+
+
+class TestProgramQueries:
+    def test_instruction_at(self):
+        program = assemble("nop\nnop\nnop")
+        assert program.instruction_at(program.text_base + 4).index == 1
+        with pytest.raises(KeyError):
+            program.instruction_at(0xDEAD)
+
+    def test_listing_contains_labels(self):
+        program = assemble("entry:\n    mov r0, r1")
+        assert "entry:" in program.listing()
+        assert "mov r0, r1" in program.listing()

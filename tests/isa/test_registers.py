@@ -1,0 +1,61 @@
+"""Register naming, parsing and aliases."""
+
+import pytest
+
+from repro.isa.registers import FP, GENERAL_PURPOSE, IP, LR, PC, SP, Reg
+
+
+class TestParsing:
+    def test_parse_numeric_names(self):
+        for i in range(16):
+            assert Reg.parse(f"r{i}") is Reg(i)
+
+    def test_parse_is_case_insensitive(self):
+        assert Reg.parse("R3") is Reg.R3
+        assert Reg.parse("SP") is Reg.R13
+
+    def test_parse_aliases(self):
+        assert Reg.parse("sp") is Reg.R13
+        assert Reg.parse("lr") is Reg.R14
+        assert Reg.parse("pc") is Reg.R15
+        assert Reg.parse("fp") is Reg.R11
+        assert Reg.parse("ip") is Reg.R12
+        assert Reg.parse("sl") is Reg.R10
+
+    def test_parse_strips_whitespace(self):
+        assert Reg.parse("  r7 ") is Reg.R7
+
+    @pytest.mark.parametrize("bad", ["r16", "x0", "", "r-1", "reg3"])
+    def test_parse_rejects_unknown(self, bad):
+        with pytest.raises(ValueError):
+            Reg.parse(bad)
+
+
+class TestProperties:
+    def test_registers_index_directly(self):
+        regs = list(range(100, 116))
+        assert regs[Reg.R5] == 105
+
+    def test_aliases_are_the_same_objects(self):
+        assert SP is Reg.R13
+        assert LR is Reg.R14
+        assert PC is Reg.R15
+        assert FP is Reg.R11
+        assert IP is Reg.R12
+
+    def test_canonical_rendering(self):
+        assert str(Reg.R0) == "r0"
+        assert str(Reg.R13) == "sp"
+        assert str(Reg.R14) == "lr"
+        assert str(Reg.R15) == "pc"
+
+    def test_pc_and_sp_predicates(self):
+        assert Reg.R15.is_pc and not Reg.R15.is_sp
+        assert Reg.R13.is_sp and not Reg.R13.is_pc
+        assert not Reg.R0.is_pc and not Reg.R0.is_sp
+
+    def test_general_purpose_excludes_special(self):
+        assert Reg.R13 not in GENERAL_PURPOSE
+        assert Reg.R14 not in GENERAL_PURPOSE
+        assert Reg.R15 not in GENERAL_PURPOSE
+        assert len(GENERAL_PURPOSE) == 13

@@ -1,0 +1,64 @@
+"""ValueTable / ValueSource behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.isa.executor import Executor
+from repro.isa.parser import assemble
+from repro.isa.registers import Reg
+from repro.isa.values import ValueKind, ValueTable
+
+
+def records_for(src: str, rows):
+    program = assemble(src + "\n    bx lr")
+    out = []
+    for row in rows:
+        executor = Executor(program)
+        state = executor.fresh_state()
+        for reg, value in row.items():
+            state.regs[reg] = value
+        out.append(executor.run(state=state).records)
+    return out
+
+
+class TestValueTable:
+    def test_values_by_kind(self):
+        table = ValueTable.from_records(
+            records_for("add r0, r1, r2", [{Reg.R1: 3, Reg.R2: 4}, {Reg.R1: 5, Reg.R2: 6}])
+        )
+        assert list(table.values(0, ValueKind.OP1)) == [3, 5]
+        assert list(table.values(0, ValueKind.RESULT)) == [7, 11]
+        assert table.n_dyn == 2 and table.n_traces == 2  # add + bx
+
+    def test_divergent_paths_rejected(self):
+        src = """
+        cmp r1, #10
+        bne other
+        mov r0, #1
+        bx lr
+    other:
+        mov r0, #2
+        """
+        with pytest.raises(ValueError):
+            ValueTable.from_records(
+                records_for(src, [{Reg.R1: 10}, {Reg.R1: 11}])
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ValueTable.from_records([])
+        with pytest.raises(ValueError):
+            ValueTable({})
+
+    def test_inconsistent_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            ValueTable(
+                {
+                    ValueKind.OP1: np.zeros((2, 3), dtype=np.uint32),
+                    ValueKind.OP2: np.zeros((2, 4), dtype=np.uint32),
+                }
+            )
+
+    def test_enum_renders_field_names(self):
+        assert str(ValueKind.OP1) == "op1"
+        assert str(ValueKind.MEM_WORD) == "mem_word"

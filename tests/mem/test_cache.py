@@ -1,0 +1,99 @@
+"""Cache model: geometry, LRU, warm-up, hierarchy latencies."""
+
+import pytest
+
+from repro.mem.cache import (
+    CORTEX_A7_L1,
+    CORTEX_A7_L2,
+    Cache,
+    CacheConfig,
+    CacheHierarchy,
+)
+
+
+class TestGeometry:
+    def test_n_sets(self):
+        config = CacheConfig(size_bytes=1024, line_bytes=32, ways=2)
+        assert config.n_sets == 16
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, line_bytes=32, ways=2)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1024, line_bytes=33, ways=1)
+
+    def test_cortex_presets_valid(self):
+        assert CORTEX_A7_L1.n_sets > 0
+        assert CORTEX_A7_L2.n_sets > 0
+
+
+class TestAccessBehaviour:
+    def cache(self) -> Cache:
+        return Cache(CacheConfig(size_bytes=256, line_bytes=32, ways=2))
+
+    def test_first_access_misses_then_hits(self):
+        c = self.cache()
+        assert not c.access(0x100)
+        assert c.access(0x100)
+        assert c.access(0x11F)  # same 32-byte line
+
+    def test_lru_eviction(self):
+        c = self.cache()  # 4 sets, 2 ways; set = (addr>>5) % 4
+        base = 0x0
+        way2 = base + 4 * 32  # same set, different tag
+        way3 = base + 8 * 32
+        c.access(base)
+        c.access(way2)
+        c.access(base)  # refresh base
+        c.access(way3)  # evicts way2 (LRU)
+        assert c.contains(base)
+        assert not c.contains(way2)
+
+    def test_contains_does_not_mutate(self):
+        c = self.cache()
+        c.access(0x0)
+        c.access(0x80)  # other tag, same set
+        c.contains(0x0)
+        stats_before = (c.stats.hits, c.stats.misses)
+        assert (c.stats.hits, c.stats.misses) == stats_before
+
+    def test_stats(self):
+        c = self.cache()
+        c.access(0x0)
+        c.access(0x0)
+        c.access(0x0)
+        assert c.stats.misses == 1 and c.stats.hits == 2
+        assert c.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_warm_prevents_misses(self):
+        c = self.cache()
+        c.warm(0x100, 64)
+        assert c.access(0x100)
+        assert c.access(0x120)
+
+    def test_flush_clears_everything(self):
+        c = self.cache()
+        c.access(0x100)
+        c.flush()
+        assert not c.contains(0x100)
+        assert c.stats.accesses == 0
+
+
+class TestHierarchy:
+    def test_latencies_stack(self):
+        h = CacheHierarchy()
+        cold = h.access(0x4000)
+        l2_hit = h.l1.config.hit_latency + h.l2.config.hit_latency
+        assert cold == l2_hit + h.memory_latency
+        assert h.access(0x4000) == h.l1.config.hit_latency
+
+    def test_warm_covers_both_levels(self):
+        h = CacheHierarchy()
+        h.warm(0x8000, 256)
+        assert h.access(0x8000) == h.l1.config.hit_latency
+
+    def test_flush(self):
+        h = CacheHierarchy()
+        h.access(0x4000)
+        h.flush()
+        assert h.access(0x4000) > h.l1.config.hit_latency

@@ -1,0 +1,85 @@
+"""Sparse memory: endianness, page boundaries, snapshots."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.memory import Memory
+
+U32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+ADDR = st.integers(min_value=0, max_value=0xFFFF0)
+
+
+class TestBasics:
+    def test_uninitialized_reads_zero(self):
+        mem = Memory()
+        assert mem.read_word(0x1234) == 0
+        assert mem.read_byte(0xDEAD) == 0
+
+    def test_little_endian_word(self):
+        mem = Memory()
+        mem.write_word(0x100, 0x11223344)
+        assert mem.read_byte(0x100) == 0x44
+        assert mem.read_byte(0x103) == 0x11
+
+    def test_half_word(self):
+        mem = Memory()
+        mem.write_half(0x100, 0xABCD)
+        assert mem.read_half(0x100) == 0xABCD
+        assert mem.read_byte(0x100) == 0xCD
+
+    @given(ADDR, U32)
+    @settings(max_examples=50)
+    def test_word_round_trip(self, addr, value):
+        mem = Memory()
+        mem.write_word(addr, value)
+        assert mem.read_word(addr) == value
+
+    def test_byte_masking(self):
+        mem = Memory()
+        mem.write_byte(0x100, 0x1FF)
+        assert mem.read_byte(0x100) == 0xFF
+
+    def test_word_mask(self):
+        mem = Memory()
+        mem.write_word(0x100, -1)
+        assert mem.read_word(0x100) == 0xFFFFFFFF
+
+
+class TestPageBoundaries:
+    def test_word_straddling_pages(self):
+        mem = Memory()
+        addr = 0x1FFE  # crosses the 4 KiB boundary at 0x2000
+        mem.write_word(addr, 0xA1B2C3D4)
+        assert mem.read_word(addr) == 0xA1B2C3D4
+        assert mem.read_byte(0x1FFF) == 0xC3
+        assert mem.read_byte(0x2000) == 0xB2
+
+    def test_bytes_block_across_pages(self):
+        mem = Memory()
+        data = bytes(range(16))
+        mem.write_bytes(0x2FF8, data)
+        assert mem.read_bytes(0x2FF8, 16) == data
+
+
+class TestBlocksAndSnapshots:
+    def test_load_blocks(self):
+        from repro.isa.program import DataBlock
+
+        mem = Memory()
+        mem.load_blocks([DataBlock(0x100, b"\x01\x02"), DataBlock(0x200, b"\xff")])
+        assert mem.read_byte(0x101) == 2
+        assert mem.read_byte(0x200) == 0xFF
+
+    def test_snapshot_is_independent(self):
+        mem = Memory()
+        mem.write_word(0x100, 42)
+        clone = mem.snapshot()
+        mem.write_word(0x100, 99)
+        assert clone.read_word(0x100) == 42
+
+    def test_allocated_bytes_tracks_pages(self):
+        mem = Memory()
+        assert mem.allocated_bytes == 0
+        mem.write_byte(0x0, 1)
+        mem.write_byte(0x5000, 1)
+        assert mem.allocated_bytes == 2 * 4096

@@ -1,0 +1,66 @@
+"""Environment presets and the power transform."""
+
+import numpy as np
+import pytest
+
+from repro.os_sim.environment import Environment, bare_metal, idle_linux, loaded_linux
+from repro.power.scope import ScopeConfig
+
+
+class TestPresets:
+    def test_bare_metal_is_transparent(self):
+        env = bare_metal()
+        power = np.random.default_rng(0).normal(size=(10, 20))
+        assert np.array_equal(env.transform(power), power)
+
+    def test_loaded_linux_adds_noise(self):
+        env = loaded_linux()
+        power = np.zeros((50, 100))
+        out = env.transform(power)
+        assert np.std(out) > 0
+        assert np.mean(out) > 10  # full-load baseline draw
+
+    def test_idle_quieter_than_loaded(self):
+        power = np.zeros((200, 100))
+        idle_std = np.std(idle_linux().transform(power))
+        loaded_std = np.std(loaded_linux().transform(power))
+        assert idle_std < loaded_std
+
+    def test_transform_is_seed_deterministic(self):
+        env = loaded_linux()
+        power = np.zeros((10, 20))
+        assert np.array_equal(env.transform(power), env.transform(power))
+
+
+class TestScopeConfig:
+    def test_averaging_follows_environment(self):
+        env = Environment(name="x", n_averages=4)
+        config = env.scope_config(ScopeConfig(n_averages=16))
+        assert config.n_averages == 4
+
+    def test_jitter_takes_maximum(self):
+        env = Environment(name="x", trigger_jitter_samples=3)
+        config = env.scope_config(ScopeConfig(jitter_samples=1))
+        assert config.jitter_samples == 3
+
+    def test_other_fields_preserved(self):
+        base = ScopeConfig(noise_sigma=7.5, kernel=(1.0, 0.2))
+        config = Environment(name="x").scope_config(base)
+        assert config.noise_sigma == 7.5
+        assert config.kernel == (1.0, 0.2)
+
+
+class TestPreemptionInTransform:
+    def test_preempted_environment_attenuates_signal(self):
+        from repro.os_sim.scheduler import PreemptionModel
+
+        env = Environment(
+            name="x",
+            preemption=PreemptionModel(
+                probability_per_execution=1.0,
+                foreign_activity_power=0.0,
+                foreign_activity_sigma=0.0,
+            ),
+        )
+        power = np.full((10, 20), 50.0)
+        assert np.allclose(env.transform(power), 0.0)

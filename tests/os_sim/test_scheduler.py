@@ -1,0 +1,51 @@
+"""Preemption model."""
+
+import numpy as np
+import pytest
+
+from repro.os_sim.scheduler import PreemptionModel
+
+
+class TestCorruptionMask:
+    def test_fractions_in_unit_interval(self):
+        model = PreemptionModel(probability_per_execution=0.1)
+        fractions = model.corruption_mask(500, 16, np.random.default_rng(0))
+        assert np.all((fractions >= 0) & (fractions <= 1))
+
+    def test_mean_matches_probability(self):
+        model = PreemptionModel(probability_per_execution=0.05)
+        fractions = model.corruption_mask(20_000, 16, np.random.default_rng(1))
+        assert np.mean(fractions) == pytest.approx(0.05, abs=0.005)
+
+    def test_zero_probability_clean(self):
+        model = PreemptionModel(probability_per_execution=0.0)
+        fractions = model.corruption_mask(100, 16, np.random.default_rng(2))
+        assert np.all(fractions == 0)
+
+
+class TestApply:
+    def test_uncorrupted_traces_untouched(self):
+        model = PreemptionModel(probability_per_execution=0.0)
+        power = np.random.default_rng(3).normal(size=(20, 30))
+        mixed = model.apply(power, 16, np.random.default_rng(4))
+        assert np.allclose(mixed, power)
+
+    def test_full_corruption_replaces_signal(self):
+        model = PreemptionModel(
+            probability_per_execution=1.0,
+            foreign_activity_power=100.0,
+            foreign_activity_sigma=0.0,
+        )
+        power = np.zeros((10, 20))
+        mixed = model.apply(power, 16, np.random.default_rng(5))
+        assert np.allclose(mixed, 100.0)
+
+    def test_partial_corruption_attenuates(self):
+        model = PreemptionModel(
+            probability_per_execution=0.5,
+            foreign_activity_power=0.0,
+            foreign_activity_sigma=0.0,
+        )
+        power = np.full((2000, 4), 10.0)
+        mixed = model.apply(power, 16, np.random.default_rng(6))
+        assert np.mean(mixed) == pytest.approx(5.0, abs=0.5)

@@ -1,0 +1,122 @@
+"""Trace campaigns: compile/acquire, inputs, divergence detection."""
+
+import numpy as np
+import pytest
+
+from repro.isa.parser import assemble
+from repro.isa.registers import Reg
+from repro.isa.semantics import ExecutionError
+from repro.power.acquisition import BatchInputs, TraceCampaign, random_inputs
+from repro.power.scope import ScopeConfig
+
+SRC = """
+    add r0, r1, r2
+    eor r3, r0, r1
+    bx lr
+"""
+
+MEM_SRC = """
+    movw r4, #0x9000
+    str r1, [r4]
+    ldrb r0, [r4]
+    bx lr
+"""
+
+
+def quiet_scope():
+    return ScopeConfig(noise_sigma=0.0, kernel=(1.0,), quantize_bits=None)
+
+
+class TestBatchInputs:
+    def test_validation_catches_bad_shapes(self):
+        with pytest.raises(ValueError):
+            BatchInputs(4, regs={Reg.R1: np.zeros(3, dtype=np.uint32)}).validate()
+        with pytest.raises(ValueError):
+            BatchInputs(4, mem_bytes={0x100: np.zeros(4, dtype=np.uint8)}).validate()
+
+    def test_row_view(self):
+        inputs = BatchInputs(
+            2,
+            regs={Reg.R1: np.array([1, 2], dtype=np.uint32)},
+            mem_bytes={0x100: np.array([[1, 2], [3, 4]], dtype=np.uint8)},
+        )
+        mem, regs = inputs.row(1)
+        assert regs[Reg.R1] == 2
+        assert mem[0x100] == b"\x03\x04"
+
+    def test_random_inputs_shapes(self):
+        inputs = random_inputs(8, reg_names=(Reg.R1,), mem_blocks={0x100: 16})
+        inputs.validate()
+        assert inputs.regs[Reg.R1].shape == (8,)
+        assert inputs.mem_bytes[0x100].shape == (8, 16)
+
+    def test_word_aligned_register_option(self):
+        inputs = random_inputs(64, reg_names=(Reg.R1,), word_aligned_regs=True)
+        assert np.all(inputs.regs[Reg.R1] % 4 == 0)
+
+    def test_random_inputs_are_seeded(self):
+        a = random_inputs(8, reg_names=(Reg.R1,), seed=5)
+        b = random_inputs(8, reg_names=(Reg.R1,), seed=5)
+        assert np.array_equal(a.regs[Reg.R1], b.regs[Reg.R1])
+
+
+class TestCampaign:
+    def test_acquire_produces_traces(self):
+        campaign = TraceCampaign(assemble(SRC), scope=quiet_scope())
+        inputs = random_inputs(16, reg_names=(Reg.R1, Reg.R2))
+        ts = campaign.acquire(inputs)
+        assert ts.traces.shape[0] == 16
+        assert ts.n_samples == ts.leakage.n_samples
+        assert len(ts.path) == 3
+
+    def test_power_kept_when_requested(self):
+        campaign = TraceCampaign(assemble(SRC), scope=quiet_scope(), keep_power=True)
+        ts = campaign.acquire(random_inputs(4, reg_names=(Reg.R1, Reg.R2)))
+        assert ts.power is not None and ts.power.shape == ts.traces.shape
+
+    def test_memory_inputs_reach_the_program(self):
+        campaign = TraceCampaign(assemble(MEM_SRC), scope=quiet_scope())
+        inputs = random_inputs(8, reg_names=(Reg.R1,))
+        ts = campaign.acquire(inputs)
+        from repro.isa.values import ValueKind
+
+        loaded = ts.table.values(2, ValueKind.RESULT)
+        assert np.array_equal(loaded, inputs.regs[Reg.R1] & 0xFF)
+
+    def test_power_transform_applies(self):
+        campaign = TraceCampaign(assemble(SRC), scope=quiet_scope(), keep_power=True)
+        inputs = random_inputs(4, reg_names=(Reg.R1, Reg.R2))
+        plain = campaign.acquire(inputs)
+        boosted = campaign.acquire(inputs, power_transform=lambda p: p * 3.0)
+        assert np.allclose(boosted.traces, 3.0 * plain.traces, atol=1e-4)
+
+    def test_divergent_control_flow_rejected(self):
+        src = """
+        cmp r1, #128
+        bcc low
+        mov r0, #1
+        bx lr
+    low:
+        mov r0, #2
+        bx lr
+        """
+        campaign = TraceCampaign(assemble(src), scope=quiet_scope())
+        inputs = BatchInputs(2, regs={Reg.R1: np.array([5, 200], dtype=np.uint32)})
+        with pytest.raises(ExecutionError):
+            campaign.acquire(inputs)
+
+    def test_window_limits_samples_and_memory(self):
+        body = "\n".join(["    add r0, r1, r2"] * 30)
+        campaign_full = TraceCampaign(assemble(body + "\n    bx lr"), scope=quiet_scope())
+        inputs = random_inputs(4, reg_names=(Reg.R1, Reg.R2))
+        full = campaign_full.acquire(inputs)
+        campaign_win = TraceCampaign(
+            assemble(body + "\n    bx lr"), scope=quiet_scope(), window_cycles=(10, 20)
+        )
+        windowed = campaign_win.acquire(inputs)
+        assert windowed.n_samples < full.n_samples
+        spc = windowed.leakage.samples_per_cycle
+        lo = 10 * spc
+        assert np.allclose(
+            windowed.traces, full.traces[:, lo : lo + windowed.n_samples], atol=1e-4
+        )

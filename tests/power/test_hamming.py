@@ -1,0 +1,69 @@
+"""Popcount kernels: hardware vs portable implementations."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.power.hamming import hamming_distance, hamming_weight, hamming_weight_portable
+
+U32_ARRAYS = hnp.arrays(
+    dtype=np.uint32, shape=hnp.array_shapes(max_dims=2, max_side=20),
+    elements=st.integers(min_value=0, max_value=0xFFFFFFFF),
+)
+
+
+class TestHammingWeight:
+    def test_scalar_values(self):
+        assert hamming_weight(0) == 0
+        assert hamming_weight(0xFFFFFFFF) == 32
+        assert hamming_weight(0x80000001) == 2
+
+    @given(U32_ARRAYS)
+    def test_matches_portable_swar(self, values):
+        assert np.array_equal(hamming_weight(values), hamming_weight_portable(values))
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_matches_python_bit_count(self, value):
+        assert hamming_weight(value) == value.bit_count()
+
+    @given(U32_ARRAYS)
+    def test_range(self, values):
+        weights = hamming_weight(values)
+        assert np.all(weights <= 32)
+
+
+class TestHammingDistance:
+    def test_scalar(self):
+        assert hamming_distance(0xFF, 0x0F) == 4
+        assert hamming_distance(0, 0) == 0
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_distance_to_self_is_zero(self, value):
+        assert hamming_distance(value, value) == 0
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+    )
+    def test_symmetry(self, a, b):
+        assert hamming_distance(a, b) == hamming_distance(b, a)
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+    )
+    def test_triangle_inequality(self, a, b, c):
+        assert hamming_distance(a, c) <= hamming_distance(a, b) + hamming_distance(b, c)
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+    )
+    def test_equals_weight_of_xor(self, a, b):
+        assert hamming_distance(a, b) == hamming_weight(a ^ b)
+
+    def test_array_broadcast(self):
+        a = np.array([0xF, 0xF0], dtype=np.uint32)
+        assert list(hamming_distance(a, 0)) == [4, 4]

@@ -1,0 +1,83 @@
+"""Instruction-level (ELMO-style) baseline model."""
+
+import numpy as np
+import pytest
+
+from repro.isa.executor import Executor
+from repro.isa.parser import assemble
+from repro.isa.registers import Reg
+from repro.isa.values import ValueKind, ValueTable
+from repro.power.isa_level import IsaLevelCoefficients, IsaLevelModel, predicted_timecourse
+
+
+def table_for(src: str, rows: list[dict]):
+    program = assemble(src + "\n    bx lr")
+    per_trace = []
+    records = None
+    for row in rows:
+        executor = Executor(program)
+        state = executor.fresh_state()
+        for reg, value in row.items():
+            state.regs[reg] = value
+        result = executor.run(state=state)
+        per_trace.append(result.records)
+        records = result.records
+    return records, ValueTable.from_records(per_trace)
+
+
+class TestPrediction:
+    def test_shape(self):
+        records, table = table_for("add r0, r1, r2\n    eor r3, r0, r1", [{Reg.R1: 1, Reg.R2: 2}])
+        predicted = IsaLevelModel().predict(table)
+        assert predicted.shape == (1, table.n_dyn)
+
+    def test_hw_terms(self):
+        records, table = table_for("mov r0, r1", [{Reg.R1: 0xFF}])
+        coeffs = IsaLevelCoefficients(
+            w_hw_op1=0, w_hw_op2=1, w_hw_result=0, w_hd_op1=0, w_hd_op2=0, w_hd_result=0
+        )
+        predicted = IsaLevelModel(coeffs).predict(table)
+        assert predicted[0, 0] == 8.0
+
+    def test_hd_terms_use_program_order(self):
+        src = "mov r0, r1\n    mov r2, r3"
+        records, table = table_for(src, [{Reg.R1: 0x0, Reg.R3: 0xFF}])
+        coeffs = IsaLevelCoefficients(
+            w_hw_op1=0, w_hw_op2=0, w_hw_result=0, w_hd_op1=0, w_hd_op2=1, w_hd_result=0
+        )
+        predicted = IsaLevelModel(coeffs).predict(table)
+        assert predicted[0, 1] == 8.0  # HD(r1, r3) on the op2 term
+
+    def test_predicts_interaction_only_for_adjacent_same_kind(self):
+        src = "mov r0, r1\n    mov r2, r3\n    mov r4, r5"
+        records, table = table_for(src, [{Reg.R1: 1, Reg.R3: 2, Reg.R5: 3}])
+        model = IsaLevelModel()
+        assert model.predicts_interaction(
+            table, (0, ValueKind.OP2), (1, ValueKind.OP2)
+        )
+        assert not model.predicts_interaction(
+            table, (0, ValueKind.OP2), (2, ValueKind.OP2)
+        )
+        assert not model.predicts_interaction(
+            table, (0, ValueKind.OP1), (1, ValueKind.OP2)
+        )
+
+    def test_timecourse_wrapper_checks_length(self):
+        records, table = table_for("mov r0, r1", [{Reg.R1: 1}])
+        with pytest.raises(ValueError):
+            predicted_timecourse(records[:-1], table)
+        out = predicted_timecourse(records, table)
+        assert out.shape[1] == table.n_dyn
+
+
+class TestBaselineComparison:
+    def test_instruction_level_model_fails_where_paper_says(self):
+        from repro.experiments.baseline_models import run_baseline_comparison
+
+        result = run_baseline_comparison(n_traces=1200)
+        assert result.microarch_errors == 0
+        assert result.isa_level_errors == 2
+        by_name = {case.name: case for case in result.cases}
+        assert not by_name["adjacent-dual-issued"].isa_level_correct
+        assert not by_name["non-adjacent-via-dual-issue"].isa_level_correct
+        assert by_name["adjacent-single-issued"].isa_level_correct

@@ -1,0 +1,92 @@
+"""Oscilloscope model: noise, averaging, quantization, jitter, kernel."""
+
+import numpy as np
+import pytest
+
+from repro.power.scope import Oscilloscope, ScopeConfig
+
+
+def flat_power(n_traces=200, n_samples=64, level=10.0):
+    return np.full((n_traces, n_samples), level)
+
+
+class TestNoiseAndAveraging:
+    def test_averaging_divides_noise(self):
+        base = ScopeConfig(noise_sigma=8.0, kernel=(1.0,), quantize_bits=None, n_averages=1)
+        avg16 = ScopeConfig(noise_sigma=8.0, kernel=(1.0,), quantize_bits=None, n_averages=16)
+        power = flat_power()
+        noisy = Oscilloscope(base, seed=1).capture(power)
+        averaged = Oscilloscope(avg16, seed=1).capture(power)
+        ratio = np.std(noisy - 10.0) / np.std(averaged - 10.0)
+        assert ratio == pytest.approx(4.0, rel=0.15)
+
+    def test_zero_noise_preserves_signal(self):
+        config = ScopeConfig(noise_sigma=0.0, kernel=(1.0,), quantize_bits=None)
+        power = flat_power(10, 16, 3.0)
+        assert np.allclose(Oscilloscope(config).capture(power), 3.0)
+
+    def test_capture_is_seed_deterministic(self):
+        config = ScopeConfig()
+        power = flat_power()
+        a = Oscilloscope(config, seed=7).capture(power)
+        b = Oscilloscope(config, seed=7).capture(power)
+        assert np.array_equal(a, b)
+
+    def test_extra_noise_added(self):
+        config = ScopeConfig(noise_sigma=0.0, kernel=(1.0,), quantize_bits=None)
+        power = flat_power(10, 16, 0.0)
+        extra = np.ones_like(power)
+        out = Oscilloscope(config).capture(power, extra_noise=extra)
+        assert np.allclose(out, 1.0)
+
+
+class TestKernel:
+    def test_kernel_smears_forward_only(self):
+        config = ScopeConfig(noise_sigma=0.0, kernel=(1.0, 0.5), quantize_bits=None)
+        power = np.zeros((1, 8))
+        power[0, 3] = 2.0
+        out = Oscilloscope(config).capture(power)[0]
+        assert out[3] == pytest.approx(2.0)
+        assert out[4] == pytest.approx(1.0)
+        assert out[2] == pytest.approx(0.0)
+
+    def test_identity_kernel_is_noop(self):
+        config = ScopeConfig(noise_sigma=0.0, kernel=(1.0,), quantize_bits=None)
+        power = np.random.default_rng(0).normal(size=(5, 32))
+        assert np.allclose(Oscilloscope(config).capture(power), power, atol=1e-6)
+
+
+class TestQuantization:
+    def test_quantization_grid(self):
+        config = ScopeConfig(noise_sigma=0.0, kernel=(1.0,), quantize_bits=4, adc_range=16.0)
+        power = np.linspace(0, 10, 50).reshape(1, -1)
+        out = Oscilloscope(config).capture(power)[0]
+        lsb = 16.0 / 16
+        assert np.allclose(out / lsb, np.round(out / lsb), atol=1e-5)
+
+    def test_autorange_uses_observed_spread(self):
+        config = ScopeConfig(noise_sigma=0.0, kernel=(1.0,), quantize_bits=8)
+        power = np.zeros((1, 10))
+        power[0, 5] = 100.0
+        out = Oscilloscope(config).capture(power)[0]
+        assert out[5] == pytest.approx(100.0, rel=0.01)
+
+    def test_8bit_quantization_error_bounded(self):
+        config = ScopeConfig(noise_sigma=0.0, kernel=(1.0,), quantize_bits=8, adc_range=256.0)
+        rng = np.random.default_rng(3)
+        power = rng.uniform(0, 200, size=(20, 40))
+        out = Oscilloscope(config).capture(power)
+        assert np.max(np.abs(out - power)) <= 0.5  # half an LSB
+
+
+class TestJitter:
+    def test_jitter_rolls_traces(self):
+        config = ScopeConfig(
+            noise_sigma=0.0, kernel=(1.0,), quantize_bits=None, jitter_samples=2
+        )
+        power = np.zeros((50, 32))
+        power[:, 16] = 1.0
+        out = Oscilloscope(config, seed=11).capture(power)
+        peaks = np.argmax(out, axis=1)
+        assert set(peaks) <= {14, 15, 16, 17, 18}
+        assert len(set(peaks)) > 1

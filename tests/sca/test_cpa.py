@@ -1,0 +1,82 @@
+"""CPA engine against a synthetic single-point leak."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.sbox import SBOX
+from repro.power.hamming import hamming_weight
+from repro.sca.cpa import cpa_attack, cpa_timecourse
+
+SBOX_ARR = np.frombuffer(SBOX, dtype=np.uint8)
+
+
+def synthetic_campaign(n_traces=600, key_byte=0x3C, noise=1.0, n_samples=40, leak_at=17, seed=0):
+    rng = np.random.default_rng(seed)
+    plaintexts = rng.integers(0, 256, size=n_traces, dtype=np.uint8)
+    leak = hamming_weight(SBOX_ARR[plaintexts ^ key_byte]).astype(np.float64)
+    traces = rng.normal(0, noise, size=(n_traces, n_samples))
+    traces[:, leak_at] += leak
+    return plaintexts, traces
+
+
+class TestCpaAttack:
+    def test_recovers_key_byte(self):
+        pts, traces = synthetic_campaign()
+        result = cpa_attack(
+            traces, lambda g: hamming_weight(SBOX_ARR[pts ^ g]).astype(float)
+        )
+        assert result.best_guess == 0x3C
+        assert result.rank_of(0x3C) == 0
+        assert result.best_sample == 17
+
+    def test_correlations_shape(self):
+        pts, traces = synthetic_campaign(n_traces=100)
+        result = cpa_attack(
+            traces, lambda g: hamming_weight(SBOX_ARR[pts ^ g]).astype(float),
+            guesses=range(16),
+        )
+        assert result.correlations.shape == (16, traces.shape[1])
+        assert len(result.guesses) == 16
+
+    def test_rank_degrades_with_noise(self):
+        pts, traces = synthetic_campaign(n_traces=60, noise=30.0, seed=5)
+        result = cpa_attack(
+            traces, lambda g: hamming_weight(SBOX_ARR[pts ^ g]).astype(float)
+        )
+        # With this little SNR the margin must be inconclusive.
+        assert result.margin_confidence() < 0.999
+
+    def test_margin_confident_with_clean_leak(self):
+        pts, traces = synthetic_campaign(n_traces=2000, noise=0.5)
+        result = cpa_attack(
+            traces, lambda g: hamming_weight(SBOX_ARR[pts ^ g]).astype(float)
+        )
+        assert result.margin_confidence() > 0.99
+
+    def test_timecourse_selects_guess_row(self):
+        pts, traces = synthetic_campaign()
+        result = cpa_attack(
+            traces, lambda g: hamming_weight(SBOX_ARR[pts ^ g]).astype(float)
+        )
+        curve = result.timecourse(0x3C)
+        assert curve.shape == (traces.shape[1],)
+        assert np.argmax(np.abs(curve)) == 17
+
+    def test_rank_of_unknown_guess(self):
+        pts, traces = synthetic_campaign(n_traces=100)
+        result = cpa_attack(
+            traces,
+            lambda g: hamming_weight(SBOX_ARR[pts ^ g]).astype(float),
+            guesses=range(8),
+        )
+        assert result.rank_of(200) == 8  # not in the guess space
+
+
+class TestTimecourse:
+    def test_single_model_curve(self):
+        pts, traces = synthetic_campaign()
+        model = hamming_weight(SBOX_ARR[pts ^ 0x3C]).astype(float)
+        curve = cpa_timecourse(traces, model)
+        assert curve.shape == (traces.shape[1],)
+        assert np.argmax(np.abs(curve)) == 17
+        assert abs(curve[17]) > 0.5

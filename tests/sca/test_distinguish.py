@@ -1,0 +1,74 @@
+"""Distinguishing metrics: margins, success rate, guessing entropy."""
+
+import numpy as np
+import pytest
+
+from repro.sca.distinguish import (
+    best_vs_second_confidence,
+    guessing_entropy,
+    success_rate,
+)
+
+
+class TestBestVsSecond:
+    def test_clear_winner(self):
+        assert best_vs_second_confidence(0.9, 0.2, 100) > 0.99
+
+    def test_absolute_values_used(self):
+        assert best_vs_second_confidence(-0.9, 0.2, 100) > 0.99
+
+    def test_tie(self):
+        assert best_vs_second_confidence(0.4, 0.4, 100) == pytest.approx(0.5)
+
+
+class TestSuccessRate:
+    def test_perfect_attack(self):
+        rates = success_rate(lambda idx: 42, n_total=100, true_key=42,
+                             trace_counts=[10, 50], n_repeats=5)
+        assert rates == {10: 1.0, 50: 1.0}
+
+    def test_failing_attack(self):
+        rates = success_rate(lambda idx: 0, n_total=100, true_key=42,
+                             trace_counts=[10], n_repeats=5)
+        assert rates == {10: 0.0}
+
+    def test_subset_sizes_respected(self):
+        seen = []
+
+        def attack(idx):
+            seen.append(len(idx))
+            return 42
+
+        success_rate(attack, n_total=100, true_key=42, trace_counts=[10, 200], n_repeats=2)
+        assert seen[:2] == [10, 10]
+        assert seen[2:] == [100, 100]  # clamped to n_total
+
+    def test_improves_with_signal(self):
+        rng = np.random.default_rng(0)
+        n = 400
+        model = rng.integers(0, 9, size=n).astype(float)
+        traces = rng.normal(0, 6.0, size=n) + model
+
+        def attack(idx):
+            # toy two-hypothesis attack: correct model vs shuffled model
+            sub_t = traces[idx]
+            r_true = np.corrcoef(model[idx], sub_t)[0, 1]
+            shuffled = np.roll(model, 7)
+            r_false = np.corrcoef(shuffled[idx], sub_t)[0, 1]
+            return 1 if r_true > r_false else 0
+
+        rates = success_rate(attack, n_total=n, true_key=1,
+                             trace_counts=[10, 300], n_repeats=20, seed=3)
+        assert rates[300] >= rates[10]
+        assert rates[300] >= 0.9
+
+
+class TestGuessingEntropy:
+    def test_always_first_is_zero_bits(self):
+        assert guessing_entropy([0, 0, 0]) == 0.0
+
+    def test_uniform_middle_rank(self):
+        assert guessing_entropy([127]) == pytest.approx(7.0, abs=0.01)
+
+    def test_empty(self):
+        assert guessing_entropy([]) == 0.0

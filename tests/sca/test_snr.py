@@ -1,0 +1,89 @@
+"""SNR / NICV estimation."""
+
+import numpy as np
+import pytest
+
+from repro.sca.snr import SnrResult, hamming_weight_classes, partition_snr
+
+
+def labelled_traces(signal=2.0, noise=1.0, n=2000, samples=24, leak_at=9, seed=0):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 9, size=n)
+    traces = rng.normal(0, noise, size=(n, samples))
+    traces[:, leak_at] += signal * labels
+    return traces, labels
+
+
+class TestSnr:
+    def test_peak_at_the_leaking_sample(self):
+        traces, labels = labelled_traces()
+        result = partition_snr(traces, labels)
+        assert result.peak_sample == 9
+
+    def test_snr_value_matches_theory(self):
+        signal, noise = 2.0, 1.0
+        traces, labels = labelled_traces(signal, noise, n=20000)
+        result = partition_snr(traces, labels)
+        theoretical = (signal**2) * np.var(np.arange(9)) / noise**2
+        # labels uniform over 0..8
+        assert result.peak_snr == pytest.approx(theoretical, rel=0.15)
+
+    def test_nicv_bounded_and_consistent(self):
+        traces, labels = labelled_traces()
+        result = partition_snr(traces, labels)
+        assert np.all((result.nicv >= 0) & (result.nicv <= 1))
+        snr = result.snr[result.peak_sample]
+        nicv = result.nicv[result.peak_sample]
+        assert nicv == pytest.approx(snr / (1 + snr), abs=0.05)
+
+    def test_no_leak_means_tiny_snr(self):
+        rng = np.random.default_rng(2)
+        traces = rng.normal(size=(3000, 10))
+        labels = rng.integers(0, 4, size=3000)
+        result = partition_snr(traces, labels)
+        assert result.peak_snr < 0.02
+
+    def test_small_classes_skipped(self):
+        traces, labels = labelled_traces(n=300)
+        labels = labels.copy()
+        labels[0] = 250  # singleton class
+        result = partition_snr(traces, labels)
+        assert result.n_classes <= 9
+
+    def test_needs_two_classes(self):
+        traces = np.zeros((10, 4))
+        with pytest.raises(ValueError):
+            partition_snr(traces, np.zeros(10, dtype=int))
+
+    def test_label_length_checked(self):
+        with pytest.raises(ValueError):
+            partition_snr(np.zeros((10, 4)), np.zeros(9, dtype=int))
+
+
+class TestHelpers:
+    def test_hw_classes(self):
+        labels = hamming_weight_classes(np.array([0, 0xFF, 0xFFFFFFFF], dtype=np.uint32))
+        assert list(labels) == [0, 8, 32]
+
+
+class TestOnSimulator:
+    def test_snr_localizes_the_alu_leak(self):
+        from repro.isa.parser import assemble
+        from repro.isa.registers import Reg
+        from repro.power.acquisition import TraceCampaign, random_inputs
+        from repro.power.scope import ScopeConfig
+
+        program = assemble("add r0, r1, r2\n    bx lr")
+        campaign = TraceCampaign(
+            program, scope=ScopeConfig(noise_sigma=3.0, kernel=(1.0,)), seed=4
+        )
+        inputs = random_inputs(3000, reg_names=(Reg.R1, Reg.R2), seed=5)
+        ts = campaign.acquire(inputs)
+        results = (
+            inputs.regs[Reg.R1].astype(np.uint64) + inputs.regs[Reg.R2]
+        ).astype(np.uint32)
+        labels = hamming_weight_classes(results)
+        snr = partition_snr(ts.traces, labels)
+        alu_samples = set(int(s) for s in ts.leakage.sample_positions("alu0_out"))
+        wb_samples = set(int(s) for s in ts.leakage.sample_positions("wb_bus0"))
+        assert snr.peak_sample in (alu_samples | wb_samples)

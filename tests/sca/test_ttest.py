@@ -1,0 +1,84 @@
+"""Welch t-test (TVLA) leakage assessment."""
+
+import numpy as np
+import pytest
+
+from repro.sca.ttest import TVLA_THRESHOLD, fixed_vs_random_split, welch_ttest
+
+
+def groups(delta=0.0, n=400, samples=16, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(0, 1, size=(n, samples))
+    b = rng.normal(0, 1, size=(n, samples))
+    b[:, 5] += delta
+    return a, b
+
+
+class TestWelch:
+    def test_no_difference_passes(self):
+        a, b = groups(0.0)
+        result = welch_ttest(a, b)
+        assert not result.leaks
+        assert result.max_abs_t < TVLA_THRESHOLD
+
+    def test_mean_shift_detected_at_right_sample(self):
+        a, b = groups(1.0)
+        result = welch_ttest(a, b)
+        assert result.leaks
+        assert 5 in result.leaking_samples
+
+    def test_unequal_group_sizes(self):
+        a, b = groups(1.0)
+        result = welch_ttest(a[:100], b)
+        assert result.leaks
+
+    def test_requires_two_traces_per_group(self):
+        a, b = groups()
+        with pytest.raises(ValueError):
+            welch_ttest(a[:1], b)
+
+    def test_zero_variance_handled(self):
+        a = np.ones((10, 4))
+        b = np.ones((10, 4))
+        result = welch_ttest(a, b)
+        assert not result.leaks
+
+    def test_threshold_override(self):
+        a, b = groups(0.3, seed=2)
+        strict = welch_ttest(a, b, threshold=100.0)
+        assert not strict.leaks
+
+    def test_alias(self):
+        a, b = groups(1.0)
+        assert fixed_vs_random_split(a, b).leaks
+
+
+class TestOnSynthesizedTraces:
+    def test_fixed_vs_random_on_the_simulator(self):
+        """End-to-end TVLA: a value-dependent pipeline leak trips the test."""
+        from repro.isa.parser import assemble
+        from repro.isa.registers import Reg
+        from repro.power.acquisition import BatchInputs, TraceCampaign
+        from repro.power.scope import ScopeConfig
+
+        program = assemble("add r0, r1, r2\n    eor r3, r0, r1\n    bx lr")
+        scope = ScopeConfig(noise_sigma=2.0, kernel=(1.0,), quantize_bits=None)
+        rng = np.random.default_rng(1)
+        n = 300
+
+        def acquire(values):
+            campaign = TraceCampaign(program, scope=scope, seed=9)
+            inputs = BatchInputs(
+                n,
+                regs={
+                    Reg.R1: values,
+                    Reg.R2: rng.integers(0, 2**32, size=n, dtype=np.uint64).astype(np.uint32),
+                },
+            )
+            return campaign.acquire(inputs).traces
+
+        fixed = acquire(np.full(n, 0xDEADBEEF, dtype=np.uint32))
+        random = acquire(
+            rng.integers(0, 2**32, size=n, dtype=np.uint64).astype(np.uint32)
+        )
+        assert fixed_vs_random_split(fixed, random).leaks

@@ -1,0 +1,33 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_experiments(self):
+        parser = build_parser()
+        for name in ("table1", "figure3", "ablations", "all"):
+            args = parser.parse_args([name])
+            assert args.experiment == name
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure99"])
+
+    def test_trace_override(self):
+        args = build_parser().parse_args(["table2", "--traces", "500"])
+        assert args.traces == 500
+
+
+class TestExecution:
+    def test_figure2_runs_end_to_end(self, capsys):
+        assert main(["figure2", "--reps", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "Inferred pipeline structure" in out
+        assert "==== figure2" in out
+
+    def test_table2_with_reduced_traces(self, capsys):
+        assert main(["table2", "--traces", "800"]) == 0
+        assert "Table 2 (reproduced)" in capsys.readouterr().out

@@ -1,0 +1,77 @@
+"""The §3.2 CPI measurement protocol."""
+
+import pytest
+
+from repro.uarch.config import PipelineConfig
+from repro.uarch.cpi import (
+    TimingScope,
+    baseline_source,
+    measure_matrix,
+    measure_pair_cpi,
+    pair_benchmark_source,
+)
+
+
+class TestTimingScope:
+    def test_quantization_grid(self):
+        scope = TimingScope()
+        observed = scope.measure_cycles(1000)
+        # 2 ns at 120 MHz = 0.24 cycles; quantization error below half that
+        assert abs(observed - 1000) <= 0.25
+
+    def test_gpio_overhead_cancels_in_differences(self):
+        scope = TimingScope()
+        a = scope.measure_cycles(1200)
+        b = scope.measure_cycles(200)
+        assert abs((a - b) - 1000) <= 0.5
+
+
+class TestBenchmarkConstruction:
+    def test_pair_source_counts(self):
+        src = pair_benchmark_source("mov", "ALU", hazard=False, reps=10, pad_nops=4)
+        lines = [line for line in src.splitlines() if line.strip() and not line.strip().startswith((".", "@"))]
+        movs = [line for line in lines if line.strip().startswith("mov r1")]
+        assert len(movs) == 10
+
+    def test_hazard_variant_chains_registers(self):
+        src = pair_benchmark_source("ALU", "ALU", hazard=True, reps=3, pad_nops=2)
+        assert "add r4, r1, r6" in src  # younger reads the older's dest
+        assert "add r1, r4, r3" in src  # next older reads the younger's dest
+
+    def test_baseline_is_only_nops(self):
+        src = baseline_source(pad_nops=5)
+        body = [line.strip() for line in src.splitlines() if line.strip()]
+        assert body.count("nop") == 10
+
+
+class TestMeasurements:
+    def test_mov_pair_free_vs_hazard(self):
+        free = measure_pair_cpi("mov", "mov", hazard=False, reps=60)
+        hazard = measure_pair_cpi("mov", "mov", hazard=True, reps=60)
+        assert free.cpi == pytest.approx(0.5, abs=0.05)
+        assert hazard.cpi == pytest.approx(1.0, abs=0.05)
+        assert free.dual_issued and not hazard.dual_issued
+
+    def test_branch_pairs(self):
+        assert measure_pair_cpi("branch", "mov", reps=60).dual_issued
+        assert not measure_pair_cpi("branch", "branch", reps=60).dual_issued
+
+    def test_ldst_sequences_sustain_cpi_one(self):
+        measurement = measure_pair_cpi("ld/st", "ld/st", reps=60)
+        assert measurement.cpi == pytest.approx(1.0, abs=0.05)
+
+    def test_nop_not_dual_issued(self):
+        measurement = measure_pair_cpi("nop", "nop", reps=60)
+        assert measurement.cpi == pytest.approx(1.0, abs=0.05)
+
+    def test_single_issue_config_flattens_matrix(self):
+        config = PipelineConfig(dual_issue=False)
+        measurement = measure_pair_cpi("mov", "mov", config=config, reps=60)
+        assert not measurement.dual_issued
+
+    def test_small_matrix_subset(self):
+        matrix = measure_matrix(reps=40, with_hazards=False)
+        assert matrix.dual_issue("mov", "mov")
+        assert not matrix.dual_issue("ALU", "ALU")
+        assert not matrix.dual_issue("mul", "mov")
+        assert matrix.nop_cpi == pytest.approx(1.0, abs=0.05)

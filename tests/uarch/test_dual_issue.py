@@ -1,0 +1,117 @@
+"""The dual-issue policy: all 49 Table-1 cells plus dependence rules."""
+
+import pytest
+
+from repro.isa.parser import assemble
+from repro.uarch.config import PipelineConfig
+from repro.uarch.dual_issue import DualIssueChecker, read_port_cost
+from repro.experiments.table1 import PAPER_TABLE1
+from repro.uarch.cpi import TABLE1_COLUMNS, TABLE1_ORDER
+
+OLDER = {
+    "mov": "mov r1, r2",
+    "ALU": "add r1, r2, r3",
+    "ALU w/ imm": "add r1, r2, #7",
+    "mul": "mul r1, r2, r3",
+    "shifts": "lsl r1, r2, #3",
+    "branch": "b next",
+    "ld/st": "ldr r1, [r2]",
+}
+YOUNGER = {
+    "mov": "mov r4, r5",
+    "ALU": "add r4, r5, r6",
+    "ALU w/ imm": "add r4, r5, #9",
+    "mul": "mul r4, r5, r6",
+    "shifts": "lsl r4, r5, #6",
+    "branch": "b next2",
+    "ld/st": "ldr r4, [r5]",
+}
+
+
+def pair(older: str, younger: str):
+    program = assemble(f"{older}\n{younger}\nnext:\nnext2:\n    nop")
+    return program[0], program[1]
+
+
+class TestTable1Matrix:
+    @pytest.mark.parametrize(
+        "older,younger",
+        [(o, y) for o in TABLE1_ORDER for y in TABLE1_COLUMNS],
+    )
+    def test_cell_matches_paper(self, older, younger):
+        checker = DualIssueChecker()
+        a, b = pair(OLDER[older], YOUNGER[younger])
+        assert bool(checker.check(a, b)) is PAPER_TABLE1[(older, younger)], (
+            checker.explain(a, b)
+        )
+
+
+class TestRules:
+    def check(self, older, younger, config=None):
+        return DualIssueChecker(config).check(*pair(older, younger))
+
+    def test_nop_never_pairs(self):
+        assert self.check("nop", "mov r4, r5").rule == "nop-single-issue"
+        assert self.check("mov r1, r2", "nop").rule == "nop-single-issue"
+
+    def test_two_branches_blocked(self):
+        decision = self.check("b next", "b next2")
+        assert decision.rule == "one-branch-unit"
+
+    def test_mul_pairs_only_with_branch(self):
+        assert self.check("mul r1, r2, r3", "b next2").allowed
+        assert self.check("mul r1, r2, r3", "mov r4, r5").rule == "mul-issues-alone"
+
+    def test_two_memory_ops_blocked(self):
+        assert self.check("ldr r1, [r2]", "str r4, [r5]").rule == "one-lsu-port"
+
+    def test_two_shifter_users_blocked(self):
+        decision = self.check("lsl r1, r2, #3", "add r4, r5, r6, ror #1")
+        assert decision.rule == "one-barrel-shifter"
+
+    def test_read_port_budget(self):
+        decision = self.check("add r1, r2, r3", "add r4, r5, r6")
+        assert decision.rule == "read-port-budget"
+
+    def test_raw_hazard_inside_pair(self):
+        decision = self.check("add r1, r2, r3", "add r4, r1, #7")
+        assert decision.rule == "raw-hazard"
+
+    def test_waw_hazard_inside_pair(self):
+        decision = self.check("mov r1, r2", "add r1, r5, #7")
+        assert decision.rule == "waw-hazard"
+
+    def test_flags_hazard(self):
+        decision = self.check("adds r1, r2, #1", "addeq r4, r5, #1")
+        assert decision.rule == "flags-hazard"
+        decision = self.check("adds r1, r2, #1", "adc r4, r5, r6")
+        assert decision.rule == "flags-hazard"
+
+    def test_dual_issue_disable(self):
+        decision = self.check("mov r1, r2", "mov r4, r5", PipelineConfig(dual_issue=False))
+        assert decision.rule == "dual-issue-disabled"
+
+    def test_explain_is_readable(self):
+        checker = DualIssueChecker()
+        text = checker.explain(*pair("mul r1, r2, r3", "mov r4, r5"))
+        assert "mul" in text and "blocked" in text
+
+
+class TestReadPortCost:
+    def costs(self, src):
+        program = assemble(src + "\nnext: nop")
+        return read_port_cost(program[0], PipelineConfig())
+
+    def test_class_costs(self):
+        assert self.costs("mov r1, r2") == 1
+        assert self.costs("mov r1, #5") == 0
+        assert self.costs("add r1, r2, r3") == 2
+        assert self.costs("add r1, r2, #7") == 1
+        assert self.costs("mul r1, r2, r3") == 2
+        assert self.costs("b next") == 0
+        assert self.costs("nop") == 0
+
+    def test_ldst_reserves_the_agu_port_pair(self):
+        assert self.costs("ldr r1, [r2]") == 2  # base + reserved index lane
+        assert self.costs("str r1, [r2]") == 2
+        assert self.costs("str r1, [r2, r3]") == 3

@@ -1,0 +1,45 @@
+"""Section-3.2 inference: deductions from CPI matrices."""
+
+import dataclasses
+
+from repro.uarch.config import IssuePairing, PipelineConfig
+from repro.uarch.cpi import measure_matrix
+from repro.uarch.inference import CORTEX_A7_EXPECTED, infer_pipeline
+
+
+def matrix_for(config=None, reps=40):
+    return measure_matrix(config=config, reps=reps, with_hazards=False)
+
+
+class TestCortexA7Inference:
+    def test_full_inference_matches_figure2(self):
+        inferred = infer_pipeline(matrix_for())
+        assert inferred == CORTEX_A7_EXPECTED
+
+    def test_describe_mentions_every_structure(self):
+        text = infer_pipeline(matrix_for()).describe()
+        for keyword in ("fetch", "ALU", "shifter", "multiplier", "read ports", "Issue"):
+            assert keyword in text
+
+
+class TestAblatedPipelines:
+    def test_single_issue_core_inferred_scalar(self):
+        inferred = infer_pipeline(matrix_for(PipelineConfig(dual_issue=False)))
+        assert inferred.fetch_width == 1
+        assert inferred.n_alus == 1
+        assert not inferred.nop_dual_issued
+
+    def test_sliding_pairing_changes_the_matrix(self):
+        matrix = matrix_for(PipelineConfig(issue_pairing=IssuePairing.SLIDING))
+        # With a sliding window, mov;ldr reaches steady-state pairing
+        # (ldr,mov), so the measured cell flips versus the A7.
+        assert matrix.dual_issue("mov", "ld/st")
+
+    def test_inference_is_pure_function_of_matrix(self):
+        matrix = matrix_for()
+        assert infer_pipeline(matrix) == infer_pipeline(matrix)
+
+    def test_expected_is_frozen(self):
+        assert dataclasses.is_dataclass(CORTEX_A7_EXPECTED)
+        assert CORTEX_A7_EXPECTED.rf_read_ports == 3
+        assert CORTEX_A7_EXPECTED.rf_write_ports == 2

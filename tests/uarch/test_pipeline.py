@@ -1,0 +1,190 @@
+"""Pipeline scheduler: CPI behaviours, hazards, events, windows."""
+
+import pytest
+
+from repro.isa.executor import run_program
+from repro.isa.parser import assemble
+from repro.isa.values import ValueKind
+from repro.uarch.config import IssuePairing, PipelineConfig
+from repro.uarch.events import ZERO_INDEX, Unit
+from repro.uarch.pipeline import Pipeline
+
+
+def schedule_of(body: str, reps: int = 50, config: PipelineConfig | None = None, data: str = ""):
+    src = "\n".join([body] * reps) + "\n    bx lr" + data
+    result = run_program(assemble(src))
+    return Pipeline(config).schedule(result.records), result
+
+
+def bench_cpi(body: str, reps: int = 50, config: PipelineConfig | None = None) -> float:
+    sched, result = schedule_of(body, reps, config)
+    n_bench = result.dynamic_length - 1
+    span = sched.issue_cycle[n_bench - 1] - sched.issue_cycle[0] + 1
+    return span / n_bench
+
+
+class TestTimingBehaviours:
+    def test_dual_issue_sustains_half_cpi(self):
+        assert bench_cpi("mov r1, r2\nmov r4, r5") == pytest.approx(0.5, abs=0.02)
+
+    def test_dependent_chain_serializes(self):
+        assert bench_cpi("add r1, r1, r2\nadd r1, r1, r3") == pytest.approx(1.0, abs=0.02)
+
+    def test_load_use_penalty(self):
+        cpi = bench_cpi("ldr r1, [r1]")
+        assert cpi == pytest.approx(3.0, abs=0.1)
+
+    def test_mul_latency_chain(self):
+        cpi = bench_cpi("mul r1, r1, r2")
+        assert cpi == pytest.approx(3.0, abs=0.1)
+
+    def test_pipelined_lsu_sustains_cpi_one(self):
+        assert bench_cpi("ldr r1, [r10]\nldr r4, [r11]") == pytest.approx(1.0, abs=0.02)
+
+    def test_fetch_alignment_asymmetry(self):
+        # The Table-1 asymmetry: (mov, ldr) does not pair, (ldr, mov) does.
+        assert bench_cpi("mov r1, r2\nldr r4, [r11]") == pytest.approx(1.0, abs=0.02)
+        assert bench_cpi("ldr r4, [r11]\nmov r1, r2") == pytest.approx(0.5, abs=0.02)
+
+    def test_sliding_window_removes_asymmetry(self):
+        config = PipelineConfig(issue_pairing=IssuePairing.SLIDING)
+        cpi = bench_cpi("mov r1, r2\nldr r4, [r11]", config=config)
+        assert cpi == pytest.approx(0.5, abs=0.05)
+
+    def test_single_issue_config(self):
+        config = PipelineConfig(dual_issue=False)
+        assert bench_cpi("mov r1, r2\nmov r4, r5", config=config) == pytest.approx(1.0, abs=0.02)
+
+    def test_taken_branch_pays_penalty(self):
+        src = """
+        mov r1, #3
+    loop:
+        subs r1, r1, #1
+        bne loop
+        bx lr
+        """
+        result = run_program(assemble(src))
+        sched = Pipeline().schedule(result.records)
+        # Two taken bne's at 3-cycle penalty each stretch the schedule.
+        assert sched.n_cycles >= 6 + 2 * PipelineConfig().branch_penalty
+
+    def test_fallthrough_branch_pays_no_penalty(self):
+        src = "\n".join(
+            f"    b skip_{i}\nskip_{i}:\n    mov r1, r2" for i in range(20)
+        )
+        result = run_program(assemble(src + "\n    bx lr"))
+        sched = Pipeline().schedule(result.records)
+        n_bench = result.dynamic_length - 1
+        span = sched.issue_cycle[n_bench - 1] - sched.issue_cycle[0] + 1
+        # branch+mov pairs dual-issue with no flush: CPI 0.5
+        assert span / n_bench == pytest.approx(0.5, abs=0.05)
+
+
+class TestUnitAssignment:
+    def test_shift_goes_to_alu1(self):
+        sched, _ = schedule_of("lsl r1, r2, #3", reps=1)
+        assert sched.unit[0] is Unit.ALU1
+
+    def test_plain_alu_prefers_alu0(self):
+        sched, _ = schedule_of("add r1, r2, r3", reps=1)
+        assert sched.unit[0] is Unit.ALU0
+
+    def test_dual_pair_uses_both_alus(self):
+        sched, _ = schedule_of("add r1, r2, r3\nadd r4, r5, #9", reps=1)
+        assert {sched.unit[0], sched.unit[1]} == {Unit.ALU0, Unit.ALU1}
+
+    def test_memory_uses_lsu(self):
+        sched, _ = schedule_of("str r1, [r10]", reps=1)
+        assert sched.unit[0] is Unit.LSU
+
+    def test_nop_has_no_unit(self):
+        sched, _ = schedule_of("nop", reps=1)
+        assert sched.unit[0] is Unit.NONE
+
+
+class TestEventStream:
+    def events(self, body, component, reps=1, config=None):
+        sched, _ = schedule_of(body, reps, config)
+        return sched.events_for(component)
+
+    def test_issue_bus_carries_operands(self):
+        events = self.events("add r1, r2, r3", "issue_op1_s0")
+        assert len(events) == 1 and events[0].kind is ValueKind.OP1
+
+    def test_store_data_on_op2_bus(self):
+        events = self.events("str r1, [r10]", "issue_op2_s0")
+        assert events[0].kind is ValueKind.STORE_DATA
+
+    def test_load_has_no_operand_bus_traffic(self):
+        assert not self.events("ldr r1, [r10]", "issue_op1_s0")
+        assert not self.events("ldr r1, [r10]", "issue_op2_s0")
+
+    def test_agu_sees_every_memory_op(self):
+        sched, _ = schedule_of("ldr r1, [r10]\nstr r4, [r11]", reps=3)
+        assert len(sched.events_for("agu_addr")) == 6
+
+    def test_nop_zeroes_issue_bus_and_wb(self):
+        sched, _ = schedule_of("nop", reps=1)
+        bus_events = sched.events_for("issue_op1_s0")
+        assert bus_events and bus_events[0].dyn_index == ZERO_INDEX
+        wb_events = sched.events_for("wb_bus0") + sched.events_for("wb_bus1")
+        assert wb_events and all(e.dyn_index == ZERO_INDEX for e in wb_events)
+
+    def test_quiet_nop_config_suppresses_nop_events(self):
+        config = PipelineConfig(nop_zeroes_issue_bus=False, nop_resets_wb_bus=False)
+        sched, _ = schedule_of("nop", reps=1, config=config)
+        # Only the final bx lr's register read remains; the nop itself
+        # drives no bus.
+        zero_events = [e for e in sched.events if e.dyn_index == ZERO_INDEX]
+        assert not zero_events
+
+    def test_dual_pair_lands_on_separate_wb_ports(self):
+        sched, _ = schedule_of("mov r1, r2\nmov r4, r5", reps=1)
+        assert len(sched.events_for("wb_bus0")) == 1
+        assert len(sched.events_for("wb_bus1")) == 1
+
+    def test_single_issued_results_share_port0(self):
+        sched, _ = schedule_of("add r1, r2, r3\nadd r4, r5, r6", reps=1)
+        assert len(sched.events_for("wb_bus0")) == 2
+        assert not sched.events_for("wb_bus1")
+
+    def test_compare_produces_no_wb_event(self):
+        sched, _ = schedule_of("cmp r1, r2", reps=1)
+        assert not sched.events_for("wb_bus0")
+
+    def test_subword_load_touches_align_load(self):
+        sched, _ = schedule_of("ldrb r1, [r10]", reps=1)
+        assert sched.events_for("align_load")
+        assert not sched.events_for("align_store")
+
+    def test_subword_store_touches_align_store(self):
+        sched, _ = schedule_of("strb r1, [r10]", reps=1)
+        assert sched.events_for("align_store")
+        assert not sched.events_for("align_load")
+
+    def test_word_access_skips_align(self):
+        sched, _ = schedule_of("ldr r1, [r10]", reps=1)
+        assert not sched.events_for("align_load")
+        assert not sched.events_for("align_store")
+
+    def test_remanence_ablation_adds_zero_resets(self):
+        config = PipelineConfig(lsu_remanence=False)
+        sched, _ = schedule_of("strb r1, [r10]", reps=1, config=config)
+        align = sched.events_for("align_store")
+        assert len(align) == 2 and align[1].dyn_index == ZERO_INDEX
+
+    def test_shift_buffer_event(self):
+        sched, _ = schedule_of("add r1, r2, r3, lsl #4", reps=1)
+        events = sched.events_for("shift_buf")
+        assert events and events[0].kind is ValueKind.SHIFTED
+
+    def test_squashed_instruction_reads_but_does_not_execute(self):
+        src = "cmp r1, r1\n    movne r4, r5"  # ne fails (r1 == r1)
+        result = run_program(assemble(src + "\n    bx lr"))
+        sched = Pipeline().schedule(result.records)
+        # The squashed mov still asserts its operand on the issue bus...
+        op2_events = [e for e in sched.events_for("issue_op2_s0") if e.dyn_index == 1]
+        assert op2_events
+        # ...but never reaches the ALU or the write-back bus.
+        assert not [e for e in sched.events_for("alu0_out") if e.dyn_index == 1]
+        assert not [e for e in sched.events_for("wb_bus0") if e.dyn_index == 1]

@@ -1,0 +1,44 @@
+"""Pipeline presets and config overrides."""
+
+from repro.uarch.config import IssuePairing, PipelineConfig
+from repro.uarch.presets import (
+    PRESETS,
+    cortex_a7,
+    cortex_a7_no_remanence,
+    cortex_a7_quiet_nop,
+    cortex_a7_single_issue,
+    cortex_a7_sliding_issue,
+)
+
+
+class TestPresets:
+    def test_registry_complete(self):
+        assert set(PRESETS) == {
+            "cortex-a7",
+            "cortex-a7-single-issue",
+            "cortex-a7-sliding",
+            "cortex-a7-no-remanence",
+            "cortex-a7-quiet-nop",
+        }
+        for name, factory in PRESETS.items():
+            assert factory().name == name
+
+    def test_default_is_the_paper_config(self):
+        config = cortex_a7()
+        assert config == PipelineConfig()
+        assert config.dual_issue
+        assert config.rf_read_ports == 3 and config.rf_write_ports == 2
+        assert config.issue_pairing is IssuePairing.FETCH_ALIGNED
+
+    def test_ablation_presets_flip_one_property(self):
+        assert not cortex_a7_single_issue().dual_issue
+        assert cortex_a7_sliding_issue().issue_pairing is IssuePairing.SLIDING
+        assert not cortex_a7_no_remanence().lsu_remanence
+        quiet = cortex_a7_quiet_nop()
+        assert not quiet.nop_zeroes_issue_bus and not quiet.nop_resets_wb_bus
+
+    def test_with_overrides_is_nondestructive(self):
+        base = cortex_a7()
+        derived = base.with_overrides(branch_penalty=7)
+        assert derived.branch_penalty == 7
+        assert base.branch_penalty == 3

@@ -1,0 +1,66 @@
+"""The scalar baseline core and its write-port-sharing leak."""
+
+import pytest
+
+from repro.isa.executor import run_program
+from repro.isa.parser import assemble
+from repro.isa.values import ValueKind
+from repro.uarch.scalar import ScalarConfig, ScalarPipeline, scalar_component_registry
+
+
+def schedule_of(body: str, config=None):
+    result = run_program(assemble(body + "\n    bx lr"))
+    return ScalarPipeline(config).schedule(result.records), result
+
+
+class TestTiming:
+    def test_single_issue_cpi_one(self):
+        sched, result = schedule_of("\n".join(["mov r1, r2"] * 20))
+        n = result.dynamic_length - 1
+        span = sched.issue_cycle[n - 1] - sched.issue_cycle[0] + 1
+        assert span / n == pytest.approx(1.0, abs=0.05)
+
+    def test_never_dual_issues(self):
+        sched, _ = schedule_of("mov r1, r2\nmov r4, r5")
+        assert not any(sched.dual)
+
+    def test_load_latency(self):
+        sched, result = schedule_of("\n".join(["ldr r1, [r10]"] * 10))
+        n = result.dynamic_length - 1
+        span = sched.issue_cycle[n - 1] - sched.issue_cycle[0] + 1
+        assert span / n == pytest.approx(ScalarConfig().load_latency, abs=0.2)
+
+
+class TestWritePortLeak:
+    def test_consecutive_results_share_the_single_port(self):
+        # The [18,19] leak: both results on wb_bus0, back to back.
+        sched, _ = schedule_of("mov r1, r2\nmov r4, r5")
+        events = sched.events_for("wb_bus0")
+        assert len(events) == 2
+        assert [e.kind for e in events] == [ValueKind.RESULT, ValueKind.RESULT]
+
+    def test_no_second_write_port_exists(self):
+        registry = scalar_component_registry()
+        assert "wb_bus0" in registry and "wb_bus1" not in registry
+
+    def test_single_operand_bus_pair(self):
+        registry = scalar_component_registry()
+        assert "issue_op1_s0" in registry and "issue_op1_s1" not in registry
+
+
+class TestEventStream:
+    def test_store_data_on_bus(self):
+        sched, _ = schedule_of("str r1, [r10]")
+        events = sched.events_for("issue_op2_s0")
+        assert events and events[0].kind is ValueKind.STORE_DATA
+
+    def test_memory_touches_mdr(self):
+        sched, _ = schedule_of("ldr r1, [r10]")
+        assert sched.events_for("mdr")
+
+    def test_nop_zeroes_bus(self):
+        from repro.uarch.events import ZERO_INDEX
+
+        sched, _ = schedule_of("nop")
+        events = sched.events_for("issue_op1_s0")
+        assert events and events[0].dyn_index == ZERO_INDEX
