@@ -1,0 +1,330 @@
+"""Online sufficient-statistics accumulators for streaming campaigns.
+
+The monolithic attack path materializes a full ``[n_traces, n_samples]``
+trace matrix and runs two-pass statistics over it.  The accumulators in
+this module fold fixed-size trace chunks into running sufficient
+statistics instead, so a campaign of arbitrary size runs in memory
+proportional to one chunk:
+
+* :class:`OnlineMeanVar` — Welford/Chan mean and variance, vectorized
+  over sample columns, with batched updates and pairwise ``merge`` (the
+  parallel-combine form of Chan et al.);
+* :class:`OnlineCorrAccumulator` — Pearson correlation of every model
+  column against every trace sample, kept as centered co-moments so the
+  result matches :func:`repro.sca.stats.pearson_corr` to ~1e-13;
+* :class:`OnlineSnrAccumulator` — per-class mean/variance partitions
+  reproducing :func:`repro.sca.snr.partition_snr`;
+* :class:`OnlineTTestAccumulator` — two-group Welford reproducing
+  :func:`repro.sca.ttest.welch_ttest`;
+* :class:`CpaAccumulator` — folds chunks into a full
+  :class:`repro.sca.cpa.CpaResult`, the engine behind
+  :func:`repro.sca.cpa.cpa_attack_streaming`.
+
+All accumulators use the *centered* (co-moment) update rather than raw
+sum/sum-of-squares, which is what keeps the streamed results numerically
+matched to the two-pass reference implementations: raw power sums lose
+roughly ``log10(n * mean^2 / variance)`` digits to cancellation, the
+Chan form does not.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.sca.snr import SnrResult
+from repro.sca.ttest import TVLA_THRESHOLD, TTestResult
+
+
+class OnlineMeanVar:
+    """Running mean/variance over axis 0, one scalar pair per column.
+
+    Accepts whole chunks (``update``) and sibling accumulators
+    (``merge``), both via Chan's parallel combination of centered second
+    moments.  Feeding one chunk of everything reproduces the two-pass
+    ``mean``/``var`` results exactly.
+    """
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean: np.ndarray | None = None
+        self._m2: np.ndarray | None = None
+
+    def update(self, chunk: np.ndarray) -> None:
+        """Fold ``chunk`` (``[k, ...]``, any column shape) into the stats."""
+        chunk = np.asarray(chunk, dtype=np.float64)
+        if chunk.shape[0] == 0:
+            return
+        k = chunk.shape[0]
+        chunk_mean = chunk.mean(axis=0)
+        chunk_m2 = ((chunk - chunk_mean) ** 2).sum(axis=0)
+        self._combine(k, chunk_mean, chunk_m2)
+
+    def merge(self, other: "OnlineMeanVar") -> None:
+        """Fold another accumulator (e.g. from a worker process) in."""
+        if other.n == 0 or other.mean is None or other._m2 is None:
+            return
+        self._combine(other.n, other.mean.copy(), other._m2.copy())
+
+    def _combine(self, k: int, mean: np.ndarray, m2: np.ndarray) -> None:
+        if self.n == 0:
+            self.n = k
+            self.mean = mean
+            self._m2 = m2
+            return
+        assert self.mean is not None and self._m2 is not None
+        n_total = self.n + k
+        delta = mean - self.mean
+        self._m2 += m2 + delta**2 * (self.n * k / n_total)
+        self.mean += delta * (k / n_total)
+        self.n = n_total
+
+    def var(self, ddof: int = 0) -> np.ndarray:
+        """Variance per column (population by default, like ``np.var``)."""
+        if self.mean is None or self._m2 is None or self.n <= ddof:
+            raise ValueError("not enough observations accumulated")
+        return self._m2 / (self.n - ddof)
+
+    @property
+    def sum_sq_dev(self) -> np.ndarray:
+        """The centered second moment ``sum((x - mean)^2)``."""
+        if self._m2 is None:
+            raise ValueError("no observations accumulated")
+        return self._m2
+
+
+class OnlineCorrAccumulator:
+    """Streaming Pearson correlation of model columns vs trace samples.
+
+    Maintains means, centered second moments and the centered
+    co-moment matrix ``C = sum((x - mean_x)^T (y - mean_y))`` via Chan
+    updates; :meth:`correlations` finishes with exactly the same
+    division/clipping discipline as :func:`repro.sca.stats.pearson_corr`
+    so a single-chunk stream is bit-identical and a multi-chunk stream
+    matches to ~1e-13.
+    """
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._single: bool | None = None
+        self._mean_x: np.ndarray | None = None  # [n_models]
+        self._mean_y: np.ndarray | None = None  # [n_samples]
+        self._m2_x: np.ndarray | None = None
+        self._m2_y: np.ndarray | None = None
+        self._comoment: np.ndarray | None = None  # [n_models, n_samples]
+
+    def update(self, models: np.ndarray, traces: np.ndarray) -> None:
+        """Fold one chunk: ``models [k]``/``[k, m]``, ``traces [k, s]``."""
+        models = np.asarray(models)
+        if self._single is None:
+            self._single = models.ndim == 1
+        x = models.reshape(models.shape[0], -1).astype(np.float64)
+        y = np.asarray(traces, dtype=np.float64)
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(f"trace count mismatch: {x.shape[0]} vs {y.shape[0]}")
+        if x.shape[0] == 0:
+            return
+        k = x.shape[0]
+        mean_x = x.mean(axis=0)
+        mean_y = y.mean(axis=0)
+        xc = x - mean_x
+        yc = y - mean_y
+        m2_x = (xc**2).sum(axis=0)
+        m2_y = (yc**2).sum(axis=0)
+        comoment = xc.T @ yc
+        if self.n == 0:
+            self.n = k
+            self._mean_x, self._mean_y = mean_x, mean_y
+            self._m2_x, self._m2_y = m2_x, m2_y
+            self._comoment = comoment
+            return
+        assert self._mean_x is not None and self._mean_y is not None
+        assert self._m2_x is not None and self._m2_y is not None
+        assert self._comoment is not None
+        if mean_x.shape != self._mean_x.shape or mean_y.shape != self._mean_y.shape:
+            raise ValueError("chunk model/sample width changed between updates")
+        n_total = self.n + k
+        weight = self.n * k / n_total
+        delta_x = mean_x - self._mean_x
+        delta_y = mean_y - self._mean_y
+        self._comoment += comoment + np.outer(delta_x, delta_y) * weight
+        self._m2_x += m2_x + delta_x**2 * weight
+        self._m2_y += m2_y + delta_y**2 * weight
+        self._mean_x += delta_x * (k / n_total)
+        self._mean_y += delta_y * (k / n_total)
+        self.n = n_total
+
+    def merge(self, other: "OnlineCorrAccumulator") -> None:
+        """Fold a sibling accumulator (parallel worker) into this one."""
+        if other.n == 0:
+            return
+        if self.n == 0:
+            self.n = other.n
+            self._single = other._single
+            self._mean_x = other._mean_x.copy()  # type: ignore[union-attr]
+            self._mean_y = other._mean_y.copy()  # type: ignore[union-attr]
+            self._m2_x = other._m2_x.copy()  # type: ignore[union-attr]
+            self._m2_y = other._m2_y.copy()  # type: ignore[union-attr]
+            self._comoment = other._comoment.copy()  # type: ignore[union-attr]
+            return
+        assert other._mean_x is not None and other._mean_y is not None
+        assert other._m2_x is not None and other._m2_y is not None
+        assert other._comoment is not None
+        n_total = self.n + other.n
+        weight = self.n * other.n / n_total
+        delta_x = other._mean_x - self._mean_x
+        delta_y = other._mean_y - self._mean_y
+        self._comoment += other._comoment + np.outer(delta_x, delta_y) * weight
+        self._m2_x += other._m2_x + delta_x**2 * weight
+        self._m2_y += other._m2_y + delta_y**2 * weight
+        self._mean_x += delta_x * (other.n / n_total)
+        self._mean_y += delta_y * (other.n / n_total)
+        self.n = n_total
+
+    def correlations(self) -> np.ndarray:
+        """``[n_models, n_samples]`` (or ``[n_samples]`` for 1-D models)."""
+        if self.n == 0 or self._comoment is None:
+            raise ValueError("no chunks accumulated")
+        assert self._m2_x is not None and self._m2_y is not None
+        denominator = np.outer(np.sqrt(self._m2_x), np.sqrt(self._m2_y))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            corr = self._comoment / denominator
+        corr = np.nan_to_num(corr, nan=0.0, posinf=0.0, neginf=0.0)
+        corr = np.clip(corr, -1.0, 1.0)
+        return corr[0] if self._single else corr
+
+
+class OnlineSnrAccumulator:
+    """Streaming SNR/NICV partitioned by an integer intermediate.
+
+    Chunks arrive as ``(traces, labels)`` pairs; the accumulator keeps
+    one :class:`OnlineMeanVar` per observed class plus a global one, and
+    :meth:`result` reproduces :func:`repro.sca.snr.partition_snr`.
+    """
+
+    def __init__(self) -> None:
+        self._classes: dict[int, OnlineMeanVar] = {}
+        self._total = OnlineMeanVar()
+
+    def update(self, traces: np.ndarray, labels: np.ndarray) -> None:
+        traces = np.asarray(traces, dtype=np.float64)
+        labels = np.asarray(labels)
+        if labels.shape[0] != traces.shape[0]:
+            raise ValueError("labels must have one entry per trace")
+        self._total.update(traces)
+        for value in np.unique(labels):
+            rows = traces[labels == value]
+            self._classes.setdefault(int(value), OnlineMeanVar()).update(rows)
+
+    def merge(self, other: "OnlineSnrAccumulator") -> None:
+        self._total.merge(other._total)
+        for value, acc in other._classes.items():
+            self._classes.setdefault(value, OnlineMeanVar()).merge(acc)
+
+    def result(self, min_class_size: int = 2) -> SnrResult:
+        """Finish into an :class:`SnrResult` (same math as partition_snr)."""
+        usable = [
+            acc
+            for _value, acc in sorted(self._classes.items())
+            if acc.n >= min_class_size
+        ]
+        if len(usable) < 2:
+            raise ValueError("need at least two usable classes for SNR")
+        means = np.stack([acc.mean for acc in usable])
+        variances = np.stack([acc.var() for acc in usable])
+        weights = np.asarray([acc.n for acc in usable], dtype=np.float64)
+        weights /= weights.sum()
+        grand_mean = (weights[:, None] * means).sum(axis=0)
+        signal = (weights[:, None] * (means - grand_mean) ** 2).sum(axis=0)
+        noise = (weights[:, None] * variances).sum(axis=0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            snr = signal / noise
+        snr = np.nan_to_num(snr, nan=0.0, posinf=0.0)
+        total_var = self._total.var()
+        with np.errstate(divide="ignore", invalid="ignore"):
+            nicv = signal / total_var
+        nicv = np.clip(np.nan_to_num(nicv, nan=0.0, posinf=0.0), 0.0, 1.0)
+        return SnrResult(snr=snr, nicv=nicv, n_classes=len(usable))
+
+
+class OnlineTTestAccumulator:
+    """Streaming Welch t-test between two trace populations (TVLA)."""
+
+    def __init__(self, threshold: float = TVLA_THRESHOLD) -> None:
+        self.threshold = threshold
+        self.group_a = OnlineMeanVar()
+        self.group_b = OnlineMeanVar()
+
+    def update_a(self, traces: np.ndarray) -> None:
+        self.group_a.update(traces)
+
+    def update_b(self, traces: np.ndarray) -> None:
+        self.group_b.update(traces)
+
+    def merge(self, other: "OnlineTTestAccumulator") -> None:
+        self.group_a.merge(other.group_a)
+        self.group_b.merge(other.group_b)
+
+    def result(self) -> TTestResult:
+        """Finish into a :class:`TTestResult` (same math as welch_ttest)."""
+        n_a, n_b = self.group_a.n, self.group_b.n
+        if n_a < 2 or n_b < 2:
+            raise ValueError("each group needs at least two traces")
+        mean_a = self.group_a.mean
+        mean_b = self.group_b.mean
+        var_a = self.group_a.var(ddof=1)
+        var_b = self.group_b.var(ddof=1)
+        denom = np.sqrt(var_a / n_a + var_b / n_b)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t = (mean_a - mean_b) / denom
+        t = np.nan_to_num(t, nan=0.0, posinf=0.0, neginf=0.0)
+        return TTestResult(t_values=t, threshold=self.threshold)
+
+
+class CpaAccumulator:
+    """Folds trace chunks into a full :class:`repro.sca.cpa.CpaResult`.
+
+    Each chunk arrives with its own model evaluator (closing over that
+    chunk's plaintexts), mirroring the monolithic
+    :func:`repro.sca.cpa.cpa_attack` signature per chunk.
+    """
+
+    def __init__(self, guesses: Sequence[int] = tuple(range(256))) -> None:
+        self.guesses = np.asarray(list(guesses))
+        self._corr = OnlineCorrAccumulator()
+
+    @property
+    def n_traces(self) -> int:
+        return self._corr.n
+
+    def update(self, traces: np.ndarray, model_fn: Callable[[int], np.ndarray]) -> None:
+        """Fold one chunk; ``model_fn(guess)`` returns ``[chunk_traces]``."""
+        models = np.stack(
+            [np.asarray(model_fn(int(g)), dtype=np.float64) for g in self.guesses],
+            axis=1,
+        )
+        self._corr.update(models, traces)
+
+    def merge(self, other: "CpaAccumulator") -> None:
+        if not np.array_equal(self.guesses, other.guesses):
+            raise ValueError("cannot merge CPA accumulators over different guesses")
+        self._corr.merge(other._corr)
+
+    def result(self):
+        from repro.sca.cpa import CpaResult
+
+        correlations = np.atleast_2d(self._corr.correlations())
+        return CpaResult(
+            correlations=correlations, guesses=self.guesses, n_traces=self._corr.n
+        )
+
+
+def fold_correlation(
+    chunks: Iterable[tuple[np.ndarray, np.ndarray]],
+) -> np.ndarray:
+    """Convenience: stream ``(models, traces)`` chunks to correlations."""
+    accumulator = OnlineCorrAccumulator()
+    for models, traces in chunks:
+        accumulator.update(models, traces)
+    return accumulator.correlations()

@@ -1,0 +1,323 @@
+"""The streaming campaign engine: chunked, cached, optionally parallel.
+
+:class:`StreamingCampaign` is the one acquisition path every experiment
+driver runs through.  It compiles a program's pipeline/leakage schedule
+once (consulting a process-wide cache shared across campaigns on the
+same program), then yields traces in fixed-size chunks: each chunk is a
+full :class:`~repro.power.acquisition.TraceSet` over a slice of the
+inputs, produced by the vectorized executor and the oscilloscope chain
+with a chunk-indexed noise seed.
+
+Properties the rest of the stack builds on:
+
+* **constant memory** — the trace matrix, the vectorized executor's
+  page store and the value table all scale with the chunk, never with
+  the campaign, so campaign size is unbounded;
+* **reproducibility** — chunk ``i`` uses
+  ``derive_seed(campaign_seed, i)``, so a campaign is a pure function of
+  ``(seed, chunk_size)`` regardless of worker count or acquisition
+  history; chunk 0 of a single-chunk stream is byte-identical to the
+  historical monolithic acquisition;
+* **parallelism** — chunks are independent, so they fan out across
+  ``fork``-ed worker processes; results stream back in chunk order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import weakref
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.isa.program import Program
+from repro.power.acquisition import (
+    BatchInputs,
+    TraceCampaign,
+    TraceSet,
+    derive_seed,
+)
+from repro.power.profile import LeakageProfile
+from repro.power.scope import ScopeConfig
+from repro.power.synth import LeakageSchedule
+from repro.uarch.config import PipelineConfig
+from repro.uarch.pipeline import Schedule
+
+CompiledSchedule = tuple[list[int], Schedule, LeakageSchedule]
+
+#: Process-wide compiled-schedule cache: id(program) -> {key -> compiled}.
+#: ``Program`` is an eq-comparing dataclass (unhashable), so entries are
+#: keyed by identity and evicted by a weakref finalizer when the program
+#: is garbage-collected.
+_SCHEDULE_CACHE: dict[int, dict] = {}
+
+
+def _program_cache(program: Program) -> dict:
+    key = id(program)
+    per_program = _SCHEDULE_CACHE.get(key)
+    if per_program is None:
+        per_program = {}
+        _SCHEDULE_CACHE[key] = per_program
+        weakref.finalize(program, _SCHEDULE_CACHE.pop, key, None)
+    return per_program
+
+
+def schedule_cache_info() -> tuple[int, int]:
+    """(programs cached, total compiled schedules) — for tests/benchmarks."""
+    entries = sum(len(per_program) for per_program in _SCHEDULE_CACHE.values())
+    return len(_SCHEDULE_CACHE), entries
+
+
+def clear_schedule_cache() -> None:
+    _SCHEDULE_CACHE.clear()
+
+
+@dataclass
+class TraceChunk:
+    """One streamed slice of a campaign: a TraceSet plus its offset."""
+
+    start: int
+    index: int
+    trace_set: TraceSet
+
+    @property
+    def traces(self) -> np.ndarray:
+        return self.trace_set.traces
+
+    @property
+    def inputs(self) -> BatchInputs:
+        return self.trace_set.inputs
+
+    @property
+    def n_traces(self) -> int:
+        return self.trace_set.n_traces
+
+    @property
+    def stop(self) -> int:
+        return self.start + self.n_traces
+
+
+class StreamingCampaign:
+    """Chunked acquisition harness for one program on one pipeline.
+
+    A drop-in superset of :class:`~repro.power.acquisition.TraceCampaign`:
+    :meth:`acquire` materializes a whole campaign exactly as the
+    monolithic path does, :meth:`stream` yields it chunk by chunk in
+    bounded memory, optionally fanning chunks out over worker processes.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        config: PipelineConfig | None = None,
+        profile: LeakageProfile | None = None,
+        scope: ScopeConfig | None = None,
+        entry: str | None = None,
+        window_cycles: tuple[int, int] | None = None,
+        seed: int = 0xC0FFEE,
+        keep_power: bool = False,
+        chunk_size: int | None = None,
+        jobs: int = 1,
+    ):
+        self.program = program
+        self.seed = seed
+        self.chunk_size = chunk_size
+        self.jobs = max(1, jobs)
+        self._campaign = TraceCampaign(
+            program,
+            config=config,
+            profile=profile,
+            scope=scope,
+            entry=entry,
+            window_cycles=window_cycles,
+            seed=seed,
+            keep_power=keep_power,
+        )
+
+    # -- compiled-schedule cache ---------------------------------------
+
+    @property
+    def config(self) -> PipelineConfig:
+        return self._campaign.config
+
+    @property
+    def scope_config(self) -> ScopeConfig:
+        return self._campaign.scope_config
+
+    def _cache_key(self, inputs: BatchInputs) -> tuple:
+        campaign = self._campaign
+        return (
+            campaign.config,
+            campaign.scope_config.samples_per_cycle,
+            campaign.entry,
+            campaign.window_cycles,
+            inputs.signature(),
+        )
+
+    def compiled(self, inputs: BatchInputs) -> CompiledSchedule:
+        """The (path, schedule, leakage) triple, compiled at most once.
+
+        Consults the process-wide cache keyed by (program, config,
+        scope, entry, window, input shape) so distinct campaigns over
+        the same workload share one compilation.
+        """
+        if not self._campaign._schedule_input_independent():
+            # Conditionally-executed non-branch instructions make the
+            # schedule depend on input values, not just shape: compile
+            # against exactly this batch and skip the shared cache.
+            return self._campaign.compile_with(inputs)
+        key = self._cache_key(inputs)
+        per_program = _program_cache(self.program)
+        compiled = per_program.get(key)
+        if compiled is None:
+            compiled = self._campaign.compile_with(inputs)
+            per_program[key] = compiled
+        else:
+            # Seed the inner campaign's own cache so acquire() skips the
+            # reference-executor pass entirely.
+            self._campaign._compiled = compiled
+            self._campaign._compiled_signature = inputs.signature()
+        return compiled
+
+    # -- acquisition ----------------------------------------------------
+
+    def acquire(
+        self,
+        inputs: BatchInputs,
+        power_transform: Callable[[np.ndarray], np.ndarray] | None = None,
+        scope_seed: int | None = None,
+    ) -> TraceSet:
+        """One-shot (monolithic) acquisition, schedule cache included."""
+        self.compiled(inputs)
+        return self._campaign.acquire(
+            inputs, power_transform=power_transform, scope_seed=scope_seed
+        )
+
+    def chunk_bounds(self, n_traces: int, chunk_size: int | None = None) -> list[tuple[int, int]]:
+        """The ``[start, stop)`` trace ranges a stream will cover."""
+        size = chunk_size if chunk_size is not None else self.chunk_size
+        if size is None or size >= n_traces:
+            return [(0, n_traces)]
+        if size <= 0:
+            raise ValueError(f"chunk size must be positive, got {size}")
+        return [(lo, min(lo + size, n_traces)) for lo in range(0, n_traces, size)]
+
+    def stream(
+        self,
+        inputs: BatchInputs,
+        chunk_size: int | None = None,
+        jobs: int | None = None,
+        power_transform: Callable[[np.ndarray], np.ndarray] | None = None,
+        power_transform_factory: Callable[[int], Callable[[np.ndarray], np.ndarray]]
+        | None = None,
+    ) -> Iterator[TraceChunk]:
+        """Yield the campaign as ordered, seed-stable trace chunks.
+
+        ``power_transform`` applies one callable to every chunk's power
+        matrix; ``power_transform_factory`` instead receives the chunk
+        index and returns that chunk's transform — the hook that lets
+        seeded environment models decorrelate their noise per chunk
+        (:meth:`repro.os_sim.environment.Environment.reseeded`).
+        """
+        if power_transform is not None and power_transform_factory is not None:
+            raise ValueError("pass power_transform or power_transform_factory, not both")
+        inputs.validate()
+        bounds = self.chunk_bounds(inputs.n_traces, chunk_size)
+        jobs = self.jobs if jobs is None else max(1, jobs)
+        # Compile before any fork so workers inherit the schedule.
+        self.compiled(inputs)
+        if jobs > 1 and len(bounds) > 1 and _fork_available():
+            yield from self._stream_parallel(
+                inputs, bounds, jobs, power_transform, power_transform_factory
+            )
+        else:
+            for index, (lo, hi) in enumerate(bounds):
+                transform = (
+                    power_transform_factory(index)
+                    if power_transform_factory is not None
+                    else power_transform
+                )
+                trace_set = self._campaign.acquire(
+                    inputs.slice(lo, hi),
+                    power_transform=transform,
+                    scope_seed=derive_seed(self.seed, index),
+                )
+                yield TraceChunk(start=lo, index=index, trace_set=trace_set)
+
+    def _stream_parallel(
+        self,
+        inputs: BatchInputs,
+        bounds: list[tuple[int, int]],
+        jobs: int,
+        power_transform: Callable[[np.ndarray], np.ndarray] | None,
+        power_transform_factory: Callable[[int], Callable[[np.ndarray], np.ndarray]]
+        | None,
+    ) -> Iterator[TraceChunk]:
+        path, schedule, leakage = self.compiled(inputs)
+        context = multiprocessing.get_context("fork")
+        tasks = [
+            (index, lo, hi, derive_seed(self.seed, index))
+            for index, (lo, hi) in enumerate(bounds)
+        ]
+        with context.Pool(
+            processes=min(jobs, len(bounds)),
+            initializer=_worker_init,
+            initargs=(self._campaign, inputs, power_transform, power_transform_factory),
+        ) as pool:
+            for index, lo, payload in pool.imap(_worker_chunk, tasks):
+                if isinstance(payload, TraceSet):
+                    # Rare: the chunk recompiled against a different path
+                    # (data-dependent branch direction); ship everything.
+                    trace_set = payload
+                else:
+                    # Common case: the worker's schedule matches the
+                    # parent's compiled triple, so only the per-chunk
+                    # data crossed the pipe; rewrap with shared objects.
+                    traces, table, power = payload
+                    trace_set = TraceSet(
+                        traces=traces,
+                        inputs=inputs.slice(lo, lo + traces.shape[0]),
+                        schedule=schedule,
+                        leakage=leakage,
+                        table=table,
+                        path=path,
+                        power=power,
+                    )
+                yield TraceChunk(start=lo, index=index, trace_set=trace_set)
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+# Worker-side state, installed by the pool initializer after fork.  The
+# campaign and the full input batch are inherited copy-on-write; each
+# task touches only its own slice.
+_WORKER_STATE: dict = {}
+
+
+def _worker_init(campaign, inputs, power_transform, factory) -> None:  # pragma: no cover
+    _WORKER_STATE["campaign"] = campaign
+    _WORKER_STATE["inputs"] = inputs
+    _WORKER_STATE["transform"] = power_transform
+    _WORKER_STATE["factory"] = factory
+
+
+def _worker_chunk(task):  # pragma: no cover - exercised via Pool
+    index, lo, hi, seed = task
+    campaign: TraceCampaign = _WORKER_STATE["campaign"]
+    inputs: BatchInputs = _WORKER_STATE["inputs"]
+    factory = _WORKER_STATE["factory"]
+    transform = factory(index) if factory is not None else _WORKER_STATE["transform"]
+    compiled = campaign._compiled
+    trace_set = campaign.acquire(
+        inputs.slice(lo, hi),
+        power_transform=transform,
+        scope_seed=seed,
+    )
+    if compiled is not None and trace_set.path == compiled[0]:
+        # The parent holds the same compiled schedule (inherited at
+        # fork); send only the per-chunk arrays, not N copies of it.
+        return index, lo, (trace_set.traces, trace_set.table, trace_set.power)
+    return index, lo, trace_set

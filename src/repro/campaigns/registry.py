@@ -1,0 +1,141 @@
+"""The scenario registry: every reproducible workload, one declaration.
+
+A :class:`Scenario` names one end-to-end workload — a program under a
+pipeline configuration, an input distribution, and the analysis run over
+the acquired traces — and binds it to a runner that executes it through
+the streaming engine.  Experiment modules declare their scenario at
+import time; the CLI, the benchmark harness and future workloads
+enumerate the registry instead of hand-wiring acquisition pipelines.
+
+Registering a new scenario::
+
+    from repro.campaigns.registry import Scenario, register
+
+    register(Scenario(
+        name="my-attack",
+        title="CPA with my model",
+        description="...",
+        runner=lambda options: run_my_attack(
+            n_traces=options.n_traces or 1000,
+            chunk_size=options.chunk_size,
+            jobs=options.jobs,
+        ),
+        default_traces=1000,
+        supports_chunking=True,
+        supports_jobs=True,
+    ))
+
+The runner receives a :class:`RunOptions` and returns any object with a
+``render() -> str`` method (and, conventionally, a ``matches_paper``
+property for shape-checked reproductions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Execution knobs a caller passes down to a scenario runner."""
+
+    n_traces: int | None = None
+    reps: int = 200
+    chunk_size: int | None = None
+    jobs: int = 1
+    seed: int | None = None
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered workload."""
+
+    name: str
+    title: str
+    description: str
+    runner: Callable[[RunOptions], Any]
+    #: trace budget used when the caller does not override it (None for
+    #: timing-only scenarios that do not acquire traces)
+    default_traces: int | None = None
+    #: the runner honors RunOptions.chunk_size (streams through the engine)
+    supports_chunking: bool = False
+    #: the runner honors RunOptions.jobs (multiprocessing fan-out)
+    supports_jobs: bool = False
+    tags: tuple[str, ...] = ()
+
+    def run(self, options: RunOptions | None = None) -> Any:
+        return self.runner(options if options is not None else RunOptions())
+
+
+_REGISTRY: dict[str, Scenario] = {}
+_BUILTINS_LOADED = False
+
+#: The scenarios the experiment drivers register, known statically so
+#: callers (the CLI parser, shell completion) can enumerate names
+#: without importing the numpy/scipy-heavy driver modules.
+BUILTIN_NAMES = (
+    "ablations",
+    "baselines",
+    "figure2",
+    "figure3",
+    "figure4",
+    "success-curves",
+    "table1",
+    "table2",
+)
+
+
+def known_names() -> list[str]:
+    """Registered + builtin scenario names, with no import side effects."""
+    return sorted(set(BUILTIN_NAMES) | set(_REGISTRY))
+
+
+def register(scenario: Scenario) -> Scenario:
+    """Add (or replace, idempotently by name) a scenario."""
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def load_builtin_scenarios() -> None:
+    """Import the experiment drivers so their scenarios register."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    # Imported for their registration side effect only.
+    from repro.experiments import (  # noqa: F401
+        ablations,
+        baseline_models,
+        figure2,
+        figure3,
+        figure4,
+        success_curves,
+        table1,
+        table2,
+    )
+
+    _BUILTINS_LOADED = True
+
+
+def get(name: str) -> Scenario:
+    load_builtin_scenarios()
+    scenario = _REGISTRY.get(name)
+    if scenario is None:
+        known = ", ".join(names())
+        raise KeyError(f"unknown scenario {name!r}; registered: {known}")
+    return scenario
+
+
+def names() -> list[str]:
+    load_builtin_scenarios()
+    return sorted(_REGISTRY)
+
+
+def scenarios() -> Iterable[Scenario]:
+    load_builtin_scenarios()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def run(name: str, options: RunOptions | None = None) -> Any:
+    """Look a scenario up and execute it."""
+    return get(name).run(options)

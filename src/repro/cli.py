@@ -1,95 +1,59 @@
-"""Command-line interface: regenerate any experiment from a shell.
+"""Command-line interface: run any registered scenario from a shell.
+
+The CLI is a thin front-end over the scenario registry
+(:mod:`repro.campaigns.registry`): every table/figure reproduction and
+every future workload registers a :class:`~repro.campaigns.registry.Scenario`,
+and the CLI enumerates them — there is no per-experiment wiring here.
 
 Usage::
 
     python -m repro table1
-    python -m repro figure2
-    python -m repro table2    [--traces 3000]
-    python -m repro figure3   [--traces 3000]
-    python -m repro figure4   [--traces 100]
-    python -m repro ablations [--traces 2000]
-    python -m repro baselines [--traces 2000]
-    python -m repro success-curves
-    python -m repro all
+    python -m repro figure3   [--traces 3000] [--chunk-size 500] [--jobs 4]
+    python -m repro table2    [--traces 3000] [--seed 7]
+    python -m repro all       [--format json]
+
+Flags:
+
+``--traces N``
+    Trace-budget override for statistical scenarios (each scenario has
+    its own default; timing-only scenarios ignore it).
+``--reps N``
+    Microbenchmark repetitions for the CPI scenarios (table1, figure2).
+``--chunk-size N``
+    Stream the campaign through the engine in chunks of ``N`` traces
+    (constant memory); scenarios that need the whole matrix resident
+    ignore it.  Default: one monolithic chunk.
+``--jobs N``
+    Fan chunks out over ``N`` worker processes (requires ``fork``).
+``--seed N``
+    Campaign seed override, for independent re-runs of a scenario.
+``--format json|text``
+    ``text`` (default) prints each scenario's rendered report;
+    ``json`` emits a machine-readable array with name, wall time,
+    ``matches_paper`` verdict and the rendered output.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
 
-def _run_table1(args) -> str:
-    from repro.experiments.table1 import run_table1
-
-    return run_table1(reps=args.reps).render()
-
-
-def _run_figure2(args) -> str:
-    from repro.experiments.figure2 import run_figure2
-
-    return run_figure2(reps=args.reps).render()
-
-
-def _run_table2(args) -> str:
-    from repro.experiments.table2 import run_table2
-
-    return run_table2(n_traces=args.traces or 3000).render()
-
-
-def _run_figure3(args) -> str:
-    from repro.experiments.figure3 import run_figure3
-
-    return run_figure3(n_traces=args.traces or 3000).render()
-
-
-def _run_figure4(args) -> str:
-    from repro.experiments.figure4 import run_figure4
-
-    return run_figure4(n_traces=args.traces or 100).render()
-
-
-def _run_ablations(args) -> str:
-    from repro.experiments.ablations import run_all_ablations
-
-    results = run_all_ablations(n_traces=args.traces or 2000)
-    return "\n\n".join(result.render() for result in results)
-
-
-def _run_baselines(args) -> str:
-    from repro.experiments.baseline_models import run_baseline_comparison
-
-    return run_baseline_comparison(n_traces=args.traces or 2000).render()
-
-
-def _run_success_curves(args) -> str:
-    from repro.experiments.success_curves import run_success_curves
-
-    return run_success_curves().render()
-
-
-_COMMANDS = {
-    "table1": _run_table1,
-    "figure2": _run_figure2,
-    "table2": _run_table2,
-    "figure3": _run_figure3,
-    "figure4": _run_figure4,
-    "ablations": _run_ablations,
-    "baselines": _run_baselines,
-    "success-curves": _run_success_curves,
-}
-
-
 def build_parser() -> argparse.ArgumentParser:
+    # known_names() is import-light: the numpy/scipy-heavy experiment
+    # modules only load once a scenario actually runs (in main()).
+    from repro.campaigns.registry import known_names
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the tables and figures of Barenghi & Pelosi (DAC 2018).",
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_COMMANDS) + ["all"],
-        help="which experiment to run",
+        choices=known_names() + ["all"],
+        help="which scenario to run, or 'all' for every registered scenario",
     )
     parser.add_argument(
         "--traces", type=int, default=None, help="trace count override (statistical experiments)"
@@ -97,18 +61,87 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--reps", type=int, default=200, help="microbenchmark repetitions (CPI experiments)"
     )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="stream campaigns in chunks of this many traces (constant memory)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for chunk fan-out (with --chunk-size)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="campaign seed override"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    names = sorted(_COMMANDS) if args.experiment == "all" else [args.experiment]
-    for name in names:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.traces is not None and args.traces <= 0:
+        parser.error(f"--traces must be positive, got {args.traces}")
+    if args.chunk_size is not None and args.chunk_size <= 0:
+        parser.error(f"--chunk-size must be positive, got {args.chunk_size}")
+    if args.jobs < 1:
+        parser.error(f"--jobs must be at least 1, got {args.jobs}")
+    if args.seed is not None and args.seed < 0:
+        parser.error(f"--seed must be non-negative, got {args.seed}")
+    from repro.campaigns import registry
+    from repro.campaigns.registry import RunOptions
+
+    chosen = registry.names() if args.experiment == "all" else [args.experiment]
+    options = RunOptions(
+        n_traces=args.traces,
+        reps=args.reps,
+        chunk_size=args.chunk_size,
+        jobs=args.jobs,
+        seed=args.seed,
+    )
+    reports = []
+    for name in chosen:
+        scenario = registry.get(name)
+        if options.chunk_size is not None and not scenario.supports_chunking:
+            print(
+                f"note: {name} does not support --chunk-size; running its"
+                " standard (monolithic) path",
+                file=sys.stderr,
+            )
+        if options.jobs > 1 and not scenario.supports_jobs:
+            print(
+                f"note: {name} does not support --jobs; running single-process",
+                file=sys.stderr,
+            )
         start = time.time()
-        output = _COMMANDS[name](args)
-        print(f"==== {name} ({time.time() - start:.1f}s) ====")
-        print(output)
-        print()
+        result = scenario.run(options)
+        elapsed = time.time() - start
+        rendered = result.render()
+        matches = getattr(result, "matches_paper", None)
+        if args.format == "json":
+            reports.append(
+                {
+                    "scenario": name,
+                    "title": scenario.title,
+                    "seconds": round(elapsed, 3),
+                    "matches_paper": matches,
+                    "output": rendered,
+                }
+            )
+        else:
+            print(f"==== {name} ({elapsed:.1f}s) ====")
+            print(rendered)
+            print()
+    if args.format == "json":
+        print(json.dumps(reports, indent=2))
     return 0
 
 

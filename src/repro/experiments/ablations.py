@@ -32,9 +32,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.campaigns.accumulators import OnlineCorrAccumulator
+from repro.campaigns.engine import StreamingCampaign
+from repro.campaigns.registry import RunOptions, Scenario, register
 from repro.isa.parser import assemble
 from repro.isa.registers import Reg
-from repro.power.acquisition import BatchInputs, TraceCampaign
+from repro.power.acquisition import BatchInputs
 from repro.power.hamming import hamming_weight
 from repro.power.profile import LeakageProfile, cortex_a7_profile
 from repro.power.scope import ScopeConfig
@@ -103,28 +106,42 @@ def _measure(
     config: PipelineConfig | None = None,
     profile: LeakageProfile | None = None,
     seed: int = 0xAB1A,
+    chunk_size: int | None = None,
+    jobs: int = 1,
 ) -> tuple[float, int]:
     """Peak |corr| of ``model`` at the given components' samples.
 
     Returns ``(peak, n_samples)`` so callers can Bonferroni-correct the
-    significance threshold for the max-over-samples statistic.
+    significance threshold for the max-over-samples statistic.  With
+    ``chunk_size`` set the campaign streams through the engine and the
+    correlation folds chunk by chunk.
     """
     program = assemble(source)
-    campaign = TraceCampaign(
+    engine = StreamingCampaign(
         program,
         config=config,
         profile=profile if profile is not None else cortex_a7_profile(),
         scope=_ablation_scope(),
         seed=seed,
+        chunk_size=chunk_size,
+        jobs=jobs,
     )
-    trace_set = campaign.acquire(inputs)
+    _path, _schedule, leakage = engine.compiled(inputs)
     samples: set[int] = set()
     for name in components:
-        samples.update(int(s) for s in trace_set.leakage.sample_positions(name))
+        samples.update(int(s) for s in leakage.sample_positions(name))
     if not samples:
         return 0.0, 0
     columns = sorted(samples)
-    corr = pearson_corr(model.astype(np.float64), trace_set.traces[:, columns])
+    model = model.astype(np.float64)
+    if chunk_size is None:
+        trace_set = engine.acquire(inputs)
+        corr = pearson_corr(model, trace_set.traces[:, columns])
+    else:
+        accumulator = OnlineCorrAccumulator()
+        for chunk in engine.stream(inputs):
+            accumulator.update(model[chunk.start : chunk.stop], chunk.traces[:, columns])
+        corr = accumulator.correlations()
     return float(corr[np.argmax(np.abs(corr))]), len(columns)
 
 
@@ -160,7 +177,9 @@ def _pad(lines: list[str], n: int = 12) -> list[str]:
 # ----------------------------------------------------------------------
 
 
-def ablate_operand_swap(n_traces: int = 2000, seed: int = 0x0A5B) -> AblationResult:
+def ablate_operand_swap(
+    n_traces: int = 2000, seed: int = 0x0A5B, chunk_size: int | None = None, jobs: int = 1
+) -> AblationResult:
     """§4.2 i+ii: a commutative operand swap re-combines the shares."""
     inputs, secret = _masked_inputs(n_traces, seed)
     model = hamming_weight(secret).astype(np.float64)
@@ -170,8 +189,14 @@ def ablate_operand_swap(n_traces: int = 2000, seed: int = 0x0A5B) -> AblationRes
     # Safe: the second eor is written with its (commutative) operands
     # swapped, so the mask rides the op2 bus instead.
     safe = _pad(["    eor r7, r5, r8", "    eor r9, r10, r6"])
-    corr_unsafe, n_samples = _measure("\n".join(unsafe), inputs, model, _ISSUE_LAYER, seed=seed)
-    corr_safe, _ = _measure("\n".join(safe), inputs, model, _ISSUE_LAYER, seed=seed + 1)
+    corr_unsafe, n_samples = _measure(
+        "\n".join(unsafe), inputs, model, _ISSUE_LAYER, seed=seed,
+        chunk_size=chunk_size, jobs=jobs,
+    )
+    corr_safe, _ = _measure(
+        "\n".join(safe), inputs, model, _ISSUE_LAYER, seed=seed + 1,
+        chunk_size=chunk_size, jobs=jobs,
+    )
     return AblationResult(
         name="operand-swap",
         claim="swapping commutative eor operands combines the shares on the op1 bus",
@@ -181,7 +206,9 @@ def ablate_operand_swap(n_traces: int = 2000, seed: int = 0x0A5B) -> AblationRes
     )
 
 
-def ablate_dual_issue_adjacency(n_traces: int = 2000, seed: int = 0x0A5C) -> AblationResult:
+def ablate_dual_issue_adjacency(
+    n_traces: int = 2000, seed: int = 0x0A5C, chunk_size: int | None = None, jobs: int = 1
+) -> AblationResult:
     """§4.2 iii: dual-issue makes non-adjacent instructions collide."""
     inputs, secret = _masked_inputs(n_traces, seed)
     model = hamming_weight(secret).astype(np.float64)
@@ -190,7 +217,9 @@ def ablate_dual_issue_adjacency(n_traces: int = 2000, seed: int = 0x0A5C) -> Abl
     # instruction sits between them in program order.
     lines = _pad(["    mov r7, r5", "    mov r9, r8", "    mov r11, r6"])
     source = "\n".join(lines)
-    corr_dual, n_samples = _measure(source, inputs, model, _ISSUE_LAYER, seed=seed)
+    corr_dual, n_samples = _measure(
+        source, inputs, model, _ISSUE_LAYER, seed=seed, chunk_size=chunk_size, jobs=jobs
+    )
     corr_single, _ = _measure(
         source,
         inputs,
@@ -198,6 +227,8 @@ def ablate_dual_issue_adjacency(n_traces: int = 2000, seed: int = 0x0A5C) -> Abl
         _ISSUE_LAYER,
         config=PipelineConfig(dual_issue=False),
         seed=seed + 1,
+        chunk_size=chunk_size,
+        jobs=jobs,
     )
     return AblationResult(
         name="dual-issue-adjacency",
@@ -208,7 +239,9 @@ def ablate_dual_issue_adjacency(n_traces: int = 2000, seed: int = 0x0A5C) -> Abl
     )
 
 
-def ablate_nop_insertion(n_traces: int = 2000, seed: int = 0x0A5D) -> AblationResult:
+def ablate_nop_insertion(
+    n_traces: int = 2000, seed: int = 0x0A5D, chunk_size: int | None = None, jobs: int = 1
+) -> AblationResult:
     """§4.1: inserting a nop adds HW leakage modes (bus driven to zero)."""
     rng = np.random.default_rng(seed)
     operand = rng.integers(0, 2**32, size=n_traces, dtype=np.uint64).astype(np.uint32)
@@ -224,9 +257,13 @@ def ablate_nop_insertion(n_traces: int = 2000, seed: int = 0x0A5D) -> AblationRe
         ["    mov r9, r8", "    mov r7, r5", "    mov r9, r8"], n=0
     )
     without_nop = ["    mov r9, r8"] + without_nop
-    corr_with, n_samples = _measure("\n".join(with_nop), inputs, model, _ISSUE_LAYER, seed=seed)
+    corr_with, n_samples = _measure(
+        "\n".join(with_nop), inputs, model, _ISSUE_LAYER, seed=seed,
+        chunk_size=chunk_size, jobs=jobs,
+    )
     corr_without, _ = _measure(
-        "\n".join(without_nop), inputs, model, _ISSUE_LAYER, seed=seed + 1
+        "\n".join(without_nop), inputs, model, _ISSUE_LAYER, seed=seed + 1,
+        chunk_size=chunk_size, jobs=jobs,
     )
     return AblationResult(
         name="nop-insertion",
@@ -237,7 +274,9 @@ def ablate_nop_insertion(n_traces: int = 2000, seed: int = 0x0A5D) -> AblationRe
     )
 
 
-def ablate_lsu_remanence(n_traces: int = 2000, seed: int = 0x0A5E) -> AblationResult:
+def ablate_lsu_remanence(
+    n_traces: int = 2000, seed: int = 0x0A5E, chunk_size: int | None = None, jobs: int = 1
+) -> AblationResult:
     """§4.2 iv: a stored share survives in the LSU and meets the next one."""
     inputs, secret = _masked_inputs(n_traces, seed)
     model = hamming_weight(secret & 0xFF).astype(np.float64)
@@ -253,7 +292,9 @@ def ablate_lsu_remanence(n_traces: int = 2000, seed: int = 0x0A5E) -> AblationRe
         ]
     )
     source = "\n".join(lines) + buffers
-    corr_with, n_samples = _measure(source, inputs, model, ("align_store",), seed=seed)
+    corr_with, n_samples = _measure(
+        source, inputs, model, ("align_store",), seed=seed, chunk_size=chunk_size, jobs=jobs
+    )
     corr_without, _ = _measure(
         source,
         inputs,
@@ -261,6 +302,8 @@ def ablate_lsu_remanence(n_traces: int = 2000, seed: int = 0x0A5E) -> AblationRe
         ("align_store",),
         config=PipelineConfig(lsu_remanence=False),
         seed=seed + 1,
+        chunk_size=chunk_size,
+        jobs=jobs,
     )
     return AblationResult(
         name="lsu-remanence",
@@ -271,7 +314,9 @@ def ablate_lsu_remanence(n_traces: int = 2000, seed: int = 0x0A5E) -> AblationRe
     )
 
 
-def ablate_parallel_shares(n_traces: int = 2000, seed: int = 0x0A5F) -> AblationResult:
+def ablate_parallel_shares(
+    n_traces: int = 2000, seed: int = 0x0A5F, chunk_size: int | None = None, jobs: int = 1
+) -> AblationResult:
     """§4.2 defensive: dual-issuing the two shares separates their buses."""
     inputs, secret = _masked_inputs(n_traces, seed)
     model = hamming_weight(secret).astype(np.float64)
@@ -280,8 +325,14 @@ def ablate_parallel_shares(n_traces: int = 2000, seed: int = 0x0A5F) -> Ablation
     # Parallel: the two movs form an aligned dual-issue pair -> each
     # share has its own slot bus and write-back port.
     parallel = _pad(["    mov r7, r5", "    mov r9, r6"])
-    corr_seq, n_samples = _measure("\n".join(sequential), inputs, model, _ISSUE_LAYER, seed=seed)
-    corr_par, _ = _measure("\n".join(parallel), inputs, model, _ISSUE_LAYER, seed=seed + 1)
+    corr_seq, n_samples = _measure(
+        "\n".join(sequential), inputs, model, _ISSUE_LAYER, seed=seed,
+        chunk_size=chunk_size, jobs=jobs,
+    )
+    corr_par, _ = _measure(
+        "\n".join(parallel), inputs, model, _ISSUE_LAYER, seed=seed + 1,
+        chunk_size=chunk_size, jobs=jobs,
+    )
     return AblationResult(
         name="parallel-shares",
         claim="dual-issuing the shares suppresses the sequential bus collision",
@@ -291,8 +342,15 @@ def ablate_parallel_shares(n_traces: int = 2000, seed: int = 0x0A5F) -> Ablation
     )
 
 
-def ablate_scalar_write_port(n_traces: int = 2000, seed: int = 0x0A60) -> AblationResult:
-    """[18,19]: the scalar core's single write port combines results."""
+def ablate_scalar_write_port(
+    n_traces: int = 2000, seed: int = 0x0A60, chunk_size: int | None = None, jobs: int = 1
+) -> AblationResult:
+    """[18,19]: the scalar core's single write port combines results.
+
+    This contrast compares two *pipeline models* over one batch, so it
+    bypasses the campaign engine; ``chunk_size``/``jobs`` are accepted
+    for signature uniformity and ignored.
+    """
     inputs, secret = _masked_inputs(n_traces, seed)
     model = hamming_weight(secret).astype(np.float64)
     # Two result-producing instructions the A7 dual-issues onto separate
@@ -351,5 +409,51 @@ ALL_ABLATIONS = (
 )
 
 
-def run_all_ablations(n_traces: int = 2000) -> list[AblationResult]:
-    return [ablation(n_traces=n_traces) for ablation in ALL_ABLATIONS]
+def run_all_ablations(
+    n_traces: int = 2000, chunk_size: int | None = None, jobs: int = 1
+) -> list[AblationResult]:
+    return [
+        ablation(n_traces=n_traces, chunk_size=chunk_size, jobs=jobs)
+        for ablation in ALL_ABLATIONS
+    ]
+
+
+class _AblationSuite:
+    """Renderable wrapper so the scenario returns one result object."""
+
+    def __init__(self, results: list[AblationResult]):
+        self.results = results
+
+    @property
+    def matches_paper(self) -> bool:
+        return all(result.demonstrated for result in self.results)
+
+    def render(self) -> str:
+        return "\n\n".join(result.render() for result in self.results)
+
+
+def _scenario_runner(options: RunOptions) -> _AblationSuite:
+    return _AblationSuite(
+        run_all_ablations(
+            n_traces=options.n_traces or 2000,
+            chunk_size=options.chunk_size,
+            jobs=options.jobs,
+        )
+    )
+
+
+SCENARIO = register(
+    Scenario(
+        name="ablations",
+        title="Section-4.2 ablations: one microarchitectural knob per contrast",
+        description=(
+            "Six paired campaigns, each demonstrating one share-combining "
+            "mechanism (and its suppression) from the paper's Section 4."
+        ),
+        runner=_scenario_runner,
+        default_traces=2000,
+        supports_chunking=True,
+        supports_jobs=True,
+        tags=("ablation",),
+    )
+)

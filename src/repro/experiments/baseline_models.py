@@ -25,10 +25,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.audit.auditor import MicroarchAuditor
+from repro.campaigns.accumulators import OnlineCorrAccumulator
+from repro.campaigns.engine import StreamingCampaign
+from repro.campaigns.registry import RunOptions, Scenario, register
 from repro.isa.parser import assemble
 from repro.isa.registers import Reg
 from repro.isa.values import ValueKind
-from repro.power.acquisition import BatchInputs, TraceCampaign
+from repro.power.acquisition import BatchInputs
 from repro.power.hamming import hamming_distance
 from repro.power.isa_level import IsaLevelModel
 from repro.power.scope import ScopeConfig
@@ -103,9 +106,11 @@ def _measure_case(
     value_refs: tuple[tuple[int, ValueKind], tuple[int, ValueKind]],
     n_traces: int,
     seed: int,
+    chunk_size: int | None = None,
+    jobs: int = 1,
 ) -> PredictionCase:
     source = "\n".join(
-        ["    nop"] * 12 + ["bench_start:"] + [f"    {l}" for l in source_lines]
+        ["    nop"] * 12 + ["bench_start:"] + [f"    {line}" for line in source_lines]
         + ["    nop"] * 12 + ["    bx lr"]
     )
     program = assemble(source)
@@ -119,35 +124,42 @@ def _measure_case(
     inputs = BatchInputs(
         n_traces=n_traces, regs={Reg.R5: value_a, Reg.R6: value_b, **fillers}
     )
-    campaign = TraceCampaign(
+    engine = StreamingCampaign(
         program,
         scope=ScopeConfig(noise_sigma=8.0, kernel=(1.0,)),
         seed=seed ^ 0x9999,
+        chunk_size=chunk_size,
+        jobs=jobs,
     )
-    trace_set = campaign.acquire(inputs)
+    _path, _schedule, leakage = engine.compiled(inputs)
     base = program.instruction_at(program.label_address("bench_start")).index
     refs = tuple((base + pos, kind) for pos, kind in value_refs)
+    samples = sorted(
+        {int(s) for comp in _ISSUE_LAYER for s in leakage.sample_positions(comp)}
+    )
+    model = hamming_distance(value_a, value_b).astype(np.float64)
+
+    if chunk_size is None:
+        trace_set = engine.acquire(inputs)
+        table = trace_set.table
+        corr = pearson_corr(model, trace_set.traces[:, samples])
+    else:
+        accumulator = OnlineCorrAccumulator()
+        table = None
+        for chunk in engine.stream(inputs):
+            accumulator.update(model[chunk.start : chunk.stop], chunk.traces[:, samples])
+            table = chunk.trace_set.table
+        corr = accumulator.correlations()
+    peak = float(corr[np.argmax(np.abs(corr))])
 
     # What does the instruction-level model predict?
     isa_model = IsaLevelModel()
-    isa_predicts = isa_model.predicts_interaction(trace_set.table, refs[0], refs[1])
+    isa_predicts = isa_model.predicts_interaction(table, refs[0], refs[1])
 
     # What does the microarchitecture-aware analysis predict?
     taints = {Reg.R5: frozenset({"sA"}), Reg.R6: frozenset({"sB"})}
     auditor = MicroarchAuditor(program, _SHARES, taints)
     micro_predicts = not auditor.audit().clean
-
-    # What do the traces say?
-    model = hamming_distance(value_a, value_b).astype(np.float64)
-    samples = sorted(
-        {
-            int(s)
-            for comp in _ISSUE_LAYER
-            for s in trace_set.leakage.sample_positions(comp)
-        }
-    )
-    corr = pearson_corr(model, trace_set.traces[:, samples])
-    peak = float(corr[np.argmax(np.abs(corr))])
     threshold = significance_threshold(n_traces, 1 - 0.002 / max(len(samples), 1))
     return PredictionCase(
         name=name,
@@ -160,7 +172,12 @@ def _measure_case(
     )
 
 
-def run_baseline_comparison(n_traces: int = 2000, seed: int = 0xBA5E) -> BaselineComparison:
+def run_baseline_comparison(
+    n_traces: int = 2000,
+    seed: int = 0xBA5E,
+    chunk_size: int | None = None,
+    jobs: int = 1,
+) -> BaselineComparison:
     """Measure the three scenarios and each model's verdicts."""
     cases = [
         _measure_case(
@@ -171,6 +188,8 @@ def run_baseline_comparison(n_traces: int = 2000, seed: int = 0xBA5E) -> Baselin
             ((0, ValueKind.OP1), (1, ValueKind.OP1)),
             n_traces,
             seed,
+            chunk_size=chunk_size,
+            jobs=jobs,
         ),
         _measure_case(
             "adjacent-dual-issued",
@@ -180,6 +199,8 @@ def run_baseline_comparison(n_traces: int = 2000, seed: int = 0xBA5E) -> Baselin
             ((0, ValueKind.OP1), (1, ValueKind.OP1)),
             n_traces,
             seed + 1,
+            chunk_size=chunk_size,
+            jobs=jobs,
         ),
         _measure_case(
             "non-adjacent-via-dual-issue",
@@ -190,6 +211,35 @@ def run_baseline_comparison(n_traces: int = 2000, seed: int = 0xBA5E) -> Baselin
             ((0, ValueKind.OP2), (2, ValueKind.OP2)),
             n_traces,
             seed + 2,
+            chunk_size=chunk_size,
+            jobs=jobs,
         ),
     ]
     return BaselineComparison(cases=cases)
+
+
+def _scenario_runner(options: RunOptions) -> BaselineComparison:
+    kwargs = {} if options.seed is None else {"seed": options.seed}
+    return run_baseline_comparison(
+        n_traces=options.n_traces or 2000,
+        chunk_size=options.chunk_size,
+        jobs=options.jobs,
+        **kwargs,
+    )
+
+
+SCENARIO = register(
+    Scenario(
+        name="baselines",
+        title="Instruction-level vs microarchitecture-aware prediction",
+        description=(
+            "The false-positive/false-negative cases where per-instruction "
+            "grey-box models mispredict a superscalar core."
+        ),
+        runner=_scenario_runner,
+        default_traces=2000,
+        supports_chunking=True,
+        supports_jobs=True,
+        tags=("comparison",),
+    )
+)

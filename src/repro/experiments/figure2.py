@@ -57,3 +57,28 @@ def run_figure2(
     return Figure2Result(
         inferred=inferred, expected=CORTEX_A7_EXPECTED, disagreements=disagreements
     )
+
+
+def _scenario_runner(options):
+    return run_figure2(reps=options.reps)
+
+
+def _register_scenario():
+    from repro.campaigns.registry import Scenario, register
+
+    register(
+        Scenario(
+            name="figure2",
+            title="Figure 2: pipeline structure inferred from CPI data",
+            description=(
+                "Black-box inference of issue width, latencies and "
+                "forwarding from the CPI matrix."
+            ),
+            runner=_scenario_runner,
+            default_traces=None,
+            tags=("cpi",),
+        )
+    )
+
+
+_register_scenario()

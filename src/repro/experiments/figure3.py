@@ -25,9 +25,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.crypto.aes_asm import LAYOUT, AesLayout, round1_only_program
+from repro.campaigns.accumulators import CpaAccumulator
+from repro.campaigns.engine import StreamingCampaign
+from repro.campaigns.registry import RunOptions, Scenario, register
+from repro.crypto.aes_asm import LAYOUT, round1_only_program
 from repro.experiments.reporting import ascii_plot, render_table, samples_to_microseconds
-from repro.power.acquisition import TraceCampaign, TraceSet, random_inputs
+from repro.power.acquisition import TraceSet, random_inputs
 from repro.power.profile import LeakageProfile, cortex_a7_profile
 from repro.power.scope import ScopeConfig
 from repro.sca.cpa import CpaResult, cpa_attack
@@ -105,7 +108,6 @@ class Figure3Result:
 
 def _segment_map(trace_set: TraceSet, program) -> dict[str, tuple[int, int]]:
     """Sample ranges of the round-1 primitives, from the emitted labels."""
-    spc = trace_set.leakage.samples_per_cycle
     boundaries: list[tuple[str, int]] = []
     for label in PRIMITIVE_LABELS:
         static_index = program.instruction_at(program.label_address(label)).index
@@ -127,24 +129,46 @@ def run_figure3(
     profile: LeakageProfile | None = None,
     scope: ScopeConfig | None = None,
     seed: int = 0xF16003,
+    chunk_size: int | None = None,
+    jobs: int = 1,
 ) -> Figure3Result:
-    """Acquire the bare-metal campaign and run the Figure-3 CPA."""
+    """Acquire the bare-metal campaign and run the Figure-3 CPA.
+
+    With ``chunk_size`` set the campaign streams through the engine in
+    bounded memory and the CPA folds chunk by chunk; the default runs
+    the historical monolithic path (identical numerics).
+    """
     program = round1_only_program(key)
     inputs = random_inputs(n_traces, mem_blocks={LAYOUT.state: 16}, seed=seed)
-    campaign = TraceCampaign(
+    engine = StreamingCampaign(
         program,
         config=config,
         profile=profile if profile is not None else cortex_a7_profile(),
         scope=scope if scope is not None else figure3_scope(),
         entry="aes_round1",
         seed=seed ^ 0x5A5A,
+        chunk_size=chunk_size,
+        jobs=jobs,
     )
-    trace_set = campaign.acquire(inputs)
     plaintexts = inputs.mem_bytes[LAYOUT.state]
 
-    cpa = cpa_attack(
-        trace_set.traces, lambda guess: hw_sbox_model(plaintexts, byte_index, guess)
-    )
+    if chunk_size is None:
+        trace_set = engine.acquire(inputs)
+        cpa = cpa_attack(
+            trace_set.traces, lambda guess: hw_sbox_model(plaintexts, byte_index, guess)
+        )
+    else:
+        accumulator = CpaAccumulator()
+        trace_set = None
+        for chunk in engine.stream(inputs):
+            chunk_plaintexts = plaintexts[chunk.start : chunk.stop]
+            accumulator.update(
+                chunk.traces,
+                lambda guess: hw_sbox_model(chunk_plaintexts, byte_index, guess),
+            )
+            trace_set = chunk.trace_set
+        assert trace_set is not None
+        cpa = accumulator.result()
     segments = _segment_map(trace_set, program)
     threshold = significance_threshold(n_traces, confidence=0.995)
     timecourse = cpa.timecourse(key[byte_index])
@@ -178,3 +202,30 @@ def run_figure3(
         < 0.4,
     }
     return result
+
+
+def _scenario_runner(options: RunOptions) -> Figure3Result:
+    kwargs = {} if options.seed is None else {"seed": options.seed}
+    return run_figure3(
+        n_traces=options.n_traces or 3000,
+        chunk_size=options.chunk_size,
+        jobs=options.jobs,
+        **kwargs,
+    )
+
+
+SCENARIO = register(
+    Scenario(
+        name="figure3",
+        title="Figure 3: CPA vs time against bare-metal AES",
+        description=(
+            "Round-1 AES campaign on the bare-metal A7 model; CPA with the "
+            "microarchitecture-unaware HW(SubBytes out) model."
+        ),
+        runner=_scenario_runner,
+        default_traces=3000,
+        supports_chunking=True,
+        supports_jobs=True,
+        tags=("cpa", "bare-metal"),
+    )
+)

@@ -31,10 +31,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.campaigns.accumulators import CpaAccumulator
+from repro.campaigns.engine import StreamingCampaign
+from repro.campaigns.registry import RunOptions, Scenario, register
 from repro.crypto.aes_asm import LAYOUT, aes128_program
 from repro.experiments.reporting import ascii_plot, render_table
 from repro.os_sim.environment import Environment, bare_metal, loaded_linux
-from repro.power.acquisition import TraceCampaign, TraceSet, random_inputs
+from repro.power.acquisition import TraceSet, random_inputs
 from repro.power.profile import LeakageProfile, cortex_a7_profile
 from repro.power.scope import ScopeConfig
 from repro.sca.cpa import CpaResult, cpa_attack
@@ -97,14 +100,20 @@ class Figure4Result:
         return "\n".join(parts)
 
 
-def _subbytes_window(program, campaign: TraceCampaign, inputs) -> tuple[int, int]:
+def _subbytes_window(program, engine: StreamingCampaign, inputs) -> tuple[int, int]:
     """Cycle window covering round-1 SubBytes (first dynamic occurrence)."""
-    path, schedule, _leakage = campaign.compile_with(inputs)
+    path, schedule, _leakage = engine.compiled(inputs)
     sb_static = program.instruction_at(program.label_address("sb_start")).index
     shr_static = program.instruction_at(program.label_address("shr_start")).index
     sb_dyn = path.index(sb_static)
     shr_dyn = path.index(shr_static)
     return (schedule.issue_cycle[sb_dyn] - 2, schedule.issue_cycle[shr_dyn] + 6)
+
+
+def _store_poi(leakage, n_samples: int) -> np.ndarray:
+    """Store-path byte-lane points of interest inside the window."""
+    poi = leakage.sample_positions("align_store")
+    return poi[(poi >= 0) & (poi < n_samples)]
 
 
 def _attack(
@@ -118,8 +127,7 @@ def _attack(
     work: the attacker knows the leak lives on the consecutive-store
     buffer, not anywhere in the window.
     """
-    poi = trace_set.leakage.sample_positions("align_store")
-    poi = poi[(poi >= 0) & (poi < trace_set.traces.shape[1])]
+    poi = _store_poi(trace_set.leakage, trace_set.traces.shape[1])
     traces = trace_set.traces[:, poi] if poi.size else trace_set.traces
     return cpa_attack(
         traces,
@@ -138,18 +146,32 @@ def run_figure4(
     environment: Environment | None = None,
     seed: int = 0xF16004,
     check_no_averaging: bool = True,
+    chunk_size: int | None = None,
+    jobs: int = 1,
 ) -> Figure4Result:
-    """Run the loaded-Linux campaign and the chained HD-store attack."""
+    """Run the loaded-Linux campaign and the chained HD-store attack.
+
+    With ``chunk_size`` set every campaign (loaded, bare-metal
+    reference, no-averaging control) streams through the engine and the
+    CPA folds chunk by chunk; the default monolithic path keeps the
+    historical numerics.
+    """
     environment = environment if environment is not None else loaded_linux()
     profile = profile if profile is not None else cortex_a7_profile()
     program = aes128_program(key)
     inputs = random_inputs(n_traces, mem_blocks={LAYOUT.state: 16}, seed=seed)
 
-    prototype = TraceCampaign(program, config=config, profile=profile, entry="aes_main")
+    prototype = StreamingCampaign(
+        program, config=config, profile=profile, entry="aes_main", seed=seed
+    )
     window = _subbytes_window(program, prototype, inputs)
+    plaintexts = inputs.mem_bytes[LAYOUT.state]
+    known = key[byte_index]
 
-    def acquire(env: Environment, scope: ScopeConfig, campaign_seed: int) -> TraceSet:
-        campaign = TraceCampaign(
+    def acquire_and_attack(
+        env: Environment, scope: ScopeConfig, campaign_seed: int
+    ) -> tuple[TraceSet, CpaResult]:
+        engine = StreamingCampaign(
             program,
             config=config,
             profile=profile,
@@ -157,21 +179,38 @@ def run_figure4(
             entry="aes_main",
             window_cycles=window,
             seed=campaign_seed,
+            chunk_size=chunk_size,
+            jobs=jobs,
         )
-        return campaign.acquire(inputs, power_transform=env.transform)
+        if chunk_size is None:
+            trace_set = engine.acquire(inputs, power_transform=env.transform)
+            return trace_set, _attack(trace_set, plaintexts, byte_index, known)
+        accumulator = CpaAccumulator()
+        last_chunk: TraceSet | None = None
+        for chunk in engine.stream(
+            inputs, power_transform_factory=lambda i: env.reseeded(i).transform
+        ):
+            poi = _store_poi(chunk.trace_set.leakage, chunk.traces.shape[1])
+            traces = chunk.traces[:, poi] if poi.size else chunk.traces
+            chunk_plaintexts = plaintexts[chunk.start : chunk.stop]
+            accumulator.update(
+                traces,
+                lambda guess: hd_consecutive_stores_model(
+                    chunk_plaintexts, byte_index, (known, guess)
+                ),
+            )
+            last_chunk = chunk.trace_set
+        assert last_chunk is not None
+        return last_chunk, accumulator.result()
 
-    loaded = acquire(environment, figure4_scope(environment), seed ^ 0x1111)
-    plaintexts = inputs.mem_bytes[LAYOUT.state]
-    known = key[byte_index]
-    cpa = _attack(loaded, plaintexts, byte_index, known)
+    loaded, cpa = acquire_and_attack(environment, figure4_scope(environment), seed ^ 0x1111)
     true_next = key[byte_index + 1]
     margin = cpa.margin_confidence()
     peak_loaded = float(np.max(np.abs(cpa.timecourse(true_next))))
 
     # Bare-metal reference with the same (matched) model.
     bare_env = bare_metal()
-    bare = acquire(bare_env, figure4_scope(bare_env), seed ^ 0x2222)
-    cpa_bare = _attack(bare, plaintexts, byte_index, known)
+    _bare, cpa_bare = acquire_and_attack(bare_env, figure4_scope(bare_env), seed ^ 0x2222)
     peak_bare = float(np.max(np.abs(cpa_bare.timecourse(true_next))))
 
     no_avg_rank: int | None = None
@@ -184,8 +223,9 @@ def run_figure4(
             n_averages=1,
             seed=environment.seed,
         )
-        noisy = acquire(env_no_avg, figure4_scope(env_no_avg), seed ^ 0x3333)
-        cpa_noisy = _attack(noisy, plaintexts, byte_index, known)
+        _noisy, cpa_noisy = acquire_and_attack(
+            env_no_avg, figure4_scope(env_no_avg), seed ^ 0x3333
+        )
         no_avg_rank = cpa_noisy.rank_of(true_next)
 
     result = Figure4Result(
@@ -209,3 +249,31 @@ def run_figure4(
             no_avg_rank is None or no_avg_rank > 0 or peak_loaded < peak_bare
         )
     return result
+
+
+def _scenario_runner(options: RunOptions) -> Figure4Result:
+    kwargs = {} if options.seed is None else {"seed": options.seed}
+    return run_figure4(
+        n_traces=options.n_traces or 100,
+        chunk_size=options.chunk_size,
+        jobs=options.jobs,
+        **kwargs,
+    )
+
+
+SCENARIO = register(
+    Scenario(
+        name="figure4",
+        title="Figure 4: CPA against AES under a loaded Linux system",
+        description=(
+            "Apache-saturated Linux environment; chained HD(consecutive "
+            "SubBytes stores) attack with bare-metal and no-averaging "
+            "controls."
+        ),
+        runner=_scenario_runner,
+        default_traces=100,
+        supports_chunking=True,
+        supports_jobs=True,
+        tags=("cpa", "os"),
+    )
+)

@@ -14,9 +14,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.campaigns.engine import StreamingCampaign
+from repro.campaigns.registry import RunOptions, Scenario, register
 from repro.crypto.aes_asm import LAYOUT, round1_only_program
 from repro.experiments.reporting import render_table
-from repro.power.acquisition import TraceCampaign, random_inputs
+from repro.power.acquisition import random_inputs
 from repro.power.scope import ScopeConfig
 from repro.sca.cpa import cpa_attack
 from repro.sca.distinguish import success_rate
@@ -69,13 +71,16 @@ def run_success_curves(
     """
     program = round1_only_program(key)
     inputs = random_inputs(n_campaign, mem_blocks={LAYOUT.state: 16}, seed=seed)
-    campaign = TraceCampaign(
+    # The repeated random sub-samplings need the whole matrix resident,
+    # so this scenario acquires monolithically through the engine (and
+    # benefits from its schedule cache), rather than streaming.
+    engine = StreamingCampaign(
         program,
         scope=ScopeConfig(noise_sigma=noise_sigma, n_averages=16),
         entry="aes_round1",
         seed=seed ^ 0xAAAA,
     )
-    trace_set = campaign.acquire(inputs)
+    trace_set = engine.acquire(inputs)
     plaintexts = inputs.mem_bytes[LAYOUT.state]
     traces = trace_set.traces
 
@@ -108,3 +113,27 @@ def run_success_curves(
         hd_attack, n_campaign, key[byte_index + 1], list(trace_counts), n_repeats, seed=seed
     )
     return SuccessCurves(hw_model=hw_rates, hd_model=hd_rates, n_repeats=n_repeats)
+
+
+def _scenario_runner(options: RunOptions) -> SuccessCurves:
+    kwargs = {} if options.seed is None else {"seed": options.seed}
+    if options.n_traces is not None:
+        kwargs["n_campaign"] = options.n_traces
+    return run_success_curves(**kwargs)
+
+
+SCENARIO = register(
+    Scenario(
+        name="success-curves",
+        title="Success-rate curves: attack quality vs trace budget",
+        description=(
+            "Sub-sampled success rates of the Figure-3 and Figure-4 models "
+            "over increasing trace budgets."
+        ),
+        runner=_scenario_runner,
+        default_traces=1200,
+        supports_chunking=False,
+        supports_jobs=False,
+        tags=("cpa", "evaluation"),
+    )
+)

@@ -94,3 +94,28 @@ def run_table1(
         key for key, expected in PAPER_TABLE1.items() if measured.get(key) is not expected
     ]
     return Table1Result(matrix=matrix, measured=measured, mismatches=sorted(mismatches))
+
+
+def _scenario_runner(options):
+    return run_table1(reps=options.reps)
+
+
+def _register_scenario():
+    from repro.campaigns.registry import Scenario, register
+
+    register(
+        Scenario(
+            name="table1",
+            title="Table 1: dual-issue pairing matrix of the Cortex-A7",
+            description=(
+                "49-cell CPI micro-benchmark matrix classifying which "
+                "instruction pairs dual-issue."
+            ),
+            runner=_scenario_runner,
+            default_traces=None,
+            tags=("cpi",),
+        )
+    )
+
+
+_register_scenario()

@@ -35,11 +35,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.campaigns.accumulators import OnlineCorrAccumulator
+from repro.campaigns.engine import StreamingCampaign
+from repro.campaigns.registry import RunOptions, Scenario, register
 from repro.experiments.reporting import render_table
 from repro.isa.parser import assemble
 from repro.isa.registers import Reg
 from repro.isa.values import ValueKind
-from repro.power.acquisition import BatchInputs, TraceCampaign
+from repro.power.acquisition import BatchInputs
 from repro.power.profile import LeakageProfile, cortex_a7_profile
 from repro.power.scope import ScopeConfig
 from repro.sca.stats import pearson_corr, significance_threshold
@@ -431,7 +434,7 @@ class Table2Result:
             parts.append("")
         if self.shift_magnitude_ratio is not None:
             parts.append(
-                f"shifter-buffer magnitude ratio vs ALU leakage: "
+                "shifter-buffer magnitude ratio vs ALU leakage: "
                 f"{self.shift_magnitude_ratio:.2f} (paper: about 1/10)"
             )
         verdict = "MATCH" if self.matches_paper else "MISMATCHES:\n  " + "\n  ".join(
@@ -489,8 +492,16 @@ def run_table2(
     profile: LeakageProfile | None = None,
     seed: int = 0x7AB1E2,
     confidence: float = 0.995,
+    chunk_size: int | None = None,
+    jobs: int = 1,
 ) -> Table2Result:
-    """Run all seven benchmarks and classify every model expression."""
+    """Run all seven benchmarks and classify every model expression.
+
+    With ``chunk_size`` set each benchmark campaign streams through the
+    engine; every (component, model) correlation folds chunk by chunk in
+    an :class:`OnlineCorrAccumulator`.  The default monolithic path
+    keeps the historical numerics.
+    """
     config = config if config is not None else PipelineConfig()
     profile = profile if profile is not None else cortex_a7_profile()
     threshold = significance_threshold(n_traces, confidence)
@@ -501,27 +512,61 @@ def run_table2(
     for row, spec in enumerate(benchmark_specs()):
         program = assemble(benchmark_source(spec))
         inputs = benchmark_inputs(spec, n_traces, seed + row)
-        campaign = TraceCampaign(
-            program, config=config, profile=profile, scope=table2_scope(), seed=seed + 31 * row
+        engine = StreamingCampaign(
+            program,
+            config=config,
+            profile=profile,
+            scope=table2_scope(),
+            seed=seed + 31 * row,
+            chunk_size=chunk_size,
+            jobs=jobs,
         )
-        trace_set = campaign.acquire(inputs)
+        _path, schedule, leakage = engine.compiled(inputs)
         bench_base = program.instruction_at(program.label_address("bench_start")).index
-
-        model_outcomes = []
-        for model in spec.models:
-            samples = _model_samples(
-                trace_set.leakage,
+        model_samples = [
+            _model_samples(
+                leakage,
                 COLUMN_COMPONENTS[model.column],
                 bench_base,
                 model.refs,
                 extend=model.column != "Register File",
             )
-            if samples.size == 0:
-                peak = 0.0
-            else:
+            for model in spec.models
+        ]
+
+        peaks: list[float]
+        if chunk_size is None:
+            trace_set = engine.acquire(inputs)
+            peaks = []
+            for model, samples in zip(spec.models, model_samples):
+                if samples.size == 0:
+                    peaks.append(0.0)
+                    continue
                 values = _model_values(trace_set.table, bench_base, model.refs, n_traces)
                 corr = pearson_corr(values, trace_set.traces[:, samples])
-                peak = float(corr[np.argmax(np.abs(corr))])
+                peaks.append(float(corr[np.argmax(np.abs(corr))]))
+        else:
+            accumulators = [OnlineCorrAccumulator() for _ in spec.models]
+            for chunk in engine.stream(inputs):
+                for model, samples, accumulator in zip(
+                    spec.models, model_samples, accumulators
+                ):
+                    if samples.size == 0:
+                        continue
+                    values = _model_values(
+                        chunk.trace_set.table, bench_base, model.refs, chunk.n_traces
+                    )
+                    accumulator.update(values, chunk.traces[:, samples])
+            peaks = []
+            for samples, accumulator in zip(model_samples, accumulators):
+                if samples.size == 0:
+                    peaks.append(0.0)
+                    continue
+                corr = accumulator.correlations()
+                peaks.append(float(corr[np.argmax(np.abs(corr))]))
+
+        model_outcomes = []
+        for model, peak in zip(spec.models, peaks):
             outcome = ModelOutcome(spec=model, peak_corr=peak, threshold=threshold)
             model_outcomes.append(outcome)
             if model.column == "Shift Buffer" and model.expect == RED:
@@ -530,7 +575,7 @@ def run_table2(
                 alu_peaks.append(abs(peak))
 
         bench_dyn = range(bench_base, bench_base + len(spec.sequence))
-        dual_measured = any(trace_set.schedule.dual[d] for d in bench_dyn)
+        dual_measured = any(schedule.dual[d] for d in bench_dyn)
         outcomes.append(
             BenchmarkOutcome(spec=spec, dual_measured=dual_measured, outcomes=model_outcomes)
         )
@@ -539,3 +584,30 @@ def run_table2(
     if shift_peaks and alu_peaks:
         ratio = float(np.mean(shift_peaks) / np.mean(alu_peaks))
     return Table2Result(benchmarks=outcomes, n_traces=n_traces, shift_magnitude_ratio=ratio)
+
+
+def _scenario_runner(options: RunOptions) -> Table2Result:
+    kwargs = {} if options.seed is None else {"seed": options.seed}
+    return run_table2(
+        n_traces=options.n_traces or 3000,
+        chunk_size=options.chunk_size,
+        jobs=options.jobs,
+        **kwargs,
+    )
+
+
+SCENARIO = register(
+    Scenario(
+        name="table2",
+        title="Table 2: micro-benchmark leakage characterization",
+        description=(
+            "Seven instruction-sequence benchmarks; every (component, model) "
+            "cell classified red/black at >99.5% confidence."
+        ),
+        runner=_scenario_runner,
+        default_traces=3000,
+        supports_chunking=True,
+        supports_jobs=True,
+        tags=("characterization",),
+    )
+)

@@ -30,7 +30,7 @@ from repro.isa.opcodes import Cond, Opcode
 from repro.isa.operands import AddrMode, Imm, RegShift, ShiftKind
 from repro.isa.program import Program
 from repro.isa.registers import Reg
-from repro.isa.semantics import HALT_ADDRESS, ExecutionError, condition_passed
+from repro.isa.semantics import HALT_ADDRESS, ExecutionError
 from repro.isa.values import ValueKind, ValueSource
 
 _PAGE_BITS = 12
@@ -299,7 +299,6 @@ class VectorExecutor:
     # ------------------------------------------------------------------
 
     def _step(self, instr: Instruction, state: VectorState, records: list[_DynValues]) -> int:
-        n = self.n_traces
         values: dict[ValueKind, np.ndarray] = {}
         records.append(_DynValues(instr, values))
         next_pc = instr.address + 4

@@ -9,7 +9,7 @@ the oscilloscope chain, plus environment-appropriate scope settings
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -40,6 +40,19 @@ class Environment:
             adc_range=base.adc_range,
             jitter_samples=max(base.jitter_samples, self.trigger_jitter_samples),
         )
+
+    def reseeded(self, stream: int) -> "Environment":
+        """A copy whose noise realization is decorrelated per ``stream``.
+
+        Used by chunked acquisition: ``transform`` draws from a fixed
+        seed, so feeding it successive chunks would repeat the same
+        foreign-activity pattern; stream ``i`` of a campaign uses
+        ``reseeded(i)`` (stream 0 keeps the seed, preserving the
+        monolithic realization).
+        """
+        from repro.power.acquisition import derive_seed
+
+        return replace(self, seed=derive_seed(self.seed, stream))
 
     def transform(self, power: np.ndarray) -> np.ndarray:
         """The averaged power as recorded in this environment.

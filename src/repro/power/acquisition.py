@@ -54,6 +54,36 @@ class BatchInputs:
         regs = {reg: int(values[index]) for reg, values in self.regs.items()}
         return mem, regs
 
+    def slice(self, start: int, stop: int) -> "BatchInputs":
+        """The sub-batch covering traces ``[start, stop)`` (views, no copies)."""
+        stop = min(stop, self.n_traces)
+        if not 0 <= start < stop:
+            raise ValueError(f"empty input slice [{start}, {stop})")
+        return BatchInputs(
+            n_traces=stop - start,
+            mem_bytes={addr: data[start:stop] for addr, data in self.mem_bytes.items()},
+            regs={reg: values[start:stop] for reg, values in self.regs.items()},
+        )
+
+    def signature(self) -> tuple:
+        """Shape fingerprint: same-signature batches share one schedule."""
+        return (
+            tuple(sorted(reg.value if hasattr(reg, "value") else reg for reg in self.regs)),
+            tuple(sorted((addr, data.shape[1]) for addr, data in self.mem_bytes.items())),
+        )
+
+
+def derive_seed(base: int, stream: int) -> int:
+    """A decorrelated child seed for acquisition/chunk ``stream``.
+
+    ``stream == 0`` returns ``base`` unchanged so the first acquisition
+    (and the first chunk of a streamed campaign) reproduces the
+    historical single-shot noise realization byte for byte.
+    """
+    if stream == 0:
+        return int(base)
+    return int(np.random.SeedSequence([int(base), int(stream)]).generate_state(1)[0])
+
 
 @dataclass
 class TraceSet:
@@ -101,12 +131,33 @@ class TraceCampaign:
         self.keep_power = keep_power
         self.pipeline = Pipeline(self.config)
         self._compiled: tuple[list[int], Schedule, LeakageSchedule] | None = None
+        self._compiled_signature: tuple | None = None
+        #: number of schedule compilations performed (regression-tested)
+        self.compile_count = 0
+        #: number of acquisitions performed (drives per-acquisition noise)
+        self.acquire_count = 0
 
     # ------------------------------------------------------------------
+
+    def _schedule_input_independent(self) -> bool:
+        """Is the compiled schedule valid for any same-shape batch?
+
+        Branch divergence is caught by the path check in ``acquire``,
+        but a conditionally-executed *non-branch* instruction appears in
+        the dynamic path either way, so its schedule may not be reused
+        across batches whose condition outcome could differ.
+        """
+        from repro.isa.opcodes import Cond
+
+        return all(
+            instr.cond is Cond.AL or instr.is_branch
+            for instr in self.program.instructions
+        )
 
     def compile_with(self, inputs: BatchInputs) -> tuple[list[int], Schedule, LeakageSchedule]:
         """Run the reference executor on trace 0 and compile the schedule."""
         inputs.validate()
+        self.compile_count += 1
         executor = Executor(self.program)
         state = executor.fresh_state()
         mem, regs = inputs.row(0)
@@ -123,24 +174,11 @@ class TraceCampaign:
             window=self.window_cycles,
         )
         self._compiled = (result.path, schedule, leakage)
+        self._compiled_signature = inputs.signature()
         return self._compiled
 
-    def acquire(
-        self,
-        inputs: BatchInputs,
-        extra_noise: np.ndarray | None = None,
-        power_transform=None,
-    ) -> TraceSet:
-        """Acquire one campaign of traces for the given inputs.
-
-        ``power_transform`` optionally rewrites the noise-free power
-        matrix before the oscilloscope chain — the OS environment models
-        of :mod:`repro.os_sim` plug in here (preemption scales the
-        victim's signal, the background workload adds on top).
-        """
-        inputs.validate()
-        path, schedule, leakage = self.compile_with(inputs)
-
+    def _run_batch(self, inputs: BatchInputs, leakage: LeakageSchedule):
+        """One vectorized execution of the batch under a leakage schedule."""
         keep_range: tuple[int, int] | None = None
         if self.window_cycles is not None:
             # Retain exactly the values the compiled leakage schedule
@@ -164,17 +202,67 @@ class TraceCampaign:
             vstate.write_reg(reg, values.astype(np.uint32))
         for address, data in inputs.mem_bytes.items():
             vstate.memory.load_per_trace(address, np.asarray(data, dtype=np.uint8))
-        result = vexec.run(state=vstate, entry=self.entry)
+        return vexec.run(state=vstate, entry=self.entry)
+
+    def acquire(
+        self,
+        inputs: BatchInputs,
+        extra_noise: np.ndarray | None = None,
+        power_transform=None,
+        scope_seed: int | None = None,
+    ) -> TraceSet:
+        """Acquire one campaign of traces for the given inputs.
+
+        ``power_transform`` optionally rewrites the noise-free power
+        matrix before the oscilloscope chain — the OS environment models
+        of :mod:`repro.os_sim` plug in here (preemption scales the
+        victim's signal, the background workload adds on top).
+
+        ``scope_seed`` pins the oscilloscope noise stream (the streaming
+        engine passes a per-chunk seed); by default each acquisition
+        derives a fresh stream from the campaign seed, so two campaigns
+        over the same inputs measure independent noise.
+        """
+        inputs.validate()
+        reused = (
+            self._compiled is not None
+            and self._compiled_signature == inputs.signature()
+            and self._schedule_input_independent()
+        )
+        if reused:
+            # Data-independent timing: the schedule depends only on the
+            # program and the input *shape*, so same-shape batches reuse
+            # the compiled schedule.  Programs with conditionally-executed
+            # non-branch instructions are excluded (a batch could
+            # uniformly take the *other* outcome, invisible to the path
+            # check); a cached *branch* path that no longer matches is
+            # caught below and recompiled against the batch at hand.
+            assert self._compiled is not None
+            path, schedule, leakage = self._compiled
+        else:
+            path, schedule, leakage = self.compile_with(inputs)
+
+        result = self._run_batch(inputs, leakage)
         if result.path != path:
-            raise ExecutionError(
-                "batch execution diverged from the compile-time path; "
-                "the program's control flow is input-dependent"
-            )
+            if reused:
+                # The cached branch path came from a different batch
+                # (e.g. a uniformly different branch direction); compile
+                # against this one and retry before declaring divergence.
+                path, schedule, leakage = self.compile_with(inputs)
+                result = self._run_batch(inputs, leakage)
+            if result.path != path:
+                raise ExecutionError(
+                    "batch execution diverged from the compile-time path; "
+                    "the program's control flow is input-dependent"
+                )
 
         power = leakage.evaluate(result.table, self.profile)
         if power_transform is not None:
             power = power_transform(power)
-        scope = Oscilloscope(self.scope_config, seed=self.seed)
+        if scope_seed is None:
+            scope_seed = derive_seed(self.seed, self.acquire_count)
+        self.acquire_count += 1
+        scope = Oscilloscope(self.scope_config, seed=scope_seed)
         traces = scope.capture(power, extra_noise=extra_noise)
         return TraceSet(
             traces=traces,

@@ -21,7 +21,7 @@ experiment quantifies the two failure modes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

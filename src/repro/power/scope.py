@@ -9,7 +9,7 @@ per stored trace that both Figure 3 and Figure 4 use.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 from scipy.signal import lfilter

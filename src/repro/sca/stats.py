@@ -26,7 +26,6 @@ def pearson_corr(models: np.ndarray, traces: np.ndarray) -> np.ndarray:
     t = traces.astype(np.float64)
     if m.shape[0] != t.shape[0]:
         raise ValueError(f"trace count mismatch: {m.shape[0]} vs {t.shape[0]}")
-    n = m.shape[0]
     mc = m - m.mean(axis=0, keepdims=True)
     tc = t - t.mean(axis=0, keepdims=True)
     m_norm = np.sqrt((mc**2).sum(axis=0))

@@ -18,7 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.isa.executor import run_program
-from repro.isa.opcodes import InstrClass
 from repro.isa.parser import assemble
 from repro.uarch.config import PipelineConfig
 from repro.uarch.pipeline import Pipeline

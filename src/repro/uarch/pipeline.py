@@ -27,7 +27,7 @@ Timing model:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Cond, Opcode

@@ -1,0 +1,216 @@
+"""Online accumulators: streamed statistics equal the monolithic ones."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaigns.accumulators import (
+    CpaAccumulator,
+    OnlineCorrAccumulator,
+    OnlineMeanVar,
+    OnlineSnrAccumulator,
+    OnlineTTestAccumulator,
+)
+from repro.sca.cpa import cpa_attack
+from repro.sca.snr import partition_snr
+from repro.sca.stats import pearson_corr
+from repro.sca.ttest import welch_ttest
+
+#: chunk sizes covering the degenerate cases: one trace per chunk, a
+#: size that does not divide n, and a chunk larger than the campaign
+CHUNK_SIZES = (1, 7, 64, 10_000)
+
+
+def _chunks(n, size):
+    return [(lo, min(lo + size, n)) for lo in range(0, n, size)]
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(0xACC)
+    n, n_models, n_samples = 523, 9, 41
+    models = rng.normal(120.0, 5.0, size=(n, n_models))
+    traces = rng.normal(-30.0, 11.0, size=(n, n_samples))
+    return models, traces
+
+
+class TestOnlineMeanVar:
+    @pytest.mark.parametrize("chunk", CHUNK_SIZES)
+    def test_matches_numpy(self, data, chunk):
+        _models, traces = data
+        acc = OnlineMeanVar()
+        for lo, hi in _chunks(traces.shape[0], chunk):
+            acc.update(traces[lo:hi])
+        assert acc.n == traces.shape[0]
+        np.testing.assert_allclose(acc.mean, traces.mean(axis=0), atol=1e-10)
+        np.testing.assert_allclose(acc.var(), traces.var(axis=0), atol=1e-10)
+        np.testing.assert_allclose(acc.var(ddof=1), traces.var(axis=0, ddof=1), atol=1e-10)
+
+    def test_merge_equals_sequential(self, data):
+        _models, traces = data
+        left, right = OnlineMeanVar(), OnlineMeanVar()
+        left.update(traces[:200])
+        right.update(traces[200:])
+        left.merge(right)
+        np.testing.assert_allclose(left.mean, traces.mean(axis=0), atol=1e-10)
+        np.testing.assert_allclose(left.var(), traces.var(axis=0), atol=1e-10)
+
+    def test_empty_chunk_is_a_noop(self, data):
+        _models, traces = data
+        acc = OnlineMeanVar()
+        acc.update(traces)
+        acc.update(traces[:0])
+        assert acc.n == traces.shape[0]
+
+    def test_not_enough_observations(self):
+        acc = OnlineMeanVar()
+        with pytest.raises(ValueError):
+            acc.var()
+
+    @given(seed=st.integers(0, 2**16), chunk=st.integers(1, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_property_any_chunking(self, seed, chunk):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(rng.uniform(-100, 100), rng.uniform(0.1, 20), size=(97, 3))
+        acc = OnlineMeanVar()
+        for lo, hi in _chunks(values.shape[0], chunk):
+            acc.update(values[lo:hi])
+        np.testing.assert_allclose(acc.mean, values.mean(axis=0), atol=1e-10)
+        np.testing.assert_allclose(acc.var(), values.var(axis=0), atol=1e-10)
+
+
+class TestOnlineCorr:
+    @pytest.mark.parametrize("chunk", CHUNK_SIZES)
+    def test_matches_pearson_corr(self, data, chunk):
+        models, traces = data
+        reference = pearson_corr(models, traces)
+        acc = OnlineCorrAccumulator()
+        for lo, hi in _chunks(models.shape[0], chunk):
+            acc.update(models[lo:hi], traces[lo:hi])
+        np.testing.assert_allclose(acc.correlations(), reference, atol=1e-10)
+
+    @pytest.mark.parametrize("chunk", CHUNK_SIZES)
+    def test_single_model_shape(self, data, chunk):
+        models, traces = data
+        model = models[:, 0]
+        reference = pearson_corr(model, traces)
+        acc = OnlineCorrAccumulator()
+        for lo, hi in _chunks(model.shape[0], chunk):
+            acc.update(model[lo:hi], traces[lo:hi])
+        streamed = acc.correlations()
+        assert streamed.shape == reference.shape
+        np.testing.assert_allclose(streamed, reference, atol=1e-10)
+
+    def test_zero_variance_columns_yield_zero(self):
+        traces = np.ones((50, 4))
+        model = np.arange(50, dtype=np.float64)
+        acc = OnlineCorrAccumulator()
+        for lo, hi in _chunks(50, 16):
+            acc.update(model[lo:hi], traces[lo:hi])
+        np.testing.assert_array_equal(acc.correlations(), np.zeros(4))
+
+    def test_merge_equals_sequential(self, data):
+        models, traces = data
+        reference = pearson_corr(models, traces)
+        left, right = OnlineCorrAccumulator(), OnlineCorrAccumulator()
+        left.update(models[:100], traces[:100])
+        right.update(models[100:], traces[100:])
+        left.merge(right)
+        np.testing.assert_allclose(left.correlations(), reference, atol=1e-10)
+
+    def test_mismatched_rows_rejected(self, data):
+        models, traces = data
+        acc = OnlineCorrAccumulator()
+        with pytest.raises(ValueError):
+            acc.update(models[:10], traces[:11])
+
+    def test_no_chunks_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineCorrAccumulator().correlations()
+
+
+class TestOnlineSnr:
+    @pytest.mark.parametrize("chunk", CHUNK_SIZES)
+    def test_matches_partition_snr(self, data, chunk):
+        _models, traces = data
+        rng = np.random.default_rng(3)
+        labels = rng.integers(0, 9, size=traces.shape[0])
+        reference = partition_snr(traces, labels)
+        acc = OnlineSnrAccumulator()
+        for lo, hi in _chunks(traces.shape[0], chunk):
+            acc.update(traces[lo:hi], labels[lo:hi])
+        result = acc.result()
+        assert result.n_classes == reference.n_classes
+        np.testing.assert_allclose(result.snr, reference.snr, atol=1e-10)
+        np.testing.assert_allclose(result.nicv, reference.nicv, atol=1e-10)
+
+    def test_small_classes_excluded(self):
+        traces = np.random.default_rng(4).normal(size=(40, 3))
+        labels = np.array([0] * 20 + [1] * 19 + [2])  # class 2 has one member
+        acc = OnlineSnrAccumulator()
+        acc.update(traces, labels)
+        assert acc.result().n_classes == 2
+
+    def test_too_few_classes_rejected(self):
+        acc = OnlineSnrAccumulator()
+        acc.update(np.ones((10, 2)), np.zeros(10, dtype=int))
+        with pytest.raises(ValueError):
+            acc.result()
+
+
+class TestOnlineTTest:
+    @pytest.mark.parametrize("chunk", CHUNK_SIZES)
+    def test_matches_welch_ttest(self, chunk):
+        rng = np.random.default_rng(5)
+        group_a = rng.normal(0.0, 1.0, size=(311, 23))
+        group_b = rng.normal(0.2, 1.1, size=(287, 23))
+        reference = welch_ttest(group_a, group_b)
+        acc = OnlineTTestAccumulator()
+        for lo, hi in _chunks(group_a.shape[0], chunk):
+            acc.update_a(group_a[lo:hi])
+        for lo, hi in _chunks(group_b.shape[0], chunk):
+            acc.update_b(group_b[lo:hi])
+        result = acc.result()
+        np.testing.assert_allclose(result.t_values, reference.t_values, atol=1e-10)
+        assert np.array_equal(result.leaking_samples, reference.leaking_samples)
+
+    def test_underpopulated_group_rejected(self):
+        acc = OnlineTTestAccumulator()
+        acc.update_a(np.ones((5, 2)))
+        acc.update_b(np.ones((1, 2)))
+        with pytest.raises(ValueError):
+            acc.result()
+
+
+class TestCpaAccumulator:
+    @pytest.mark.parametrize("chunk", CHUNK_SIZES)
+    def test_matches_monolithic_cpa(self, chunk):
+        rng = np.random.default_rng(6)
+        n, n_samples = 400, 31
+        plaintexts = rng.integers(0, 256, size=n)
+        secret = 0x3C
+        signal = np.bitwise_count((plaintexts ^ secret).astype(np.uint8))
+        traces = rng.normal(size=(n, n_samples))
+        traces[:, 11] += 0.8 * signal
+
+        def model_for(rows):
+            pts = plaintexts[rows]
+            return lambda guess: np.bitwise_count((pts ^ guess).astype(np.uint8)).astype(
+                np.float64
+            )
+
+        reference = cpa_attack(traces, model_for(slice(None)))
+        acc = CpaAccumulator()
+        for lo, hi in _chunks(n, chunk):
+            acc.update(traces[lo:hi], model_for(slice(lo, hi)))
+        streamed = acc.result()
+        assert streamed.n_traces == reference.n_traces
+        assert streamed.best_guess == reference.best_guess == secret
+        np.testing.assert_allclose(
+            streamed.correlations, reference.correlations, atol=1e-10
+        )
+
+    def test_merge_requires_same_guesses(self):
+        with pytest.raises(ValueError):
+            CpaAccumulator(range(4)).merge(CpaAccumulator(range(5)))

@@ -1,0 +1,188 @@
+"""Streaming engine: chunking, determinism, parallelism, schedule cache."""
+
+import numpy as np
+import pytest
+
+from repro.campaigns.engine import (
+    StreamingCampaign,
+    clear_schedule_cache,
+    schedule_cache_info,
+)
+from repro.isa.parser import assemble
+from repro.isa.registers import Reg
+from repro.power.acquisition import TraceCampaign, random_inputs
+from repro.power.scope import ScopeConfig
+
+SRC = """
+    add r0, r1, r2
+    eor r3, r0, r1
+    lsl r4, r3, #3
+    str r3, [r9]
+    bx lr
+    .org 0x30000
+buf:
+    .space 64
+"""
+
+
+def make_inputs(n=48, seed=11):
+    inputs = random_inputs(n, reg_names=(Reg.R1, Reg.R2), seed=seed)
+    inputs.regs[Reg.R9] = np.full(n, 0x30000, dtype=np.uint32)
+    return inputs
+
+
+def make_engine(seed=0xE1, **kwargs):
+    return StreamingCampaign(
+        assemble(SRC), scope=ScopeConfig(noise_sigma=3.0), seed=seed, **kwargs
+    )
+
+
+class TestMonolithicEquivalence:
+    def test_engine_acquire_equals_legacy_campaign(self):
+        inputs = make_inputs()
+        legacy = TraceCampaign(
+            assemble(SRC), scope=ScopeConfig(noise_sigma=3.0), seed=0xE1
+        ).acquire(inputs)
+        engine = make_engine()
+        np.testing.assert_array_equal(engine.acquire(inputs).traces, legacy.traces)
+
+    def test_single_chunk_stream_equals_monolithic(self):
+        inputs = make_inputs()
+        monolithic = make_engine().acquire(inputs)
+        chunks = list(make_engine().stream(inputs, chunk_size=1_000))
+        assert len(chunks) == 1
+        np.testing.assert_array_equal(chunks[0].traces, monolithic.traces)
+
+
+class TestChunking:
+    def test_chunk_bounds_cover_the_campaign(self):
+        engine = make_engine()
+        assert engine.chunk_bounds(10, None) == [(0, 10)]
+        assert engine.chunk_bounds(10, 100) == [(0, 10)]
+        assert engine.chunk_bounds(10, 4) == [(0, 4), (4, 8), (8, 10)]
+        assert engine.chunk_bounds(3, 1) == [(0, 1), (1, 2), (2, 3)]
+        with pytest.raises(ValueError):
+            engine.chunk_bounds(10, 0)
+
+    @pytest.mark.parametrize("chunk_size", (1, 7, 16))
+    def test_chunks_tile_the_inputs(self, chunk_size):
+        inputs = make_inputs()
+        covered = 0
+        for chunk in make_engine().stream(inputs, chunk_size=chunk_size):
+            assert chunk.start == covered
+            assert chunk.n_traces == chunk.traces.shape[0]
+            np.testing.assert_array_equal(
+                chunk.inputs.regs[Reg.R1], inputs.regs[Reg.R1][chunk.start : chunk.stop]
+            )
+            covered = chunk.stop
+        assert covered == inputs.n_traces
+
+    def test_stream_is_deterministic(self):
+        inputs = make_inputs()
+        engine = make_engine()
+        first = np.concatenate([c.traces for c in engine.stream(inputs, chunk_size=16)])
+        second = np.concatenate([c.traces for c in engine.stream(inputs, chunk_size=16)])
+        np.testing.assert_array_equal(first, second)
+
+    def test_chunks_have_distinct_noise(self):
+        inputs = make_inputs()
+        chunks = list(make_engine().stream(inputs, chunk_size=24))
+        assert len(chunks) == 2
+        # Same program, same shapes — only the noise stream differs.
+        assert not np.array_equal(chunks[0].traces, chunks[1].traces)
+
+
+class TestParallel:
+    def test_parallel_stream_equals_serial(self):
+        inputs = make_inputs()
+        engine = make_engine()
+        serial = [c for c in engine.stream(inputs, chunk_size=8, jobs=1)]
+        parallel = [c for c in engine.stream(inputs, chunk_size=8, jobs=3)]
+        assert [c.start for c in serial] == [c.start for c in parallel]
+        for left, right in zip(serial, parallel):
+            np.testing.assert_array_equal(left.traces, right.traces)
+
+    def test_parallel_chunks_carry_value_tables(self):
+        inputs = make_inputs()
+        for chunk in make_engine().stream(inputs, chunk_size=16, jobs=2):
+            assert chunk.trace_set.table is not None
+            assert chunk.trace_set.table.n_traces == chunk.n_traces
+
+
+class TestScheduleCache:
+    def test_second_engine_reuses_compiled_schedule(self):
+        clear_schedule_cache()
+        program = assemble(SRC)
+        inputs = make_inputs()
+        first = StreamingCampaign(program, scope=ScopeConfig(noise_sigma=3.0), seed=1)
+        first.acquire(inputs)
+        assert first._campaign.compile_count == 1
+        second = StreamingCampaign(program, scope=ScopeConfig(noise_sigma=3.0), seed=2)
+        second.acquire(inputs)
+        assert second._campaign.compile_count == 0
+        programs, entries = schedule_cache_info()
+        assert programs >= 1 and entries >= 1
+
+    def test_acquire_then_stream_compiles_once(self):
+        program = assemble(SRC)
+        inputs = make_inputs()
+        engine = StreamingCampaign(program, scope=ScopeConfig(noise_sigma=3.0), seed=3)
+        engine.acquire(inputs)
+        list(engine.stream(inputs, chunk_size=8))
+        assert engine._campaign.compile_count <= 1
+
+
+class TestPowerTransforms:
+    def test_power_transform_applies_to_every_chunk(self):
+        inputs = make_inputs()
+        quiet = StreamingCampaign(
+            assemble(SRC),
+            scope=ScopeConfig(noise_sigma=0.0, kernel=(1.0,), quantize_bits=None),
+            seed=5,
+        )
+        plain = np.concatenate([c.traces for c in quiet.stream(inputs, chunk_size=16)])
+        boosted = np.concatenate(
+            [
+                c.traces
+                for c in quiet.stream(
+                    inputs, chunk_size=16, power_transform=lambda p: p * 2.0
+                )
+            ]
+        )
+        np.testing.assert_allclose(boosted, 2.0 * plain, atol=1e-4)
+
+    def test_transform_factory_sees_chunk_indices(self):
+        inputs = make_inputs()
+        quiet = StreamingCampaign(
+            assemble(SRC),
+            scope=ScopeConfig(noise_sigma=0.0, kernel=(1.0,), quantize_bits=None),
+            seed=5,
+        )
+        seen = []
+
+        def factory(index):
+            seen.append(index)
+            return lambda p: p + float(index)
+
+        chunks = list(
+            quiet.stream(inputs, chunk_size=16, power_transform_factory=factory)
+        )
+        assert seen == [0, 1, 2]
+        # Chunk k's power was shifted by k.
+        baseline = list(quiet.stream(inputs, chunk_size=16))
+        for chunk, plain in zip(chunks[1:], baseline[1:]):
+            delta = chunk.traces.astype(np.float64) - plain.traces.astype(np.float64)
+            assert delta.mean() == pytest.approx(chunk.index, abs=1e-3)
+
+    def test_transform_and_factory_are_exclusive(self):
+        inputs = make_inputs()
+        engine = make_engine()
+        with pytest.raises(ValueError):
+            list(
+                engine.stream(
+                    inputs,
+                    chunk_size=8,
+                    power_transform=lambda p: p,
+                    power_transform_factory=lambda i: (lambda p: p),
+                )
+            )

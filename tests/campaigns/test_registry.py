@@ -1,0 +1,87 @@
+"""Scenario registry: builtin enumeration, lookup, custom registration."""
+
+import pytest
+
+from repro.campaigns import registry
+from repro.campaigns.registry import RunOptions, Scenario, register
+
+
+class TestBuiltins:
+    def test_all_paper_scenarios_registered(self):
+        names = registry.names()
+        for expected in (
+            "table1",
+            "figure2",
+            "table2",
+            "figure3",
+            "figure4",
+            "ablations",
+            "baselines",
+            "success-curves",
+        ):
+            assert expected in names
+
+    def test_scenarios_are_described(self):
+        for scenario in registry.scenarios():
+            assert scenario.title
+            assert scenario.description
+            assert callable(scenario.runner)
+
+    def test_streaming_support_flags(self):
+        assert registry.get("figure3").supports_chunking
+        assert registry.get("figure3").supports_jobs
+        assert not registry.get("success-curves").supports_chunking
+        assert registry.get("table1").default_traces is None
+
+    def test_unknown_scenario_raises_with_candidates(self):
+        with pytest.raises(KeyError, match="figure3"):
+            registry.get("figure99")
+
+    def test_builtin_names_match_loaded_registry(self):
+        """Guard the static name list (used by the import-light CLI
+        parser) against drift from what the drivers actually register."""
+        registry.load_builtin_scenarios()
+        assert set(registry.BUILTIN_NAMES) <= set(registry.names())
+        builtin_registered = {
+            name for name in registry.names() if not name.startswith("_")
+        }
+        assert set(registry.BUILTIN_NAMES) == builtin_registered
+
+
+class TestCustomScenario:
+    def test_register_and_run(self):
+        calls = []
+
+        class _Result:
+            def render(self):
+                return "custom ok"
+
+        def runner(options: RunOptions):
+            calls.append(options)
+            return _Result()
+
+        scenario = register(
+            Scenario(
+                name="_test-custom",
+                title="test scenario",
+                description="registered by the test suite",
+                runner=runner,
+            )
+        )
+        try:
+            assert registry.get("_test-custom") is scenario
+            result = registry.run(
+                "_test-custom", RunOptions(n_traces=5, chunk_size=2, jobs=2)
+            )
+            assert result.render() == "custom ok"
+            assert calls[0].n_traces == 5
+            assert calls[0].chunk_size == 2
+        finally:
+            registry._REGISTRY.pop("_test-custom", None)
+
+    def test_default_options(self):
+        options = RunOptions()
+        assert options.n_traces is None
+        assert options.chunk_size is None
+        assert options.jobs == 1
+        assert options.seed is None

@@ -1,6 +1,5 @@
 """Golden AES-128: FIPS-197 vectors and structural properties."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -79,7 +79,11 @@ class TestCodeShape:
         assert any(line.startswith("strb r0, [r4") for line in window)
 
     def test_shiftrows_composes_with_three_shifts_per_row(self):
-        shifts = [l for l in self.source.splitlines() if "lsl #8" in l or "lsl #16" in l or "lsl #24" in l]
+        shifts = [
+            line
+            for line in self.source.splitlines()
+            if "lsl #8" in line or "lsl #16" in line or "lsl #24" in line
+        ]
         # 3 rotated rows x 3 progressive shifts, in every round copy.
         assert len(shifts) >= 9
 

@@ -1,6 +1,5 @@
 """S-box construction and GF(2^8) arithmetic."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

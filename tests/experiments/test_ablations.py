@@ -1,6 +1,5 @@
 """The six §4.2 ablations (reduced trace count)."""
 
-import pytest
 
 from repro.experiments.ablations import (
     ablate_dual_issue_adjacency,

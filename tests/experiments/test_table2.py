@@ -4,7 +4,6 @@ import pytest
 
 from repro.experiments.table2 import (
     COLUMN_COMPONENTS,
-    TABLE2_COLUMNS,
     benchmark_source,
     benchmark_specs,
     run_table2,

@@ -1,7 +1,7 @@
 """A32 encoder/decoder: known encodings and round-trip properties."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.isa.encoding import (

@@ -1,7 +1,6 @@
 """Environment presets and the power transform."""
 
 import numpy as np
-import pytest
 
 from repro.os_sim.environment import Environment, bare_metal, idle_linux, loaded_linux
 from repro.power.scope import ScopeConfig

@@ -1,6 +1,5 @@
 """Instruction-level (ELMO-style) baseline model."""
 
-import numpy as np
 import pytest
 
 from repro.isa.executor import Executor

@@ -5,7 +5,7 @@ import pytest
 
 from repro.crypto.sbox import SBOX
 from repro.power.hamming import hamming_weight
-from repro.sca.cpa import cpa_attack, cpa_timecourse
+from repro.sca.cpa import cpa_attack, cpa_attack_streaming, cpa_timecourse
 
 SBOX_ARR = np.frombuffer(SBOX, dtype=np.uint8)
 
@@ -70,6 +70,71 @@ class TestCpaAttack:
             guesses=range(8),
         )
         assert result.rank_of(200) == 8  # not in the guess space
+
+
+class TestStreamingEquivalence:
+    """Acceptance: any chunking reproduces the monolithic CpaResult."""
+
+    @pytest.mark.parametrize("chunk_size", (1, 17, 100, 600, 10_000))
+    def test_reproduces_monolithic_result(self, chunk_size):
+        pts, traces = synthetic_campaign()
+        monolithic = cpa_attack(
+            traces, lambda g: hamming_weight(SBOX_ARR[pts ^ g]).astype(float)
+        )
+
+        def chunks():
+            for lo in range(0, traces.shape[0], chunk_size):
+                chunk_pts = pts[lo : lo + chunk_size]
+                yield (
+                    traces[lo : lo + chunk_size],
+                    lambda g, p=chunk_pts: hamming_weight(SBOX_ARR[p ^ g]).astype(float),
+                )
+
+        streamed = cpa_attack_streaming(chunks())
+        assert streamed.best_guess == monolithic.best_guess
+        assert streamed.n_traces == monolithic.n_traces
+        np.testing.assert_allclose(
+            streamed.correlations, monolithic.correlations, atol=1e-10
+        )
+        # Derived statistics agree too.
+        assert streamed.rank_of(0x3C) == monolithic.rank_of(0x3C) == 0
+        assert streamed.best_sample == monolithic.best_sample
+
+    def test_acquired_campaign_equivalence(self):
+        """Same check over traces from a real (engine-acquired) campaign."""
+        from repro.campaigns.engine import StreamingCampaign
+        from repro.crypto.aes_asm import LAYOUT, round1_only_program
+        from repro.power.acquisition import random_inputs
+        from repro.sca.models import hw_sbox_model
+
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        program = round1_only_program(key)
+        inputs = random_inputs(200, mem_blocks={LAYOUT.state: 16}, seed=0xCAFE)
+        engine = StreamingCampaign(program, entry="aes_round1", seed=0xCAFE)
+        trace_set = engine.acquire(inputs)
+        plaintexts = inputs.mem_bytes[LAYOUT.state]
+        monolithic = cpa_attack(
+            trace_set.traces, lambda g: hw_sbox_model(plaintexts, 0, g)
+        )
+
+        def chunks(size):
+            for lo in range(0, trace_set.n_traces, size):
+                chunk_pts = plaintexts[lo : lo + size]
+                yield (
+                    trace_set.traces[lo : lo + size],
+                    lambda g, p=chunk_pts: hw_sbox_model(p, 0, g),
+                )
+
+        for size in (1, 64, 1_000):
+            streamed = cpa_attack_streaming(chunks(size))
+            assert streamed.best_guess == monolithic.best_guess
+            np.testing.assert_allclose(
+                streamed.correlations, monolithic.correlations, atol=1e-10
+            )
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            cpa_attack_streaming(iter(()))
 
 
 class TestTimecourse:

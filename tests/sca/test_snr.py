@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.sca.snr import SnrResult, hamming_weight_classes, partition_snr
+from repro.sca.snr import hamming_weight_classes, partition_snr
 
 
 def labelled_traces(signal=2.0, noise=1.0, n=2000, samples=24, leak_at=9, seed=0):

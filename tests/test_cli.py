@@ -1,7 +1,10 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
+from repro.campaigns import registry
 from repro.cli import build_parser, main
 
 
@@ -20,6 +23,41 @@ class TestParser:
         args = build_parser().parse_args(["table2", "--traces", "500"])
         assert args.traces == 500
 
+    def test_experiments_enumerate_the_registry(self):
+        parser = build_parser()
+        for name in registry.names():
+            assert parser.parse_args([name]).experiment == name
+
+    def test_streaming_flags(self):
+        args = build_parser().parse_args(
+            ["figure3", "--chunk-size", "250", "--jobs", "4", "--seed", "9"]
+        )
+        assert args.chunk_size == 250
+        assert args.jobs == 4
+        assert args.seed == 9
+        assert args.format == "text"
+
+    def test_format_choices(self):
+        assert build_parser().parse_args(["table1", "--format", "json"]).format == "json"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--format", "xml"])
+
+    @pytest.mark.parametrize(
+        "flags",
+        (
+            ["--traces", "-5"],
+            ["--traces", "0"],
+            ["--chunk-size", "0"],
+            ["--chunk-size", "-1"],
+            ["--jobs", "0"],
+            ["--seed", "-1"],
+        ),
+    )
+    def test_nonpositive_knobs_rejected_cleanly(self, flags, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure3", *flags])
+        assert "must be" in capsys.readouterr().err
+
 
 class TestExecution:
     def test_figure2_runs_end_to_end(self, capsys):
@@ -30,4 +68,18 @@ class TestExecution:
 
     def test_table2_with_reduced_traces(self, capsys):
         assert main(["table2", "--traces", "800"]) == 0
+        assert "Table 2 (reproduced)" in capsys.readouterr().out
+
+    def test_json_format_is_machine_readable(self, capsys):
+        assert main(["figure2", "--reps", "40", "--format", "json"]) == 0
+        reports = json.loads(capsys.readouterr().out)
+        assert len(reports) == 1
+        report = reports[0]
+        assert report["scenario"] == "figure2"
+        assert "Inferred pipeline structure" in report["output"]
+        assert isinstance(report["matches_paper"], bool)
+        assert report["seconds"] >= 0
+
+    def test_chunked_run_through_the_engine(self, capsys):
+        assert main(["table2", "--traces", "400", "--chunk-size", "150"]) == 0
         assert "Table 2 (reproduced)" in capsys.readouterr().out

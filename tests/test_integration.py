@@ -1,7 +1,6 @@
 """End-to-end integration: the full stack in one pass per scenario."""
 
 import numpy as np
-import pytest
 
 from repro.crypto.aes import aes128_encrypt_block
 from repro.crypto.aes_asm import LAYOUT, aes128_program, round1_only_program
@@ -57,7 +56,8 @@ class TestFullAttackPipeline:
         """Same seeds, same traces: the whole chain is reproducible."""
         program = round1_only_program(KEY)
         inputs = random_inputs(5, mem_blocks={LAYOUT.state: 16}, seed=3)
-        campaign = lambda: TraceCampaign(program, entry="aes_round1", seed=99)
+        def campaign():
+            return TraceCampaign(program, entry="aes_round1", seed=99)
         t1 = campaign().acquire(inputs).traces
         t2 = campaign().acquire(inputs).traces
         assert np.array_equal(t1, t2)
