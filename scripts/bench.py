@@ -1,0 +1,272 @@
+#!/usr/bin/env python
+"""Hot-path benchmark harness: writes ``BENCH_hotpath.json``.
+
+Measures the acquisition pipeline on the two paper campaigns that
+dominate experiment wall-time — the Figure-3 bare-metal round-1 AES
+campaign and the Figure-4 windowed full-AES campaign — with both
+executors still present in the codebase:
+
+* **tape** — the trace-compiled op tape + packed-value evaluator
+  (``TraceCampaign(use_tape=True)``, the default);
+* **legacy** — the instruction-dispatching vectorized executor + the
+  per-component ``np.add.at`` evaluator (``use_tape=False``), i.e. the
+  pre-tape hot path, kept as the semantic reference.
+
+Because both paths run in one process on the same inputs, the emitted
+before/after numbers are same-machine, same-moment comparisons.  The
+JSON is tracked in-repo so the perf trajectory is visible per PR; CI
+runs ``--smoke`` and uploads the result as an artifact.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench.py [--smoke] [--out BENCH_hotpath.json]
+                                           [--traces N] [--repeats K] [--jobs J]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import resource
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+
+def _measure(fn, repeats: int) -> dict:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return {
+        "min_s": round(min(times), 6),
+        "median_s": round(sorted(times)[len(times) // 2], 6),
+        "repeats": repeats,
+    }
+
+
+def _stage_timings(campaign, inputs, repeats: int) -> dict:
+    """Per-stage timings of one acquisition: execute, evaluate, capture."""
+    from repro.power.scope import Oscilloscope
+
+    compiled = campaign.compile_with(inputs)
+    result = campaign._run_batch(inputs, compiled)
+    power = compiled.leakage.evaluate(result.table, campaign.profile)
+
+    stages = {
+        "execute": _measure(lambda: campaign._run_batch(inputs, compiled), repeats),
+        "evaluate": _measure(
+            lambda: compiled.leakage.evaluate(result.table, campaign.profile), repeats
+        ),
+        "capture": _measure(
+            lambda: Oscilloscope(campaign.scope_config, seed=5).capture(power), repeats
+        ),
+    }
+
+    def hot():
+        batch = campaign._run_batch(inputs, compiled)
+        compiled.leakage.evaluate(batch.table, campaign.profile)
+
+    stages["hot_path"] = _measure(hot, repeats)
+    stages["acquire"] = _measure(lambda: campaign.acquire(inputs), repeats)
+    return stages
+
+
+def _throughput(stats: dict, n_traces: int) -> float:
+    return round(n_traces / stats["min_s"], 1)
+
+
+def bench_figure3(n_traces: int, repeats: int) -> dict:
+    """Round-1 AES bare-metal campaign (the Figure-3 acquisition)."""
+    from repro.crypto.aes_asm import LAYOUT, round1_only_program
+    from repro.experiments.figure3 import figure3_scope
+    from repro.power.acquisition import TraceCampaign, random_inputs
+    from repro.power.profile import cortex_a7_profile
+
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    program = round1_only_program(key)
+    inputs = random_inputs(n_traces, mem_blocks={LAYOUT.state: 16}, seed=0xF16003)
+
+    out = {"n_traces": n_traces}
+    for label, use_tape in (("tape", True), ("legacy", False)):
+        campaign = TraceCampaign(
+            program,
+            profile=cortex_a7_profile(),
+            scope=figure3_scope(),
+            entry="aes_round1",
+            seed=1,
+            use_tape=use_tape,
+        )
+        stages = _stage_timings(campaign, inputs, repeats)
+        stages["traces_per_sec"] = {
+            "hot_path": _throughput(stages["hot_path"], n_traces),
+            "acquire": _throughput(stages["acquire"], n_traces),
+        }
+        out[label] = stages
+    out["speedup"] = {
+        stage: round(
+            out["legacy"][stage]["min_s"] / out["tape"][stage]["min_s"], 2
+        )
+        for stage in ("execute", "evaluate", "hot_path", "acquire")
+    }
+    return out
+
+
+def bench_figure4_window(n_traces: int, repeats: int) -> dict:
+    """Windowed full-AES campaign (the Figure-4 acquisition geometry)."""
+    from repro.campaigns.engine import StreamingCampaign
+    from repro.crypto.aes_asm import LAYOUT, aes128_program
+    from repro.experiments.figure4 import _subbytes_window
+    from repro.power.acquisition import TraceCampaign, random_inputs
+    from repro.power.profile import cortex_a7_profile
+
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    program = aes128_program(key)
+    inputs = random_inputs(n_traces, mem_blocks={LAYOUT.state: 16}, seed=0xF16004)
+    prototype = StreamingCampaign(program, entry="aes_main", seed=0xF16004)
+    window = _subbytes_window(program, prototype, inputs)
+
+    out = {"n_traces": n_traces, "window_cycles": list(window)}
+    for label, use_tape in (("tape", True), ("legacy", False)):
+        campaign = TraceCampaign(
+            program,
+            profile=cortex_a7_profile(),
+            entry="aes_main",
+            window_cycles=window,
+            seed=2,
+            use_tape=use_tape,
+        )
+        stages = _stage_timings(campaign, inputs, repeats)
+        stages["traces_per_sec"] = {
+            "hot_path": _throughput(stages["hot_path"], n_traces),
+            "acquire": _throughput(stages["acquire"], n_traces),
+        }
+        out[label] = stages
+    out["speedup"] = {
+        stage: round(
+            out["legacy"][stage]["min_s"] / out["tape"][stage]["min_s"], 2
+        )
+        for stage in ("execute", "evaluate", "hot_path", "acquire")
+    }
+    return out
+
+
+def bench_streamed(n_traces: int, chunk_size: int, jobs: int, repeats: int) -> dict:
+    """Chunked streaming acquisition, serial and fan-out."""
+    from repro.campaigns.engine import StreamingCampaign, clear_schedule_cache
+    from repro.crypto.aes_asm import LAYOUT, round1_only_program
+    from repro.experiments.figure3 import figure3_scope
+    from repro.power.acquisition import random_inputs
+    from repro.power.profile import cortex_a7_profile
+
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    program = round1_only_program(key)
+    inputs = random_inputs(n_traces, mem_blocks={LAYOUT.state: 16}, seed=0xF16003)
+    import os
+
+    out = {"n_traces": n_traces, "chunk_size": chunk_size, "n_jobs": jobs}
+    variants = [("serial", 1)]
+    if jobs > 1 and (os.cpu_count() or 1) > 1:
+        # Fork fan-out only pays off with real cores; on a single-CPU
+        # host it just adds pool startup and pickling overhead.
+        variants.append((f"jobs{jobs}", jobs))
+    else:
+        out["fanout_skipped"] = f"cpu_count={os.cpu_count()}"
+    for label, n_jobs in variants:
+        clear_schedule_cache()
+        engine = StreamingCampaign(
+            program,
+            profile=cortex_a7_profile(),
+            scope=figure3_scope(),
+            entry="aes_round1",
+            seed=1,
+            chunk_size=chunk_size,
+            jobs=n_jobs,
+        )
+        engine.compiled(inputs)
+
+        def run(engine=engine):
+            for _chunk in engine.stream(inputs):
+                pass
+
+        run()  # warm the workers/caches once
+        stats = _measure(run, repeats)
+        stats["traces_per_sec"] = _throughput(stats, n_traces)
+        out[label] = stats
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="small sizes for CI")
+    parser.add_argument("--out", default="BENCH_hotpath.json")
+    parser.add_argument("--traces", type=int, default=None, help="figure3 batch size")
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--jobs", type=int, default=4, help="streamed fan-out width")
+    parser.add_argument(
+        "--no-streamed", action="store_true", help="skip the streamed/fan-out bench"
+    )
+    args = parser.parse_args(argv)
+
+    n3 = args.traces or (600 if args.smoke else 3000)
+    n4 = max(30, n3 // 30)
+    repeats = args.repeats or (2 if args.smoke else 5)
+
+    started = time.time()
+    report = {
+        "schema": "bench_hotpath/1",
+        "smoke": bool(args.smoke),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "benchmarks": {},
+    }
+    print(f"figure3 acquisition (n={n3}, repeats={repeats}) ...", flush=True)
+    report["benchmarks"]["figure3_round1_baremetal"] = bench_figure3(n3, repeats)
+    print(f"figure4 windowed acquisition (n={n4}, repeats={repeats}) ...", flush=True)
+    report["benchmarks"]["figure4_windowed_aes"] = bench_figure4_window(n4, repeats)
+    if not args.no_streamed:
+        chunk = max(100, n3 // 8)
+        print(f"streamed figure3 (chunks of {chunk}, jobs={args.jobs}) ...", flush=True)
+        report["benchmarks"]["figure3_streamed"] = bench_streamed(
+            n3, chunk, args.jobs, max(2, repeats // 2)
+        )
+
+    report["wall_s"] = round(time.time() - started, 2)
+    report["peak_rss_mb"] = round(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1
+    )
+
+    path = Path(args.out)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {path}")
+
+    for name, bench in report["benchmarks"].items():
+        if "speedup" in bench:
+            print(f"\n{name} (n={bench['n_traces']}):")
+            for stage, factor in bench["speedup"].items():
+                tape_s = bench["tape"][stage]["min_s"]
+                legacy_s = bench["legacy"][stage]["min_s"]
+                print(
+                    f"  {stage:10s}  {legacy_s*1e3:8.1f} ms -> {tape_s*1e3:8.1f} ms"
+                    f"   {factor:5.2f}x"
+                )
+        else:
+            serial = bench["serial"]["traces_per_sec"]
+            line = f"\n{name}: serial {serial:.0f} traces/s"
+            fanout_key = next(
+                (k for k in bench if k.startswith("jobs") and k != "n_jobs"), None
+            )
+            if fanout_key is not None:
+                line += f", {fanout_key} {bench[fanout_key]['traces_per_sec']:.0f} traces/s"
+            print(line)
+    print(f"\npeak RSS: {report['peak_rss_mb']} MB, total {report['wall_s']}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,17 +34,18 @@ import numpy as np
 from repro.isa.program import Program
 from repro.power.acquisition import (
     BatchInputs,
+    CompiledAcquisition,
     TraceCampaign,
     TraceSet,
     derive_seed,
 )
 from repro.power.profile import LeakageProfile
 from repro.power.scope import ScopeConfig
-from repro.power.synth import LeakageSchedule
 from repro.uarch.config import PipelineConfig
-from repro.uarch.pipeline import Schedule
 
-CompiledSchedule = tuple[list[int], Schedule, LeakageSchedule]
+#: Backwards-compatible alias: the compiled triple grew a ``tape`` field
+#: but still unpacks as ``(path, schedule, leakage)``.
+CompiledSchedule = CompiledAcquisition
 
 #: Process-wide compiled-schedule cache: id(program) -> {key -> compiled}.
 #: ``Program`` is an eq-comparing dataclass (unhashable), so entries are

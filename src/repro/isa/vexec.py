@@ -37,6 +37,22 @@ _PAGE_BITS = 12
 _PAGE_SIZE = 1 << _PAGE_BITS
 _PAGE_MASK = _PAGE_SIZE - 1
 
+
+def iter_page_chunks(address: int, length: int):
+    """Split ``[address, address + length)`` into per-page spans.
+
+    Yields ``(page_no, page_offset, data_offset, chunk_length)`` — the
+    one place the paging geometry is encoded for bulk writes (shared by
+    the batch executors' memories and the tape's page-image builder).
+    """
+    pos = 0
+    while pos < length:
+        page_no = (address + pos) >> _PAGE_BITS
+        offset = (address + pos) & _PAGE_MASK
+        chunk = min(_PAGE_SIZE - offset, length - pos)
+        yield page_no, offset, pos, chunk
+        pos += chunk
+
 _U32 = np.uint32
 _WORD_MASK = np.uint32(0xFFFFFFFF)
 
@@ -59,11 +75,15 @@ class VectorMemory:
         first = int(page_nos[0])
         if not np.all(page_nos == first):
             raise ExecutionError("vectorized access straddles pages across traces")
-        page = self._pages.get(first)
+        page = self._page(first)
+        return page, addresses & _PAGE_MASK
+
+    def _page(self, page_no: int) -> np.ndarray:
+        page = self._pages.get(page_no)
         if page is None:
             page = np.zeros((self.n_traces, _PAGE_SIZE), dtype=np.uint8)
-            self._pages[first] = page
-        return page, addresses & _PAGE_MASK
+            self._pages[page_no] = page
+        return page
 
     def read_byte(self, addresses: np.ndarray) -> np.ndarray:
         page, offs = self._page_for(addresses)
@@ -89,24 +109,13 @@ class VectorMemory:
         if not data:
             return
         arr = np.frombuffer(bytes(data), dtype=np.uint8)
-        pos = 0
-        while pos < len(arr):
-            page_no = (address + pos) >> _PAGE_BITS
-            off = (address + pos) & _PAGE_MASK
-            chunk = min(_PAGE_SIZE - off, len(arr) - pos)
-            page = self._pages.get(page_no)
-            if page is None:
-                page = np.zeros((self.n_traces, _PAGE_SIZE), dtype=np.uint8)
-                self._pages[page_no] = page
-            page[:, off : off + chunk] = arr[pos : pos + chunk]
-            pos += chunk
+        for page_no, off, pos, chunk in iter_page_chunks(address, len(arr)):
+            self._page(page_no)[:, off : off + chunk] = arr[pos : pos + chunk]
 
     def load_per_trace(self, address: int, data: np.ndarray) -> None:
         """Write per-trace bytes (``uint8[n_traces, length]``) at ``address``."""
-        length = data.shape[1]
-        for i in range(length):
-            addrs = np.full(self.n_traces, address + i, dtype=_U32)
-            self.write_byte(addrs, data[:, i].astype(_U32))
+        for page_no, off, pos, chunk in iter_page_chunks(address, data.shape[1]):
+            self._page(page_no)[:, off : off + chunk] = data[:, pos : pos + chunk]
 
 
 @dataclass

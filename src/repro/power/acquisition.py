@@ -14,6 +14,7 @@ compile-time path, enforcing the data-independent-timing assumption.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
@@ -21,8 +22,9 @@ from repro.isa.executor import Executor
 from repro.isa.program import Program
 from repro.isa.registers import Reg
 from repro.isa.semantics import ExecutionError
-from repro.isa.values import ValueSource
+from repro.isa.values import ValueKind, ValueSource
 from repro.isa.vexec import VectorExecutor
+from repro.isa.vtrace import TapeDivergence, TraceTape, compile_tape
 from repro.power.profile import LeakageProfile, cortex_a7_profile
 from repro.power.scope import Oscilloscope, ScopeConfig
 from repro.power.synth import LeakageSchedule
@@ -50,7 +52,7 @@ class BatchInputs:
 
     def row(self, index: int) -> tuple[dict[int, bytes], dict[Reg, int]]:
         """Scalar view of one trace's inputs (for the reference executor)."""
-        mem = {addr: bytes(data[index].tolist()) for addr, data in self.mem_bytes.items()}
+        mem = {addr: data[index].tobytes() for addr, data in self.mem_bytes.items()}
         regs = {reg: int(values[index]) for reg, values in self.regs.items()}
         return mem, regs
 
@@ -71,6 +73,27 @@ class BatchInputs:
             tuple(sorted(reg.value if hasattr(reg, "value") else reg for reg in self.regs)),
             tuple(sorted((addr, data.shape[1]) for addr, data in self.mem_bytes.items())),
         )
+
+
+@dataclass
+class CompiledAcquisition:
+    """Everything compiled once per (program, config, window, inputs shape).
+
+    Iterates/indexes like the historical ``(path, schedule, leakage)``
+    triple so existing unpacking call sites keep working; ``tape`` is
+    the trace-compiled hot path the batch executor replays.
+    """
+
+    path: list[int]
+    schedule: Schedule
+    leakage: LeakageSchedule
+    tape: TraceTape | None = None
+
+    def __iter__(self) -> Iterator:
+        return iter((self.path, self.schedule, self.leakage))
+
+    def __getitem__(self, index: int):
+        return (self.path, self.schedule, self.leakage)[index]
 
 
 def derive_seed(base: int, stream: int) -> int:
@@ -120,6 +143,7 @@ class TraceCampaign:
         window_cycles: tuple[int, int] | None = None,
         seed: int = 0xC0FFEE,
         keep_power: bool = False,
+        use_tape: bool = True,
     ):
         self.program = program
         self.config = config if config is not None else PipelineConfig()
@@ -129,8 +153,11 @@ class TraceCampaign:
         self.window_cycles = window_cycles
         self.seed = seed
         self.keep_power = keep_power
+        #: replay the compiled tape (fast path); ``False`` falls back to
+        #: the instruction-dispatching vectorized executor (reference)
+        self.use_tape = use_tape
         self.pipeline = Pipeline(self.config)
-        self._compiled: tuple[list[int], Schedule, LeakageSchedule] | None = None
+        self._compiled: CompiledAcquisition | None = None
         self._compiled_signature: tuple | None = None
         #: number of schedule compilations performed (regression-tested)
         self.compile_count = 0
@@ -154,8 +181,14 @@ class TraceCampaign:
             for instr in self.program.instructions
         )
 
-    def compile_with(self, inputs: BatchInputs) -> tuple[list[int], Schedule, LeakageSchedule]:
-        """Run the reference executor on trace 0 and compile the schedule."""
+    def compile_with(self, inputs: BatchInputs) -> CompiledAcquisition:
+        """Run the reference executor on trace 0 and compile the schedule.
+
+        Also trace-compiles the dynamic path into a replayable op tape
+        whose packed-value layout retains exactly the references the
+        leakage schedule gathers (window events plus each component's
+        pre-window bus state).
+        """
         inputs.validate()
         self.compile_count += 1
         executor = Executor(self.program)
@@ -173,21 +206,53 @@ class TraceCampaign:
             samples_per_cycle=self.scope_config.samples_per_cycle,
             window=self.window_cycles,
         )
-        self._compiled = (result.path, schedule, leakage)
+        tape = None
+        if self.use_tape:
+            # Windowed campaigns retain every value inside the dynamic
+            # range the compiled leakage schedule references (the same
+            # acquisition-window memory cap as the vectorized executor's
+            # keep_range); windowless campaigns retain everything, so
+            # the TraceSet table contract is identical on both paths.
+            keep = None
+            if self.window_cycles is not None:
+                referenced = [
+                    dyn
+                    for compiled in leakage.compiled.values()
+                    for (dyn, _kind) in compiled.refs
+                    if dyn >= 0
+                ]
+                lo = min(referenced) if referenced else 0
+                hi = max(referenced) + 1 if referenced else 0
+                keep = {
+                    (dyn, kind) for dyn in range(lo, hi) for kind in ValueKind
+                }
+            tape = compile_tape(self.program, result.records, keep=keep)
+        self._compiled = CompiledAcquisition(
+            path=result.path, schedule=schedule, leakage=leakage, tape=tape
+        )
         self._compiled_signature = inputs.signature()
         return self._compiled
 
-    def _run_batch(self, inputs: BatchInputs, leakage: LeakageSchedule):
-        """One vectorized execution of the batch under a leakage schedule."""
+    def _run_batch(self, inputs: BatchInputs, compiled: CompiledAcquisition):
+        """One batch execution: tape replay, or the vectorized executor.
+
+        The tape is the fast path (no per-step decode, packed values);
+        the vectorized executor remains as the dispatching reference
+        (``use_tape=False``) and for campaigns without a compiled tape.
+        """
+        if self.use_tape and compiled.tape is not None:
+            return compiled.tape.run(
+                inputs.n_traces, regs=inputs.regs, mem_bytes=inputs.mem_bytes
+            )
         keep_range: tuple[int, int] | None = None
         if self.window_cycles is not None:
-            # Retain exactly the values the compiled leakage schedule
-            # references (window events plus each component's pre-window
-            # bus state).
+            # Retain exactly the dynamic range the compiled leakage
+            # schedule references (window events plus each component's
+            # pre-window bus state).
             referenced = [
                 dyn
-                for compiled in leakage.compiled.values()
-                for (dyn, _kind) in compiled.refs
+                for c in compiled.leakage.compiled.values()
+                for (dyn, _kind) in c.refs
                 if dyn >= 0
             ]
             if referenced:
@@ -203,6 +268,35 @@ class TraceCampaign:
         for address, data in inputs.mem_bytes.items():
             vstate.memory.load_per_trace(address, np.asarray(data, dtype=np.uint8))
         return vexec.run(state=vstate, entry=self.entry)
+
+    def _run_checked(
+        self, inputs: BatchInputs, compiled: CompiledAcquisition, reused: bool
+    ) -> tuple[object, CompiledAcquisition]:
+        """Run the batch, enforcing the compile-time path.
+
+        A cached schedule compiled against a *different* batch may pin
+        the wrong (but uniform) branch directions; both the tape
+        (:class:`TapeDivergence`) and the vectorized executor (path
+        mismatch) surface that, and both trigger one recompile against
+        the batch at hand before declaring real divergence.
+        """
+        try:
+            result = self._run_batch(inputs, compiled)
+        except TapeDivergence:
+            if not reused:
+                raise
+            compiled = self.compile_with(inputs)
+            result = self._run_batch(inputs, compiled)
+        if result.path != compiled.path:
+            if reused:
+                compiled = self.compile_with(inputs)
+                result = self._run_batch(inputs, compiled)
+            if result.path != compiled.path:
+                raise ExecutionError(
+                    "batch execution diverged from the compile-time path; "
+                    "the program's control flow is input-dependent"
+                )
+        return result, compiled
 
     def acquire(
         self,
@@ -238,23 +332,12 @@ class TraceCampaign:
             # check); a cached *branch* path that no longer matches is
             # caught below and recompiled against the batch at hand.
             assert self._compiled is not None
-            path, schedule, leakage = self._compiled
+            compiled = self._compiled
         else:
-            path, schedule, leakage = self.compile_with(inputs)
+            compiled = self.compile_with(inputs)
 
-        result = self._run_batch(inputs, leakage)
-        if result.path != path:
-            if reused:
-                # The cached branch path came from a different batch
-                # (e.g. a uniformly different branch direction); compile
-                # against this one and retry before declaring divergence.
-                path, schedule, leakage = self.compile_with(inputs)
-                result = self._run_batch(inputs, leakage)
-            if result.path != path:
-                raise ExecutionError(
-                    "batch execution diverged from the compile-time path; "
-                    "the program's control flow is input-dependent"
-                )
+        result, compiled = self._run_checked(inputs, compiled, reused)
+        schedule, leakage = compiled.schedule, compiled.leakage
 
         power = leakage.evaluate(result.table, self.profile)
         if power_transform is not None:

@@ -51,12 +51,19 @@ class Oscilloscope:
         across the 16 averaged executions only through its own model.
         """
         config = self.config
-        traces = power.astype(np.float64)
+        # Values flow exactly as they always did (same operations, same
+        # RNG draws in the same order); the chain just avoids redundant
+        # copies: the first allocating step transfers ownership, and
+        # everything after mutates in place.
+        traces = np.asarray(power, dtype=np.float64)
+        owned = traces is not power  # dtype conversion already copied
         if extra_noise is not None:
             traces = traces + extra_noise
+            owned = True
         kernel = np.asarray(config.kernel, dtype=np.float64)
         if kernel.size > 1:
             traces = lfilter(kernel, [1.0], traces, axis=1)
+            owned = True
         if config.jitter_samples > 0:
             shifts = self.rng.integers(
                 -config.jitter_samples, config.jitter_samples + 1, size=traces.shape[0]
@@ -64,18 +71,33 @@ class Oscilloscope:
             traces = np.stack(
                 [np.roll(row, int(shift)) for row, shift in zip(traces, shifts)]
             )
+            owned = True
         # Averaging n executions divides the amplifier noise by sqrt(n).
         effective_sigma = config.noise_sigma / np.sqrt(config.n_averages)
-        traces = traces + self.rng.normal(0.0, effective_sigma, size=traces.shape)
+        noise = self.rng.normal(0.0, effective_sigma, size=traces.shape)
+        if owned:
+            traces += noise
+        else:
+            traces = traces + noise
         if config.quantize_bits is not None:
-            traces = self._quantize(traces)
+            return self._quantize(traces)
         return traces.astype(np.float32)
 
     def _quantize(self, traces: np.ndarray) -> np.ndarray:
+        """8-bit ADC model, fused: returns float32 quantized traces.
+
+        Operates in place (``traces`` is owned by ``capture`` at this
+        point) and casts on the final multiply, so the chain costs one
+        pass instead of four temporaries.
+        """
         config = self.config
         full_scale = config.adc_range
         if full_scale is None:
             spread = float(np.max(traces) - np.min(traces))
             full_scale = spread if spread > 0 else 1.0
         lsb = full_scale / (2 ** (config.quantize_bits or 8))
-        return np.round(traces / lsb) * lsb
+        np.divide(traces, lsb, out=traces)
+        np.round(traces, out=traces)
+        quantized = np.empty_like(traces, dtype=np.float32)
+        np.multiply(traces, lsb, out=quantized, casting="unsafe")
+        return quantized

@@ -71,7 +71,20 @@ class Schedule:
         return span / count
 
     def events_for(self, component: str) -> list[BusEvent]:
-        return [e for e in self.events if e.component == component]
+        """Events on one component, via a lazily built per-component index.
+
+        The Table-2 harness and the component tests call this once per
+        component; a linear scan over the full event stream per call is
+        O(components x events).  The index is built on first use and
+        the returned list is a copy, so callers may mutate it freely.
+        """
+        index = getattr(self, "_events_by_component", None)
+        if index is None:
+            index = {}
+            for event in self.events:
+                index.setdefault(event.component, []).append(event)
+            self._events_by_component = index
+        return list(index.get(component, ()))
 
     def dual_issue_rate(self) -> float:
         if not self.dual:

@@ -1,0 +1,175 @@
+"""Tape-compiled acquisition: packed path vs the dispatching reference.
+
+The campaign's fast path (op tape + packed evaluator) must agree with
+the instruction-dispatching vectorized executor and the per-component
+evaluator within 1e-10 on power, and the streamed engine must compile
+the tape exactly once and replay it for every chunk.
+"""
+
+import numpy as np
+
+from repro.campaigns.engine import StreamingCampaign, clear_schedule_cache
+from repro.isa.parser import assemble
+from repro.isa.registers import Reg
+from repro.isa.vtrace import PackedValues
+from repro.power.acquisition import TraceCampaign, random_inputs
+from repro.power.scope import ScopeConfig
+
+SRC = """
+    add r0, r1, r2
+    eor r3, r0, r1
+    lsl r4, r3, #3
+    strb r3, [r9]
+    ldrh r5, [r9]
+    mul r6, r3, r1
+    str r6, [r9, #4]
+    bx lr
+    .org 0x30000
+buf:
+    .space 64
+"""
+
+
+def make_inputs(n=48, seed=11):
+    inputs = random_inputs(n, reg_names=(Reg.R1, Reg.R2), seed=seed)
+    inputs.regs[Reg.R9] = np.full(n, 0x30000, dtype=np.uint32)
+    return inputs
+
+
+def make_campaign(use_tape=True, **kwargs):
+    return TraceCampaign(
+        assemble(SRC),
+        scope=ScopeConfig(noise_sigma=3.0),
+        seed=0xE1,
+        use_tape=use_tape,
+        **kwargs,
+    )
+
+
+class TestPackedEquivalence:
+    def test_tape_acquisition_matches_reference_power(self):
+        inputs = make_inputs()
+        fast = make_campaign(use_tape=True, keep_power=True).acquire(inputs)
+        reference = make_campaign(use_tape=False, keep_power=True).acquire(inputs)
+        assert isinstance(fast.table, PackedValues)
+        assert not isinstance(reference.table, PackedValues)
+        assert fast.path == reference.path
+        np.testing.assert_allclose(fast.power, reference.power, atol=1e-10)
+        # The scope chain is bit-identical given equal power, so the
+        # quantized traces agree to float32 resolution.
+        np.testing.assert_allclose(fast.traces, reference.traces, atol=1e-4)
+
+    def test_windowed_tape_matches_reference(self):
+        inputs = make_inputs()
+        fast = make_campaign(
+            use_tape=True, keep_power=True, window_cycles=(2, 8)
+        ).acquire(inputs)
+        reference = make_campaign(
+            use_tape=False, keep_power=True, window_cycles=(2, 8)
+        ).acquire(inputs)
+        np.testing.assert_allclose(fast.power, reference.power, atol=1e-10)
+
+    def test_windowed_table_contract_matches_reference(self):
+        """Inside the retained window range both paths answer the same
+        (dyn, kind) queries — including kinds no leakage event references."""
+        from repro.isa.values import ValueKind
+
+        inputs = make_inputs()
+        fast = make_campaign(use_tape=True, window_cycles=(2, 8)).acquire(inputs)
+        reference = make_campaign(use_tape=False, window_cycles=(2, 8)).acquire(inputs)
+        for dyn in range(reference.table.n_dyn):
+            for kind in ValueKind:
+                ref = reference.table.values(dyn, kind)
+                packed = fast.table.values(dyn, kind)
+                if ref is None or not np.any(ref):
+                    assert packed is None or np.all(packed == 0), (dyn, kind)
+                else:
+                    assert packed is not None, (dyn, kind)
+                    np.testing.assert_array_equal(packed, ref, err_msg=f"{dyn} {kind}")
+
+    def test_packed_table_serves_schedule_refs(self):
+        """Every (dyn, kind) a schedule event references is retrievable."""
+        inputs = make_inputs()
+        campaign = make_campaign()
+        trace_set = campaign.acquire(inputs)
+        for compiled in trace_set.leakage.compiled.values():
+            for dyn, kind in compiled.refs:
+                if dyn < 0 or kind is None:
+                    continue
+                values = trace_set.table.values(dyn, kind)
+                assert values is None or values.shape == (inputs.n_traces,)
+
+    def test_windowless_table_keeps_full_contract(self):
+        """Without a window, the packed table answers every produced value,
+        exactly like the reference executor's table (None only when the
+        instruction never produced that kind)."""
+        from repro.isa.values import ValueKind
+
+        inputs = make_inputs()
+        fast = make_campaign(use_tape=True).acquire(inputs)
+        reference = make_campaign(use_tape=False).acquire(inputs)
+        n_dyn = reference.table.n_dyn
+        for dyn in range(n_dyn):
+            for kind in ValueKind:
+                ref = reference.table.values(dyn, kind)
+                packed = fast.table.values(dyn, kind)
+                if ref is None:
+                    assert packed is None or np.all(packed == 0), (dyn, kind)
+                else:
+                    assert packed is not None, (dyn, kind)
+                    np.testing.assert_array_equal(packed, ref, err_msg=f"{dyn} {kind}")
+
+
+class TestStreamedReplay:
+    def test_stream_compiles_once_and_replays_tape(self):
+        clear_schedule_cache()
+        inputs = make_inputs(n=60)
+        engine = StreamingCampaign(
+            assemble(SRC), scope=ScopeConfig(noise_sigma=3.0), seed=0xE1
+        )
+        chunks = list(engine.stream(inputs, chunk_size=17))
+        assert len(chunks) == 4
+        assert engine._campaign.compile_count == 1
+        for chunk in chunks:
+            assert isinstance(chunk.trace_set.table, PackedValues)
+        # chunks share one tape: the layouts are the same object
+        layouts = {id(c.trace_set.table.layout) for c in chunks}
+        assert len(layouts) == 1
+
+    def test_streamed_equals_monolithic_with_tape(self):
+        clear_schedule_cache()
+        inputs = make_inputs(n=60)
+        monolithic = StreamingCampaign(
+            assemble(SRC), scope=ScopeConfig(noise_sigma=3.0), seed=0xE1
+        ).acquire(inputs)
+        chunks = list(
+            StreamingCampaign(
+                assemble(SRC), scope=ScopeConfig(noise_sigma=3.0), seed=0xE1
+            ).stream(inputs, chunk_size=1_000)
+        )
+        np.testing.assert_array_equal(chunks[0].traces, monolithic.traces)
+
+
+class TestDivergenceRecovery:
+    SRC_BRANCHY = """
+        cmp r1, #100
+        bne skip
+        mov r0, #1
+    skip:
+        eor r2, r0, r1
+        bx lr
+    """
+
+    def test_recompiles_when_batch_takes_other_direction(self):
+        program = assemble(self.SRC_BRANCHY)
+        campaign = TraceCampaign(
+            program, scope=ScopeConfig(noise_sigma=0.0), seed=1
+        )
+        taken = random_inputs(4, reg_names=(Reg.R1,), seed=1)
+        taken.regs[Reg.R1] = np.full(4, 5, dtype=np.uint32)
+        not_taken = random_inputs(4, reg_names=(Reg.R1,), seed=1)
+        not_taken.regs[Reg.R1] = np.full(4, 100, dtype=np.uint32)
+        first = campaign.acquire(taken)
+        second = campaign.acquire(not_taken)  # divergence -> recompile
+        assert first.path != second.path
+        assert campaign.compile_count == 2

@@ -1,5 +1,7 @@
 """Leakage-schedule compilation and evaluation."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
@@ -7,9 +9,11 @@ from repro.isa.executor import Executor
 from repro.isa.parser import assemble
 from repro.isa.registers import Reg
 from repro.isa.values import ValueTable
+from repro.isa.vtrace import compile_tape
 from repro.power.profile import ComponentWeights, LeakageProfile, cortex_a7_profile
 from repro.power.synth import LeakageSchedule
 from repro.uarch.components import ComponentKind
+from repro.uarch.config import PipelineConfig
 from repro.uarch.pipeline import Pipeline
 
 
@@ -138,3 +142,90 @@ class TestWindows:
         leakage, _ = self.make((5, 9))
         assert leakage.sample_of_cycle(5) == 0
         assert leakage.sample_of_cycle(6, phase=0.5) == 3
+
+
+class TestPackedEvaluation:
+    """The packed fast path agrees with the per-component reference."""
+
+    SRC = """
+        add r0, r1, r2
+        eor r3, r0, r1, lsl #5
+        strb r3, [r9]
+        ldrh r4, [r9]
+        mul r5, r3, r1
+        nop
+        str r5, [r9, #4]
+    """
+
+    def _packed_and_reference(self, window=None, profile=None, config=None):
+        program = assemble(self.SRC + "\n    bx lr")
+        executor = Executor(program)
+        state = executor.fresh_state()
+        state.regs[Reg.R9] = 0x30000
+        result = executor.run(state=state)
+        pipeline = Pipeline(config)
+        schedule = pipeline.schedule(result.records)
+        leakage = LeakageSchedule(
+            schedule, pipeline.components, samples_per_cycle=2, window=window
+        )
+        rows = [
+            {Reg.R1: 0x1234, Reg.R2: 0xFF00FF, Reg.R9: 0x30000},
+            {Reg.R1: 0xDEAD, Reg.R2: 0x1, Reg.R9: 0x30000},
+            {Reg.R1: 0x0, Reg.R2: 0xFFFFFFFF, Reg.R9: 0x30000},
+        ]
+        reference_table = table_for(program, result, rows)
+        keep = {
+            (dyn, kind)
+            for compiled in leakage.compiled.values()
+            for (dyn, kind) in compiled.refs
+            if dyn >= 0 and kind is not None
+        }
+        tape = compile_tape(program, result.records, keep=keep)
+        regs = {
+            reg: np.array([row[reg] for row in rows], dtype=np.uint32)
+            for reg in rows[0]
+        }
+        packed_table = tape.run(len(rows), regs=regs).table
+        profile = profile if profile is not None else cortex_a7_profile()
+        reference = leakage.evaluate(reference_table, profile)
+        packed = leakage.evaluate(packed_table, profile)
+        return packed, reference
+
+    def test_full_schedule_matches(self):
+        packed, reference = self._packed_and_reference()
+        np.testing.assert_allclose(packed, reference, atol=1e-10)
+
+    def test_windowed_schedule_matches(self):
+        packed, reference = self._packed_and_reference(window=(3, 9))
+        np.testing.assert_allclose(packed, reference, atol=1e-10)
+
+    def test_gain_and_overrides_match(self):
+        profile = dataclasses.replace(cortex_a7_profile(), gain=2.5)
+        packed, reference = self._packed_and_reference(profile=profile)
+        np.testing.assert_allclose(packed, reference, atol=1e-10)
+
+    def test_zero_drive_events_match(self):
+        # lsu_remanence=False emits explicit MDR/align zero drives whose
+        # HD contribution is popcount(previous value); nop-reset buses
+        # exercise the zeros row as both gather and pair member.
+        config = PipelineConfig(lsu_remanence=False, nop_zeroes_issue_bus=True)
+        packed, reference = self._packed_and_reference(config=config)
+        np.testing.assert_allclose(packed, reference, atol=1e-10)
+
+    def test_plan_cached_per_layout_and_profile(self):
+        program = assemble(self.SRC + "\n    bx lr")
+        executor = Executor(program)
+        state = executor.fresh_state()
+        state.regs[Reg.R9] = 0x30000
+        result = executor.run(state=state)
+        pipeline = Pipeline()
+        schedule = pipeline.schedule(result.records)
+        leakage = LeakageSchedule(schedule, pipeline.components)
+        tape = compile_tape(program, result.records)
+        regs = {Reg.R1: np.array([1], dtype=np.uint32), Reg.R9: np.array([0x30000], dtype=np.uint32)}
+        table = tape.run(1, regs=regs).table
+        profile = cortex_a7_profile()
+        leakage.evaluate(table, profile)
+        plan_first = leakage._packed_plans[(id(table.layout), id(profile))]
+        leakage.evaluate(table, profile)
+        assert leakage._packed_plans[(id(table.layout), id(profile))] is plan_first
