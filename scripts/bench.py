@@ -3,16 +3,24 @@
 
 Measures the acquisition pipeline on the two paper campaigns that
 dominate experiment wall-time — the Figure-3 bare-metal round-1 AES
-campaign and the Figure-4 windowed full-AES campaign — with both
-executors still present in the codebase:
+campaign and the Figure-4 windowed full-AES campaign — with every
+generation of the hot path still present in the codebase:
 
 * **tape** — the trace-compiled op tape + packed-value evaluator
   (``TraceCampaign(use_tape=True)``, the default);
 * **legacy** — the instruction-dispatching vectorized executor + the
   per-component ``np.add.at`` evaluator (``use_tape=False``), i.e. the
-  pre-tape hot path, kept as the semantic reference.
+  pre-tape hot path, kept as the semantic reference;
+* **float32** — the tape plus the counter-based float32 capture chain
+  (``ScopeConfig(precision="float32")``), the current throughput mode.
 
-Because both paths run in one process on the same inputs, the emitted
+Two further sections target the former bottlenecks directly:
+``capture`` times the oscilloscope chain alone (float64-exact vs
+float32), and ``attack_curves`` times the success-curve evaluation with
+the recompute-per-budget attack loop vs the prefix-snapshot pass —
+verifying on the way that both produce identical success rates.
+
+Because all paths run in one process on the same inputs, the emitted
 before/after numbers are same-machine, same-moment comparisons.  The
 JSON is tracked in-repo so the perf trajectory is visible per PR; CI
 runs ``--smoke`` and uploads the result as an artifact.
@@ -53,14 +61,18 @@ def _stage_timings(campaign, inputs, repeats: int) -> dict:
     """Per-stage timings of one acquisition: execute, evaluate, capture."""
     from repro.power.scope import Oscilloscope
 
+    dtype = np.float32 if campaign.precision == "float32" else np.float64
     compiled = campaign.compile_with(inputs)
     result = campaign._run_batch(inputs, compiled)
-    power = compiled.leakage.evaluate(result.table, campaign.profile)
+    power = compiled.leakage.evaluate(result.table, campaign.profile, dtype=dtype)
 
     stages = {
         "execute": _measure(lambda: campaign._run_batch(inputs, compiled), repeats),
         "evaluate": _measure(
-            lambda: compiled.leakage.evaluate(result.table, campaign.profile), repeats
+            lambda: compiled.leakage.evaluate(
+                result.table, campaign.profile, dtype=dtype
+            ),
+            repeats,
         ),
         "capture": _measure(
             lambda: Oscilloscope(campaign.scope_config, seed=5).capture(power), repeats
@@ -69,7 +81,7 @@ def _stage_timings(campaign, inputs, repeats: int) -> dict:
 
     def hot():
         batch = campaign._run_batch(inputs, compiled)
-        compiled.leakage.evaluate(batch.table, campaign.profile)
+        compiled.leakage.evaluate(batch.table, campaign.profile, dtype=dtype)
 
     stages["hot_path"] = _measure(hot, repeats)
     stages["acquire"] = _measure(lambda: campaign.acquire(inputs), repeats)
@@ -92,11 +104,16 @@ def bench_figure3(n_traces: int, repeats: int) -> dict:
     inputs = random_inputs(n_traces, mem_blocks={LAYOUT.state: 16}, seed=0xF16003)
 
     out = {"n_traces": n_traces}
-    for label, use_tape in (("tape", True), ("legacy", False)):
+    variants = (
+        ("tape", True, "float64-exact"),
+        ("legacy", False, "float64-exact"),
+        ("float32", True, "float32"),
+    )
+    for label, use_tape, precision in variants:
         campaign = TraceCampaign(
             program,
             profile=cortex_a7_profile(),
-            scope=figure3_scope(),
+            scope=figure3_scope(precision),
             entry="aes_round1",
             seed=1,
             use_tape=use_tape,
@@ -112,6 +129,13 @@ def bench_figure3(n_traces: int, repeats: int) -> dict:
             out["legacy"][stage]["min_s"] / out["tape"][stage]["min_s"], 2
         )
         for stage in ("execute", "evaluate", "hot_path", "acquire")
+    }
+    # The float32 chain against the PR-2 tape baseline (same process).
+    out["speedup_float32"] = {
+        stage: round(
+            out["tape"][stage]["min_s"] / out["float32"][stage]["min_s"], 2
+        )
+        for stage in ("evaluate", "capture", "hot_path", "acquire")
     }
     return out
 
@@ -155,6 +179,95 @@ def bench_figure4_window(n_traces: int, repeats: int) -> dict:
     return out
 
 
+def bench_capture(n_traces: int, repeats: int) -> dict:
+    """The oscilloscope chain alone: float64-exact vs float32.
+
+    Runs both precision modes on the same noise-free figure-3 power
+    matrix, so the contrast isolates the measurement-chain model
+    (noise generation + FIR response + quantizer).
+    """
+    from repro.crypto.aes_asm import LAYOUT, round1_only_program
+    from repro.experiments.figure3 import figure3_scope
+    from repro.power.acquisition import TraceCampaign, random_inputs
+    from repro.power.profile import cortex_a7_profile
+    from repro.power.scope import Oscilloscope
+
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    program = round1_only_program(key)
+    inputs = random_inputs(n_traces, mem_blocks={LAYOUT.state: 16}, seed=0xF16003)
+    campaign = TraceCampaign(
+        program, profile=cortex_a7_profile(), entry="aes_round1", seed=1
+    )
+    compiled = campaign.compile_with(inputs)
+    result = campaign._run_batch(inputs, compiled)
+
+    out = {"n_traces": n_traces}
+    for label, precision in (("float64_exact", "float64-exact"), ("float32", "float32")):
+        dtype = np.float32 if precision == "float32" else np.float64
+        power = compiled.leakage.evaluate(result.table, campaign.profile, dtype=dtype)
+        scope_config = figure3_scope(precision)
+        out["n_samples"] = int(power.shape[1])
+        stats = _measure(
+            lambda: Oscilloscope(scope_config, seed=5).capture(power), repeats
+        )
+        stats["traces_per_sec"] = _throughput(stats, n_traces)
+        out[label] = stats
+    out["speedup"] = round(
+        out["float64_exact"]["min_s"] / out["float32"]["min_s"], 2
+    )
+    return out
+
+
+def bench_attack_curves(smoke: bool, repeats: int) -> dict:
+    """Success-curve evaluation: recompute-per-budget vs prefix snapshot.
+
+    ``legacy`` is the seed implementation (independent subsets, a full
+    CPA with the 256-model stack rebuilt at every (budget, repeat)) —
+    the recompute-per-budget baseline this PR replaces.  ``recompute``
+    runs from-scratch attacks over the *same* nested-prefix subsets the
+    snapshot path uses, so ``identical_rates`` certifies the snapshot
+    evaluation is an exact replacement; ``snapshot_float32`` adds the
+    float32 capture chain and single-precision accumulation on top (the
+    full shipped fast path).
+    """
+    from repro.experiments.success_curves import run_success_curves
+
+    if smoke:
+        common = dict(
+            trace_counts=tuple(range(50, 301, 50)), n_campaign=400, n_repeats=3
+        )
+    else:
+        common = dict(
+            trace_counts=tuple(range(25, 801, 25)), n_campaign=1200, n_repeats=10
+        )
+
+    out = {
+        "n_campaign": common["n_campaign"],
+        "n_budgets": len(common["trace_counts"]),
+        "n_repeats": common["n_repeats"],
+    }
+    results = {}
+    for label, kwargs in (
+        ("legacy", dict(method="legacy")),
+        ("recompute", dict(method="recompute")),
+        ("snapshot", dict(method="snapshot")),
+        ("snapshot_float32", dict(method="snapshot", precision="float32")),
+    ):
+        stats = _measure(lambda: results.__setitem__(
+            label, run_success_curves(**common, **kwargs)
+        ), repeats)
+        out[label] = stats
+    out["identical_rates"] = (
+        results["recompute"].hw_model == results["snapshot"].hw_model
+        and results["recompute"].hd_model == results["snapshot"].hd_model
+    )
+    out["speedup"] = {
+        variant: round(out["legacy"]["min_s"] / out[variant]["min_s"], 2)
+        for variant in ("recompute", "snapshot", "snapshot_float32")
+    }
+    return out
+
+
 def bench_streamed(n_traces: int, chunk_size: int, jobs: int, repeats: int) -> dict:
     """Chunked streaming acquisition, serial and fan-out."""
     from repro.campaigns.engine import StreamingCampaign, clear_schedule_cache
@@ -169,19 +282,20 @@ def bench_streamed(n_traces: int, chunk_size: int, jobs: int, repeats: int) -> d
     import os
 
     out = {"n_traces": n_traces, "chunk_size": chunk_size, "n_jobs": jobs}
-    variants = [("serial", 1)]
+    variants = [("serial", 1, "float64-exact"), ("serial_float32", 1, "float32")]
     if jobs > 1 and (os.cpu_count() or 1) > 1:
         # Fork fan-out only pays off with real cores; on a single-CPU
         # host it just adds pool startup and pickling overhead.
-        variants.append((f"jobs{jobs}", jobs))
+        variants.append((f"jobs{jobs}", jobs, "float64-exact"))
+        variants.append((f"jobs{jobs}_float32", jobs, "float32"))
     else:
         out["fanout_skipped"] = f"cpu_count={os.cpu_count()}"
-    for label, n_jobs in variants:
+    for label, n_jobs, precision in variants:
         clear_schedule_cache()
         engine = StreamingCampaign(
             program,
             profile=cortex_a7_profile(),
-            scope=figure3_scope(),
+            scope=figure3_scope(precision),
             entry="aes_round1",
             seed=1,
             chunk_size=chunk_size,
@@ -218,7 +332,7 @@ def main(argv: list[str] | None = None) -> int:
 
     started = time.time()
     report = {
-        "schema": "bench_hotpath/1",
+        "schema": "bench_hotpath/2",
         "smoke": bool(args.smoke),
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -229,6 +343,12 @@ def main(argv: list[str] | None = None) -> int:
     report["benchmarks"]["figure3_round1_baremetal"] = bench_figure3(n3, repeats)
     print(f"figure4 windowed acquisition (n={n4}, repeats={repeats}) ...", flush=True)
     report["benchmarks"]["figure4_windowed_aes"] = bench_figure4_window(n4, repeats)
+    print(f"capture chain (n={n3}, repeats={repeats}) ...", flush=True)
+    report["benchmarks"]["capture"] = bench_capture(n3, repeats)
+    print("attack curves (recompute vs snapshot) ...", flush=True)
+    report["benchmarks"]["attack_curves"] = bench_attack_curves(
+        args.smoke, max(1, repeats // 2)
+    )
     if not args.no_streamed:
         chunk = max(100, n3 // 8)
         print(f"streamed figure3 (chunks of {chunk}, jobs={args.jobs}) ...", flush=True)
@@ -246,23 +366,50 @@ def main(argv: list[str] | None = None) -> int:
     print(f"\nwrote {path}")
 
     for name, bench in report["benchmarks"].items():
-        if "speedup" in bench:
+        if "tape" in bench:
             print(f"\n{name} (n={bench['n_traces']}):")
             for stage, factor in bench["speedup"].items():
                 tape_s = bench["tape"][stage]["min_s"]
                 legacy_s = bench["legacy"][stage]["min_s"]
                 print(
                     f"  {stage:10s}  {legacy_s*1e3:8.1f} ms -> {tape_s*1e3:8.1f} ms"
-                    f"   {factor:5.2f}x"
+                    f"   {factor:5.2f}x  (legacy -> tape)"
+                )
+            for stage, factor in bench.get("speedup_float32", {}).items():
+                tape_s = bench["tape"][stage]["min_s"]
+                fast_s = bench["float32"][stage]["min_s"]
+                print(
+                    f"  {stage:10s}  {tape_s*1e3:8.1f} ms -> {fast_s*1e3:8.1f} ms"
+                    f"   {factor:5.2f}x  (tape -> float32)"
+                )
+        elif name == "capture":
+            exact = bench["float64_exact"]
+            fast = bench["float32"]
+            print(
+                f"\ncapture (n={bench['n_traces']}): "
+                f"{exact['min_s']*1e3:.1f} ms -> {fast['min_s']*1e3:.1f} ms  "
+                f"{bench['speedup']:.2f}x "
+                f"({fast['traces_per_sec']:.0f} traces/s float32)"
+            )
+        elif name == "attack_curves":
+            print(
+                f"\nattack_curves ({bench['n_budgets']} budgets x "
+                f"{bench['n_repeats']} resamplings, identical rates: "
+                f"{bench['identical_rates']}):"
+            )
+            for variant, factor in bench["speedup"].items():
+                print(
+                    f"  legacy {bench['legacy']['min_s']:.2f} s -> "
+                    f"{variant} {bench[variant]['min_s']:.2f} s   {factor:.2f}x"
                 )
         else:
             serial = bench["serial"]["traces_per_sec"]
             line = f"\n{name}: serial {serial:.0f} traces/s"
-            fanout_key = next(
-                (k for k in bench if k.startswith("jobs") and k != "n_jobs"), None
-            )
-            if fanout_key is not None:
-                line += f", {fanout_key} {bench[fanout_key]['traces_per_sec']:.0f} traces/s"
+            for key in bench:
+                if key in ("serial", "n_traces", "chunk_size", "n_jobs", "fanout_skipped"):
+                    continue
+                if isinstance(bench[key], dict) and "traces_per_sec" in bench[key]:
+                    line += f", {key} {bench[key]['traces_per_sec']:.0f} traces/s"
             print(line)
     print(f"\npeak RSS: {report['peak_rss_mb']} MB, total {report['wall_s']}s")
     return 0

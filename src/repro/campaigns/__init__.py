@@ -19,7 +19,9 @@ pull numpy/scipy through the engine and accumulator modules.
 from typing import Any
 
 _EXPORTS = {
+    "BudgetSplitter": "repro.campaigns.accumulators",
     "CpaAccumulator": "repro.campaigns.accumulators",
+    "CpaBudgetSnapshots": "repro.campaigns.accumulators",
     "OnlineCorrAccumulator": "repro.campaigns.accumulators",
     "OnlineMeanVar": "repro.campaigns.accumulators",
     "OnlineSnrAccumulator": "repro.campaigns.accumulators",

@@ -25,6 +25,13 @@ sum/sum-of-squares, which is what keeps the streamed results numerically
 matched to the two-pass reference implementations: raw power sums lose
 roughly ``log10(n * mean^2 / variance)`` digits to cancellation, the
 Chan form does not.
+
+Every finishing method (``correlations``, ``result``) is a *snapshot*:
+it reads the sufficient statistics without consuming them, so a caller
+can interleave updates and snapshots to obtain the statistic at every
+prefix of a stream — that is the engine behind the prefix-incremental
+curves (:func:`repro.sca.cpa.cpa_attack_curve` and friends) and the
+chunk-aligned :class:`CpaBudgetSnapshots`.
 """
 
 from __future__ import annotations
@@ -194,6 +201,10 @@ class OnlineCorrAccumulator:
         corr = np.clip(corr, -1.0, 1.0)
         return corr[0] if self._single else corr
 
+    #: ``correlations`` reads the moments without consuming them; the
+    #: alias documents that prefix-snapshot callers rely on it.
+    snapshot = correlations
+
 
 class OnlineSnrAccumulator:
     """Streaming SNR/NICV partitioned by an integer intermediate.
@@ -247,6 +258,8 @@ class OnlineSnrAccumulator:
         nicv = np.clip(np.nan_to_num(nicv, nan=0.0, posinf=0.0), 0.0, 1.0)
         return SnrResult(snr=snr, nicv=nicv, n_classes=len(usable))
 
+    snapshot = result
+
 
 class OnlineTTestAccumulator:
     """Streaming Welch t-test between two trace populations (TVLA)."""
@@ -281,6 +294,8 @@ class OnlineTTestAccumulator:
         t = np.nan_to_num(t, nan=0.0, posinf=0.0, neginf=0.0)
         return TTestResult(t_values=t, threshold=self.threshold)
 
+    snapshot = result
+
 
 class CpaAccumulator:
     """Folds trace chunks into a full :class:`repro.sca.cpa.CpaResult`.
@@ -312,12 +327,92 @@ class CpaAccumulator:
         self._corr.merge(other._corr)
 
     def result(self):
+        """Snapshot the folded state as a :class:`repro.sca.cpa.CpaResult`.
+
+        Non-destructive: further ``update`` calls continue from the same
+        sufficient statistics, so interleaving updates and ``result``
+        snapshots yields the attack outcome at every stream prefix.
+        """
         from repro.sca.cpa import CpaResult
 
         correlations = np.atleast_2d(self._corr.correlations())
         return CpaResult(
             correlations=correlations, guesses=self.guesses, n_traces=self._corr.n
         )
+
+    snapshot = result
+
+
+class BudgetSplitter:
+    """Walks a chunk stream, splitting chunks at trace-budget boundaries.
+
+    Feed it each chunk's length; it yields ``(low, high, budget)``
+    sub-ranges covering the chunk in order, where ``budget`` names the
+    trace budget the sub-range *completes* (snapshot after folding it)
+    or ``None`` for the remainder past the last boundary in the chunk.
+    """
+
+    def __init__(self, budgets: Sequence[int]):
+        budget_array = np.asarray(list(budgets), dtype=np.int64)
+        if budget_array.size == 0 or np.any(budget_array <= 0):
+            raise ValueError("budgets must be positive")
+        if np.any(np.diff(budget_array) <= 0):
+            raise ValueError("budgets must be strictly increasing")
+        self.budgets = budget_array
+        self._reached = 0
+        self._base = 0
+
+    def split(self, chunk_len: int):
+        low = 0
+        while self._reached < self.budgets.size:
+            boundary = int(self.budgets[self._reached]) - self._base
+            if boundary > chunk_len:
+                break
+            yield low, boundary, int(self.budgets[self._reached])
+            low = boundary
+            self._reached += 1
+        if low < chunk_len:
+            yield low, chunk_len, None
+        self._base += chunk_len
+
+
+class CpaBudgetSnapshots:
+    """A streaming CPA that snapshots a full result at each trace budget.
+
+    Chunks arrive exactly as for :class:`CpaAccumulator`; whenever the
+    accumulated trace count crosses a requested budget the update is
+    split at the boundary and the attack state is snapshotted, so one
+    pass over a (chunked, possibly budget-misaligned) campaign yields
+    ``cpa_attack``-equivalent results at every budget — plus, via
+    :meth:`result`, the full-campaign result of everything folded.
+    """
+
+    def __init__(self, budgets: Sequence[int], guesses: Sequence[int] = tuple(range(256))):
+        self._splitter = BudgetSplitter(budgets)
+        self.budgets = self._splitter.budgets
+        self.guesses = np.asarray(list(guesses))
+        self._accumulator = CpaAccumulator(self.guesses)
+        self.results: list = []
+
+    @property
+    def n_traces(self) -> int:
+        return self._accumulator.n_traces
+
+    def update(self, traces: np.ndarray, model_fn: Callable[[int], np.ndarray]) -> None:
+        """Fold one chunk, snapshotting at every budget it crosses."""
+        models = np.stack(
+            [np.asarray(model_fn(int(g)), dtype=np.float64) for g in self.guesses],
+            axis=1,
+        )
+        for low, high, budget in self._splitter.split(traces.shape[0]):
+            self._accumulator._corr.update(models[low:high], traces[low:high])
+            if budget is not None:
+                self.results.append(self._accumulator.result())
+
+    def result(self):
+        """The full-campaign :class:`CpaResult` over everything folded
+        (the stream keeps accumulating past the last budget)."""
+        return self._accumulator.result()
 
 
 def fold_correlation(

@@ -40,7 +40,7 @@ from repro.power.acquisition import (
     derive_seed,
 )
 from repro.power.profile import LeakageProfile
-from repro.power.scope import ScopeConfig
+from repro.power.scope import Oscilloscope, ScopeConfig
 from repro.uarch.config import PipelineConfig
 
 #: Backwards-compatible alias: the compiled triple grew a ``tape`` field
@@ -226,8 +226,19 @@ class StreamingCampaign:
         inputs.validate()
         bounds = self.chunk_bounds(inputs.n_traces, chunk_size)
         jobs = self.jobs if jobs is None else max(1, jobs)
-        # Compile before any fork so workers inherit the schedule.
+        # Compile before any fork so workers inherit the schedule, and
+        # resolve the campaign's quantizer full-scale so every chunk —
+        # in every worker — shares one LSB.  Calibration sees chunk 0's
+        # power transform (factories must be pure functions of the
+        # chunk index — the engine may evaluate factory(0) twice).
         self.compiled(inputs)
+        transform0 = (
+            power_transform_factory(0)
+            if power_transform_factory is not None
+            else power_transform
+        )
+        self._calibrate_full_scale(inputs, bounds, transform0)
+        float32 = self._campaign.precision == "float32"
         if jobs > 1 and len(bounds) > 1 and _fork_available():
             yield from self._stream_parallel(
                 inputs, bounds, jobs, power_transform, power_transform_factory
@@ -235,16 +246,76 @@ class StreamingCampaign:
         else:
             for index, (lo, hi) in enumerate(bounds):
                 transform = (
-                    power_transform_factory(index)
+                    transform0
+                    if index == 0
+                    else power_transform_factory(index)
                     if power_transform_factory is not None
                     else power_transform
                 )
                 trace_set = self._campaign.acquire(
                     inputs.slice(lo, hi),
                     power_transform=transform,
-                    scope_seed=derive_seed(self.seed, index),
+                    scope_seed=self._chunk_scope_seed(index),
+                    trace_offset=lo if float32 else 0,
                 )
                 yield TraceChunk(start=lo, index=index, trace_set=trace_set)
+
+    def _chunk_scope_seed(self, index: int) -> int:
+        """The oscilloscope seed of chunk ``index``.
+
+        float64-exact mode keeps the historical per-chunk derived
+        streams (chunk 0 byte-identical to a monolithic run); float32
+        mode shares one counter-based stream across all chunks — the
+        chunk's ``trace_offset`` separates the draws, which is what
+        makes a campaign's noise independent of its chunking.
+        """
+        if self._campaign.precision == "float32":
+            return derive_seed(self.seed, 0)
+        return derive_seed(self.seed, index)
+
+    def _calibrate_full_scale(
+        self,
+        inputs: BatchInputs,
+        bounds: list[tuple[int, int]],
+        power_transform: Callable[[np.ndarray], np.ndarray] | None,
+    ) -> None:
+        """Pin the campaign's auto-ranged quantizer full-scale.
+
+        With ``adc_range=None`` the historical chunked path quantized
+        every chunk against its own observed spread, i.e. a different
+        LSB per chunk.  Before streaming (and before any fork), this
+        resolves one deterministic full-scale from the campaign's
+        leading-trace power — the same rule a monolithic float32
+        capture applies internally — and pins it on the inner campaign.
+
+        Monolithic float64-exact runs (a single chunk) are left alone:
+        their per-capture auto-range is part of the bit-exact contract.
+        """
+        campaign = self._campaign
+        config = campaign.scope_config
+        if config.quantize_bits is None or config.adc_range is not None:
+            return
+        if campaign.pinned_full_scale is not None:
+            return
+        if campaign.precision != "float32" and len(bounds) <= 1:
+            return
+        compiled = self.compiled(inputs)
+        k = min(config.calibration_traces, inputs.n_traces)
+        result, compiled = campaign._run_checked(
+            inputs.slice(0, k), compiled, reused=True
+        )
+        # Evaluate the prefix in the campaign's own dtype so the pinned
+        # value is bit-identical to what a monolithic float32 capture
+        # would self-calibrate from.
+        power = compiled.leakage.evaluate(
+            result.table,
+            campaign.profile,
+            dtype=np.float32 if campaign.precision == "float32" else np.float64,
+        )
+        if power_transform is not None:
+            power = power_transform(power)
+        scope = Oscilloscope(config, seed=self._chunk_scope_seed(0))
+        campaign.pinned_full_scale = scope.calibrate_full_scale(power)
 
     def _stream_parallel(
         self,
@@ -257,8 +328,9 @@ class StreamingCampaign:
     ) -> Iterator[TraceChunk]:
         path, schedule, leakage = self.compiled(inputs)
         context = multiprocessing.get_context("fork")
+        float32 = self._campaign.precision == "float32"
         tasks = [
-            (index, lo, hi, derive_seed(self.seed, index))
+            (index, lo, hi, self._chunk_scope_seed(index), lo if float32 else 0)
             for index, (lo, hi) in enumerate(bounds)
         ]
         with context.Pool(
@@ -306,7 +378,7 @@ def _worker_init(campaign, inputs, power_transform, factory) -> None:  # pragma:
 
 
 def _worker_chunk(task):  # pragma: no cover - exercised via Pool
-    index, lo, hi, seed = task
+    index, lo, hi, seed, trace_offset = task
     campaign: TraceCampaign = _WORKER_STATE["campaign"]
     inputs: BatchInputs = _WORKER_STATE["inputs"]
     factory = _WORKER_STATE["factory"]
@@ -316,6 +388,7 @@ def _worker_chunk(task):  # pragma: no cover - exercised via Pool
         inputs.slice(lo, hi),
         power_transform=transform,
         scope_seed=seed,
+        trace_offset=trace_offset,
     )
     if compiled is not None and trace_set.path == compiled[0]:
         # The parent holds the same compiled schedule (inherited at

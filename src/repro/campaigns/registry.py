@@ -45,6 +45,9 @@ class RunOptions:
     chunk_size: int | None = None
     jobs: int = 1
     seed: int | None = None
+    #: acquisition-chain precision override ("float64-exact"/"float32");
+    #: None keeps each scenario's default
+    precision: str | None = None
 
 
 @dataclass(frozen=True)
@@ -62,6 +65,8 @@ class Scenario:
     supports_chunking: bool = False
     #: the runner honors RunOptions.jobs (multiprocessing fan-out)
     supports_jobs: bool = False
+    #: the runner honors RunOptions.precision (float32 capture chain)
+    supports_precision: bool = False
     tags: tuple[str, ...] = ()
 
     def run(self, options: RunOptions | None = None) -> Any:

@@ -27,6 +27,10 @@ Flags:
     Fan chunks out over ``N`` worker processes (requires ``fork``).
 ``--seed N``
     Campaign seed override, for independent re-runs of a scenario.
+``--precision float64-exact|float32``
+    Acquisition-chain precision: ``float32`` runs the counter-based
+    high-throughput capture chain; ``float64-exact`` (each scenario's
+    default) keeps the bit-exact historical chain.
 ``--format json|text``
     ``text`` (default) prints each scenario's rendered report;
     ``json`` emits a machine-readable array with name, wall time,
@@ -77,6 +81,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None, help="campaign seed override"
     )
     parser.add_argument(
+        "--precision",
+        choices=("float64-exact", "float32"),
+        default=None,
+        help="acquisition-chain precision (default: the scenario's own)",
+    )
+    parser.add_argument(
         "--format",
         choices=("text", "json"),
         default="text",
@@ -106,6 +116,7 @@ def main(argv: list[str] | None = None) -> int:
         chunk_size=args.chunk_size,
         jobs=args.jobs,
         seed=args.seed,
+        precision=args.precision,
     )
     reports = []
     for name in chosen:
@@ -119,6 +130,12 @@ def main(argv: list[str] | None = None) -> int:
         if options.jobs > 1 and not scenario.supports_jobs:
             print(
                 f"note: {name} does not support --jobs; running single-process",
+                file=sys.stderr,
+            )
+        if options.precision is not None and not scenario.supports_precision:
+            print(
+                f"note: {name} does not support --precision; running its"
+                " standard chain",
                 file=sys.stderr,
             )
         start = time.time()

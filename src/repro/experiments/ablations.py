@@ -32,7 +32,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.campaigns.accumulators import OnlineCorrAccumulator
+from repro.campaigns.accumulators import BudgetSplitter, OnlineCorrAccumulator
 from repro.campaigns.engine import StreamingCampaign
 from repro.campaigns.registry import RunOptions, Scenario, register
 from repro.isa.parser import assemble
@@ -41,7 +41,7 @@ from repro.power.acquisition import BatchInputs
 from repro.power.hamming import hamming_weight
 from repro.power.profile import LeakageProfile, cortex_a7_profile
 from repro.power.scope import ScopeConfig
-from repro.sca.stats import pearson_corr, significance_threshold
+from repro.sca.stats import pearson_corr, prefix_pearson_corr, significance_threshold
 from repro.uarch.config import PipelineConfig
 from repro.uarch.pipeline import Pipeline
 from repro.uarch.scalar import ScalarPipeline
@@ -70,6 +70,9 @@ class AblationResult:
     corr_with: float
     corr_without: float
     threshold: float
+    #: peak |r| of the leak side at each requested trace budget (one
+    #: prefix-snapshot pass, no recompute per budget); None if not asked
+    curve: dict[int, float] | None = None
 
     @property
     def leak_appears(self) -> bool:
@@ -85,17 +88,29 @@ class AblationResult:
 
     def render(self) -> str:
         verdict = "DEMONSTRATED" if self.demonstrated else "NOT demonstrated"
-        return (
+        text = (
             f"[{self.name}] {self.claim}\n"
             f"  leak present : |r| = {abs(self.corr_with):.3f} "
             f"(threshold {self.threshold:.3f})\n"
             f"  leak absent  : |r| = {abs(self.corr_without):.3f}\n"
             f"  -> {verdict}"
         )
+        if self.curve:
+            points = ", ".join(
+                f"{budget}:{peak:.3f}" for budget, peak in sorted(self.curve.items())
+            )
+            text += f"\n  |r| vs budget: {points}"
+        return text
 
 
-def _ablation_scope() -> ScopeConfig:
-    return ScopeConfig(noise_sigma=8.0, kernel=(1.0,), n_averages=16, quantize_bits=8)
+def _ablation_scope(precision: str | None = None) -> ScopeConfig:
+    return ScopeConfig(
+        noise_sigma=8.0,
+        kernel=(1.0,),
+        n_averages=16,
+        quantize_bits=8,
+        precision=precision if precision is not None else "float64-exact",
+    )
 
 
 def _measure(
@@ -108,20 +123,24 @@ def _measure(
     seed: int = 0xAB1A,
     chunk_size: int | None = None,
     jobs: int = 1,
-) -> tuple[float, int]:
+    budgets: tuple[int, ...] | None = None,
+    precision: str | None = None,
+) -> tuple[float, int, dict[int, float] | None]:
     """Peak |corr| of ``model`` at the given components' samples.
 
-    Returns ``(peak, n_samples)`` so callers can Bonferroni-correct the
-    significance threshold for the max-over-samples statistic.  With
-    ``chunk_size`` set the campaign streams through the engine and the
-    correlation folds chunk by chunk.
+    Returns ``(peak, n_samples, curve)`` so callers can
+    Bonferroni-correct the significance threshold for the
+    max-over-samples statistic.  With ``chunk_size`` set the campaign
+    streams through the engine and the correlation folds chunk by
+    chunk; with ``budgets`` set the same single pass also snapshots the
+    peak |corr| at every listed trace budget (no recompute per budget).
     """
     program = assemble(source)
     engine = StreamingCampaign(
         program,
         config=config,
         profile=profile if profile is not None else cortex_a7_profile(),
-        scope=_ablation_scope(),
+        scope=_ablation_scope(precision),
         seed=seed,
         chunk_size=chunk_size,
         jobs=jobs,
@@ -131,18 +150,41 @@ def _measure(
     for name in components:
         samples.update(int(s) for s in leakage.sample_positions(name))
     if not samples:
-        return 0.0, 0
+        return 0.0, 0, None
     columns = sorted(samples)
     model = model.astype(np.float64)
+    budget_list = (
+        sorted({min(int(b), inputs.n_traces) for b in budgets}) if budgets else None
+    )
+    curve: dict[int, float] | None = None
     if chunk_size is None:
         trace_set = engine.acquire(inputs)
         corr = pearson_corr(model, trace_set.traces[:, columns])
+        if budget_list:
+            prefixes = prefix_pearson_corr(
+                model, trace_set.traces[:, columns], budget_list
+            )
+            curve = {
+                budget: float(np.max(np.abs(prefixes[i])))
+                for i, budget in enumerate(budget_list)
+            }
     else:
         accumulator = OnlineCorrAccumulator()
+        splitter = BudgetSplitter(budget_list) if budget_list else None
+        curve = {} if budget_list else None
         for chunk in engine.stream(inputs):
-            accumulator.update(model[chunk.start : chunk.stop], chunk.traces[:, columns])
+            rows = chunk.traces[:, columns]
+            chunk_model = model[chunk.start : chunk.stop]
+            if splitter is None:
+                accumulator.update(chunk_model, rows)
+                continue
+            for low, high, budget in splitter.split(rows.shape[0]):
+                accumulator.update(chunk_model[low:high], rows[low:high])
+                if budget is not None:
+                    snapshot = accumulator.snapshot()
+                    curve[budget] = float(np.max(np.abs(snapshot)))
         corr = accumulator.correlations()
-    return float(corr[np.argmax(np.abs(corr))]), len(columns)
+    return float(corr[np.argmax(np.abs(corr))]), len(columns), curve
 
 
 def _bonferroni_threshold(n_traces: int, n_samples: int, alpha: float = 0.002) -> float:
@@ -178,7 +220,12 @@ def _pad(lines: list[str], n: int = 12) -> list[str]:
 
 
 def ablate_operand_swap(
-    n_traces: int = 2000, seed: int = 0x0A5B, chunk_size: int | None = None, jobs: int = 1
+    n_traces: int = 2000,
+    seed: int = 0x0A5B,
+    chunk_size: int | None = None,
+    jobs: int = 1,
+    budgets: tuple[int, ...] | None = None,
+    precision: str | None = None,
 ) -> AblationResult:
     """§4.2 i+ii: a commutative operand swap re-combines the shares."""
     inputs, secret = _masked_inputs(n_traces, seed)
@@ -189,13 +236,13 @@ def ablate_operand_swap(
     # Safe: the second eor is written with its (commutative) operands
     # swapped, so the mask rides the op2 bus instead.
     safe = _pad(["    eor r7, r5, r8", "    eor r9, r10, r6"])
-    corr_unsafe, n_samples = _measure(
+    corr_unsafe, n_samples, curve = _measure(
         "\n".join(unsafe), inputs, model, _ISSUE_LAYER, seed=seed,
-        chunk_size=chunk_size, jobs=jobs,
+        chunk_size=chunk_size, jobs=jobs, budgets=budgets, precision=precision,
     )
-    corr_safe, _ = _measure(
+    corr_safe, _n, _curve = _measure(
         "\n".join(safe), inputs, model, _ISSUE_LAYER, seed=seed + 1,
-        chunk_size=chunk_size, jobs=jobs,
+        chunk_size=chunk_size, jobs=jobs, precision=precision,
     )
     return AblationResult(
         name="operand-swap",
@@ -203,11 +250,17 @@ def ablate_operand_swap(
         corr_with=corr_unsafe,
         corr_without=corr_safe,
         threshold=_bonferroni_threshold(n_traces, n_samples),
+        curve=curve,
     )
 
 
 def ablate_dual_issue_adjacency(
-    n_traces: int = 2000, seed: int = 0x0A5C, chunk_size: int | None = None, jobs: int = 1
+    n_traces: int = 2000,
+    seed: int = 0x0A5C,
+    chunk_size: int | None = None,
+    jobs: int = 1,
+    budgets: tuple[int, ...] | None = None,
+    precision: str | None = None,
 ) -> AblationResult:
     """§4.2 iii: dual-issue makes non-adjacent instructions collide."""
     inputs, secret = _masked_inputs(n_traces, seed)
@@ -217,10 +270,11 @@ def ablate_dual_issue_adjacency(
     # instruction sits between them in program order.
     lines = _pad(["    mov r7, r5", "    mov r9, r8", "    mov r11, r6"])
     source = "\n".join(lines)
-    corr_dual, n_samples = _measure(
-        source, inputs, model, _ISSUE_LAYER, seed=seed, chunk_size=chunk_size, jobs=jobs
+    corr_dual, n_samples, curve = _measure(
+        source, inputs, model, _ISSUE_LAYER, seed=seed, chunk_size=chunk_size,
+        jobs=jobs, budgets=budgets, precision=precision,
     )
-    corr_single, _ = _measure(
+    corr_single, _n, _curve = _measure(
         source,
         inputs,
         model,
@@ -229,6 +283,7 @@ def ablate_dual_issue_adjacency(
         seed=seed + 1,
         chunk_size=chunk_size,
         jobs=jobs,
+        precision=precision,
     )
     return AblationResult(
         name="dual-issue-adjacency",
@@ -236,11 +291,17 @@ def ablate_dual_issue_adjacency(
         corr_with=corr_dual,
         corr_without=corr_single,
         threshold=_bonferroni_threshold(n_traces, n_samples),
+        curve=curve,
     )
 
 
 def ablate_nop_insertion(
-    n_traces: int = 2000, seed: int = 0x0A5D, chunk_size: int | None = None, jobs: int = 1
+    n_traces: int = 2000,
+    seed: int = 0x0A5D,
+    chunk_size: int | None = None,
+    jobs: int = 1,
+    budgets: tuple[int, ...] | None = None,
+    precision: str | None = None,
 ) -> AblationResult:
     """§4.1: inserting a nop adds HW leakage modes (bus driven to zero)."""
     rng = np.random.default_rng(seed)
@@ -257,13 +318,13 @@ def ablate_nop_insertion(
         ["    mov r9, r8", "    mov r7, r5", "    mov r9, r8"], n=0
     )
     without_nop = ["    mov r9, r8"] + without_nop
-    corr_with, n_samples = _measure(
+    corr_with, n_samples, curve = _measure(
         "\n".join(with_nop), inputs, model, _ISSUE_LAYER, seed=seed,
-        chunk_size=chunk_size, jobs=jobs,
+        chunk_size=chunk_size, jobs=jobs, budgets=budgets, precision=precision,
     )
-    corr_without, _ = _measure(
+    corr_without, _n, _curve = _measure(
         "\n".join(without_nop), inputs, model, _ISSUE_LAYER, seed=seed + 1,
-        chunk_size=chunk_size, jobs=jobs,
+        chunk_size=chunk_size, jobs=jobs, precision=precision,
     )
     return AblationResult(
         name="nop-insertion",
@@ -271,11 +332,17 @@ def ablate_nop_insertion(
         corr_with=corr_with,
         corr_without=corr_without,
         threshold=_bonferroni_threshold(n_traces, n_samples),
+        curve=curve,
     )
 
 
 def ablate_lsu_remanence(
-    n_traces: int = 2000, seed: int = 0x0A5E, chunk_size: int | None = None, jobs: int = 1
+    n_traces: int = 2000,
+    seed: int = 0x0A5E,
+    chunk_size: int | None = None,
+    jobs: int = 1,
+    budgets: tuple[int, ...] | None = None,
+    precision: str | None = None,
 ) -> AblationResult:
     """§4.2 iv: a stored share survives in the LSU and meets the next one."""
     inputs, secret = _masked_inputs(n_traces, seed)
@@ -292,10 +359,11 @@ def ablate_lsu_remanence(
         ]
     )
     source = "\n".join(lines) + buffers
-    corr_with, n_samples = _measure(
-        source, inputs, model, ("align_store",), seed=seed, chunk_size=chunk_size, jobs=jobs
+    corr_with, n_samples, curve = _measure(
+        source, inputs, model, ("align_store",), seed=seed, chunk_size=chunk_size,
+        jobs=jobs, budgets=budgets, precision=precision,
     )
-    corr_without, _ = _measure(
+    corr_without, _n, _curve = _measure(
         source,
         inputs,
         model,
@@ -304,6 +372,7 @@ def ablate_lsu_remanence(
         seed=seed + 1,
         chunk_size=chunk_size,
         jobs=jobs,
+        precision=precision,
     )
     return AblationResult(
         name="lsu-remanence",
@@ -311,11 +380,17 @@ def ablate_lsu_remanence(
         corr_with=corr_with,
         corr_without=corr_without,
         threshold=_bonferroni_threshold(n_traces, n_samples),
+        curve=curve,
     )
 
 
 def ablate_parallel_shares(
-    n_traces: int = 2000, seed: int = 0x0A5F, chunk_size: int | None = None, jobs: int = 1
+    n_traces: int = 2000,
+    seed: int = 0x0A5F,
+    chunk_size: int | None = None,
+    jobs: int = 1,
+    budgets: tuple[int, ...] | None = None,
+    precision: str | None = None,
 ) -> AblationResult:
     """§4.2 defensive: dual-issuing the two shares separates their buses."""
     inputs, secret = _masked_inputs(n_traces, seed)
@@ -325,13 +400,13 @@ def ablate_parallel_shares(
     # Parallel: the two movs form an aligned dual-issue pair -> each
     # share has its own slot bus and write-back port.
     parallel = _pad(["    mov r7, r5", "    mov r9, r6"])
-    corr_seq, n_samples = _measure(
+    corr_seq, n_samples, curve = _measure(
         "\n".join(sequential), inputs, model, _ISSUE_LAYER, seed=seed,
-        chunk_size=chunk_size, jobs=jobs,
+        chunk_size=chunk_size, jobs=jobs, budgets=budgets, precision=precision,
     )
-    corr_par, _ = _measure(
+    corr_par, _n, _curve = _measure(
         "\n".join(parallel), inputs, model, _ISSUE_LAYER, seed=seed + 1,
-        chunk_size=chunk_size, jobs=jobs,
+        chunk_size=chunk_size, jobs=jobs, precision=precision,
     )
     return AblationResult(
         name="parallel-shares",
@@ -339,17 +414,23 @@ def ablate_parallel_shares(
         corr_with=corr_seq,
         corr_without=corr_par,
         threshold=_bonferroni_threshold(n_traces, n_samples),
+        curve=curve,
     )
 
 
 def ablate_scalar_write_port(
-    n_traces: int = 2000, seed: int = 0x0A60, chunk_size: int | None = None, jobs: int = 1
+    n_traces: int = 2000,
+    seed: int = 0x0A60,
+    chunk_size: int | None = None,
+    jobs: int = 1,
+    budgets: tuple[int, ...] | None = None,
+    precision: str | None = None,
 ) -> AblationResult:
     """[18,19]: the scalar core's single write port combines results.
 
     This contrast compares two *pipeline models* over one batch, so it
-    bypasses the campaign engine; ``chunk_size``/``jobs`` are accepted
-    for signature uniformity and ignored.
+    bypasses the campaign engine; ``chunk_size``/``jobs``/``budgets``
+    are accepted for signature uniformity and ignored.
     """
     inputs, secret = _masked_inputs(n_traces, seed)
     model = hamming_weight(secret).astype(np.float64)
@@ -379,7 +460,7 @@ def ablate_scalar_write_port(
             vstate.write_reg(reg, values)
         result = vexec.run(state=vstate)
         power = leakage.evaluate(result.table, cortex_a7_profile())
-        traces = Oscilloscope(_ablation_scope(), seed=seed).capture(power)
+        traces = Oscilloscope(_ablation_scope(precision), seed=seed).capture(power)
         samples = sorted(
             {int(s) for name in _WB_LAYER for s in leakage.sample_positions(name)}
         )
@@ -410,10 +491,20 @@ ALL_ABLATIONS = (
 
 
 def run_all_ablations(
-    n_traces: int = 2000, chunk_size: int | None = None, jobs: int = 1
+    n_traces: int = 2000,
+    chunk_size: int | None = None,
+    jobs: int = 1,
+    budgets: tuple[int, ...] | None = None,
+    precision: str | None = None,
 ) -> list[AblationResult]:
     return [
-        ablation(n_traces=n_traces, chunk_size=chunk_size, jobs=jobs)
+        ablation(
+            n_traces=n_traces,
+            chunk_size=chunk_size,
+            jobs=jobs,
+            budgets=budgets,
+            precision=precision,
+        )
         for ablation in ALL_ABLATIONS
     ]
 
@@ -438,6 +529,7 @@ def _scenario_runner(options: RunOptions) -> _AblationSuite:
             n_traces=options.n_traces or 2000,
             chunk_size=options.chunk_size,
             jobs=options.jobs,
+            precision=options.precision,
         )
     )
 
@@ -454,6 +546,7 @@ SCENARIO = register(
         default_traces=2000,
         supports_chunking=True,
         supports_jobs=True,
+        supports_precision=True,
         tags=("ablation",),
     )
 )

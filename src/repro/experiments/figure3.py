@@ -43,9 +43,11 @@ PRIMITIVE_LABELS = ("ark0_start", "sb_start", "shr_start", "mc_start", "trigger_
 PRIMITIVE_NAMES = {"ark0_start": "ARK", "sb_start": "SB", "shr_start": "ShR", "mc_start": "MC"}
 
 
-def figure3_scope() -> ScopeConfig:
+def figure3_scope(precision: str = "float64-exact") -> ScopeConfig:
     """Bare-metal acquisition calibrated for the paper's ~0.1 peak."""
-    return ScopeConfig(noise_sigma=60.0, n_averages=16, quantize_bits=8)
+    return ScopeConfig(
+        noise_sigma=60.0, n_averages=16, quantize_bits=8, precision=precision
+    )
 
 
 @dataclass
@@ -131,12 +133,15 @@ def run_figure3(
     seed: int = 0xF16003,
     chunk_size: int | None = None,
     jobs: int = 1,
+    precision: str | None = None,
 ) -> Figure3Result:
     """Acquire the bare-metal campaign and run the Figure-3 CPA.
 
     With ``chunk_size`` set the campaign streams through the engine in
     bounded memory and the CPA folds chunk by chunk; the default runs
     the historical monolithic path (identical numerics).
+    ``precision="float32"`` switches the capture chain to the
+    counter-based high-throughput mode (ignored if ``scope`` is given).
     """
     program = round1_only_program(key)
     inputs = random_inputs(n_traces, mem_blocks={LAYOUT.state: 16}, seed=seed)
@@ -144,7 +149,9 @@ def run_figure3(
         program,
         config=config,
         profile=profile if profile is not None else cortex_a7_profile(),
-        scope=scope if scope is not None else figure3_scope(),
+        scope=scope
+        if scope is not None
+        else figure3_scope(precision if precision is not None else "float64-exact"),
         entry="aes_round1",
         seed=seed ^ 0x5A5A,
         chunk_size=chunk_size,
@@ -210,6 +217,7 @@ def _scenario_runner(options: RunOptions) -> Figure3Result:
         n_traces=options.n_traces or 3000,
         chunk_size=options.chunk_size,
         jobs=options.jobs,
+        precision=options.precision,
         **kwargs,
     )
 
@@ -226,6 +234,7 @@ SCENARIO = register(
         default_traces=3000,
         supports_chunking=True,
         supports_jobs=True,
+        supports_precision=True,
         tags=("cpa", "bare-metal"),
     )
 )

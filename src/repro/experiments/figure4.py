@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.campaigns.accumulators import CpaAccumulator
+from repro.campaigns.accumulators import CpaAccumulator, CpaBudgetSnapshots
 from repro.campaigns.engine import StreamingCampaign
 from repro.campaigns.registry import RunOptions, Scenario, register
 from repro.crypto.aes_asm import LAYOUT, aes128_program
@@ -40,15 +40,22 @@ from repro.os_sim.environment import Environment, bare_metal, loaded_linux
 from repro.power.acquisition import TraceSet, random_inputs
 from repro.power.profile import LeakageProfile, cortex_a7_profile
 from repro.power.scope import ScopeConfig
-from repro.sca.cpa import CpaResult, cpa_attack
+from repro.sca.cpa import CpaResult, cpa_attack, cpa_attack_curve
 from repro.sca.models import hd_consecutive_stores_model
 from repro.uarch.config import PipelineConfig
 
 
-def figure4_scope(environment: Environment) -> ScopeConfig:
+def figure4_scope(
+    environment: Environment, precision: str = "float64-exact"
+) -> ScopeConfig:
     """Scope settings under the OS scenario (16x averaging, jitter)."""
     return environment.scope_config(
-        ScopeConfig(noise_sigma=10.0, n_averages=environment.n_averages, quantize_bits=8)
+        ScopeConfig(
+            noise_sigma=10.0,
+            n_averages=environment.n_averages,
+            quantize_bits=8,
+            precision=precision,
+        )
     )
 
 
@@ -66,6 +73,9 @@ class Figure4Result:
     no_averaging_rank: int | None
     n_traces: int
     checks: dict[str, bool] = field(default_factory=dict)
+    #: best-vs-second confidence at each requested trace budget, from a
+    #: prefix-snapshot CPA over the loaded campaign (margin_budgets)
+    margin_curve: dict[int, float] | None = None
 
     @property
     def matches_paper(self) -> bool:
@@ -94,6 +104,18 @@ class Figure4Result:
             ],
         ]
         parts.append(render_table(["metric", "value"], rows, title="\nattack metrics"))
+        if self.margin_curve:
+            curve_rows = [
+                [str(budget), f"{confidence:.4f}"]
+                for budget, confidence in sorted(self.margin_curve.items())
+            ]
+            parts.append(
+                render_table(
+                    ["traces", "best-vs-second confidence"],
+                    curve_rows,
+                    title="\nmargin vs trace budget (one snapshot pass)",
+                )
+            )
         parts.append("\nshape checks vs the paper:")
         for name, passed in self.checks.items():
             parts.append(f"  [{'x' if passed else ' '}] {name}")
@@ -148,18 +170,25 @@ def run_figure4(
     check_no_averaging: bool = True,
     chunk_size: int | None = None,
     jobs: int = 1,
+    margin_budgets: tuple[int, ...] | None = None,
+    precision: str | None = None,
 ) -> Figure4Result:
     """Run the loaded-Linux campaign and the chained HD-store attack.
 
     With ``chunk_size`` set every campaign (loaded, bare-metal
     reference, no-averaging control) streams through the engine and the
     CPA folds chunk by chunk; the default monolithic path keeps the
-    historical numerics.
+    historical numerics.  ``margin_budgets`` additionally snapshots the
+    loaded campaign's best-vs-second confidence at every listed trace
+    budget from one cumulative pass (no recompute per budget);
+    ``precision="float32"`` switches the capture chain to the
+    counter-based high-throughput mode.
     """
     environment = environment if environment is not None else loaded_linux()
     profile = profile if profile is not None else cortex_a7_profile()
     program = aes128_program(key)
     inputs = random_inputs(n_traces, mem_blocks={LAYOUT.state: 16}, seed=seed)
+    scope_precision = precision if precision is not None else "float64-exact"
 
     prototype = StreamingCampaign(
         program, config=config, profile=profile, entry="aes_main", seed=seed
@@ -168,9 +197,16 @@ def run_figure4(
     plaintexts = inputs.mem_bytes[LAYOUT.state]
     known = key[byte_index]
 
+    budgets = None
+    if margin_budgets is not None:
+        budgets = sorted({min(int(b), n_traces) for b in margin_budgets})
+
     def acquire_and_attack(
-        env: Environment, scope: ScopeConfig, campaign_seed: int
-    ) -> tuple[TraceSet, CpaResult]:
+        env: Environment,
+        scope: ScopeConfig,
+        campaign_seed: int,
+        want_curve: bool = False,
+    ) -> tuple[TraceSet, CpaResult, dict[int, float] | None]:
         engine = StreamingCampaign(
             program,
             config=config,
@@ -182,10 +218,31 @@ def run_figure4(
             chunk_size=chunk_size,
             jobs=jobs,
         )
+        curve: dict[int, float] | None = None
         if chunk_size is None:
             trace_set = engine.acquire(inputs, power_transform=env.transform)
-            return trace_set, _attack(trace_set, plaintexts, byte_index, known)
-        accumulator = CpaAccumulator()
+            if want_curve and budgets:
+                poi = _store_poi(trace_set.leakage, trace_set.traces.shape[1])
+                traces = trace_set.traces[:, poi] if poi.size else trace_set.traces
+                snapshots = cpa_attack_curve(
+                    traces,
+                    lambda guess: hd_consecutive_stores_model(
+                        plaintexts, byte_index, (known, guess)
+                    ),
+                    budgets,
+                )
+                curve = dict(
+                    zip(budgets, (float(c) for c in snapshots.margin_confidences()))
+                )
+            return trace_set, _attack(trace_set, plaintexts, byte_index, known), curve
+        # One streaming CPA serves both outputs: CpaBudgetSnapshots
+        # keeps accumulating past the last budget, so its final state
+        # is the full-campaign result.
+        folder = (
+            CpaBudgetSnapshots(budgets)
+            if want_curve and budgets
+            else CpaAccumulator()
+        )
         last_chunk: TraceSet | None = None
         for chunk in engine.stream(
             inputs, power_transform_factory=lambda i: env.reseeded(i).transform
@@ -193,24 +250,38 @@ def run_figure4(
             poi = _store_poi(chunk.trace_set.leakage, chunk.traces.shape[1])
             traces = chunk.traces[:, poi] if poi.size else chunk.traces
             chunk_plaintexts = plaintexts[chunk.start : chunk.stop]
-            accumulator.update(
+            folder.update(
                 traces,
-                lambda guess: hd_consecutive_stores_model(
-                    chunk_plaintexts, byte_index, (known, guess)
+                lambda guess, chunk_plaintexts=chunk_plaintexts: (
+                    hd_consecutive_stores_model(
+                        chunk_plaintexts, byte_index, (known, guess)
+                    )
                 ),
             )
             last_chunk = chunk.trace_set
         assert last_chunk is not None
-        return last_chunk, accumulator.result()
+        if isinstance(folder, CpaBudgetSnapshots):
+            curve = {
+                budget: float(result.margin_confidence())
+                for budget, result in zip(budgets, folder.results)
+            }
+        return last_chunk, folder.result(), curve
 
-    loaded, cpa = acquire_and_attack(environment, figure4_scope(environment), seed ^ 0x1111)
+    loaded, cpa, margin_curve = acquire_and_attack(
+        environment,
+        figure4_scope(environment, scope_precision),
+        seed ^ 0x1111,
+        want_curve=True,
+    )
     true_next = key[byte_index + 1]
     margin = cpa.margin_confidence()
     peak_loaded = float(np.max(np.abs(cpa.timecourse(true_next))))
 
     # Bare-metal reference with the same (matched) model.
     bare_env = bare_metal()
-    _bare, cpa_bare = acquire_and_attack(bare_env, figure4_scope(bare_env), seed ^ 0x2222)
+    _bare, cpa_bare, _ = acquire_and_attack(
+        bare_env, figure4_scope(bare_env, scope_precision), seed ^ 0x2222
+    )
     peak_bare = float(np.max(np.abs(cpa_bare.timecourse(true_next))))
 
     no_avg_rank: int | None = None
@@ -223,8 +294,8 @@ def run_figure4(
             n_averages=1,
             seed=environment.seed,
         )
-        _noisy, cpa_noisy = acquire_and_attack(
-            env_no_avg, figure4_scope(env_no_avg), seed ^ 0x3333
+        _noisy, cpa_noisy, _ = acquire_and_attack(
+            env_no_avg, figure4_scope(env_no_avg, scope_precision), seed ^ 0x3333
         )
         no_avg_rank = cpa_noisy.rank_of(true_next)
 
@@ -238,6 +309,7 @@ def run_figure4(
         margin_confidence=margin,
         no_averaging_rank=no_avg_rank,
         n_traces=n_traces,
+        margin_curve=margin_curve,
     )
     result.checks = {
         "attack succeeds at the paper's budget (rank 0)": cpa.rank_of(true_next) == 0,
@@ -257,6 +329,7 @@ def _scenario_runner(options: RunOptions) -> Figure4Result:
         n_traces=options.n_traces or 100,
         chunk_size=options.chunk_size,
         jobs=options.jobs,
+        precision=options.precision,
         **kwargs,
     )
 
@@ -274,6 +347,7 @@ SCENARIO = register(
         default_traces=100,
         supports_chunking=True,
         supports_jobs=True,
+        supports_precision=True,
         tags=("cpa", "os"),
     )
 )

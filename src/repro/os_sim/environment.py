@@ -31,13 +31,9 @@ class Environment:
 
     def scope_config(self, base: ScopeConfig | None = None) -> ScopeConfig:
         base = base if base is not None else ScopeConfig()
-        return ScopeConfig(
-            samples_per_cycle=base.samples_per_cycle,
-            noise_sigma=base.noise_sigma,
-            kernel=base.kernel,
+        return replace(
+            base,
             n_averages=self.n_averages,
-            quantize_bits=base.quantize_bits,
-            adc_range=base.adc_range,
             jitter_samples=max(base.jitter_samples, self.trigger_jitter_samples),
         )
 

@@ -163,6 +163,15 @@ class TraceCampaign:
         self.compile_count = 0
         #: number of acquisitions performed (drives per-acquisition noise)
         self.acquire_count = 0
+        #: campaign-pinned ADC full-scale: resolved once (first float32
+        #: capture, or a streaming engine's calibration pass) so every
+        #: chunk of a campaign quantizes against the same LSB
+        self.pinned_full_scale: float | None = None
+
+    @property
+    def precision(self) -> str:
+        """The acquisition chain's precision mode (from the scope config)."""
+        return self.scope_config.precision
 
     # ------------------------------------------------------------------
 
@@ -304,6 +313,7 @@ class TraceCampaign:
         extra_noise: np.ndarray | None = None,
         power_transform=None,
         scope_seed: int | None = None,
+        trace_offset: int = 0,
     ) -> TraceSet:
         """Acquire one campaign of traces for the given inputs.
 
@@ -315,7 +325,9 @@ class TraceCampaign:
         ``scope_seed`` pins the oscilloscope noise stream (the streaming
         engine passes a per-chunk seed); by default each acquisition
         derives a fresh stream from the campaign seed, so two campaigns
-        over the same inputs measure independent noise.
+        over the same inputs measure independent noise.  In float32
+        mode the engine instead shares one counter-based stream across
+        chunks and passes each chunk's ``trace_offset`` into it.
         """
         inputs.validate()
         reused = (
@@ -339,14 +351,26 @@ class TraceCampaign:
         result, compiled = self._run_checked(inputs, compiled, reused)
         schedule, leakage = compiled.schedule, compiled.leakage
 
-        power = leakage.evaluate(result.table, self.profile)
+        float32 = self.precision == "float32"
+        power = leakage.evaluate(
+            result.table, self.profile, dtype=np.float32 if float32 else np.float64
+        )
         if power_transform is not None:
             power = power_transform(power)
         if scope_seed is None:
             scope_seed = derive_seed(self.seed, self.acquire_count)
         self.acquire_count += 1
         scope = Oscilloscope(self.scope_config, seed=scope_seed)
-        traces = scope.capture(power, extra_noise=extra_noise)
+        traces = scope.capture(
+            power,
+            extra_noise=extra_noise,
+            trace_offset=trace_offset,
+            full_scale=self.pinned_full_scale,
+        )
+        if float32 and self.pinned_full_scale is None:
+            # Pin the resolved auto-range so every later acquisition
+            # (and every chunk of a streamed run) shares one LSB.
+            self.pinned_full_scale = scope.last_full_scale
         return TraceSet(
             traces=traces,
             inputs=inputs,

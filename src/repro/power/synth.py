@@ -125,8 +125,10 @@ class LeakageSchedule:
                 values[row] = row_values
         return values
 
-    def evaluate(self, table: ValueSource, profile: LeakageProfile) -> np.ndarray:
-        """Noise-free leakage power, ``float64[n_traces, n_samples]``.
+    def evaluate(
+        self, table: ValueSource, profile: LeakageProfile, dtype=np.float64
+    ) -> np.ndarray:
+        """Noise-free leakage power, ``dtype[n_traces, n_samples]``.
 
         Packed tables (tape replays) take a compiled fast path: one
         Hamming-weight pass over the packed matrix, one XOR+popcount
@@ -134,9 +136,14 @@ class LeakageSchedule:
         sparse scatter into the sample axis.  Other value sources use
         the per-component reference path; both agree within 1e-10
         (floating-point summation order is the only difference).
+
+        ``dtype=np.float32`` is the throughput mode of the float32
+        capture chain: the packed scatter writes float32 directly
+        (halving the power-matrix traffic); the reference path computes
+        in float64 and casts, since it exists for equivalence checking.
         """
         if isinstance(table, PackedValues):
-            return self._packed_plan(table.layout, profile).evaluate(table)
+            return self._packed_plan(table.layout, profile).evaluate(table, dtype)
         power = np.zeros((self.n_samples, table.n_traces), dtype=np.float64)
         for compiled in self.compiled.values():
             weights = profile.weights_for(compiled.component)
@@ -155,7 +162,10 @@ class LeakageSchedule:
             positions = compiled.samples[in_window]
             contributions = leak[in_window]
             np.add.at(power, positions, contributions)
-        return (power * profile.gain).T
+        power *= profile.gain
+        if dtype is not np.float64 and np.dtype(dtype) != np.float64:
+            power = power.astype(dtype)
+        return power.T
 
     def _packed_plan(self, layout: PackedLayout, profile: LeakageProfile) -> "_PackedPlan":
         key = (id(layout), id(profile))
@@ -286,34 +296,123 @@ class _PackedPlan:
             )
             for level in levels
         ]
+        #: float32 weight columns, materialized on first float32 evaluate
+        self._passes32: list[tuple[np.ndarray, np.ndarray, np.ndarray]] | None = None
+        #: reusable float32-mode scratch, keyed by n_traces
+        self._scratch: tuple[int, dict[str, np.ndarray]] | None = None
+        #: for each level >= 1, its samples' positions within level 0's
+        #: sample order (every k-th contribution targets a sample that
+        #: already has a 0-th one), so higher levels can accumulate into
+        #: the cached level-0 product instead of the big power matrix
+        position_of = (
+            {int(sample): i for i, sample in enumerate(self.passes[0][0])}
+            if self.passes
+            else {}
+        )
+        self._level_positions = [
+            np.array([position_of[int(sample)] for sample in samples], dtype=np.intp)
+            for samples, _cols, _weights in self.passes[1:]
+        ]
         self.gain = profile.gain
 
-    def evaluate(self, table: PackedValues) -> np.ndarray:
-        """``float64[n_traces, n_samples]`` noise-free power.
+    def _buffers(self, n_traces: int) -> dict[str, np.ndarray]:
+        """Float32-mode scratch, reused across evaluations.
+
+        Gathers, transitions and the per-pass weighted products all land
+        in these buffers, so a steady-state evaluation allocates nothing
+        but the power matrix it returns.
+        """
+        if self._scratch is None or self._scratch[0] != n_traces:
+            first_pass = self.passes[0][0].size if self.passes else 0
+            later = max((p[0].size for p in self.passes[1:]), default=0)
+            self._scratch = (
+                n_traces,
+                {
+                    "pool": np.empty((self.n_pool, n_traces), dtype=np.uint8),
+                    "transitions": np.empty(
+                        (self.hd_curr.size, n_traces), dtype=np.uint32
+                    ),
+                    "hw": np.empty((self.hw_rows.size, n_traces), dtype=np.uint32),
+                    "rows": np.empty((max(first_pass, later), n_traces), dtype=np.uint8),
+                    "product": np.empty((first_pass, n_traces), dtype=np.float32),
+                    "level": np.empty((later, n_traces), dtype=np.float32),
+                    "gather": np.empty((later, n_traces), dtype=np.float32),
+                },
+            )
+        return self._scratch[1]
+
+    def evaluate(self, table: PackedValues, dtype=np.float64) -> np.ndarray:
+        """``dtype[n_traces, n_samples]`` noise-free power.
 
         Returned as the transpose view of a sample-major matrix, the
         same orientation the reference evaluator produces.
         """
         matrix = table.matrix
         n_traces = table.n_traces
-        power = np.zeros((self.n_samples, n_traces), dtype=np.float64)
+        power = np.zeros((self.n_samples, n_traces), dtype=dtype)
         if not self.passes:
             return power.T
-        pool = np.empty((self.n_pool, n_traces), dtype=np.uint8)
+        passes = self.passes
+        if power.dtype == np.float32:
+            if self._passes32 is None:
+                self._passes32 = [
+                    (samples, cols, weights.astype(np.float32))
+                    for samples, cols, weights in self.passes
+                ]
+            passes = self._passes32
         n_hw = self.hw_rows.size
-        if n_hw:
-            np.bitwise_count(matrix[self.hw_rows], out=pool[:n_hw])
-        if self.hd_curr.size:
-            transitions = matrix[self.hd_curr]
-            np.bitwise_xor(transitions, matrix[self.hd_prev], out=transitions)
-            np.bitwise_count(transitions, out=pool[n_hw:])
-        first = True
-        for samples, cols, weights in self.passes:
-            if first:
-                power[samples] = pool[cols] * weights
-                first = False
-            else:
-                power[samples] += pool[cols] * weights
+        if power.dtype == np.float32:
+            # Throughput mode: every gather and weighted product lands
+            # in plan-owned scratch reused across calls.
+            scratch = self._buffers(n_traces)
+            pool = scratch["pool"]
+            if n_hw:
+                np.take(matrix, self.hw_rows, axis=0, out=scratch["hw"])
+                np.bitwise_count(scratch["hw"], out=pool[:n_hw])
+            if self.hd_curr.size:
+                transitions = scratch["transitions"]
+                np.take(matrix, self.hd_curr, axis=0, out=transitions)
+                np.bitwise_xor(transitions, matrix[self.hd_prev], out=transitions)
+                np.bitwise_count(transitions, out=pool[n_hw:])
+            if passes:
+                # Level 0 covers (almost) every contributing sample;
+                # higher levels accumulate into its cached product, so
+                # the big power matrix is written exactly once.
+                samples0, cols0, weights0 = passes[0]
+                product = scratch["product"][: samples0.size]
+                np.take(pool, cols0, axis=0, out=scratch["rows"][: samples0.size])
+                np.multiply(scratch["rows"][: samples0.size], weights0, out=product)
+                for positions, (_samples, cols, weights) in zip(
+                    self._level_positions, passes[1:]
+                ):
+                    k = cols.size
+                    rows = scratch["rows"][:k]
+                    level = scratch["level"][:k]
+                    gathered = scratch["gather"][:k]
+                    np.take(pool, cols, axis=0, out=rows)
+                    np.multiply(rows, weights, out=level)
+                    np.take(product, positions, axis=0, out=gathered)
+                    gathered += level
+                    product[positions] = gathered
+                power[samples0] = product
+        else:
+            # The float64 path allocates per call, exactly as PR 2
+            # shipped it — it is the in-process "before" of the tracked
+            # benchmark and the bit-exact regression anchor.
+            pool = np.empty((self.n_pool, n_traces), dtype=np.uint8)
+            if n_hw:
+                np.bitwise_count(matrix[self.hw_rows], out=pool[:n_hw])
+            if self.hd_curr.size:
+                transitions = matrix[self.hd_curr]
+                np.bitwise_xor(transitions, matrix[self.hd_prev], out=transitions)
+                np.bitwise_count(transitions, out=pool[n_hw:])
+            first = True
+            for samples, cols, weights in passes:
+                if first:
+                    power[samples] = pool[cols] * weights
+                    first = False
+                else:
+                    power[samples] += pool[cols] * weights
         if self.gain != 1.0:
-            power *= self.gain
+            power *= power.dtype.type(self.gain)
         return power.T

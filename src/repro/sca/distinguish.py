@@ -50,6 +50,40 @@ def success_rate(
     return rates
 
 
+def success_rate_curve(
+    attack_curve: Callable[[np.ndarray], np.ndarray],
+    n_total: int,
+    true_key: int,
+    budgets: list[int],
+    n_repeats: int = 10,
+    seed: int = 0xFACE,
+) -> dict[int, float]:
+    """Prefix-resampled success rates: permute once, snapshot per budget.
+
+    ``attack_curve`` receives one random permutation of the campaign's
+    trace indices and returns the attack's best guess at every budget
+    (prefixes of the permutation) — typically via
+    :func:`repro.sca.cpa.cpa_attack_curve`, which computes all budgets
+    in a single pass.  Each repeat therefore costs one accumulation over
+    ``max(budgets)`` traces instead of one from-scratch attack per
+    budget; the nested-prefix subsets are the standard success-rate
+    resampling scheme.
+    """
+    budgets = sorted({min(int(b), n_total) for b in budgets})
+    rng = np.random.default_rng(seed)
+    wins = np.zeros(len(budgets))
+    for _ in range(n_repeats):
+        order = rng.permutation(n_total)
+        guesses = np.asarray(attack_curve(order))
+        if guesses.shape[0] != len(budgets):
+            raise ValueError(
+                f"attack_curve returned {guesses.shape[0]} guesses for "
+                f"{len(budgets)} budgets"
+            )
+        wins += guesses == true_key
+    return {budget: float(wins[i] / n_repeats) for i, budget in enumerate(budgets)}
+
+
 def guessing_entropy(ranks: list[int]) -> float:
     """Average rank of the true key over repeated attacks (log2 domain)."""
     if not ranks:

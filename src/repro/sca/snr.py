@@ -77,6 +77,35 @@ def partition_snr(traces: np.ndarray, labels: np.ndarray, min_class_size: int = 
     return SnrResult(snr=snr, nicv=nicv, n_classes=len(class_means))
 
 
+def partition_snr_curve(
+    traces: np.ndarray, labels: np.ndarray, budgets, min_class_size: int = 2
+) -> list[SnrResult]:
+    """SNR/NICV at every prefix budget, from one streaming pass.
+
+    Entry ``i`` equals ``partition_snr(traces[:b], labels[:b])`` for
+    budget ``b`` within ~1e-12: the per-class Welford moments accumulate
+    segment by segment and each budget snapshot only pays the finishing
+    arithmetic.  Budgets whose prefix does not yet contain two usable
+    classes raise, exactly like the two-pass form.
+    """
+    from repro.campaigns.accumulators import OnlineSnrAccumulator
+    from repro.sca.stats import normalize_budgets
+
+    traces = np.asarray(traces, dtype=np.float64)
+    labels = np.asarray(labels)
+    if labels.shape[0] != traces.shape[0]:
+        raise ValueError("labels must have one entry per trace")
+    budget_array = normalize_budgets(budgets, traces.shape[0])
+    accumulator = OnlineSnrAccumulator()
+    results: list[SnrResult] = []
+    previous = 0
+    for budget in budget_array:
+        accumulator.update(traces[previous:budget], labels[previous:budget])
+        previous = int(budget)
+        results.append(accumulator.result(min_class_size))
+    return results
+
+
 def hamming_weight_classes(values: np.ndarray) -> np.ndarray:
     """Labels for SNR partitioning by 32-bit Hamming weight."""
     return np.bitwise_count(np.asarray(values, dtype=np.uint32))

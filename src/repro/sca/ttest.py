@@ -63,3 +63,53 @@ def fixed_vs_random_split(
 ) -> TTestResult:
     """TVLA convenience alias with the conventional naming."""
     return welch_ttest(fixed_traces, random_traces, threshold)
+
+
+def welch_ttest_curve(
+    group_a: np.ndarray,
+    group_b: np.ndarray,
+    budgets,
+    threshold: float = TVLA_THRESHOLD,
+) -> list[TTestResult]:
+    """Welch t statistics at every prefix budget, from one streaming pass.
+
+    ``budgets`` is a strictly increasing sequence of per-group trace
+    counts — plain ints apply to both groups, ``(n_a, n_b)`` pairs set
+    them independently.  Entry ``i`` of the result equals
+    ``welch_ttest(group_a[:n_a], group_b[:n_b])`` within ~1e-12: the
+    two-group Welford moments accumulate segment by segment and each
+    budget only pays the finishing division (the TVLA-curve evaluation
+    costs one pass instead of one recompute per budget).
+    """
+    from repro.campaigns.accumulators import OnlineTTestAccumulator
+
+    pairs = []
+    for budget in budgets:
+        pair = (budget, budget) if np.isscalar(budget) else tuple(budget)
+        if len(pair) != 2:
+            raise ValueError(f"budget {budget!r} is not an int or an (n_a, n_b) pair")
+        pairs.append((int(pair[0]), int(pair[1])))
+    if not pairs:
+        raise ValueError("budgets must be non-empty")
+    previous = (0, 0)
+    for pair in pairs:
+        if pair[0] < previous[0] or pair[1] < previous[1] or pair == previous:
+            raise ValueError("budgets must be non-decreasing and strictly growing")
+        if min(pair) < 2:
+            raise ValueError("each group needs at least two traces per budget")
+        previous = pair
+    if previous[0] > group_a.shape[0] or previous[1] > group_b.shape[0]:
+        raise ValueError("budgets exceed the available traces")
+
+    accumulator = OnlineTTestAccumulator(threshold)
+    results: list[TTestResult] = []
+    done_a = done_b = 0
+    for n_a, n_b in pairs:
+        if n_a > done_a:
+            accumulator.update_a(group_a[done_a:n_a])
+            done_a = n_a
+        if n_b > done_b:
+            accumulator.update_b(group_b[done_b:n_b])
+            done_b = n_b
+        results.append(accumulator.result())
+    return results

@@ -109,6 +109,110 @@ class TestParallel:
             assert chunk.trace_set.table.n_traces == chunk.n_traces
 
 
+class TestFloat32Streaming:
+    """The counter-based noise stream makes chunking a no-op."""
+
+    def make_float32_engine(self, seed=0xE1, **kwargs):
+        return StreamingCampaign(
+            assemble(SRC),
+            scope=ScopeConfig(noise_sigma=3.0, precision="float32"),
+            seed=seed,
+            **kwargs,
+        )
+
+    @pytest.mark.parametrize("chunk_size", (7, 16, 60))
+    def test_chunked_equals_monolithic_byte_for_byte(self, chunk_size):
+        inputs = make_inputs(n=120)
+        monolithic = self.make_float32_engine().acquire(inputs).traces
+        chunked = np.concatenate(
+            [c.traces for c in self.make_float32_engine().stream(inputs, chunk_size=chunk_size)]
+        )
+        np.testing.assert_array_equal(chunked, monolithic)
+
+    def test_parallel_fanout_equals_monolithic(self):
+        inputs = make_inputs(n=120)
+        monolithic = self.make_float32_engine().acquire(inputs).traces
+        parallel = np.concatenate(
+            [c.traces for c in self.make_float32_engine().stream(inputs, chunk_size=32, jobs=3)]
+        )
+        np.testing.assert_array_equal(parallel, monolithic)
+
+    def test_full_scale_pinned_across_chunks(self):
+        inputs = make_inputs(n=120)
+        engine = self.make_float32_engine()
+        chunks = list(engine.stream(inputs, chunk_size=40))
+        pinned = engine._campaign.pinned_full_scale
+        assert pinned is not None
+        lsb = pinned / 256
+        for chunk in chunks:
+            grid = chunk.traces / lsb
+            np.testing.assert_allclose(grid, np.rint(grid), atol=1e-2)
+
+    def test_traces_are_float32(self):
+        inputs = make_inputs(n=24)
+        assert self.make_float32_engine().acquire(inputs).traces.dtype == np.float32
+
+    def test_calibration_sees_the_chunk0_transform(self):
+        # A pure row-wise transform factory must leave chunked ==
+        # monolithic: the pre-stream calibration applies factory(0), the
+        # same transform a monolithic capture self-calibrates under.
+        inputs = make_inputs(n=120)
+        monolithic = self.make_float32_engine().acquire(
+            inputs, power_transform=lambda p: p * 4.0
+        )
+        chunked = np.concatenate(
+            [
+                c.traces
+                for c in self.make_float32_engine().stream(
+                    inputs,
+                    chunk_size=40,
+                    power_transform_factory=lambda i: (lambda p: p * 4.0),
+                )
+            ]
+        )
+        np.testing.assert_array_equal(chunked, monolithic.traces)
+
+
+class TestAutoRangePinning:
+    """Chunked float64 campaigns share one LSB (the auto-range fix)."""
+
+    def test_multi_chunk_stream_pins_one_lsb(self):
+        inputs = make_inputs(n=96)
+        engine = make_engine()
+        chunks = list(engine.stream(inputs, chunk_size=32))
+        pinned = engine._campaign.pinned_full_scale
+        assert pinned is not None
+        lsb = pinned / 256
+        for chunk in chunks:
+            grid = chunk.traces / lsb
+            np.testing.assert_allclose(grid, np.rint(grid), atol=1e-2)
+
+    def test_single_chunk_stream_stays_unpinned_and_exact(self):
+        # Monolithic float64-exact behavior is part of the byte-exact
+        # contract: no calibration pass, per-capture auto-range.
+        inputs = make_inputs()
+        engine = make_engine()
+        monolithic = engine.acquire(inputs).traces
+        assert engine._campaign.pinned_full_scale is None
+        streamed = list(make_engine().stream(inputs, chunk_size=1_000))[0].traces
+        np.testing.assert_array_equal(streamed, monolithic)
+
+    def test_parallel_pinning_matches_serial(self):
+        inputs = make_inputs(n=96)
+        serial_engine = make_engine()
+        serial = [c.traces for c in serial_engine.stream(inputs, chunk_size=24)]
+        parallel_engine = make_engine()
+        parallel = [
+            c.traces for c in parallel_engine.stream(inputs, chunk_size=24, jobs=3)
+        ]
+        assert (
+            serial_engine._campaign.pinned_full_scale
+            == parallel_engine._campaign.pinned_full_scale
+        )
+        for left, right in zip(serial, parallel):
+            np.testing.assert_array_equal(left, right)
+
+
 class TestScheduleCache:
     def test_second_engine_reuses_compiled_schedule(self):
         clear_schedule_cache()

@@ -1,5 +1,6 @@
 """The six §4.2 ablations (reduced trace count)."""
 
+import pytest
 
 from repro.experiments.ablations import (
     ablate_dual_issue_adjacency,
@@ -42,3 +43,24 @@ class TestAblations:
         result = ablate_operand_swap(n_traces=N)
         text = result.render()
         assert "leak present" in text and "leak absent" in text
+
+
+class TestBudgetCurves:
+    def test_monolithic_and_chunked_curves_have_requested_budgets(self):
+        from repro.experiments.ablations import ablate_operand_swap
+
+        budgets = (150, 300, 600)
+        mono = ablate_operand_swap(n_traces=600, budgets=budgets)
+        chunked = ablate_operand_swap(n_traces=600, budgets=budgets, chunk_size=250)
+        for result in (mono, chunked):
+            assert sorted(result.curve) == [150, 300, 600]
+            assert all(0.0 <= peak <= 1.0 for peak in result.curve.values())
+        # The final snapshot is the full-campaign measurement itself.
+        assert mono.curve[600] == pytest.approx(abs(mono.corr_with), abs=1e-10)
+        assert chunked.curve[600] == pytest.approx(abs(chunked.corr_with), abs=1e-10)
+        assert "|r| vs budget" in mono.render()
+
+    def test_float32_precision_still_demonstrates(self):
+        from repro.experiments.ablations import ablate_operand_swap
+
+        assert ablate_operand_swap(n_traces=800, precision="float32").demonstrated

@@ -47,3 +47,24 @@ class TestWrongKeyControl:
         wrong = (result.true_key_byte + 1) % 256
         wrong_curve = np.max(np.abs(result.cpa.timecourse(wrong)))
         assert true_curve > 1.5 * wrong_curve
+
+
+class TestFloat32Precision:
+    @pytest.fixture(scope="class")
+    def fast(self):
+        return run_figure3(n_traces=1500, precision="float32")
+
+    def test_recovers_key(self, fast):
+        assert fast.cpa.rank_of(fast.true_key_byte) == 0
+
+    def test_traces_quantized_on_one_grid(self, fast):
+        # The float32 chain pins one campaign-level LSB.
+        traces = fast.trace_set.traces
+        assert traces.dtype == np.float32
+        values = np.unique(traces)
+        steps = np.diff(values)
+        lsb = steps.min()
+        np.testing.assert_allclose(steps / lsb, np.rint(steps / lsb), atol=1e-2)
+
+    def test_peak_in_papers_regime(self, fast):
+        assert 0.03 < fast.segment_peak("SB") < 0.4

@@ -31,3 +31,43 @@ class TestReproduction:
         assert "Figure 4" in text
         assert "reduction factor" in text
         assert "best-vs-second" in text
+
+
+class TestMarginCurve:
+    @pytest.fixture(scope="class")
+    def curves(self):
+        budgets = (20, 40, 60)
+        mono = run_figure4(
+            n_traces=60, check_no_averaging=False, margin_budgets=budgets
+        )
+        chunked = run_figure4(
+            n_traces=60,
+            check_no_averaging=False,
+            margin_budgets=budgets,
+            chunk_size=25,
+        )
+        return mono, chunked
+
+    def test_budgets_present_and_bounded(self, curves):
+        for result in curves:
+            assert sorted(result.margin_curve) == [20, 40, 60]
+            assert all(0.0 <= c <= 1.0 for c in result.margin_curve.values())
+
+    def test_full_budget_matches_final_margin(self, curves):
+        mono, _ = curves
+        assert mono.margin_curve[60] == pytest.approx(
+            mono.margin_confidence, abs=1e-9
+        )
+
+    def test_render_includes_curve(self, curves):
+        mono, _ = curves
+        assert "margin vs trace budget" in mono.render()
+
+    def test_without_budgets_no_curve(self):
+        quick = run_figure4(n_traces=30, check_no_averaging=False)
+        assert quick.margin_curve is None
+
+
+def test_float32_precision_recovers_key():
+    result = run_figure4(n_traces=100, check_no_averaging=False, precision="float32")
+    assert result.checks["attack succeeds at the paper's budget (rank 0)"]

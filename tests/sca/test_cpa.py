@@ -145,3 +145,107 @@ class TestTimecourse:
         assert curve.shape == (traces.shape[1],)
         assert np.argmax(np.abs(curve)) == 17
         assert abs(curve[17]) > 0.5
+
+
+class TestCpaCurve:
+    def test_matches_recompute_at_every_budget(self):
+        from repro.sca.cpa import cpa_attack_curve
+
+        pts, traces = synthetic_campaign(n_traces=500, noise=2.0)
+        models = np.stack(
+            [hamming_weight(SBOX_ARR[pts ^ g]).astype(float) for g in range(256)],
+            axis=1,
+        )
+        budgets = [5, 40, 160, 500]
+        curve = cpa_attack_curve(traces, models, budgets)
+        full = cpa_attack_curve(traces, models, budgets, keep_correlations=True)
+        for i, budget in enumerate(budgets):
+            reference = cpa_attack(traces[:budget], models[:budget])
+            np.testing.assert_allclose(
+                curve.peak_per_guess[i], reference.peak_per_guess, atol=1e-10
+            )
+            np.testing.assert_allclose(
+                full.correlations[i], reference.correlations, atol=1e-10
+            )
+            assert curve.best_guesses[i] == reference.best_guess
+            assert curve.ranks_of(0x3C)[i] == reference.rank_of(0x3C)
+            assert full.result_at(i).best_guess == reference.best_guess
+            assert curve.margin_confidences()[i] == pytest.approx(
+                reference.margin_confidence(), abs=1e-12
+            )
+
+    def test_model_callable_and_matrix_agree(self):
+        from repro.sca.cpa import cpa_attack_curve
+
+        pts, traces = synthetic_campaign(n_traces=200)
+        models = np.stack(
+            [hamming_weight(SBOX_ARR[pts ^ g]).astype(float) for g in range(256)],
+            axis=1,
+        )
+        by_fn = cpa_attack_curve(
+            traces, lambda g: hamming_weight(SBOX_ARR[pts ^ g]).astype(float), [50, 200]
+        )
+        by_matrix = cpa_attack_curve(traces, models, [50, 200])
+        np.testing.assert_array_equal(by_fn.peak_per_guess, by_matrix.peak_per_guess)
+
+    def test_recovers_key_with_enough_traces(self):
+        from repro.sca.cpa import cpa_attack_curve
+
+        pts, traces = synthetic_campaign(n_traces=600)
+        curve = cpa_attack_curve(
+            traces,
+            lambda g: hamming_weight(SBOX_ARR[pts ^ g]).astype(float),
+            [10, 600],
+        )
+        assert curve.best_guesses[-1] == 0x3C
+        assert curve.peaks_of(0x3C)[-1] > 0.5
+
+    def test_curve_requires_correlations_for_result_at(self):
+        from repro.sca.cpa import cpa_attack_curve
+
+        pts, traces = synthetic_campaign(n_traces=100)
+        curve = cpa_attack_curve(
+            traces, lambda g: hamming_weight(SBOX_ARR[pts ^ g]).astype(float), [100]
+        )
+        with pytest.raises(ValueError):
+            curve.result_at(0)
+
+    def test_model_matrix_shape_validated(self):
+        pts, traces = synthetic_campaign(n_traces=100)
+        with pytest.raises(ValueError):
+            cpa_attack(traces, np.zeros((50, 256)))
+
+
+class TestCpaBudgetSnapshots:
+    def test_misaligned_chunks_match_recompute(self):
+        from repro.campaigns.accumulators import CpaBudgetSnapshots
+
+        pts, traces = synthetic_campaign(n_traces=300, noise=2.0)
+        budgets = [7, 64, 150, 300]
+        snapshots = CpaBudgetSnapshots(budgets)
+        for lo, hi in ((0, 13), (13, 80), (80, 200), (200, 300)):
+            chunk_pts = pts[lo:hi]
+            snapshots.update(
+                traces[lo:hi],
+                lambda g, p=chunk_pts: hamming_weight(SBOX_ARR[p ^ g]).astype(float),
+            )
+        assert len(snapshots.results) == len(budgets)
+        for budget, result in zip(budgets, snapshots.results):
+            reference = cpa_attack(
+                traces[:budget],
+                lambda g: hamming_weight(SBOX_ARR[pts[:budget] ^ g]).astype(float),
+            )
+            assert result.n_traces == budget
+            np.testing.assert_allclose(
+                result.correlations, reference.correlations, atol=1e-10
+            )
+
+    def test_budget_validation(self):
+        from repro.campaigns.accumulators import CpaBudgetSnapshots
+
+        with pytest.raises(ValueError):
+            CpaBudgetSnapshots([])
+        with pytest.raises(ValueError):
+            CpaBudgetSnapshots([10, 10])
+        with pytest.raises(ValueError):
+            CpaBudgetSnapshots([0, 10])

@@ -72,3 +72,34 @@ class TestGuessingEntropy:
 
     def test_empty(self):
         assert guessing_entropy([]) == 0.0
+
+
+class TestSuccessRateCurve:
+    def test_curve_matches_manual_prefix_attacks(self):
+        from repro.sca.distinguish import success_rate_curve
+
+        rng = np.random.default_rng(4)
+        n = 200
+        model = rng.normal(size=n)
+        traces = model[:, None] * 0.8 + rng.normal(size=(n, 1)) * 1.5
+        budgets = [10, 60, 200]
+
+        def attack_curve(order):
+            guesses = []
+            for budget in budgets:
+                idx = order[:budget]
+                r_true = np.corrcoef(model[idx], traces[idx, 0])[0, 1]
+                r_false = np.corrcoef(np.roll(model, 7)[idx], traces[idx, 0])[0, 1]
+                guesses.append(1 if r_true > r_false else 0)
+            return np.asarray(guesses)
+
+        rates = success_rate_curve(attack_curve, n, 1, budgets, n_repeats=15, seed=3)
+        assert set(rates) == set(budgets)
+        assert rates[200] >= rates[10]
+        assert rates[200] >= 0.9
+
+    def test_mismatched_guess_count_rejected(self):
+        from repro.sca.distinguish import success_rate_curve
+
+        with pytest.raises(ValueError):
+            success_rate_curve(lambda order: np.array([1]), 50, 1, [10, 50], n_repeats=1)

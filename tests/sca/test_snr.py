@@ -87,3 +87,27 @@ class TestOnSimulator:
         alu_samples = set(int(s) for s in ts.leakage.sample_positions("alu0_out"))
         wb_samples = set(int(s) for s in ts.leakage.sample_positions("wb_bus0"))
         assert snr.peak_sample in (alu_samples | wb_samples)
+
+
+class TestSnrCurve:
+    def test_matches_recompute_at_every_budget(self):
+        from repro.sca.snr import partition_snr_curve
+
+        rng = np.random.default_rng(8)
+        labels = rng.integers(0, 9, size=400)
+        traces = rng.normal(size=(400, 20)) + 0.5 * labels[:, None]
+        budgets = [50, 120, 400]
+        curve = partition_snr_curve(traces, labels, budgets)
+        for i, budget in enumerate(budgets):
+            reference = partition_snr(traces[:budget], labels[:budget])
+            assert curve[i].n_classes == reference.n_classes
+            np.testing.assert_allclose(curve[i].snr, reference.snr, atol=1e-10)
+            np.testing.assert_allclose(curve[i].nicv, reference.nicv, atol=1e-10)
+
+    def test_too_few_classes_raises(self):
+        from repro.sca.snr import partition_snr_curve
+
+        traces = np.random.default_rng(0).normal(size=(20, 4))
+        labels = np.zeros(20, dtype=int)
+        with pytest.raises(ValueError):
+            partition_snr_curve(traces, labels, [10, 20])

@@ -82,3 +82,42 @@ class TestOnSynthesizedTraces:
             rng.integers(0, 2**32, size=n, dtype=np.uint64).astype(np.uint32)
         )
         assert fixed_vs_random_split(fixed, random).leaks
+
+
+class TestTTestCurve:
+    def test_matches_recompute_at_every_budget(self):
+        from repro.sca.ttest import welch_ttest_curve
+
+        rng = np.random.default_rng(6)
+        group_a = rng.normal(10.0, 2.0, size=(300, 25))
+        group_b = rng.normal(10.4, 2.0, size=(300, 25))
+        budgets = [2, 20, 150, 300]
+        curve = welch_ttest_curve(group_a, group_b, budgets)
+        for i, budget in enumerate(budgets):
+            reference = welch_ttest(group_a[:budget], group_b[:budget])
+            np.testing.assert_allclose(
+                curve[i].t_values, reference.t_values, atol=1e-10
+            )
+
+    def test_asymmetric_budget_pairs(self):
+        from repro.sca.ttest import welch_ttest_curve
+
+        rng = np.random.default_rng(7)
+        group_a = rng.normal(size=(100, 5))
+        group_b = rng.normal(size=(80, 5))
+        curve = welch_ttest_curve(group_a, group_b, [(10, 8), (100, 80)])
+        reference = welch_ttest(group_a[:10], group_b[:8])
+        np.testing.assert_allclose(curve[0].t_values, reference.t_values, atol=1e-10)
+
+    def test_budget_validation(self):
+        from repro.sca.ttest import welch_ttest_curve
+
+        data = np.zeros((10, 2))
+        with pytest.raises(ValueError):
+            welch_ttest_curve(data, data, [])
+        with pytest.raises(ValueError):
+            welch_ttest_curve(data, data, [5, 5])
+        with pytest.raises(ValueError):
+            welch_ttest_curve(data, data, [1, 5])
+        with pytest.raises(ValueError):
+            welch_ttest_curve(data, data, [5, 20])
