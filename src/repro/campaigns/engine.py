@@ -148,8 +148,12 @@ class StreamingCampaign:
 
     def _cache_key(self, inputs: BatchInputs) -> tuple:
         campaign = self._campaign
+        # config.identity() excludes the display name, so renamed
+        # variants (sweep points, with_overrides copies) — and configs
+        # differing only in scope knobs the compilation never sees —
+        # share one compiled schedule.
         return (
-            campaign.config,
+            campaign.config.identity(),
             campaign.scope_config.samples_per_cycle,
             campaign.entry,
             campaign.window_cycles,

@@ -48,6 +48,9 @@ class RunOptions:
     #: acquisition-chain precision override ("float64-exact"/"float32");
     #: None keeps each scenario's default
     precision: str | None = None
+    #: sweep-grid arguments ("key=val[,val...]" axes or a curated grid
+    #: name); only grid-aware scenarios (supports_grid) consume them
+    grid: tuple[str, ...] | None = None
 
 
 @dataclass(frozen=True)
@@ -67,6 +70,8 @@ class Scenario:
     supports_jobs: bool = False
     #: the runner honors RunOptions.precision (float32 capture chain)
     supports_precision: bool = False
+    #: the runner honors RunOptions.grid (design-space sweep axes)
+    supports_grid: bool = False
     tags: tuple[str, ...] = ()
 
     def run(self, options: RunOptions | None = None) -> Any:
@@ -86,6 +91,7 @@ BUILTIN_NAMES = (
     "figure3",
     "figure4",
     "success-curves",
+    "sweep",
     "table1",
     "table2",
 )
@@ -118,6 +124,7 @@ def load_builtin_scenarios() -> None:
         table1,
         table2,
     )
+    from repro.sweeps import scenario  # noqa: F401
 
     _BUILTINS_LOADED = True
 

@@ -31,10 +31,16 @@ Flags:
     Acquisition-chain precision: ``float32`` runs the counter-based
     high-throughput capture chain; ``float64-exact`` (each scenario's
     default) keeps the bit-exact historical chain.
+``--grid key=val[,val...]``
+    One design-space axis for grid-aware scenarios (``sweep``); repeat
+    the flag for a multi-axis grid, or pass a curated grid name
+    (``--grid noise-floor``).  See ``docs/sweeps.md``.
 ``--format json|text``
     ``text`` (default) prints each scenario's rendered report;
     ``json`` emits a machine-readable array with name, wall time,
-    ``matches_paper`` verdict and the rendered output.
+    ``matches_paper`` verdict and the rendered output.  A scenario
+    that crashes contributes an error record instead of silencing the
+    reports collected before it; the exit status stays non-zero.
 """
 
 from __future__ import annotations
@@ -87,6 +93,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="acquisition-chain precision (default: the scenario's own)",
     )
     parser.add_argument(
+        "--grid",
+        action="append",
+        default=None,
+        metavar="KEY=VAL[,VAL...]",
+        help=(
+            "design-space axis for grid-aware scenarios (repeatable), "
+            "or a curated grid name"
+        ),
+    )
+    parser.add_argument(
         "--format",
         choices=("text", "json"),
         default="text",
@@ -117,8 +133,10 @@ def main(argv: list[str] | None = None) -> int:
         jobs=args.jobs,
         seed=args.seed,
         precision=args.precision,
+        grid=tuple(args.grid) if args.grid else None,
     )
     reports = []
+    failures = 0
     for name in chosen:
         scenario = registry.get(name)
         if options.chunk_size is not None and not scenario.supports_chunking:
@@ -138,28 +156,60 @@ def main(argv: list[str] | None = None) -> int:
                 " standard chain",
                 file=sys.stderr,
             )
-        start = time.time()
-        result = scenario.run(options)
-        elapsed = time.time() - start
-        rendered = result.render()
-        matches = getattr(result, "matches_paper", None)
-        if args.format == "json":
-            reports.append(
-                {
-                    "scenario": name,
-                    "title": scenario.title,
-                    "seconds": round(elapsed, 3),
-                    "matches_paper": matches,
-                    "output": rendered,
-                }
+        if options.grid is not None and not scenario.supports_grid:
+            print(
+                f"note: {name} does not support --grid; ignoring it",
+                file=sys.stderr,
             )
+        start = time.time()
+        try:
+            result = scenario.run(options)
+            rendered = result.render()
+            matches = getattr(result, "matches_paper", None)
+            data_fn = getattr(result, "to_json", None)
+            data = data_fn() if callable(data_fn) else None
+        except Exception as error:  # noqa: BLE001 - isolate per scenario
+            # One crashing scenario must not lose every report collected
+            # before it (historically --format json buffered everything
+            # and the traceback replaced the output entirely).
+            failures += 1
+            elapsed = time.time() - start
+            message = f"{type(error).__name__}: {error}"
+            if args.format == "json":
+                reports.append(
+                    {
+                        "scenario": name,
+                        "title": scenario.title,
+                        "seconds": round(elapsed, 3),
+                        "matches_paper": None,
+                        "error": message,
+                    }
+                )
+            else:
+                print(f"==== {name} ({elapsed:.1f}s) ====")
+                print(f"ERROR: {message}")
+                print()
+            print(f"error: scenario {name} failed: {message}", file=sys.stderr)
+            continue
+        elapsed = time.time() - start
+        if args.format == "json":
+            report = {
+                "scenario": name,
+                "title": scenario.title,
+                "seconds": round(elapsed, 3),
+                "matches_paper": matches,
+                "output": rendered,
+            }
+            if data is not None:
+                report["data"] = data
+            reports.append(report)
         else:
             print(f"==== {name} ({elapsed:.1f}s) ====")
             print(rendered)
             print()
     if args.format == "json":
         print(json.dumps(reports, indent=2))
-    return 0
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -490,6 +490,37 @@ ALL_ABLATIONS = (
 )
 
 
+def run_preset_ablations(
+    n_traces: int = 1000,
+    budgets: tuple[int, ...] | None = None,
+    chunk_size: int | None = None,
+    jobs: int = 1,
+    seed: int = 0x5EEB,
+    precision: str | None = None,
+):
+    """The §4.2 preset ablation table, rebased onto the sweep engine.
+
+    Historically the five characterized presets could only be evaluated
+    one hand-wired campaign at a time; this runs them as the degenerate
+    5-point grid of :mod:`repro.sweeps` — per-preset CPA key margin,
+    max Welch-t and partition SNR on the round-1 AES workload, computed
+    once per point via the snapshot accumulators and ranked against the
+    cortex-a7 baseline.  Returns the comparative
+    :class:`~repro.sweeps.campaign.SweepResult`.
+    """
+    from repro.sweeps import SweepCampaign, sweep_ablations_spec
+
+    return SweepCampaign(
+        sweep_ablations_spec(),
+        n_traces=n_traces,
+        budgets=budgets,
+        chunk_size=chunk_size,
+        jobs=jobs,
+        seed=seed,
+        precision=precision,
+    ).run()
+
+
 def run_all_ablations(
     n_traces: int = 2000,
     chunk_size: int | None = None,
@@ -512,25 +543,38 @@ def run_all_ablations(
 class _AblationSuite:
     """Renderable wrapper so the scenario returns one result object."""
 
-    def __init__(self, results: list[AblationResult]):
+    def __init__(self, results: list[AblationResult], preset_sweep=None):
         self.results = results
+        #: the §4.2 preset table as a SweepResult (the degenerate grid)
+        self.preset_sweep = preset_sweep
 
     @property
     def matches_paper(self) -> bool:
         return all(result.demonstrated for result in self.results)
 
     def render(self) -> str:
-        return "\n\n".join(result.render() for result in self.results)
+        text = "\n\n".join(result.render() for result in self.results)
+        if self.preset_sweep is not None:
+            text += "\n\n" + self.preset_sweep.render()
+        return text
 
 
 def _scenario_runner(options: RunOptions) -> _AblationSuite:
+    n_traces = options.n_traces or 2000
     return _AblationSuite(
         run_all_ablations(
-            n_traces=options.n_traces or 2000,
+            n_traces=n_traces,
             chunk_size=options.chunk_size,
             jobs=options.jobs,
             precision=options.precision,
-        )
+        ),
+        preset_sweep=run_preset_ablations(
+            n_traces=n_traces,
+            chunk_size=options.chunk_size,
+            jobs=options.jobs,
+            precision=options.precision,
+            **({} if options.seed is None else {"seed": options.seed}),
+        ),
     )
 
 

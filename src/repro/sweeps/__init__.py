@@ -1,0 +1,47 @@
+"""Design-space sweeps: grid campaigns over the pipeline configuration.
+
+The paper's thesis is that individual microarchitectural features each
+change the side-channel profile; this package maps that space
+systematically instead of one hand-written preset at a time:
+
+* :mod:`repro.sweeps.spec` — :class:`SweepSpec`, the declarative grid
+  (or explicit point list) over ``PipelineConfig`` and ``scope.*``
+  knobs, expanded into named :class:`SweepPoint` variants;
+* :mod:`repro.sweeps.metrics` — per-point leakage scores (CPA key
+  margin, max Welch-t, partition SNR) snapshotted at every trace budget
+  from one streaming pass;
+* :mod:`repro.sweeps.campaign` — :class:`SweepCampaign`, which runs
+  every point through the streaming engine (shared compiled-schedule
+  cache, optional point-level ``jobs`` fan-out) and assembles the
+  comparative :class:`SweepResult`;
+* :mod:`repro.sweeps.grids` — curated named grids (``sweep-ablations``
+  reproduces the §4.2 table as the degenerate 5-point case);
+* :mod:`repro.sweeps.scenario` — the registered ``sweep`` CLI scenario.
+"""
+
+from repro.sweeps.campaign import (
+    SweepCampaign,
+    SweepPointResult,
+    SweepResult,
+    SweepWorkload,
+    aes_round1_workload,
+)
+from repro.sweeps.grids import CURATED, curated_spec, sweep_ablations_spec
+from repro.sweeps.metrics import BudgetMetrics, LeakageMetricsFold, PointMetrics
+from repro.sweeps.spec import SweepPoint, SweepSpec
+
+__all__ = [
+    "BudgetMetrics",
+    "CURATED",
+    "LeakageMetricsFold",
+    "PointMetrics",
+    "SweepCampaign",
+    "SweepPoint",
+    "SweepPointResult",
+    "SweepResult",
+    "SweepSpec",
+    "SweepWorkload",
+    "aes_round1_workload",
+    "curated_spec",
+    "sweep_ablations_spec",
+]

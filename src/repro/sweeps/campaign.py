@@ -1,0 +1,403 @@
+"""The sweep engine: every spec point through one streaming campaign.
+
+:class:`SweepCampaign` expands a :class:`~repro.sweeps.spec.SweepSpec`
+into points and runs each through the existing
+:class:`~repro.campaigns.engine.StreamingCampaign` — one shared
+``Program`` and one shared input batch, so the process-wide
+compiled-schedule cache deduplicates compilation across every point
+whose structural config (``PipelineConfig.identity()``) matches: a grid
+that also sweeps acquisition knobs (``scope.noise_sigma``) or renamed
+variants compiles each distinct pipeline exactly once.
+
+Each point is scored by :class:`~repro.sweeps.metrics.LeakageMetricsFold`
+(CPA key margin, max Welch-t, partition SNR at every requested trace
+budget, one pass).  Every point uses the *same* campaign seed, so all
+points measure paired noise realizations and their metric differences
+isolate the configuration change.
+
+``jobs > 1`` fans *points* out over forked worker processes (each
+worker runs its points' campaigns single-process); point results are
+independent of the worker layout, so any ``jobs`` value reproduces the
+serial metrics bit for bit.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.campaigns.engine import StreamingCampaign, schedule_cache_info
+from repro.crypto.aes_asm import LAYOUT, round1_only_program
+from repro.experiments.reporting import render_table
+from repro.power.acquisition import BatchInputs, random_inputs
+from repro.power.profile import LeakageProfile, cortex_a7_profile
+from repro.power.scope import ScopeConfig
+from repro.sca.models import hw_sbox_model
+from repro.sweeps.metrics import LeakageMetricsFold, PointMetrics
+from repro.sweeps.spec import SweepPoint, SweepSpec
+
+#: The AES-128 key every sweep workload attacks (the FIPS-197 vector,
+#: the same key figure3/figure4 use).
+DEFAULT_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+#: Default acquisition chain of a sweep: the figure-3 setup with a
+#: lower noise floor so reduced-budget grid points stay decisive.
+DEFAULT_SWEEP_SCOPE = ScopeConfig(noise_sigma=20.0, n_averages=16, quantize_bits=8)
+
+
+@dataclass(frozen=True)
+class SweepWorkload:
+    """The program + inputs + attack every sweep point is scored on."""
+
+    name: str
+    build_program: Callable[[], object]
+    build_inputs: Callable[[int, int], BatchInputs]
+    #: ``(inputs, lo, hi) -> float64[hi-lo, 256]`` CPA model matrix
+    model_matrix: Callable[[BatchInputs, int, int], np.ndarray]
+    #: the key byte value the CPA should recover (rank-0 target)
+    true_key: int
+    entry: str | None = None
+
+
+def aes_round1_workload(
+    key: bytes = DEFAULT_KEY, byte_index: int = 0, input_seed: int = 0x5EED
+) -> SweepWorkload:
+    """Round-1 AES with the HW(SubBytes out) model (the figure-3 attack).
+
+    The partition labels of the Welch/SNR detectors are the true-key
+    model column (the Hamming weight of the attacked S-box output), so
+    all three metrics score the same intermediate.
+    """
+
+    def build_inputs(n_traces: int, seed: int) -> BatchInputs:
+        return random_inputs(
+            n_traces, mem_blocks={LAYOUT.state: 16}, seed=seed ^ input_seed
+        )
+
+    def model_matrix(inputs: BatchInputs, lo: int, hi: int) -> np.ndarray:
+        plaintexts = inputs.mem_bytes[LAYOUT.state][lo:hi]
+        return np.stack(
+            [hw_sbox_model(plaintexts, byte_index, guess) for guess in range(256)],
+            axis=1,
+        )
+
+    return SweepWorkload(
+        name=f"aes-round1/hw-sbox[{byte_index}]",
+        build_program=lambda: round1_only_program(key),
+        build_inputs=build_inputs,
+        model_matrix=model_matrix,
+        true_key=key[byte_index],
+        entry="aes_round1",
+    )
+
+
+@dataclass(frozen=True)
+class SweepPointResult:
+    """One evaluated variant: the point, its scores, its provenance."""
+
+    point: SweepPoint
+    metrics: PointMetrics
+    seconds: float
+    is_baseline: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.point.name
+
+    def to_json(self) -> dict:
+        return {
+            "point": self.point.name,
+            "config": self.point.config.name,
+            "scope_overrides": {
+                key: value for key, value in self.point.scope_overrides
+            },
+            "is_baseline": self.is_baseline,
+            "seconds": round(self.seconds, 3),
+            "metrics": self.metrics.to_json(),
+        }
+
+
+@dataclass
+class SweepResult:
+    """A completed sweep: per-point scores plus the comparative report."""
+
+    spec: SweepSpec
+    workload: str
+    n_traces: int
+    budgets: tuple[int, ...]
+    points: list[SweepPointResult]
+    #: (compiled schedules, points) — how much the cache deduplicated
+    compile_stats: tuple[int, int]
+    seconds: float
+    seed: int
+
+    @property
+    def baseline(self) -> SweepPointResult | None:
+        for result in self.points:
+            if result.is_baseline:
+                return result
+        return None
+
+    def point(self, name: str) -> SweepPointResult:
+        for result in self.points:
+            if result.name == name:
+                return result
+        raise KeyError(f"no sweep point named {name!r}")
+
+    def ranked(self, budget: int | None = None) -> list[SweepPointResult]:
+        """Points ordered leakiest-first by max Welch-t at ``budget``.
+
+        The model-free Welch detector is the ranking statistic (ties
+        broken by peak SNR, then by name for determinism); the CPA
+        margin column contextualizes it per point.
+        """
+
+        def sort_key(result: SweepPointResult):
+            entry = (
+                result.metrics.final
+                if budget is None
+                else result.metrics.at(budget)
+            )
+            max_t = entry.max_t if np.isfinite(entry.max_t) else -np.inf
+            snr = entry.peak_snr if np.isfinite(entry.peak_snr) else -np.inf
+            return (-max_t, -snr, result.name)
+
+        return sorted(self.points, key=sort_key)
+
+    # -- reporting ------------------------------------------------------
+
+    def render(self) -> str:
+        baseline = self.baseline
+        base_entry = baseline.metrics.final if baseline is not None else None
+        header = [
+            "#",
+            "point",
+            "rank",
+            "margin",
+            "peak|r|",
+            "max|t|",
+            "peak SNR",
+        ]
+        if base_entry is not None:
+            header.append("t vs base")
+        rows = []
+        for position, result in enumerate(self.ranked(), start=1):
+            entry = result.metrics.final
+            row = [
+                str(position),
+                result.name + (" *" if result.is_baseline else ""),
+                str(entry.cpa_rank),
+                f"{entry.cpa_margin:.4f}",
+                f"{entry.peak_corr:.3f}",
+                f"{entry.max_t:.1f}",
+                f"{entry.peak_snr:.4f}",
+            ]
+            if base_entry is not None:
+                row.append(f"{entry.max_t - base_entry.max_t:+.1f}")
+            rows.append(row)
+        compiled, n_points = self.compile_stats
+        parts = [
+            render_table(
+                header,
+                rows,
+                title=(
+                    f"Design-space sweep '{self.spec.name}' on {self.workload}: "
+                    f"{n_points} points, {self.n_traces} traces each "
+                    f"(budget {self.budgets[-1]}), leakiest first"
+                    + (" (* = baseline)" if base_entry is not None else "")
+                ),
+            )
+        ]
+        if len(self.budgets) > 1:
+            curve_rows = []
+            for result in self.ranked():
+                for entry in result.metrics.per_budget:
+                    curve_rows.append(
+                        [
+                            result.name,
+                            str(entry.budget),
+                            str(entry.cpa_rank),
+                            f"{entry.cpa_margin:.4f}",
+                            f"{entry.max_t:.1f}",
+                            f"{entry.peak_snr:.4f}",
+                        ]
+                    )
+            parts.append(
+                render_table(
+                    ["point", "traces", "rank", "margin", "max|t|", "peak SNR"],
+                    curve_rows,
+                    title="\nmetric snapshots per trace budget (one pass per point)",
+                )
+            )
+        parts.append(
+            f"\ncompiled schedules: {compiled} for {n_points} points "
+            f"(cache deduplicated {n_points - compiled}); "
+            f"wall time {self.seconds:.1f}s, seed {self.seed:#x}"
+        )
+        return "\n".join(parts)
+
+    def to_json(self) -> dict:
+        return {
+            "sweep": self.spec.name,
+            "workload": self.workload,
+            "n_traces": self.n_traces,
+            "budgets": list(self.budgets),
+            "seed": self.seed,
+            "seconds": round(self.seconds, 3),
+            "compiled_schedules": self.compile_stats[0],
+            "n_points": self.compile_stats[1],
+            "baseline": self.baseline.name if self.baseline else None,
+            "ranking": [result.name for result in self.ranked()],
+            "points": [result.to_json() for result in self.points],
+        }
+
+
+class SweepCampaign:
+    """Runs every point of a spec and assembles the comparative result."""
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        n_traces: int = 600,
+        budgets=None,
+        workload: SweepWorkload | None = None,
+        base_scope: ScopeConfig | None = None,
+        profile: LeakageProfile | None = None,
+        chunk_size: int | None = None,
+        jobs: int = 1,
+        seed: int = 0x5EEB,
+        precision: str | None = None,
+    ):
+        self.spec = spec
+        self.n_traces = int(n_traces)
+        raw_budgets = tuple(budgets) if budgets else (self.n_traces,)
+        self.budgets = tuple(
+            sorted({min(int(b), self.n_traces) for b in raw_budgets})
+        )
+        self.workload = workload if workload is not None else aes_round1_workload()
+        scope = base_scope if base_scope is not None else DEFAULT_SWEEP_SCOPE
+        if precision is not None:
+            from dataclasses import replace
+
+            scope = replace(scope, precision=precision)
+        self.base_scope = scope
+        self.profile = profile if profile is not None else cortex_a7_profile()
+        self.chunk_size = chunk_size
+        self.jobs = max(1, jobs)
+        self.seed = int(seed)
+
+    # -- per-point evaluation -------------------------------------------
+
+    def _run_point(
+        self, point: SweepPoint, program, inputs: BatchInputs
+    ) -> SweepPointResult:
+        start = time.perf_counter()
+        engine = StreamingCampaign(
+            program,
+            config=point.config,
+            profile=self.profile,
+            scope=point.resolve_scope(self.base_scope),
+            entry=self.workload.entry,
+            seed=self.seed,
+            chunk_size=self.chunk_size,
+        )
+        fold = LeakageMetricsFold(self.budgets, self.workload.true_key)
+        if self.chunk_size is None:
+            trace_set = engine.acquire(inputs)
+            models = self.workload.model_matrix(inputs, 0, inputs.n_traces)
+            labels = models[:, self.workload.true_key].astype(np.int64)
+            fold.update(trace_set.traces, models, labels)
+        else:
+            for chunk in engine.stream(inputs):
+                models = self.workload.model_matrix(inputs, chunk.start, chunk.stop)
+                labels = models[:, self.workload.true_key].astype(np.int64)
+                fold.update(chunk.traces, models, labels)
+        return SweepPointResult(
+            point=point,
+            metrics=fold.result(),
+            seconds=time.perf_counter() - start,
+            is_baseline=self._is_baseline(point),
+        )
+
+    def _is_baseline(self, point: SweepPoint) -> bool:
+        return (
+            point.config.identity() == self.spec.base.identity()
+            and not point.scope_overrides
+        )
+
+    # -- the sweep ------------------------------------------------------
+
+    def run(self) -> SweepResult:
+        start = time.perf_counter()
+        points = self.spec.expand()
+        program = self.workload.build_program()
+        inputs = self.workload.build_inputs(self.n_traces, self.seed)
+        identities = {
+            (point.config.identity(), self._scope_identity(point))
+            for point in points
+        }
+        _programs_before, entries_before = schedule_cache_info()
+        if self.jobs > 1 and len(points) > 1 and _fork_available():
+            results = self._run_parallel(points, program, inputs)
+        else:
+            results = [self._run_point(point, program, inputs) for point in points]
+        _programs_after, entries_after = schedule_cache_info()
+        compiled = entries_after - entries_before
+        if compiled <= 0:
+            # Either a warm cache or forked workers (whose caches the
+            # parent cannot observe): report the structural dedup bound —
+            # unique (config identity, scope cache component) pairs, the
+            # same distinction the engine's cache key draws.
+            compiled = len(identities)
+        return SweepResult(
+            spec=self.spec,
+            workload=self.workload.name,
+            n_traces=self.n_traces,
+            budgets=self.budgets,
+            points=results,
+            compile_stats=(compiled, len(points)),
+            seconds=time.perf_counter() - start,
+            seed=self.seed,
+        )
+
+    def _scope_identity(self, point: SweepPoint) -> int:
+        return point.resolve_scope(self.base_scope).samples_per_cycle
+
+    def _run_parallel(self, points, program, inputs) -> list[SweepPointResult]:
+        context = multiprocessing.get_context("fork")
+        with context.Pool(
+            processes=min(self.jobs, len(points)),
+            initializer=_sweep_worker_init,
+            initargs=(self, program, inputs, points),
+        ) as pool:
+            indexed = pool.map(_sweep_worker_point, range(len(points)))
+        return [result for _index, result in sorted(indexed, key=lambda x: x[0])]
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+# Worker-side state, inherited copy-on-write at fork (the campaign, the
+# shared program and the full input batch never cross the pipe).
+_WORKER_STATE: dict = {}
+
+
+def _sweep_worker_init(campaign, program, inputs, points) -> None:  # pragma: no cover
+    _WORKER_STATE["campaign"] = campaign
+    _WORKER_STATE["program"] = program
+    _WORKER_STATE["inputs"] = inputs
+    _WORKER_STATE["points"] = points
+
+
+def _sweep_worker_point(index: int):  # pragma: no cover - exercised via Pool
+    campaign: SweepCampaign = _WORKER_STATE["campaign"]
+    point = _WORKER_STATE["points"][index]
+    result = campaign._run_point(
+        point, _WORKER_STATE["program"], _WORKER_STATE["inputs"]
+    )
+    return index, result

@@ -1,0 +1,98 @@
+"""Curated sweep grids: the named design-space regions worth mapping.
+
+Each entry reproduces (or extends) a region the paper argues about:
+
+* ``sweep-ablations`` — the degenerate 5-point "grid" over the
+  characterized presets: the §4.2 ablation table as a sweep;
+* ``issue-structure`` — the full cross of the issue-stage knobs
+  (dual-issue on/off x pairing policy x nop bus behaviour);
+* ``memory-path`` — LSU remanence x load/store latency: how the
+  store-path remanence channel moves with the memory timing;
+* ``noise-floor`` — the baseline pipeline under a range of acquisition
+  noise levels and averaging factors (schedule-identical points, so the
+  compiled-schedule cache collapses the whole grid onto one
+  compilation).
+"""
+
+from __future__ import annotations
+
+from repro.sweeps.spec import SweepSpec
+from repro.uarch.config import IssuePairing
+from repro.uarch.presets import preset_configs
+
+
+def sweep_ablations_spec() -> SweepSpec:
+    """The five characterized presets as the degenerate sweep."""
+    return SweepSpec.from_points(
+        "sweep-ablations",
+        preset_configs(),
+        description=(
+            "The paper's Section-4.2 ablation table: the characterized "
+            "cortex-a7 baseline and its four single-knob variants."
+        ),
+    )
+
+
+def issue_structure_spec() -> SweepSpec:
+    """Cross of the issue-stage structural knobs (8 points)."""
+    return SweepSpec.from_grid(
+        "issue-structure",
+        {
+            "dual_issue": (True, False),
+            "issue_pairing": (IssuePairing.FETCH_ALIGNED, IssuePairing.SLIDING),
+            "nop_zeroes_issue_bus": (True, False),
+        },
+        description=(
+            "Issue-stage design space: pairing structure and nop bus "
+            "behaviour, the knobs behind Table 1 and Section 4.1."
+        ),
+    )
+
+
+def memory_path_spec() -> SweepSpec:
+    """LSU remanence against the memory-path timing (8 points)."""
+    return SweepSpec.from_grid(
+        "memory-path",
+        {
+            "lsu_remanence": (True, False),
+            "load_latency": (2, 3),
+            "store_latency": (2, 3),
+        },
+        description=(
+            "The Section-4.2(iv) remanence channel across memory-path "
+            "latencies."
+        ),
+    )
+
+
+def noise_floor_spec() -> SweepSpec:
+    """One pipeline, many acquisition chains (schedule-identical)."""
+    return SweepSpec.from_grid(
+        "noise-floor",
+        {
+            "scope.noise_sigma": (10.0, 20.0, 40.0, 80.0),
+            "scope.n_averages": (1, 16),
+        },
+        description=(
+            "Acquisition-noise sensitivity of the baseline: every point "
+            "shares one compiled schedule."
+        ),
+    )
+
+
+CURATED = {
+    "sweep-ablations": sweep_ablations_spec,
+    "issue-structure": issue_structure_spec,
+    "memory-path": memory_path_spec,
+    "noise-floor": noise_floor_spec,
+}
+
+
+def curated_spec(name: str) -> SweepSpec:
+    try:
+        factory = CURATED[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown curated grid {name!r}; available: {', '.join(sorted(CURATED))}"
+        ) from None
+    return factory()

@@ -1,0 +1,176 @@
+"""Per-point leakage metrics, folded once per sweep point.
+
+Every sweep point is scored by three standard side-channel leakage
+metrics, each evaluated at one or more *trace budgets* from a single
+pass over the point's campaign (the PR-3 snapshot accumulators — no
+recompute per budget):
+
+* **CPA key margin** — the best-vs-second distinguishing confidence of
+  a full 256-guess CPA (plus the true key's rank and its peak |r|);
+* **max Welch-t** — the largest |t| of a low-vs-high Hamming-weight
+  partition of the traces (a model-light TVLA-style detector);
+* **partition SNR** — Mangard's SNR over the Hamming-weight classes of
+  the attacked intermediate.
+
+The fold consumes ``(traces, models, labels)`` chunks: a chunked
+campaign feeds one call per chunk, a monolithic campaign feeds the
+whole matrix once — the :class:`~repro.campaigns.accumulators.BudgetSplitter`
+slices either stream at budget boundaries, so both paths reproduce the
+two-pass references (``cpa_attack``/``welch_ttest``/``partition_snr``
+on each prefix) within ~1e-12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.campaigns.accumulators import (
+    BudgetSplitter,
+    OnlineCorrAccumulator,
+    OnlineSnrAccumulator,
+    OnlineTTestAccumulator,
+)
+from repro.sca.cpa import CpaResult
+
+#: Hamming-weight split of the Welch detector: class A is HW <= 3,
+#: class B is HW >= 5 (the balanced tails of the binomial(8, 1/2)
+#: weight distribution; HW == 4 traces belong to neither group).
+T_SPLIT = (3, 5)
+
+
+@dataclass(frozen=True)
+class BudgetMetrics:
+    """The leakage scores of one point at one trace budget."""
+
+    budget: int
+    cpa_rank: int
+    cpa_margin: float
+    peak_corr: float
+    max_t: float
+    peak_snr: float
+
+    def to_json(self) -> dict:
+        return {
+            "budget": self.budget,
+            "cpa_rank": self.cpa_rank,
+            "cpa_margin": self.cpa_margin,
+            "peak_corr": self.peak_corr,
+            "max_t": self.max_t,
+            "peak_snr": self.peak_snr,
+        }
+
+
+@dataclass(frozen=True)
+class PointMetrics:
+    """One point's scores at every requested budget."""
+
+    budgets: tuple[int, ...]
+    per_budget: tuple[BudgetMetrics, ...]
+    n_samples: int
+    true_key: int
+
+    @property
+    def final(self) -> BudgetMetrics:
+        return self.per_budget[-1]
+
+    def at(self, budget: int) -> BudgetMetrics:
+        for entry in self.per_budget:
+            if entry.budget == budget:
+                return entry
+        raise KeyError(f"no snapshot at budget {budget}")
+
+    def to_json(self) -> dict:
+        return {
+            "budgets": list(self.budgets),
+            "n_samples": self.n_samples,
+            "per_budget": [entry.to_json() for entry in self.per_budget],
+        }
+
+
+class LeakageMetricsFold:
+    """Streams a campaign into :class:`PointMetrics` at every budget.
+
+    ``update`` takes one chunk of traces, the chunk's ``[k, n_guesses]``
+    CPA model matrix and its ``[k]`` integer partition labels.  All
+    three accumulators fold the same budget-aligned sub-ranges, so one
+    pass yields every budget's snapshot.
+    """
+
+    def __init__(
+        self,
+        budgets,
+        true_key: int,
+        guesses=tuple(range(256)),
+        t_split: tuple[int, int] = T_SPLIT,
+    ):
+        self._splitter = BudgetSplitter(budgets)
+        self.budgets = tuple(int(b) for b in self._splitter.budgets)
+        self.true_key = int(true_key)
+        self.guesses = np.asarray(list(guesses))
+        self.t_low, self.t_high = t_split
+        self._corr = OnlineCorrAccumulator()
+        self._ttest = OnlineTTestAccumulator()
+        self._snr = OnlineSnrAccumulator()
+        self._snapshots: list[BudgetMetrics] = []
+        self._n_samples = 0
+
+    def update(self, traces: np.ndarray, models: np.ndarray, labels: np.ndarray) -> None:
+        traces = np.asarray(traces)
+        models = np.asarray(models, dtype=np.float64)
+        labels = np.asarray(labels)
+        if models.shape != (traces.shape[0], self.guesses.size):
+            raise ValueError(
+                f"model matrix has shape {models.shape}, expected "
+                f"({traces.shape[0]}, {self.guesses.size})"
+            )
+        if labels.shape != (traces.shape[0],):
+            raise ValueError("labels must have one entry per trace")
+        self._n_samples = traces.shape[1]
+        for low, high, budget in self._splitter.split(traces.shape[0]):
+            rows = traces[low:high]
+            sub_labels = labels[low:high]
+            self._corr.update(models[low:high], rows)
+            mask_low = sub_labels <= self.t_low
+            mask_high = sub_labels >= self.t_high
+            if np.any(mask_low):
+                self._ttest.update_a(rows[mask_low])
+            if np.any(mask_high):
+                self._ttest.update_b(rows[mask_high])
+            self._snr.update(rows, sub_labels)
+            if budget is not None:
+                self._snapshots.append(self._snapshot(budget))
+
+    def _snapshot(self, budget: int) -> BudgetMetrics:
+        correlations = np.atleast_2d(self._corr.snapshot())
+        cpa = CpaResult(
+            correlations=correlations, guesses=self.guesses, n_traces=self._corr.n
+        )
+        try:
+            max_t = self._ttest.snapshot().max_abs_t
+        except ValueError:
+            # A tiny budget can leave a Welch group under two traces.
+            max_t = float("nan")
+        try:
+            peak_snr = self._snr.snapshot().peak_snr
+        except ValueError:
+            peak_snr = float("nan")
+        return BudgetMetrics(
+            budget=int(budget),
+            cpa_rank=cpa.rank_of(self.true_key),
+            cpa_margin=float(cpa.margin_confidence()),
+            peak_corr=float(np.max(np.abs(cpa.timecourse(self.true_key)))),
+            max_t=float(max_t),
+            peak_snr=float(peak_snr),
+        )
+
+    def result(self) -> PointMetrics:
+        if not self._snapshots:
+            raise ValueError("no budget was reached; fold more traces")
+        return PointMetrics(
+            budgets=self.budgets[: len(self._snapshots)],
+            per_budget=tuple(self._snapshots),
+            n_samples=self._n_samples,
+            true_key=self.true_key,
+        )

@@ -1,0 +1,64 @@
+"""The ``sweep`` scenario: design-space grid campaigns from the CLI.
+
+Registered like every experiment driver; the runner resolves the grid
+from ``RunOptions.grid`` (``--grid key=val[,val...]`` arguments, or a
+curated grid name passed as a single ``--grid`` token) and defaults to
+the curated ``sweep-ablations`` grid — the paper's five presets as the
+degenerate sweep.
+"""
+
+from __future__ import annotations
+
+from repro.campaigns.registry import RunOptions, Scenario, register
+from repro.sweeps.campaign import SweepCampaign, SweepResult
+from repro.sweeps.grids import CURATED, curated_spec
+from repro.sweeps.spec import SweepSpec
+
+#: Default trace budget of a CLI sweep (per point).
+DEFAULT_TRACES = 600
+
+
+def resolve_spec(grid_args) -> SweepSpec:
+    """Grid arguments -> spec: a curated name, or key=values axes."""
+    if not grid_args:
+        return curated_spec("sweep-ablations")
+    if len(grid_args) == 1 and grid_args[0] in CURATED:
+        return curated_spec(grid_args[0])
+    return SweepSpec.from_cli(grid_args)
+
+
+def run_sweep(options: RunOptions) -> SweepResult:
+    spec = resolve_spec(options.grid)
+    n_traces = options.n_traces or DEFAULT_TRACES
+    budgets = (n_traces // 2, n_traces) if n_traces >= 64 else (n_traces,)
+    campaign = SweepCampaign(
+        spec,
+        n_traces=n_traces,
+        budgets=budgets,
+        chunk_size=options.chunk_size,
+        jobs=options.jobs,
+        seed=options.seed if options.seed is not None else 0x5EEB,
+        precision=options.precision,
+    )
+    return campaign.run()
+
+
+SCENARIO = register(
+    Scenario(
+        name="sweep",
+        title="Design-space sweep: grid campaigns over the pipeline config",
+        description=(
+            "Expands a grid (or a curated spec; default: the five "
+            "characterized presets) into variant points, scores each by "
+            "CPA margin / max Welch-t / partition SNR at every trace "
+            "budget, and ranks them against the cortex-a7 baseline."
+        ),
+        runner=run_sweep,
+        default_traces=DEFAULT_TRACES,
+        supports_chunking=True,
+        supports_jobs=True,
+        supports_precision=True,
+        supports_grid=True,
+        tags=("sweep", "design-space"),
+    )
+)

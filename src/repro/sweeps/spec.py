@@ -1,0 +1,262 @@
+"""Declarative design-space sweep specifications.
+
+A :class:`SweepSpec` names the region of the microarchitectural design
+space a campaign should map: either an explicit list of configurations
+(the degenerate case — e.g. the paper's five characterized presets) or a
+*grid*, the Cartesian product of per-knob value lists over
+:class:`~repro.uarch.config.PipelineConfig` fields and (``scope.``-
+prefixed) :class:`~repro.power.scope.ScopeConfig` fields.
+
+``expand()`` turns the spec into named :class:`SweepPoint`\\ s.  Point
+names are derived deterministically from the overridden fields (via
+``PipelineConfig.with_overrides``), so two distinct variants can never
+collide on the base preset's name in reports or cache diagnostics.
+
+The CLI surface is :meth:`SweepSpec.from_cli`: each ``--grid`` argument
+is one ``key=value[,value...]`` axis, values are coerced against the
+target dataclass field's type (bools accept ``true/false/on/off/1/0``,
+enums their value spelling, ``none`` clears an optional field).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import types
+import typing
+from dataclasses import dataclass, field, fields, replace
+
+from repro.power.scope import ScopeConfig
+from repro.uarch.config import PipelineConfig, format_field_value
+
+#: Prefix selecting acquisition-chain knobs instead of pipeline knobs.
+SCOPE_PREFIX = "scope."
+
+
+def _config_field_types(cls) -> dict[str, object]:
+    hints = typing.get_type_hints(cls)
+    return {f.name: hints[f.name] for f in fields(cls)}
+
+
+def _coerce(key: str, raw: str, annotation) -> object:
+    """Parse one CLI token against a dataclass field annotation."""
+    text = raw.strip()
+    origin = typing.get_origin(annotation)
+    if origin in (typing.Union, types.UnionType):
+        arguments = [a for a in typing.get_args(annotation) if a is not type(None)]
+        if text.lower() in ("none", "null"):
+            return None
+        if len(arguments) == 1:
+            annotation = arguments[0]
+    if annotation is bool:
+        lowered = text.lower()
+        if lowered in ("true", "1", "on", "yes"):
+            return True
+        if lowered in ("false", "0", "off", "no"):
+            return False
+        raise ValueError(f"{key}: {raw!r} is not a boolean (true/false)")
+    if annotation is int:
+        return int(text, 0)
+    if annotation is float:
+        return float(text)
+    if isinstance(annotation, type) and issubclass(annotation, enum.Enum):
+        for member in annotation:
+            if text == member.value or text == member.name.lower():
+                return member
+        valid = ", ".join(str(m.value) for m in annotation)
+        raise ValueError(f"{key}: {raw!r} is not one of {valid}")
+    if annotation is str:
+        return text
+    raise ValueError(f"{key}: cannot parse values of type {annotation}")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One named variant: a pipeline config plus scope-knob overrides."""
+
+    name: str
+    config: PipelineConfig
+    #: (field, value) pairs applied to the campaign's base scope config
+    scope_overrides: tuple[tuple[str, object], ...] = ()
+
+    def resolve_scope(self, base: ScopeConfig) -> ScopeConfig:
+        if not self.scope_overrides:
+            return base
+        return replace(base, **dict(self.scope_overrides))
+
+
+def _scope_suffix(scope_overrides: tuple[tuple[str, object], ...]) -> str:
+    if not scope_overrides:
+        return ""
+    parts = ",".join(
+        f"{SCOPE_PREFIX}{key}={format_field_value(value)}"
+        for key, value in scope_overrides
+    )
+    return f"+{parts}"
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A grid (or explicit point list) over the pipeline design space."""
+
+    name: str
+    base: PipelineConfig = field(default_factory=PipelineConfig)
+    #: ordered axes: (key, candidate values); ``scope.``-prefixed keys
+    #: target the acquisition chain, everything else ``PipelineConfig``
+    grid: tuple[tuple[str, tuple], ...] = ()
+    #: explicit variant list; when non-empty it replaces grid expansion
+    points: tuple[SweepPoint, ...] = ()
+    description: str = ""
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_grid(
+        cls,
+        name: str,
+        grid: dict,
+        base: PipelineConfig | None = None,
+        description: str = "",
+    ) -> "SweepSpec":
+        """Normalize a ``{key: values}`` mapping into a spec."""
+        base = base if base is not None else PipelineConfig()
+        axes = tuple((key, tuple(values)) for key, values in grid.items())
+        spec = cls(name=name, base=base, grid=axes, description=description)
+        spec.validate()
+        return spec
+
+    @classmethod
+    def from_points(
+        cls,
+        name: str,
+        configs,
+        base: PipelineConfig | None = None,
+        description: str = "",
+    ) -> "SweepSpec":
+        """Wrap explicit configs (or points) as the degenerate sweep."""
+        points = tuple(
+            point
+            if isinstance(point, SweepPoint)
+            else SweepPoint(name=point.name, config=point)
+            for point in configs
+        )
+        seen: set[str] = set()
+        for point in points:
+            if point.name in seen:
+                raise ValueError(f"duplicate sweep point name {point.name!r}")
+            seen.add(point.name)
+        return cls(
+            name=name,
+            base=base if base is not None else PipelineConfig(),
+            points=points,
+            description=description,
+        )
+
+    @classmethod
+    def from_cli(
+        cls,
+        grid_args,
+        base: PipelineConfig | None = None,
+        name: str = "cli-grid",
+    ) -> "SweepSpec":
+        """Parse ``--grid key=val[,val...]`` arguments into a spec."""
+        base = base if base is not None else PipelineConfig()
+        pipeline_types = _config_field_types(PipelineConfig)
+        scope_types = _config_field_types(ScopeConfig)
+        axes: list[tuple[str, tuple]] = []
+        for argument in grid_args:
+            key, separator, values = argument.partition("=")
+            key = key.strip()
+            if not separator or not values.strip():
+                raise ValueError(
+                    f"--grid argument {argument!r} is not of the form key=val[,val...]"
+                )
+            if key.startswith(SCOPE_PREFIX):
+                bare = key[len(SCOPE_PREFIX):]
+                if bare not in scope_types:
+                    raise ValueError(
+                        f"unknown scope knob {key!r}; valid: "
+                        + ", ".join(f"{SCOPE_PREFIX}{v}" for v in sorted(scope_types))
+                    )
+                annotation = scope_types[bare]
+            else:
+                if key == "name" or key not in pipeline_types:
+                    valid = ", ".join(
+                        sorted(set(pipeline_types) - {"name"})
+                    )
+                    raise ValueError(
+                        f"unknown pipeline knob {key!r}; valid: {valid} "
+                        f"(or {SCOPE_PREFIX}<field> for acquisition knobs)"
+                    )
+                annotation = pipeline_types[key]
+            parsed = tuple(
+                _coerce(key, token, annotation) for token in values.split(",")
+            )
+            axes.append((key, parsed))
+        spec = cls(name=name, base=base, grid=tuple(axes))
+        spec.validate()
+        return spec
+
+    # -- validation & expansion -----------------------------------------
+
+    def validate(self) -> None:
+        pipeline_fields = {f.name for f in fields(PipelineConfig)} - {"name"}
+        scope_fields = {f.name for f in fields(ScopeConfig)}
+        seen: set[str] = set()
+        for key, values in self.grid:
+            if key in seen:
+                raise ValueError(f"grid axis {key!r} listed twice")
+            seen.add(key)
+            if not values:
+                raise ValueError(f"grid axis {key!r} has no values")
+            if len(set(map(repr, values))) != len(values):
+                raise ValueError(f"grid axis {key!r} repeats a value")
+            if key.startswith(SCOPE_PREFIX):
+                if key[len(SCOPE_PREFIX):] not in scope_fields:
+                    raise ValueError(f"unknown scope knob {key!r}")
+            elif key not in pipeline_fields:
+                raise ValueError(f"unknown pipeline knob {key!r}")
+
+    @property
+    def n_points(self) -> int:
+        if self.points:
+            return len(self.points)
+        total = 1
+        for _key, values in self.grid:
+            total *= len(values)
+        return total
+
+    def expand(self) -> list[SweepPoint]:
+        """The named variant points this spec covers, in grid order."""
+        if self.points:
+            return list(self.points)
+        if not self.grid:
+            return [SweepPoint(name=self.base.name, config=self.base)]
+        self.validate()
+        keys = [key for key, _values in self.grid]
+        axes = [values for _key, values in self.grid]
+        points: list[SweepPoint] = []
+        for combo in itertools.product(*axes):
+            overrides = dict(zip(keys, combo))
+            config_overrides = {
+                key: value
+                for key, value in overrides.items()
+                if not key.startswith(SCOPE_PREFIX)
+            }
+            scope_overrides = tuple(
+                (key[len(SCOPE_PREFIX):], value)
+                for key, value in overrides.items()
+                if key.startswith(SCOPE_PREFIX)
+            )
+            config = self.base.with_overrides(**config_overrides)
+            points.append(
+                SweepPoint(
+                    name=config.name + _scope_suffix(scope_overrides),
+                    config=config,
+                    scope_overrides=scope_overrides,
+                )
+            )
+        names = [point.name for point in points]
+        if len(set(names)) != len(names):
+            raise ValueError("grid expansion produced duplicate point names")
+        return points

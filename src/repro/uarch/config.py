@@ -10,7 +10,7 @@ off, a scalar single-issue core) is expressed as a different
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 
 
 class IssuePairing(enum.Enum):
@@ -65,9 +65,87 @@ class PipelineConfig:
     # --- LSU data remanence (Section 4.2 point iv) ------------------------
     lsu_remanence: bool = True
 
+    #: the per-unit latency knobs ``latency_for`` may be asked about
+    LATENCY_FIELDS = (
+        "alu_latency",
+        "shift_alu_latency",
+        "mul_latency",
+        "load_latency",
+        "store_latency",
+        "fpu_latency",
+    )
+
     def with_overrides(self, **kwargs) -> "PipelineConfig":
-        """A copy with selected fields replaced (ablation helper)."""
-        return replace(self, **kwargs)
+        """A copy with selected fields replaced (ablation/sweep helper).
+
+        Unless an explicit ``name=`` is part of the overrides, the copy
+        is renamed with a deterministic ``+field=value`` suffix derived
+        from the fields that actually changed, so sweep points, reports
+        and cache diagnostics never show two distinct variants under the
+        base preset's name (historically every override kept
+        ``"cortex-a7"``).  Overrides that change nothing keep the name.
+        """
+        if "name" in kwargs:
+            return replace(self, **kwargs)
+        known = {f.name for f in fields(self)}
+        unknown = sorted(set(kwargs) - known)
+        if unknown:
+            raise TypeError(
+                f"unknown PipelineConfig field(s) {', '.join(unknown)}; "
+                f"valid fields: {', '.join(sorted(known - {'name'}))}"
+            )
+        changed = {
+            key: value
+            for key, value in sorted(kwargs.items())
+            if getattr(self, key) != value
+        }
+        if not changed:
+            return replace(self, **kwargs)
+        suffix = ",".join(
+            f"{key}={format_field_value(value)}" for key, value in changed.items()
+        )
+        return replace(self, name=f"{self.name}+{suffix}", **kwargs)
 
     def latency_for(self, unit_latencies_key: str) -> int:
+        """The issue-to-result latency of one unit, by field name.
+
+        Historically this was an unchecked ``getattr``: an unknown key
+        would happily return *any* attribute (``"name"`` handed back a
+        ``str``) and fail far from the call site.  Unknown keys now
+        raise ``KeyError`` naming the valid options.
+        """
+        if unit_latencies_key not in self.LATENCY_FIELDS:
+            raise KeyError(
+                f"unknown latency key {unit_latencies_key!r}; "
+                f"valid keys: {', '.join(self.LATENCY_FIELDS)}"
+            )
         return getattr(self, unit_latencies_key)
+
+    def identity(self) -> tuple:
+        """Every structural field, excluding the display ``name``.
+
+        Two configs with equal identity schedule and leak identically;
+        the campaign engine's compiled-schedule cache keys on this so
+        renamed variants (sweep points, ``with_overrides`` copies) share
+        one compilation.
+        """
+        return tuple(
+            getattr(self, f.name) for f in fields(self) if f.name != "name"
+        )
+
+    def overrides_from(self, base: "PipelineConfig") -> dict:
+        """The field values by which this config differs from ``base``."""
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name != "name" and getattr(self, f.name) != getattr(base, f.name)
+        }
+
+
+def format_field_value(value) -> str:
+    """Canonical short spelling of a config field value (names, CLI)."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, enum.Enum):
+        return str(value.value)
+    return str(value)

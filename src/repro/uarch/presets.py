@@ -53,3 +53,22 @@ PRESETS = {
     "cortex-a7-no-remanence": cortex_a7_no_remanence,
     "cortex-a7-quiet-nop": cortex_a7_quiet_nop,
 }
+
+#: The paper's presentation order: the characterized baseline first,
+#: then the Section-4 ablations in the order the text discusses them.
+PRESET_ORDER = (
+    "cortex-a7",
+    "cortex-a7-single-issue",
+    "cortex-a7-sliding",
+    "cortex-a7-no-remanence",
+    "cortex-a7-quiet-nop",
+)
+
+
+def preset_configs() -> list[PipelineConfig]:
+    """The five characterized configs, in the paper's order.
+
+    This is the degenerate "grid" of the design-space sweep engine: a
+    sweep over exactly these points reproduces the §4.2 ablation table.
+    """
+    return [PRESETS[name]() for name in PRESET_ORDER]

@@ -1,0 +1,173 @@
+"""The sweep engine: reference equivalence, dedup, jobs determinism."""
+
+import numpy as np
+import pytest
+
+from repro.campaigns.engine import (
+    StreamingCampaign,
+    clear_schedule_cache,
+    schedule_cache_info,
+)
+from repro.sca.cpa import cpa_attack
+from repro.sca.snr import partition_snr
+from repro.sca.ttest import welch_ttest
+from repro.sweeps.campaign import SweepCampaign
+from repro.sweeps.grids import sweep_ablations_spec
+from repro.sweeps.metrics import T_SPLIT
+from repro.sweeps.spec import SweepSpec
+from repro.uarch.presets import PRESET_ORDER
+
+
+class TestPresetSweepMatchesReference:
+    """Acceptance: the degenerate 5-preset grid within 1e-10 of two-pass."""
+
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        return SweepCampaign(
+            sweep_ablations_spec(), n_traces=240, budgets=(120, 240), seed=0xA11
+        )
+
+    @pytest.fixture(scope="class")
+    def result(self, campaign):
+        return campaign.run()
+
+    def test_covers_the_five_presets(self, result):
+        assert [p.name for p in result.points] == list(PRESET_ORDER)
+        assert result.baseline is not None
+        assert result.baseline.name == "cortex-a7"
+
+    def test_metrics_match_two_pass_reference(self, campaign, result):
+        workload = campaign.workload
+        program = workload.build_program()
+        inputs = workload.build_inputs(campaign.n_traces, campaign.seed)
+        models = workload.model_matrix(inputs, 0, campaign.n_traces)
+        labels = models[:, workload.true_key].astype(np.int64)
+        low, high = T_SPLIT
+        for point_result in result.points:
+            engine = StreamingCampaign(
+                program,
+                config=point_result.point.config,
+                profile=campaign.profile,
+                scope=point_result.point.resolve_scope(campaign.base_scope),
+                entry=workload.entry,
+                seed=campaign.seed,
+            )
+            # float64 like the accumulators promote to (welch_ttest
+            # keeps its input dtype; the fold's contract is float64)
+            traces = engine.acquire(inputs).traces.astype(np.float64)
+            for entry in point_result.metrics.per_budget:
+                b = entry.budget
+                cpa = cpa_attack(traces[:b], models[:b])
+                assert entry.cpa_rank == cpa.rank_of(workload.true_key)
+                assert entry.cpa_margin == pytest.approx(
+                    cpa.margin_confidence(), abs=1e-10
+                )
+                assert entry.peak_corr == pytest.approx(
+                    float(np.max(np.abs(cpa.timecourse(workload.true_key)))),
+                    abs=1e-10,
+                )
+                prefix_labels = labels[:b]
+                ttest = welch_ttest(
+                    traces[:b][prefix_labels <= low],
+                    traces[:b][prefix_labels >= high],
+                )
+                assert entry.max_t == pytest.approx(ttest.max_abs_t, abs=1e-10)
+                snr = partition_snr(traces[:b], prefix_labels)
+                assert entry.peak_snr == pytest.approx(snr.peak_snr, abs=1e-10)
+
+    def test_report_ranks_and_links_baseline(self, result):
+        text = result.render()
+        assert "leakiest first" in text
+        assert "cortex-a7 *" in text
+        data = result.to_json()
+        assert data["baseline"] == "cortex-a7"
+        assert len(data["points"]) == 5
+        assert set(data["ranking"]) == set(PRESET_ORDER)
+
+
+class TestScheduleDedup:
+    def test_16_point_grid_compiles_each_pipeline_once(self):
+        clear_schedule_cache()
+        spec = SweepSpec.from_grid(
+            "dedup",
+            {
+                "dual_issue": (True, False),
+                "lsu_remanence": (True, False),
+                "scope.noise_sigma": (6.0, 12.0),
+                "scope.n_averages": (1, 16),
+            },
+        )
+        assert spec.n_points == 16
+        result = SweepCampaign(spec, n_traces=64, seed=0xDE9).run()
+        # Four structural pipelines; the 4x scope variants share them.
+        assert result.compile_stats == (4, 16)
+        _programs, entries = schedule_cache_info()
+        assert entries == 4
+        assert "cache deduplicated 12" in result.render()
+
+    def test_renamed_variant_shares_the_baseline_schedule(self):
+        clear_schedule_cache()
+        spec = SweepSpec.from_grid("noise", {"scope.noise_sigma": (6.0, 9.0, 15.0)})
+        result = SweepCampaign(spec, n_traces=48, seed=0xDEA).run()
+        assert result.compile_stats == (1, 3)
+
+
+class TestJobsDeterminism:
+    @pytest.mark.parametrize("chunk_size", (None, 64))
+    def test_point_results_independent_of_worker_count(self, chunk_size):
+        spec = SweepSpec.from_grid(
+            "jobs", {"dual_issue": (True, False), "lsu_remanence": (True, False)}
+        )
+
+        def run(jobs):
+            return SweepCampaign(
+                spec,
+                n_traces=160,
+                budgets=(80, 160),
+                chunk_size=chunk_size,
+                jobs=jobs,
+                seed=0x10B5,
+            ).run()
+
+        serial = run(1)
+        parallel = run(3)
+        assert [p.name for p in serial.points] == [p.name for p in parallel.points]
+        for left, right in zip(serial.points, parallel.points):
+            assert left.metrics.per_budget == right.metrics.per_budget
+            assert left.is_baseline == right.is_baseline
+
+
+class TestChunkedSweep:
+    def test_float32_chunked_matches_float32_monolithic(self):
+        # The counter-based capture chain makes chunking a no-op, so
+        # the folded metrics agree with the monolithic fold to
+        # accumulator precision.
+        spec = SweepSpec.from_grid("f32", {"dual_issue": (True, False)})
+
+        def run(chunk_size):
+            return SweepCampaign(
+                spec,
+                n_traces=160,
+                budgets=(80, 160),
+                chunk_size=chunk_size,
+                seed=0xF32,
+                precision="float32",
+            ).run()
+
+        monolithic = run(None)
+        chunked = run(48)
+        for left, right in zip(monolithic.points, chunked.points):
+            for el, er in zip(left.metrics.per_budget, right.metrics.per_budget):
+                assert el.cpa_margin == pytest.approx(er.cpa_margin, abs=1e-7)
+                assert el.max_t == pytest.approx(er.max_t, rel=1e-6)
+                assert el.peak_snr == pytest.approx(er.peak_snr, rel=1e-6)
+                assert el.cpa_rank == er.cpa_rank
+
+
+class TestPresetAblationsRebase:
+    def test_run_preset_ablations_delegates_to_the_sweep(self):
+        from repro.experiments.ablations import run_preset_ablations
+
+        result = run_preset_ablations(n_traces=96, seed=0xAB)
+        assert [p.name for p in result.points] == list(PRESET_ORDER)
+        assert result.compile_stats[1] == 5

@@ -1,0 +1,124 @@
+"""Sweep specs: grid expansion, point naming, CLI parsing."""
+
+import pytest
+
+from repro.power.scope import ScopeConfig
+from repro.sweeps.grids import CURATED, curated_spec
+from repro.sweeps.spec import SweepPoint, SweepSpec
+from repro.uarch.config import IssuePairing, PipelineConfig
+from repro.uarch.presets import PRESET_ORDER, preset_configs
+
+
+class TestGridExpansion:
+    def test_cartesian_product_in_axis_order(self):
+        spec = SweepSpec.from_grid(
+            "g", {"dual_issue": (True, False), "lsu_remanence": (True, False)}
+        )
+        points = spec.expand()
+        assert spec.n_points == len(points) == 4
+        assert [p.config.dual_issue for p in points] == [True, True, False, False]
+        assert [p.config.lsu_remanence for p in points] == [True, False, True, False]
+
+    def test_point_names_derive_from_overrides(self):
+        spec = SweepSpec.from_grid("g", {"dual_issue": (True, False)})
+        names = [p.name for p in spec.expand()]
+        assert names == ["cortex-a7", "cortex-a7+dual_issue=false"]
+
+    def test_names_never_collide(self):
+        spec = SweepSpec.from_grid(
+            "g",
+            {
+                "dual_issue": (True, False),
+                "lsu_remanence": (True, False),
+                "load_latency": (2, 3),
+            },
+        )
+        names = [p.name for p in spec.expand()]
+        assert len(set(names)) == 8
+
+    def test_scope_axes_become_scope_overrides(self):
+        spec = SweepSpec.from_grid("g", {"scope.noise_sigma": (10.0, 20.0)})
+        points = spec.expand()
+        assert points[0].scope_overrides == (("noise_sigma", 10.0),)
+        assert points[0].name == "cortex-a7+scope.noise_sigma=10.0"
+        resolved = points[1].resolve_scope(ScopeConfig(noise_sigma=5.0))
+        assert resolved.noise_sigma == 20.0
+
+    def test_empty_grid_is_the_base_point(self):
+        points = SweepSpec(name="base-only").expand()
+        assert len(points) == 1
+        assert points[0].config == PipelineConfig()
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ValueError, match="unknown pipeline knob"):
+            SweepSpec.from_grid("g", {"warp_drive": (1, 2)})
+        with pytest.raises(ValueError, match="unknown scope knob"):
+            SweepSpec.from_grid("g", {"scope.warp_drive": (1,)})
+
+    def test_repeated_value_rejected(self):
+        with pytest.raises(ValueError, match="repeats a value"):
+            SweepSpec.from_grid("g", {"dual_issue": (True, True)})
+
+
+class TestExplicitPoints:
+    def test_preset_list_keeps_names_and_order(self):
+        spec = SweepSpec.from_points("presets", preset_configs())
+        assert [p.name for p in spec.expand()] == list(PRESET_ORDER)
+
+    def test_duplicate_names_rejected(self):
+        config = PipelineConfig()
+        with pytest.raises(ValueError, match="duplicate"):
+            SweepSpec.from_points(
+                "dup",
+                [SweepPoint("a", config), SweepPoint("a", config)],
+            )
+
+
+class TestCliParsing:
+    def test_bool_axis(self):
+        spec = SweepSpec.from_cli(["dual_issue=true,false"])
+        assert spec.grid == (("dual_issue", (True, False)),)
+
+    def test_int_float_and_enum_axes(self):
+        spec = SweepSpec.from_cli(
+            [
+                "load_latency=2,3",
+                "scope.noise_sigma=10,40.5",
+                "issue_pairing=sliding,fetch_aligned",
+            ]
+        )
+        axes = dict(spec.grid)
+        assert axes["load_latency"] == (2, 3)
+        assert axes["scope.noise_sigma"] == (10.0, 40.5)
+        assert axes["issue_pairing"] == (
+            IssuePairing.SLIDING,
+            IssuePairing.FETCH_ALIGNED,
+        )
+
+    def test_optional_field_accepts_none(self):
+        spec = SweepSpec.from_cli(["scope.quantize_bits=8,none"])
+        assert dict(spec.grid)["scope.quantize_bits"] == (8, None)
+
+    def test_malformed_arguments_rejected(self):
+        with pytest.raises(ValueError, match="key=val"):
+            SweepSpec.from_cli(["dual_issue"])
+        with pytest.raises(ValueError, match="not a boolean"):
+            SweepSpec.from_cli(["dual_issue=maybe"])
+        with pytest.raises(ValueError, match="unknown pipeline knob"):
+            SweepSpec.from_cli(["name=x"])
+
+
+class TestCuratedGrids:
+    def test_sweep_ablations_is_the_preset_table(self):
+        spec = curated_spec("sweep-ablations")
+        assert [p.name for p in spec.expand()] == list(PRESET_ORDER)
+
+    def test_all_curated_specs_expand(self):
+        for name in CURATED:
+            spec = curated_spec(name)
+            points = spec.expand()
+            assert len(points) == spec.n_points >= 1
+
+    def test_unknown_curated_name(self):
+        with pytest.raises(KeyError, match="unknown curated grid"):
+            curated_spec("nope")

@@ -42,6 +42,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table1", "--format", "xml"])
 
+    def test_grid_flag_is_repeatable(self):
+        args = build_parser().parse_args(
+            ["sweep", "--grid", "dual_issue=true,false", "--grid", "load_latency=2,3"]
+        )
+        assert args.grid == ["dual_issue=true,false", "load_latency=2,3"]
+        assert build_parser().parse_args(["sweep"]).grid is None
+
     @pytest.mark.parametrize(
         "flags",
         (
@@ -83,3 +90,99 @@ class TestExecution:
     def test_chunked_run_through_the_engine(self, capsys):
         assert main(["table2", "--traces", "400", "--chunk-size", "150"]) == 0
         assert "Table 2 (reproduced)" in capsys.readouterr().out
+
+    def test_sweep_grid_end_to_end(self, capsys):
+        assert main(["sweep", "--grid", "dual_issue=true,false", "--traces", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "Design-space sweep" in out
+        assert "cortex-a7+dual_issue=false" in out
+
+
+class TestScenarioFailureIsolation:
+    """A crashing scenario must not silence the other reports."""
+
+    @pytest.fixture()
+    def crashing_scenario(self):
+        from repro.campaigns.registry import Scenario, _REGISTRY, register
+
+        def runner(_options):
+            raise RuntimeError("synthetic scenario failure")
+
+        register(
+            Scenario(
+                name="crash-test",
+                title="always fails",
+                description="test fixture",
+                runner=runner,
+            )
+        )
+        yield "crash-test"
+        _REGISTRY.pop("crash-test", None)
+
+    def test_json_emits_error_record_and_nonzero_exit(self, crashing_scenario, capsys):
+        assert main([crashing_scenario, "--format", "json"]) == 1
+        captured = capsys.readouterr()
+        reports = json.loads(captured.out)
+        assert len(reports) == 1
+        record = reports[0]
+        assert record["scenario"] == crashing_scenario
+        assert "synthetic scenario failure" in record["error"]
+        assert record["matches_paper"] is None
+        assert "synthetic scenario failure" in captured.err
+
+    def test_render_crash_also_becomes_an_error_record(self, capsys):
+        # run() succeeding but render()/to_json() raising must be
+        # isolated the same way as a runner crash.
+        from repro.campaigns.registry import Scenario, _REGISTRY, register
+
+        class BadResult:
+            def render(self):
+                raise ValueError("broken renderer")
+
+        register(
+            Scenario(
+                name="render-crash-test",
+                title="renders badly",
+                description="test fixture",
+                runner=lambda _options: BadResult(),
+            )
+        )
+        try:
+            assert main(["render-crash-test", "--format", "json"]) == 1
+            reports = json.loads(capsys.readouterr().out)
+            assert "broken renderer" in reports[0]["error"]
+        finally:
+            _REGISTRY.pop("render-crash-test", None)
+
+    def test_text_mode_reports_error_and_nonzero_exit(self, crashing_scenario, capsys):
+        assert main([crashing_scenario]) == 1
+        captured = capsys.readouterr()
+        assert "ERROR: RuntimeError: synthetic scenario failure" in captured.out
+
+    def test_all_keeps_reports_collected_before_the_crash(
+        self, crashing_scenario, capsys, monkeypatch
+    ):
+        # Shrink 'all' to a healthy scenario followed by the crasher:
+        # the healthy report must survive in the emitted JSON.
+        from repro.campaigns.registry import Scenario, _REGISTRY, register
+        from repro.campaigns import registry
+
+        register(
+            Scenario(
+                name="aaa-ok",
+                title="healthy",
+                description="test fixture",
+                runner=lambda _options: type(
+                    "R", (), {"render": lambda self: "healthy output"}
+                )(),
+            )
+        )
+        monkeypatch.setattr(registry, "names", lambda: ["aaa-ok", crashing_scenario])
+        try:
+            assert main(["all", "--format", "json"]) == 1
+            reports = json.loads(capsys.readouterr().out)
+            assert [r["scenario"] for r in reports] == ["aaa-ok", crashing_scenario]
+            assert reports[0]["output"] == "healthy output"
+            assert "error" in reports[1]
+        finally:
+            _REGISTRY.pop("aaa-ok", None)

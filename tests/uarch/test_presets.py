@@ -1,13 +1,17 @@
 """Pipeline presets and config overrides."""
 
+import pytest
+
 from repro.uarch.config import IssuePairing, PipelineConfig
 from repro.uarch.presets import (
+    PRESET_ORDER,
     PRESETS,
     cortex_a7,
     cortex_a7_no_remanence,
     cortex_a7_quiet_nop,
     cortex_a7_single_issue,
     cortex_a7_sliding_issue,
+    preset_configs,
 )
 
 
@@ -42,3 +46,82 @@ class TestPresets:
         derived = base.with_overrides(branch_penalty=7)
         assert derived.branch_penalty == 7
         assert base.branch_penalty == 3
+
+    def test_preset_configs_follow_the_paper_order(self):
+        configs = preset_configs()
+        assert [c.name for c in configs] == list(PRESET_ORDER)
+        assert set(PRESET_ORDER) == set(PRESETS)
+
+
+class TestOverrideNaming:
+    """Variants can no longer masquerade under the base preset's name."""
+
+    def test_derived_name_encodes_the_override(self):
+        derived = cortex_a7().with_overrides(dual_issue=False)
+        assert derived.name == "cortex-a7+dual_issue=false"
+
+    def test_multiple_overrides_sorted_deterministically(self):
+        a = cortex_a7().with_overrides(lsu_remanence=False, dual_issue=False)
+        b = cortex_a7().with_overrides(dual_issue=False, lsu_remanence=False)
+        assert a.name == b.name == "cortex-a7+dual_issue=false,lsu_remanence=false"
+
+    def test_enum_and_int_values_spelled_canonically(self):
+        derived = cortex_a7().with_overrides(
+            issue_pairing=IssuePairing.SLIDING, load_latency=4
+        )
+        assert derived.name == "cortex-a7+issue_pairing=sliding,load_latency=4"
+
+    def test_noop_override_keeps_the_name(self):
+        assert cortex_a7().with_overrides(dual_issue=True).name == "cortex-a7"
+        assert cortex_a7().with_overrides().name == "cortex-a7"
+
+    def test_explicit_name_wins(self):
+        derived = cortex_a7().with_overrides(dual_issue=False, name="my-core")
+        assert derived.name == "my-core"
+
+    def test_distinct_overrides_never_collide(self):
+        variants = [
+            cortex_a7().with_overrides(dual_issue=False),
+            cortex_a7().with_overrides(lsu_remanence=False),
+            cortex_a7().with_overrides(dual_issue=False, lsu_remanence=False),
+            cortex_a7().with_overrides(load_latency=2),
+        ]
+        names = [v.name for v in variants]
+        assert len(set(names)) == len(names)
+        assert "cortex-a7" not in names
+
+    def test_unknown_field_raises_type_error(self):
+        with pytest.raises(TypeError, match="unknown PipelineConfig field"):
+            cortex_a7().with_overrides(warp_drive=1)
+
+
+class TestLatencyFor:
+    def test_known_keys_return_their_latency(self):
+        config = cortex_a7()
+        assert config.latency_for("alu_latency") == config.alu_latency
+        assert config.latency_for("load_latency") == config.load_latency
+        for key in PipelineConfig.LATENCY_FIELDS:
+            assert isinstance(config.latency_for(key), int)
+
+    def test_unknown_key_raises_key_error_naming_options(self):
+        with pytest.raises(KeyError, match="valid keys"):
+            cortex_a7().latency_for("name")
+        with pytest.raises(KeyError):
+            cortex_a7().latency_for("branch_penalty")
+
+
+class TestIdentity:
+    def test_identity_excludes_only_the_name(self):
+        renamed = cortex_a7().with_overrides(name="other")
+        assert renamed.identity() == cortex_a7().identity()
+        assert (
+            cortex_a7().with_overrides(dual_issue=False).identity()
+            != cortex_a7().identity()
+        )
+
+    def test_overrides_from_recovers_the_diff(self):
+        derived = cortex_a7().with_overrides(dual_issue=False, load_latency=4)
+        assert derived.overrides_from(cortex_a7()) == {
+            "dual_issue": False,
+            "load_latency": 4,
+        }
