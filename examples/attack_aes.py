@@ -11,15 +11,16 @@ Part 3 reproduces Figure 4: the same AES as a userspace process on a
 fully loaded Linux box, attacked with the microarchitecture-aware
 HD(consecutive SubBytes stores) model from 100 averaged traces.
 
+Everything runs through the public ``repro.api`` façade: scenarios by
+name for the paper figures, ``Session.acquire`` for the custom
+key-recovery campaign.
+
 Run:  python examples/attack_aes.py
 """
 
-import numpy as np
-
+from repro.api import Session
 from repro.crypto.aes_asm import LAYOUT, round1_only_program
-from repro.experiments.figure3 import run_figure3
-from repro.experiments.figure4 import run_figure4
-from repro.power.acquisition import TraceCampaign, random_inputs
+from repro.power.acquisition import random_inputs
 from repro.power.scope import ScopeConfig
 from repro.sca.cpa import cpa_attack
 from repro.sca.models import hw_sbox_model
@@ -31,13 +32,8 @@ def full_key_recovery() -> None:
     print("\n== full key recovery (low-noise campaign, 800 traces) ==")
     program = round1_only_program(KEY)
     inputs = random_inputs(800, mem_blocks={LAYOUT.state: 16}, seed=11)
-    campaign = TraceCampaign(
-        program,
-        scope=ScopeConfig(noise_sigma=6.0, n_averages=16),
-        entry="aes_round1",
-        seed=12,
-    )
-    trace_set = campaign.acquire(inputs)
+    session = Session(scope=ScopeConfig(noise_sigma=6.0, n_averages=16), seed=12)
+    trace_set = session.acquire(program, inputs, entry="aes_round1")
     plaintexts = inputs.mem_bytes[LAYOUT.state]
     recovered = bytearray(16)
     for byte_index in range(16):
@@ -56,15 +52,23 @@ def full_key_recovery() -> None:
 
 
 def main() -> None:
+    session = Session()
+
     print("== Figure 3: bare-metal CPA, HW(SubBytes out) model ==\n")
-    figure3 = run_figure3(n_traces=3000, key=KEY)
+    figure3 = session.run("figure3", n_traces=3000)
     print(figure3.render())
 
     full_key_recovery()
 
     print("\n== Figure 4: loaded Linux, HD(consecutive stores) model ==\n")
-    figure4 = run_figure4(n_traces=100, key=KEY)
+    figure4 = session.run("figure4", n_traces=100)
     print(figure4.render())
+
+    print(
+        "\nenvelope verdicts: "
+        f"figure3 matches_paper={figure3.matches_paper}, "
+        f"figure4 matches_paper={figure4.matches_paper}"
+    )
 
 
 if __name__ == "__main__":

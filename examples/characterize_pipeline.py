@@ -4,29 +4,37 @@ Reproduces the paper's Table 1 (which instruction pairs dual-issue,
 measured through the GPIO/oscilloscope protocol with hazard controls)
 and Figure 2 (the pipeline structure deduced from those CPIs), then
 does the same for an ablated single-issue core to show the method
-discriminates.
+discriminates — all driven through the public ``repro.api`` façade: a
+session per modelled CPU, scenarios by name, uniform envelopes out.
 
 Run:  python examples/characterize_pipeline.py
 """
 
-from repro.experiments.figure2 import run_figure2
-from repro.experiments.table1 import run_table1
+from repro.api import Session
 from repro.uarch.presets import cortex_a7_single_issue
 
 
 def main() -> None:
+    session = Session()
     print("Measuring the CPI matrix (7x7 class pairs, hazard-free + RAW)...")
-    table1 = run_table1(reps=100, pad_nops=40)
+    table1 = session.run("table1", reps=100)
     print()
     print(table1.render())
 
     print("\n\nDeduce the pipeline structure from the CPIs (Figure 2):\n")
-    figure2 = run_figure2(matrix=table1.matrix)
+    # The envelope carries the rich result object: reuse table1's
+    # measured matrix instead of running the microbenchmarks again.
+    from repro.experiments.figure2 import run_figure2
+
+    figure2 = run_figure2(matrix=table1.result.matrix)
     print(figure2.render())
+    print(f"\nmatches the paper: {figure2.matches_paper}")
 
     print("\n\nControl: the same method applied to a single-issue core:\n")
-    scalarized = run_figure2(config=cortex_a7_single_issue(), reps=60)
+    scalar_session = Session(config=cortex_a7_single_issue())
+    scalarized = scalar_session.run("figure2", reps=60)
     print(scalarized.render())
+    print(f"\nmatches the paper: {scalarized.matches_paper} (by design: ablated core)")
 
 
 if __name__ == "__main__":

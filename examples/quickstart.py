@@ -13,10 +13,11 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
+from repro.api import Session
 from repro.isa.executor import run_program
 from repro.isa.parser import assemble
 from repro.isa.registers import Reg
-from repro.power.acquisition import TraceCampaign, random_inputs
+from repro.power.acquisition import random_inputs
 from repro.power.hamming import hamming_distance, hamming_weight
 from repro.power.scope import ScopeConfig
 from repro.sca.stats import pearson_corr, significance_threshold
@@ -51,12 +52,11 @@ def main() -> None:
         if event.component.startswith(("issue_", "wb_")):
             print(f"  {event}")
 
-    # Acquire 2000 synthetic traces with random r2, r3, r5, r6.
-    campaign = TraceCampaign(
-        program, scope=ScopeConfig(noise_sigma=8.0, kernel=(1.0,)), seed=1
-    )
+    # Acquire 2000 synthetic traces with random r2, r3, r5, r6 through
+    # the public API: the session owns the scope and the seed policy.
+    session = Session(scope=ScopeConfig(noise_sigma=8.0, kernel=(1.0,)), seed=1)
     inputs = random_inputs(2000, reg_names=(Reg.R2, Reg.R3, Reg.R5, Reg.R6), seed=2)
-    trace_set = campaign.acquire(inputs)
+    trace_set = session.acquire(program, inputs)
     print(f"\nacquired {trace_set.n_traces} traces x {trace_set.n_samples} samples")
 
     # Which of these models fits the measured power somewhere?

@@ -314,6 +314,35 @@ def bench_streamed(n_traces: int, chunk_size: int, jobs: int, repeats: int) -> d
     return out
 
 
+def bench_session_api(n_traces: int, repeats: int) -> dict:
+    """The public façade end to end: ``Session.run`` vs the raw driver.
+
+    Certifies the ``repro.api`` layer (request validation, capability
+    negotiation, envelope wrapping, JSON serialization) costs nothing
+    next to the campaign itself, and that the envelope the façade emits
+    is schema-valid.
+    """
+    import json as json_mod
+
+    from repro.api import Session, validate_envelope
+    from repro.experiments.figure3 import run_figure3
+
+    session = Session()
+    out = {"n_traces": n_traces}
+    out["facade"] = _measure(
+        lambda: session.run("figure3", n_traces=n_traces), repeats
+    )
+    out["direct"] = _measure(lambda: run_figure3(n_traces=n_traces), repeats)
+    out["overhead_pct"] = round(
+        100.0 * (out["facade"]["min_s"] / out["direct"]["min_s"] - 1.0), 2
+    )
+    envelope = session.run("figure3", n_traces=n_traces)
+    record = validate_envelope(envelope.to_json())
+    out["envelope_bytes"] = len(json_mod.dumps(record))
+    out["envelope_schema"] = record["schema"]
+    return out
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true", help="small sizes for CI")
@@ -349,6 +378,8 @@ def main(argv: list[str] | None = None) -> int:
     report["benchmarks"]["attack_curves"] = bench_attack_curves(
         args.smoke, max(1, repeats // 2)
     )
+    print(f"session façade overhead (n={n4}, repeats={repeats}) ...", flush=True)
+    report["benchmarks"]["session_api"] = bench_session_api(n4, repeats)
     if not args.no_streamed:
         chunk = max(100, n3 // 8)
         print(f"streamed figure3 (chunks of {chunk}, jobs={args.jobs}) ...", flush=True)
@@ -390,6 +421,15 @@ def main(argv: list[str] | None = None) -> int:
                 f"{exact['min_s']*1e3:.1f} ms -> {fast['min_s']*1e3:.1f} ms  "
                 f"{bench['speedup']:.2f}x "
                 f"({fast['traces_per_sec']:.0f} traces/s float32)"
+            )
+        elif name == "session_api":
+            print(
+                f"\nsession_api (n={bench['n_traces']}): facade "
+                f"{bench['facade']['min_s']*1e3:.1f} ms vs direct "
+                f"{bench['direct']['min_s']*1e3:.1f} ms "
+                f"({bench['overhead_pct']:+.2f}% overhead, "
+                f"envelope {bench['envelope_bytes']} B, "
+                f"schema {bench['envelope_schema']})"
             )
         elif name == "attack_curves":
             print(

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Deprecation gate: the repo's own code must not use the legacy API.
+
+``RunOptions`` (and the ``supports_*`` Scenario booleans) exist only as
+one-release compatibility shims for downstream code; everything under
+``src/`` must be ported to ``repro.api.RunRequest`` / capability sets.
+This gate fails CI when a reference sneaks back in outside the shim
+sites themselves.
+
+Usage:  python scripts/check_legacy_imports.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: The only src files allowed to mention the legacy names: the shim
+#: definition site and the converter.
+ALLOWED = {
+    Path("src/repro/campaigns/registry.py"),
+    Path("src/repro/campaigns/__init__.py"),
+    Path("src/repro/api/request.py"),
+}
+
+LEGACY = re.compile(r"\bRunOptions\b|\bsupports_(?:chunking|jobs|precision|grid)\b")
+
+
+def violations(root: Path) -> list[str]:
+    found = []
+    for path in sorted((root / "src").rglob("*.py")):
+        relative = path.relative_to(root)
+        if relative in ALLOWED:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            if LEGACY.search(line):
+                found.append(f"{relative}:{lineno}: {line.strip()}")
+    return found
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
+    found = violations(root)
+    if found:
+        print("legacy RunOptions/supports_* references outside the shim sites:")
+        for line in found:
+            print(f"  {line}")
+        print("port these to repro.api.RunRequest / Capability sets.")
+        return 1
+    print("deprecation gate clean: no legacy API references in src/.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

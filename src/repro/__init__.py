@@ -11,6 +11,7 @@ environment model, and a microarchitecture-aware leakage auditor.
 
 Start with the subpackage that matches your question:
 
+* "drive it programmatically (stable API)"       -> :mod:`repro.api`
 * "what does this code do to the pipeline?"      -> :mod:`repro.uarch`
 * "what would its power traces look like?"       -> :mod:`repro.power`
 * "can I attack it / is it leaking?"             -> :mod:`repro.sca`
@@ -22,6 +23,7 @@ Start with the subpackage that matches your question:
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "audit",
     "crypto",
     "experiments",

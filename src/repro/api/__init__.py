@@ -1,0 +1,81 @@
+"""``repro.api`` — the stable public surface of the reproduction.
+
+Everything external code needs lives here: the :class:`Session` façade
+over the scenario registry and streaming engine, the typed
+:class:`RunRequest` with capability negotiation, and the uniform,
+schema-versioned result :class:`Envelope`.
+
+Quickstart::
+
+    from repro.api import Session
+
+    session = Session()
+    envelope = session.run("figure3", n_traces=2000)
+    print(envelope.render())
+    assert envelope.matches_paper
+
+Anything importable from ``repro.api`` is covered by the API-surface
+lock test (``tests/api/test_surface.py``); internals under other
+modules may change freely between releases.  Attribute access is lazy
+(PEP 562) so import-light consumers — shell completion, the CLI parser
+— do not pull numpy until a scenario actually runs.
+"""
+
+from typing import Any
+
+__all__ = [
+    "Capability",
+    "CapabilityError",
+    "ENVELOPE_SCHEMA",
+    "Envelope",
+    "EnvelopeSchemaError",
+    "ResultEnvelope",
+    "RunRequest",
+    "Scenario",
+    "Session",
+    "run",
+    "scenario_names",
+    "scenarios",
+    "validate_envelope",
+]
+
+_EXPORTS = {
+    "Capability": "repro.api.capabilities",
+    "CapabilityError": "repro.api.capabilities",
+    "ENVELOPE_SCHEMA": "repro.api.envelope",
+    "Envelope": "repro.api.envelope",
+    "EnvelopeSchemaError": "repro.api.envelope",
+    "ResultEnvelope": "repro.api.envelope",
+    "RunRequest": "repro.api.request",
+    "Scenario": "repro.campaigns.registry",
+    "Session": "repro.api.session",
+    "run": "repro.api.session",
+    "validate_envelope": "repro.api.envelope",
+}
+
+
+def scenario_names() -> list[str]:
+    """Registered + builtin scenario names, with no import side effects."""
+    from repro.campaigns.registry import known_names
+
+    return known_names()
+
+
+def scenarios() -> list:
+    """Every registered scenario (imports the experiment drivers)."""
+    from repro.campaigns import registry
+
+    return list(registry.scenarios())
+
+
+def __getattr__(name: str) -> Any:
+    import importlib
+
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

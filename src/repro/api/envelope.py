@@ -1,0 +1,183 @@
+"""The uniform result envelope every API run returns.
+
+Scenario runners return rich, scenario-specific result objects; the
+:class:`~repro.api.session.Session` wraps each in an :class:`Envelope`
+with one uniform surface:
+
+* ``render()`` — the human-readable report (delegates to the result);
+* ``to_json()`` — a machine-readable record under the versioned
+  :data:`ENVELOPE_SCHEMA`, checked by :func:`validate_envelope`;
+* ``artifacts()`` — named numpy arrays (curves, matrices) for
+  programmatic consumers;
+* ``matches_paper`` — the tri-state paper verdict (``None`` when the
+  scenario has no paper-shape check).
+
+Scenario results themselves implement the same :class:`ResultEnvelope`
+protocol (their ``to_json()`` is the scenario-specific ``data`` payload
+of the outer envelope), so both layers are interchangeable to callers
+that only need the protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol, runtime_checkable
+
+#: The published envelope schema identifier.  Bump the trailing version
+#: on any backwards-incompatible change to the JSON layout; the
+#: API-surface lock test pins it.
+ENVELOPE_SCHEMA = "repro.envelope/1"
+
+#: Keys every successful envelope record carries.
+_REQUIRED_KEYS = ("schema", "scenario", "title", "seconds", "matches_paper", "output")
+
+
+@runtime_checkable
+class ResultEnvelope(Protocol):
+    """What every scenario result (and the Envelope itself) exposes."""
+
+    @property
+    def matches_paper(self) -> bool | None: ...
+
+    def render(self) -> str: ...
+
+    def to_json(self) -> dict: ...
+
+    def artifacts(self) -> dict: ...
+
+
+class EnvelopeSchemaError(ValueError):
+    """A JSON record does not conform to :data:`ENVELOPE_SCHEMA`."""
+
+    def __init__(self, problems: list[str]):
+        self.problems = list(problems)
+        super().__init__("; ".join(self.problems))
+
+
+@dataclass
+class Envelope:
+    """A completed scenario run: the result plus uniform accessors."""
+
+    scenario: str
+    title: str
+    result: Any
+    seconds: float
+    request: Any = None
+    error: str | None = None
+    #: capability tags of the producing scenario, for provenance
+    tags: tuple[str, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def failure(cls, scenario: str, title: str, seconds: float, error: str) -> "Envelope":
+        return cls(
+            scenario=scenario, title=title, result=None, seconds=seconds, error=error
+        )
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def matches_paper(self) -> bool | None:
+        if self.result is None:
+            return None
+        verdict = getattr(self.result, "matches_paper", None)
+        return bool(verdict) if verdict is not None else None
+
+    def render(self) -> str:
+        if not self.ok:
+            return f"ERROR: {self.error}"
+        return self.result.render()
+
+    def payload(self) -> Any:
+        """The scenario-specific ``data`` payload, if the result has one."""
+        to_json = getattr(self.result, "to_json", None)
+        return to_json() if callable(to_json) else None
+
+    def artifacts(self) -> dict:
+        """Named numpy arrays of the run (empty for artifact-less results)."""
+        artifacts = getattr(self.result, "artifacts", None)
+        return artifacts() if callable(artifacts) else {}
+
+    def to_json(self) -> dict:
+        """The schema-versioned record (validates by construction)."""
+        record: dict[str, Any] = {
+            "schema": ENVELOPE_SCHEMA,
+            "scenario": self.scenario,
+            "title": self.title,
+            "seconds": round(self.seconds, 3),
+            "matches_paper": self.matches_paper,
+        }
+        if not self.ok:
+            record["output"] = None
+            record["error"] = str(self.error)
+            return record
+        record["output"] = self.render()
+        data = self.payload()
+        if data is not None:
+            record["data"] = data
+        arrays = self.artifacts()
+        if arrays:
+            record["artifacts"] = {
+                name: {"dtype": str(array.dtype), "shape": list(array.shape)}
+                for name, array in arrays.items()
+            }
+        return record
+
+
+def validate_envelope(record: Any) -> dict:
+    """Check one JSON record against :data:`ENVELOPE_SCHEMA`.
+
+    Returns the record on success so validation chains; raises
+    :class:`EnvelopeSchemaError` naming every violation otherwise.
+    """
+    problems: list[str] = []
+    if not isinstance(record, dict):
+        raise EnvelopeSchemaError([f"envelope must be a dict, got {type(record).__name__}"])
+    for key in _REQUIRED_KEYS:
+        if key not in record:
+            problems.append(f"missing required key {key!r}")
+    if record.get("schema") != ENVELOPE_SCHEMA:
+        problems.append(
+            f"schema must be {ENVELOPE_SCHEMA!r}, got {record.get('schema')!r}"
+        )
+    for key in ("scenario", "title"):
+        if key in record and not isinstance(record[key], str):
+            problems.append(f"{key!r} must be a string")
+    seconds = record.get("seconds")
+    if "seconds" in record and (
+        not isinstance(seconds, (int, float)) or isinstance(seconds, bool) or seconds < 0
+    ):
+        problems.append("'seconds' must be a non-negative number")
+    matches = record.get("matches_paper")
+    if "matches_paper" in record and matches is not None and not isinstance(matches, bool):
+        problems.append("'matches_paper' must be a bool or null")
+    output, error = record.get("output"), record.get("error")
+    if "error" in record:
+        if not isinstance(error, str):
+            problems.append("'error' must be a string")
+        if output is not None:
+            problems.append("an error record must carry 'output': null")
+    elif "output" in record and not isinstance(output, str):
+        problems.append("'output' must be a string on a successful record")
+    if "data" in record and not isinstance(record["data"], (dict, list)):
+        problems.append("'data' must be a JSON object or array")
+    artifacts = record.get("artifacts")
+    if "artifacts" in record:
+        if not isinstance(artifacts, dict):
+            problems.append("'artifacts' must be a dict")
+        else:
+            for name, spec in artifacts.items():
+                if (
+                    not isinstance(spec, dict)
+                    or not isinstance(spec.get("dtype"), str)
+                    or not isinstance(spec.get("shape"), list)
+                    or not all(isinstance(dim, int) for dim in spec.get("shape", []))
+                ):
+                    problems.append(
+                        f"artifact {name!r} must carry a 'dtype' string and "
+                        "an integer 'shape' list"
+                    )
+    if problems:
+        raise EnvelopeSchemaError(problems)
+    return record

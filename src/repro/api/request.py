@@ -1,0 +1,160 @@
+"""Typed run requests, validated against scenario capabilities.
+
+A :class:`RunRequest` carries every execution knob a caller may set for
+one scenario run.  Unlike the legacy ``RunOptions`` (whose knobs were
+silently ignored by scenarios that did not implement them), a request
+is *validated* against the target scenario's declared
+:class:`~repro.api.capabilities.Capability` set before dispatch, and
+per-scenario defaulting (trace budgets, microbenchmark repetitions)
+happens in exactly one place — :meth:`RunRequest.resolve`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import TYPE_CHECKING, Any
+
+from repro.api.capabilities import Capability, CapabilityError, KNOB_CAPABILITIES
+
+if TYPE_CHECKING:  # registry imports this module lazily; avoid the cycle
+    from repro.campaigns.registry import Scenario
+
+#: Accepted values of the ``precision`` knob.
+PRECISIONS = ("float64-exact", "float32")
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """Execution knobs for one scenario run.
+
+    Every field defaults to "unset"; :meth:`resolve` fills scenario
+    defaults.  ``jobs`` is requested as a count (``None`` or ``1`` both
+    mean single-process and do not require the JOBS capability).
+    """
+
+    n_traces: int | None = None
+    reps: int | None = None
+    chunk_size: int | None = None
+    jobs: int | None = None
+    seed: int | None = None
+    precision: str | None = None
+    grid: tuple[str, ...] | None = None
+    #: a PipelineConfig override (API-only; no CLI flag)
+    config: Any = None
+    #: a ScopeConfig override (API-only; no CLI flag)
+    scope: Any = None
+
+    def __post_init__(self) -> None:
+        if self.n_traces is not None and self.n_traces <= 0:
+            raise ValueError(f"n_traces must be positive, got {self.n_traces}")
+        if self.reps is not None and self.reps <= 0:
+            raise ValueError(f"reps must be positive, got {self.reps}")
+        if self.chunk_size is not None and self.chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {self.chunk_size}")
+        if self.jobs is not None and self.jobs < 1:
+            raise ValueError(f"jobs must be at least 1, got {self.jobs}")
+        if self.seed is not None and self.seed < 0:
+            raise ValueError(f"seed must be non-negative, got {self.seed}")
+        if self.precision is not None and self.precision not in PRECISIONS:
+            raise ValueError(
+                f"precision must be one of {PRECISIONS}, got {self.precision!r}"
+            )
+        if self.grid is not None and not isinstance(self.grid, tuple):
+            object.__setattr__(self, "grid", tuple(self.grid))
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_options(cls, options: Any) -> "RunRequest":
+        """Convert a legacy ``RunOptions`` (duck-typed) to a request."""
+        jobs = getattr(options, "jobs", None)
+        grid = getattr(options, "grid", None)
+        return cls(
+            n_traces=getattr(options, "n_traces", None),
+            reps=getattr(options, "reps", None),
+            chunk_size=getattr(options, "chunk_size", None),
+            jobs=None if jobs in (None, 1) else jobs,
+            seed=getattr(options, "seed", None),
+            precision=getattr(options, "precision", None),
+            grid=tuple(grid) if grid else None,
+        )
+
+    def merged_defaults(self, defaults: "RunRequest") -> "RunRequest":
+        """This request, with unset knobs filled from ``defaults``."""
+        updates = {
+            field.name: getattr(defaults, field.name)
+            for field in fields(self)
+            if getattr(self, field.name) is None
+            and getattr(defaults, field.name) is not None
+        }
+        return replace(self, **updates) if updates else self
+
+    # -- capability negotiation ----------------------------------------
+
+    def requested_knobs(self) -> tuple[str, ...]:
+        """The knob names this request actually sets."""
+        knobs = []
+        for name in KNOB_CAPABILITIES:
+            value = getattr(self, name)
+            if name == "jobs":
+                if value is not None and value > 1:
+                    knobs.append(name)
+            elif value is not None:
+                knobs.append(name)
+        return tuple(knobs)
+
+    def validate(self, scenario: "Scenario") -> None:
+        """Raise :class:`CapabilityError` on any unsupported knob."""
+        unsupported = [
+            knob
+            for knob in self.requested_knobs()
+            if KNOB_CAPABILITIES[knob] not in scenario.capabilities
+        ]
+        if unsupported:
+            raise CapabilityError(scenario.name, unsupported, scenario.capabilities)
+
+    def narrowed_to(self, scenario: "Scenario") -> tuple["RunRequest", tuple[str, ...]]:
+        """Drop unsupported knobs; return (narrowed request, dropped knobs).
+
+        The lenient counterpart of :meth:`validate`, for batch drivers
+        (``repro all``) where one knob set fans out over scenarios with
+        different capabilities.
+        """
+        dropped = tuple(
+            knob
+            for knob in self.requested_knobs()
+            if KNOB_CAPABILITIES[knob] not in scenario.capabilities
+        )
+        if not dropped:
+            return self, dropped
+        return replace(self, **{knob: None for knob in dropped}), dropped
+
+    def resolve(self, scenario: "Scenario") -> "RunRequest":
+        """Validate against ``scenario`` and fill its defaults.
+
+        The single place per-scenario defaulting lives: the trace budget
+        comes from ``scenario.default_traces``, the repetition count
+        from ``scenario.default_reps`` (only for scenarios with the REPS
+        capability — trace-only scenarios resolve ``reps=None`` rather
+        than inheriting a meaningless global default), and ``jobs``
+        resolves to 1.
+        """
+        self.validate(scenario)
+        return self.fill_defaults(scenario)
+
+    def fill_defaults(self, scenario: "Scenario") -> "RunRequest":
+        """The defaulting half of :meth:`resolve`, without validation.
+
+        The legacy ``RunOptions`` shim uses this directly: the old API
+        forwarded already-set knobs unconditionally, so validating them
+        against capabilities would change one-release-compatibility
+        behavior.
+        """
+        updates: dict[str, Any] = {}
+        if self.n_traces is None and scenario.default_traces is not None:
+            updates["n_traces"] = scenario.default_traces
+        if self.reps is None and Capability.REPS in scenario.capabilities:
+            updates["reps"] = scenario.default_reps
+        if self.jobs is None:
+            updates["jobs"] = 1
+        return replace(self, **updates) if updates else self

@@ -1,0 +1,195 @@
+"""The :class:`Session` façade: one stable entry point for every consumer.
+
+A session owns the modelling context (a
+:class:`~repro.uarch.config.PipelineConfig` /
+:class:`~repro.power.scope.ScopeConfig` pair) plus engine policy
+(chunking, jobs, precision, seed) and dispatches validated
+:class:`~repro.api.request.RunRequest` objects at registered scenarios::
+
+    from repro.api import Session
+
+    session = Session(chunk_size=500, jobs=4)
+    envelope = session.run("figure3", n_traces=2000)
+    print(envelope.render())
+    record = envelope.to_json()          # schema: repro.envelope/1
+
+Knobs passed to :meth:`Session.run` are *demands* — a scenario that
+cannot honor one raises :class:`~repro.api.capabilities.CapabilityError`.
+Session-level policy is a *default* — it applies to scenarios that
+support it and is silently skipped elsewhere, so one session can drive
+scenarios with different capability sets.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterable
+
+from repro.api.envelope import Envelope
+from repro.api.request import RunRequest
+
+
+class Session:
+    """A configured connection to the scenario registry and the engine."""
+
+    def __init__(
+        self,
+        config: Any = None,
+        scope: Any = None,
+        *,
+        chunk_size: int | None = None,
+        jobs: int | None = None,
+        precision: str | None = None,
+        seed: int | None = None,
+    ):
+        #: session policy, merged (where supported) into every request
+        self.defaults = RunRequest(
+            chunk_size=chunk_size,
+            jobs=jobs,
+            seed=seed,
+            precision=precision,
+            config=config,
+            scope=scope,
+        )
+
+    # -- registry access ------------------------------------------------
+
+    def scenarios(self) -> list:
+        """Every registered scenario, in name order."""
+        from repro.campaigns import registry
+
+        return list(registry.scenarios())
+
+    def scenario(self, name: str):
+        from repro.campaigns import registry
+
+        return registry.get(name)
+
+    def capabilities(self, name: str) -> frozenset:
+        """The declared capability set of one scenario."""
+        return self.scenario(name).capabilities
+
+    # -- running scenarios ---------------------------------------------
+
+    def request(self, **knobs: Any) -> RunRequest:
+        """Build a request from per-call knobs (session policy excluded)."""
+        return RunRequest(**knobs)
+
+    def run(self, name: str, request: RunRequest | None = None, **knobs: Any) -> Envelope:
+        """Run one scenario through a capability-validated request.
+
+        Pass either a prebuilt ``request`` or keyword knobs
+        (``n_traces=...``, ``reps=...``, ``grid=...``, ...), not both.
+        Explicit knobs validate strictly against the scenario's
+        capabilities; session-level defaults apply only where supported.
+        Returns an :class:`Envelope`; runner exceptions propagate (batch
+        drivers that need isolation catch them and build
+        ``Envelope.failure`` records).
+        """
+        if request is not None and knobs:
+            raise TypeError("pass either a RunRequest or keyword knobs, not both")
+        scenario = self.scenario(name)
+        request = request if request is not None else RunRequest(**knobs)
+        request.validate(scenario)
+        # Session policy is a default, not a demand: apply only the
+        # knobs this scenario can honor.
+        applicable, _dropped = self.defaults.narrowed_to(scenario)
+        resolved = request.merged_defaults(applicable).resolve(scenario)
+        start = time.perf_counter()
+        result = scenario.runner(resolved)
+        seconds = time.perf_counter() - start
+        return Envelope(
+            scenario=scenario.name,
+            title=scenario.title,
+            result=result,
+            seconds=seconds,
+            request=resolved,
+            tags=scenario.tags,
+        )
+
+    def run_all(self, names: Iterable[str] | None = None, **knobs: Any) -> list[Envelope]:
+        """Run several scenarios, isolating failures per scenario.
+
+        Knobs narrow per scenario (batch semantics); a crashing scenario
+        contributes an ``Envelope.failure`` record instead of aborting
+        the batch.
+        """
+        from repro.campaigns import registry
+
+        chosen = list(names) if names is not None else registry.names()
+        request = RunRequest(**knobs)
+        envelopes = []
+        for name in chosen:
+            scenario = self.scenario(name)
+            narrowed, _dropped = request.narrowed_to(scenario)
+            start = time.perf_counter()
+            try:
+                envelopes.append(self.run(name, narrowed))
+            except Exception as error:  # noqa: BLE001 - per-scenario isolation
+                envelopes.append(
+                    Envelope.failure(
+                        scenario=name,
+                        title=scenario.title,
+                        seconds=time.perf_counter() - start,
+                        error=f"{type(error).__name__}: {error}",
+                    )
+                )
+        return envelopes
+
+    def sweep(self, grid: Iterable[str] | str | None = None, **knobs: Any) -> Envelope:
+        """Run the design-space sweep scenario over ``grid`` axes."""
+        if isinstance(grid, str):
+            grid = (grid,)
+        return self.run("sweep", grid=tuple(grid) if grid is not None else None, **knobs)
+
+    # -- raw acquisition ------------------------------------------------
+
+    def acquire(
+        self,
+        program: Any,
+        inputs: Any,
+        *,
+        entry: str | None = None,
+        window_cycles: tuple[int, int] | None = None,
+        seed: int | None = None,
+        keep_power: bool = False,
+    ):
+        """Acquire one campaign on the session's pipeline and scope.
+
+        A thin veneer over the streaming engine for callers that want
+        traces rather than a scenario: honors the session's ``config``,
+        ``scope``, ``precision``, ``chunk_size``, ``jobs`` and ``seed``
+        policy.
+        """
+        import dataclasses
+
+        from repro.campaigns.engine import StreamingCampaign
+
+        defaults = self.defaults
+        scope = defaults.scope
+        if defaults.precision is not None:
+            from repro.power.scope import ScopeConfig
+
+            scope = dataclasses.replace(
+                scope if scope is not None else ScopeConfig(),
+                precision=defaults.precision,
+            )
+        if seed is None:
+            seed = defaults.seed if defaults.seed is not None else 0xC0FFEE
+        engine = StreamingCampaign(
+            program,
+            config=defaults.config,
+            scope=scope,
+            entry=entry,
+            window_cycles=window_cycles,
+            seed=seed,
+            keep_power=keep_power,
+            chunk_size=defaults.chunk_size,
+            jobs=defaults.jobs or 1,
+        )
+        return engine.acquire(inputs)
+
+
+def run(name: str, **knobs: Any) -> Envelope:
+    """One-shot convenience: ``Session().run(name, **knobs)``."""
+    return Session().run(name, **knobs)

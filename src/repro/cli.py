@@ -1,9 +1,10 @@
-"""Command-line interface: run any registered scenario from a shell.
+"""Command-line interface: a thin shell client of :mod:`repro.api`.
 
-The CLI is a thin front-end over the scenario registry
-(:mod:`repro.campaigns.registry`): every table/figure reproduction and
-every future workload registers a :class:`~repro.campaigns.registry.Scenario`,
-and the CLI enumerates them — there is no per-experiment wiring here.
+The CLI only parses arguments into a
+:class:`~repro.api.request.RunRequest`, dispatches it through a
+:class:`~repro.api.session.Session`, and prints the returned
+:class:`~repro.api.envelope.Envelope` — there is no per-experiment
+wiring and no scenario-specific logic here.
 
 Usage::
 
@@ -16,13 +17,12 @@ Flags:
 
 ``--traces N``
     Trace-budget override for statistical scenarios (each scenario has
-    its own default; timing-only scenarios ignore it).
+    its own default).
 ``--reps N``
     Microbenchmark repetitions for the CPI scenarios (table1, figure2).
 ``--chunk-size N``
     Stream the campaign through the engine in chunks of ``N`` traces
-    (constant memory); scenarios that need the whole matrix resident
-    ignore it.  Default: one monolithic chunk.
+    (constant memory).  Default: one monolithic chunk.
 ``--jobs N``
     Fan chunks out over ``N`` worker processes (requires ``fork``).
 ``--seed N``
@@ -37,10 +37,16 @@ Flags:
     (``--grid noise-floor``).  See ``docs/sweeps.md``.
 ``--format json|text``
     ``text`` (default) prints each scenario's rendered report;
-    ``json`` emits a machine-readable array with name, wall time,
-    ``matches_paper`` verdict and the rendered output.  A scenario
-    that crashes contributes an error record instead of silencing the
+    ``json`` emits an array of schema-versioned result envelopes
+    (``repro.envelope/1``, see ``docs/api.md``).  A scenario that
+    crashes contributes an error envelope instead of silencing the
     reports collected before it; the exit status stays non-zero.
+
+A knob the chosen scenario cannot honor is a hard usage error (exit
+status 2) — the scenario's declared capabilities decide, not a
+hand-maintained flag table.  Only ``all`` narrows the knob set per
+scenario (with a note on stderr), since one flag set fans out over
+scenarios with different capabilities.
 """
 
 from __future__ import annotations
@@ -69,7 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--traces", type=int, default=None, help="trace count override (statistical experiments)"
     )
     parser.add_argument(
-        "--reps", type=int, default=200, help="microbenchmark repetitions (CPI experiments)"
+        "--reps", type=int, default=None, help="microbenchmark repetitions (CPI experiments)"
     )
     parser.add_argument(
         "--chunk-size",
@@ -80,7 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--jobs",
         type=int,
-        default=1,
+        default=None,
         help="worker processes for chunk fan-out (with --chunk-size)",
     )
     parser.add_argument(
@@ -111,104 +117,79 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_request(parser: argparse.ArgumentParser, args: argparse.Namespace):
+    from repro.api import RunRequest
+
+    try:
+        return RunRequest(
+            n_traces=args.traces,
+            reps=args.reps,
+            chunk_size=args.chunk_size,
+            jobs=args.jobs,
+            seed=args.seed,
+            precision=args.precision,
+            grid=tuple(args.grid) if args.grid else None,
+        )
+    except ValueError as error:
+        parser.error(str(error))
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.traces is not None and args.traces <= 0:
-        parser.error(f"--traces must be positive, got {args.traces}")
-    if args.chunk_size is not None and args.chunk_size <= 0:
-        parser.error(f"--chunk-size must be positive, got {args.chunk_size}")
-    if args.jobs < 1:
-        parser.error(f"--jobs must be at least 1, got {args.jobs}")
-    if args.seed is not None and args.seed < 0:
-        parser.error(f"--seed must be non-negative, got {args.seed}")
-    from repro.campaigns import registry
-    from repro.campaigns.registry import RunOptions
+    request = _build_request(parser, args)
 
-    chosen = registry.names() if args.experiment == "all" else [args.experiment]
-    options = RunOptions(
-        n_traces=args.traces,
-        reps=args.reps,
-        chunk_size=args.chunk_size,
-        jobs=args.jobs,
-        seed=args.seed,
-        precision=args.precision,
-        grid=tuple(args.grid) if args.grid else None,
-    )
-    reports = []
+    from repro.api import CapabilityError, Envelope, Session
+    from repro.api.capabilities import KNOB_FLAGS
+    from repro.campaigns import registry
+
+    session = Session()
+    run_all = args.experiment == "all"
+    chosen = registry.names() if run_all else [args.experiment]
+    if not run_all:
+        try:
+            request.validate(registry.get(args.experiment))
+        except CapabilityError as error:
+            parser.error(error.cli_message())
+
+    records = []
     failures = 0
     for name in chosen:
         scenario = registry.get(name)
-        if options.chunk_size is not None and not scenario.supports_chunking:
-            print(
-                f"note: {name} does not support --chunk-size; running its"
-                " standard (monolithic) path",
-                file=sys.stderr,
-            )
-        if options.jobs > 1 and not scenario.supports_jobs:
-            print(
-                f"note: {name} does not support --jobs; running single-process",
-                file=sys.stderr,
-            )
-        if options.precision is not None and not scenario.supports_precision:
-            print(
-                f"note: {name} does not support --precision; running its"
-                " standard chain",
-                file=sys.stderr,
-            )
-        if options.grid is not None and not scenario.supports_grid:
-            print(
-                f"note: {name} does not support --grid; ignoring it",
-                file=sys.stderr,
-            )
+        scenario_request = request
+        if run_all:
+            scenario_request, dropped = request.narrowed_to(scenario)
+            for knob in dropped:
+                print(
+                    f"note: {name} does not support {KNOB_FLAGS[knob]}; ignoring it",
+                    file=sys.stderr,
+                )
         start = time.time()
         try:
-            result = scenario.run(options)
-            rendered = result.render()
-            matches = getattr(result, "matches_paper", None)
-            data_fn = getattr(result, "to_json", None)
-            data = data_fn() if callable(data_fn) else None
+            envelope = session.run(name, scenario_request)
+            record = envelope.to_json()
         except Exception as error:  # noqa: BLE001 - isolate per scenario
             # One crashing scenario must not lose every report collected
             # before it (historically --format json buffered everything
             # and the traceback replaced the output entirely).
             failures += 1
-            elapsed = time.time() - start
             message = f"{type(error).__name__}: {error}"
-            if args.format == "json":
-                reports.append(
-                    {
-                        "scenario": name,
-                        "title": scenario.title,
-                        "seconds": round(elapsed, 3),
-                        "matches_paper": None,
-                        "error": message,
-                    }
-                )
-            else:
-                print(f"==== {name} ({elapsed:.1f}s) ====")
-                print(f"ERROR: {message}")
-                print()
+            envelope = Envelope.failure(
+                scenario=name,
+                title=scenario.title,
+                seconds=time.time() - start,
+                error=message,
+            )
+            record = envelope.to_json()
             print(f"error: scenario {name} failed: {message}", file=sys.stderr)
-            continue
-        elapsed = time.time() - start
         if args.format == "json":
-            report = {
-                "scenario": name,
-                "title": scenario.title,
-                "seconds": round(elapsed, 3),
-                "matches_paper": matches,
-                "output": rendered,
-            }
-            if data is not None:
-                report["data"] = data
-            reports.append(report)
+            records.append(record)
         else:
-            print(f"==== {name} ({elapsed:.1f}s) ====")
-            print(rendered)
+            print(f"==== {name} ({envelope.seconds:.1f}s) ====")
+            print(envelope.render())
             print()
     if args.format == "json":
-        print(json.dumps(reports, indent=2))
+        print(json.dumps(records, indent=2))
     return 1 if failures else 0
 
 

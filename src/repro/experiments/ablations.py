@@ -34,7 +34,9 @@ import numpy as np
 
 from repro.campaigns.accumulators import BudgetSplitter, OnlineCorrAccumulator
 from repro.campaigns.engine import StreamingCampaign
-from repro.campaigns.registry import RunOptions, Scenario, register
+from repro.api.capabilities import Capability
+from repro.api.request import RunRequest
+from repro.campaigns.registry import Scenario, register
 from repro.isa.parser import assemble
 from repro.isa.registers import Reg
 from repro.power.acquisition import BatchInputs
@@ -552,6 +554,27 @@ class _AblationSuite:
     def matches_paper(self) -> bool:
         return all(result.demonstrated for result in self.results)
 
+    def to_json(self) -> dict:
+        payload = {
+            "contrasts": [
+                {
+                    "name": result.name,
+                    "claim": result.claim,
+                    "corr_with": round(result.corr_with, 6),
+                    "corr_without": round(result.corr_without, 6),
+                    "threshold": round(result.threshold, 6),
+                    "demonstrated": result.demonstrated,
+                }
+                for result in self.results
+            ],
+        }
+        if self.preset_sweep is not None:
+            payload["preset_sweep"] = self.preset_sweep.to_json()
+        return payload
+
+    def artifacts(self) -> dict:
+        return {}
+
     def render(self) -> str:
         text = "\n\n".join(result.render() for result in self.results)
         if self.preset_sweep is not None:
@@ -559,21 +582,20 @@ class _AblationSuite:
         return text
 
 
-def _scenario_runner(options: RunOptions) -> _AblationSuite:
-    n_traces = options.n_traces or 2000
+def _scenario_runner(request: RunRequest) -> _AblationSuite:
     return _AblationSuite(
         run_all_ablations(
-            n_traces=n_traces,
-            chunk_size=options.chunk_size,
-            jobs=options.jobs,
-            precision=options.precision,
+            n_traces=request.n_traces,
+            chunk_size=request.chunk_size,
+            jobs=request.jobs,
+            precision=request.precision,
         ),
         preset_sweep=run_preset_ablations(
-            n_traces=n_traces,
-            chunk_size=options.chunk_size,
-            jobs=options.jobs,
-            precision=options.precision,
-            **({} if options.seed is None else {"seed": options.seed}),
+            n_traces=request.n_traces,
+            chunk_size=request.chunk_size,
+            jobs=request.jobs,
+            precision=request.precision,
+            **({} if request.seed is None else {"seed": request.seed}),
         ),
     )
 
@@ -588,9 +610,15 @@ SCENARIO = register(
         ),
         runner=_scenario_runner,
         default_traces=2000,
-        supports_chunking=True,
-        supports_jobs=True,
-        supports_precision=True,
+        capabilities=frozenset(
+            {
+                Capability.TRACES,
+                Capability.SEED,
+                Capability.CHUNKING,
+                Capability.JOBS,
+                Capability.PRECISION,
+            }
+        ),
         tags=("ablation",),
     )
 )

@@ -27,7 +27,9 @@ import numpy as np
 from repro.audit.auditor import MicroarchAuditor
 from repro.campaigns.accumulators import OnlineCorrAccumulator
 from repro.campaigns.engine import StreamingCampaign
-from repro.campaigns.registry import RunOptions, Scenario, register
+from repro.api.capabilities import Capability
+from repro.api.request import RunRequest
+from repro.campaigns.registry import Scenario, register
 from repro.isa.parser import assemble
 from repro.isa.registers import Reg
 from repro.isa.values import ValueKind
@@ -81,6 +83,32 @@ class BaselineComparison:
     @property
     def microarch_errors(self) -> int:
         return sum(not case.microarch_correct for case in self.cases)
+
+    @property
+    def matches_paper(self) -> bool:
+        # The paper's claim: the microarchitecture-aware model predicts
+        # every case the per-instruction model gets wrong.
+        return self.microarch_errors == 0 and self.isa_level_errors > 0
+
+    def to_json(self) -> dict:
+        return {
+            "isa_level_errors": self.isa_level_errors,
+            "microarch_errors": self.microarch_errors,
+            "cases": [
+                {
+                    "name": case.name,
+                    "isa_level_predicts_leak": case.isa_level_predicts_leak,
+                    "microarch_predicts_leak": case.microarch_predicts_leak,
+                    "measured_leak": case.measured_leak,
+                    "peak_corr": round(case.peak_corr, 6),
+                    "threshold": round(case.threshold, 6),
+                }
+                for case in self.cases
+            ],
+        }
+
+    def artifacts(self) -> dict:
+        return {}
 
     def render(self) -> str:
         parts = [case.render() for case in self.cases]
@@ -218,12 +246,12 @@ def run_baseline_comparison(
     return BaselineComparison(cases=cases)
 
 
-def _scenario_runner(options: RunOptions) -> BaselineComparison:
-    kwargs = {} if options.seed is None else {"seed": options.seed}
+def _scenario_runner(request: RunRequest) -> BaselineComparison:
+    kwargs = {} if request.seed is None else {"seed": request.seed}
     return run_baseline_comparison(
-        n_traces=options.n_traces or 2000,
-        chunk_size=options.chunk_size,
-        jobs=options.jobs,
+        n_traces=request.n_traces,
+        chunk_size=request.chunk_size,
+        jobs=request.jobs,
         **kwargs,
     )
 
@@ -238,8 +266,14 @@ SCENARIO = register(
         ),
         runner=_scenario_runner,
         default_traces=2000,
-        supports_chunking=True,
-        supports_jobs=True,
+        capabilities=frozenset(
+            {
+                Capability.TRACES,
+                Capability.SEED,
+                Capability.CHUNKING,
+                Capability.JOBS,
+            }
+        ),
         tags=("comparison",),
     )
 )

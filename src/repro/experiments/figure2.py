@@ -26,6 +26,20 @@ class Figure2Result:
     def matches_paper(self) -> bool:
         return not self.disagreements
 
+    def to_json(self) -> dict:
+        return {
+            "inferred": {
+                f.name: getattr(self.inferred, f.name) for f in fields(InferredPipeline)
+            },
+            "expected": {
+                f.name: getattr(self.expected, f.name) for f in fields(InferredPipeline)
+            },
+            "disagreements": list(self.disagreements),
+        }
+
+    def artifacts(self) -> dict:
+        return {}
+
     def render(self) -> str:
         parts = [self.inferred.describe()]
         if self.matches_paper:
@@ -59,11 +73,12 @@ def run_figure2(
     )
 
 
-def _scenario_runner(options):
-    return run_figure2(reps=options.reps)
+def _scenario_runner(request):
+    return run_figure2(reps=request.reps, config=request.config)
 
 
 def _register_scenario():
+    from repro.api.capabilities import Capability
     from repro.campaigns.registry import Scenario, register
 
     register(
@@ -76,6 +91,7 @@ def _register_scenario():
             ),
             runner=_scenario_runner,
             default_traces=None,
+            capabilities=frozenset({Capability.REPS, Capability.PIPELINE_CONFIG}),
             tags=("cpi",),
         )
     )

@@ -25,9 +25,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api.capabilities import Capability
+from repro.api.request import RunRequest
 from repro.campaigns.accumulators import CpaAccumulator
 from repro.campaigns.engine import StreamingCampaign
-from repro.campaigns.registry import RunOptions, Scenario, register
+from repro.campaigns.registry import Scenario, register
 from repro.crypto.aes_asm import LAYOUT, round1_only_program
 from repro.experiments.reporting import ascii_plot, render_table, samples_to_microseconds
 from repro.power.acquisition import TraceSet, random_inputs
@@ -70,6 +72,22 @@ class Figure3Result:
     @property
     def matches_paper(self) -> bool:
         return all(self.checks.values())
+
+    def to_json(self) -> dict:
+        return {
+            "true_key_byte": self.true_key_byte,
+            "byte_index": self.byte_index,
+            "n_traces": self.n_traces,
+            "rank_of_true_key": self.cpa.rank_of(self.true_key_byte),
+            "peak_abs_corr": float(np.max(np.abs(self.timecourse))),
+            "segment_peaks": {
+                name: self.segment_peak(name) for name in self.segments
+            },
+            "checks": dict(self.checks),
+        }
+
+    def artifacts(self) -> dict:
+        return {"timecourse": self.timecourse}
 
     def segment_peak(self, name: str) -> float:
         lo, hi = self.segments[name]
@@ -211,13 +229,17 @@ def run_figure3(
     return result
 
 
-def _scenario_runner(options: RunOptions) -> Figure3Result:
-    kwargs = {} if options.seed is None else {"seed": options.seed}
+def _scenario_runner(request: RunRequest) -> Figure3Result:
+    kwargs = {} if request.seed is None else {"seed": request.seed}
+    if request.config is not None:
+        kwargs["config"] = request.config
+    if request.scope is not None:
+        kwargs["scope"] = request.scope
     return run_figure3(
-        n_traces=options.n_traces or 3000,
-        chunk_size=options.chunk_size,
-        jobs=options.jobs,
-        precision=options.precision,
+        n_traces=request.n_traces,
+        chunk_size=request.chunk_size,
+        jobs=request.jobs,
+        precision=request.precision,
         **kwargs,
     )
 
@@ -232,9 +254,17 @@ SCENARIO = register(
         ),
         runner=_scenario_runner,
         default_traces=3000,
-        supports_chunking=True,
-        supports_jobs=True,
-        supports_precision=True,
+        capabilities=frozenset(
+            {
+                Capability.TRACES,
+                Capability.SEED,
+                Capability.CHUNKING,
+                Capability.JOBS,
+                Capability.PRECISION,
+                Capability.PIPELINE_CONFIG,
+                Capability.SCOPE,
+            }
+        ),
         tags=("cpa", "bare-metal"),
     )
 )

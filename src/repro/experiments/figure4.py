@@ -31,9 +31,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api.capabilities import Capability
+from repro.api.request import RunRequest
 from repro.campaigns.accumulators import CpaAccumulator, CpaBudgetSnapshots
 from repro.campaigns.engine import StreamingCampaign
-from repro.campaigns.registry import RunOptions, Scenario, register
+from repro.campaigns.registry import Scenario, register
 from repro.crypto.aes_asm import LAYOUT, aes128_program
 from repro.experiments.reporting import ascii_plot, render_table
 from repro.os_sim.environment import Environment, bare_metal, loaded_linux
@@ -80,6 +82,26 @@ class Figure4Result:
     @property
     def matches_paper(self) -> bool:
         return all(self.checks.values())
+
+    def to_json(self) -> dict:
+        return {
+            "true_pair": list(self.true_pair),
+            "byte_index": self.byte_index,
+            "n_traces": self.n_traces,
+            "peak_loaded": self.peak_loaded,
+            "peak_bare": self.peak_bare,
+            "margin_confidence": self.margin_confidence,
+            "no_averaging_rank": self.no_averaging_rank,
+            "margin_curve": (
+                {str(budget): value for budget, value in sorted(self.margin_curve.items())}
+                if self.margin_curve
+                else None
+            ),
+            "checks": dict(self.checks),
+        }
+
+    def artifacts(self) -> dict:
+        return {"timecourse": self.cpa.timecourse(self.true_pair[1])}
 
     def render(self) -> str:
         curve = self.cpa.timecourse(self.true_pair[1])
@@ -323,13 +345,15 @@ def run_figure4(
     return result
 
 
-def _scenario_runner(options: RunOptions) -> Figure4Result:
-    kwargs = {} if options.seed is None else {"seed": options.seed}
+def _scenario_runner(request: RunRequest) -> Figure4Result:
+    kwargs = {} if request.seed is None else {"seed": request.seed}
+    if request.config is not None:
+        kwargs["config"] = request.config
     return run_figure4(
-        n_traces=options.n_traces or 100,
-        chunk_size=options.chunk_size,
-        jobs=options.jobs,
-        precision=options.precision,
+        n_traces=request.n_traces,
+        chunk_size=request.chunk_size,
+        jobs=request.jobs,
+        precision=request.precision,
         **kwargs,
     )
 
@@ -345,9 +369,16 @@ SCENARIO = register(
         ),
         runner=_scenario_runner,
         default_traces=100,
-        supports_chunking=True,
-        supports_jobs=True,
-        supports_precision=True,
+        capabilities=frozenset(
+            {
+                Capability.TRACES,
+                Capability.SEED,
+                Capability.CHUNKING,
+                Capability.JOBS,
+                Capability.PRECISION,
+                Capability.PIPELINE_CONFIG,
+            }
+        ),
         tags=("cpa", "os"),
     )
 )

@@ -43,6 +43,38 @@ class Table1Result:
     def matches_paper(self) -> bool:
         return not self.mismatches
 
+    def to_json(self) -> dict:
+        return {
+            "nop_cpi": round(self.matrix.nop_cpi, 4),
+            "mismatches": [list(pair) for pair in self.mismatches],
+            "cells": [
+                {
+                    "older": older,
+                    "younger": younger,
+                    "cpi_free": round(measurement.cpi, 4),
+                    "cpi_hazard": (
+                        round(self.matrix.hazard[(older, younger)].cpi, 4)
+                        if (older, younger) in self.matrix.hazard
+                        else None
+                    ),
+                    "dual_measured": measurement.dual_issued,
+                    "dual_paper": PAPER_TABLE1[(older, younger)],
+                }
+                for (older, younger), measurement in sorted(self.matrix.free.items())
+            ],
+        }
+
+    def artifacts(self) -> dict:
+        import numpy as np
+
+        cpi = np.array(
+            [
+                [self.matrix.free[(older, younger)].cpi for younger in TABLE1_COLUMNS]
+                for older in TABLE1_ORDER
+            ]
+        )
+        return {"cpi_free": cpi}
+
     def render(self) -> str:
         parts = [
             render_check_matrix(
@@ -96,11 +128,12 @@ def run_table1(
     return Table1Result(matrix=matrix, measured=measured, mismatches=sorted(mismatches))
 
 
-def _scenario_runner(options):
-    return run_table1(reps=options.reps)
+def _scenario_runner(request):
+    return run_table1(reps=request.reps, config=request.config)
 
 
 def _register_scenario():
+    from repro.api.capabilities import Capability
     from repro.campaigns.registry import Scenario, register
 
     register(
@@ -113,6 +146,7 @@ def _register_scenario():
             ),
             runner=_scenario_runner,
             default_traces=None,
+            capabilities=frozenset({Capability.REPS, Capability.PIPELINE_CONFIG}),
             tags=("cpi",),
         )
     )

@@ -37,7 +37,9 @@ import numpy as np
 
 from repro.campaigns.accumulators import OnlineCorrAccumulator
 from repro.campaigns.engine import StreamingCampaign
-from repro.campaigns.registry import RunOptions, Scenario, register
+from repro.api.capabilities import Capability
+from repro.api.request import RunRequest
+from repro.campaigns.registry import Scenario, register
 from repro.experiments.reporting import render_table
 from repro.isa.parser import assemble
 from repro.isa.registers import Reg
@@ -385,6 +387,36 @@ class Table2Result:
     def matches_paper(self) -> bool:
         return all(b.agrees for b in self.benchmarks)
 
+    def to_json(self) -> dict:
+        return {
+            "n_traces": self.n_traces,
+            "shift_magnitude_ratio": self.shift_magnitude_ratio,
+            "disagreements": self.disagreements(),
+            "benchmarks": [
+                {
+                    "name": bench.spec.name,
+                    "dual_measured": bench.dual_measured,
+                    "dual_expected": bench.spec.dual_expected,
+                    "cells": [
+                        {
+                            "component": outcome.spec.column,
+                            "model": outcome.spec.label,
+                            "peak_corr": round(outcome.peak_corr, 6),
+                            "threshold": round(outcome.threshold, 6),
+                            "expected": outcome.spec.expect,
+                            "measured": outcome.measured,
+                            "agrees": outcome.agrees,
+                        }
+                        for outcome in bench.outcomes
+                    ],
+                }
+                for bench in self.benchmarks
+            ],
+        }
+
+    def artifacts(self) -> dict:
+        return {}
+
     def disagreements(self) -> list[str]:
         out = []
         for bench in self.benchmarks:
@@ -586,12 +618,14 @@ def run_table2(
     return Table2Result(benchmarks=outcomes, n_traces=n_traces, shift_magnitude_ratio=ratio)
 
 
-def _scenario_runner(options: RunOptions) -> Table2Result:
-    kwargs = {} if options.seed is None else {"seed": options.seed}
+def _scenario_runner(request: RunRequest) -> Table2Result:
+    kwargs = {} if request.seed is None else {"seed": request.seed}
+    if request.config is not None:
+        kwargs["config"] = request.config
     return run_table2(
-        n_traces=options.n_traces or 3000,
-        chunk_size=options.chunk_size,
-        jobs=options.jobs,
+        n_traces=request.n_traces,
+        chunk_size=request.chunk_size,
+        jobs=request.jobs,
         **kwargs,
     )
 
@@ -606,8 +640,15 @@ SCENARIO = register(
         ),
         runner=_scenario_runner,
         default_traces=3000,
-        supports_chunking=True,
-        supports_jobs=True,
+        capabilities=frozenset(
+            {
+                Capability.TRACES,
+                Capability.SEED,
+                Capability.CHUNKING,
+                Capability.JOBS,
+                Capability.PIPELINE_CONFIG,
+            }
+        ),
         tags=("characterization",),
     )
 )

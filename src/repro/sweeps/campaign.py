@@ -136,6 +136,11 @@ class SweepResult:
     seed: int
 
     @property
+    def matches_paper(self) -> None:
+        """Sweeps explore beyond the paper; there is no paper shape to check."""
+        return None
+
+    @property
     def baseline(self) -> SweepPointResult | None:
         for result in self.points:
             if result.is_baseline:
@@ -239,6 +244,14 @@ class SweepResult:
             f"wall time {self.seconds:.1f}s, seed {self.seed:#x}"
         )
         return "\n".join(parts)
+
+    def artifacts(self) -> dict:
+        ranked = self.ranked()
+        return {
+            "final_max_t": np.array([r.metrics.final.max_t for r in ranked]),
+            "final_cpa_margin": np.array([r.metrics.final.cpa_margin for r in ranked]),
+            "final_peak_snr": np.array([r.metrics.final.peak_snr for r in ranked]),
+        }
 
     def to_json(self) -> dict:
         return {

@@ -1,7 +1,7 @@
-"""The ``sweep`` scenario: design-space grid campaigns from the CLI.
+"""The ``sweep`` scenario: design-space grid campaigns from the API/CLI.
 
 Registered like every experiment driver; the runner resolves the grid
-from ``RunOptions.grid`` (``--grid key=val[,val...]`` arguments, or a
+from ``RunRequest.grid`` (``--grid key=val[,val...]`` arguments, or a
 curated grid name passed as a single ``--grid`` token) and defaults to
 the curated ``sweep-ablations`` grid — the paper's five presets as the
 degenerate sweep.
@@ -9,7 +9,9 @@ degenerate sweep.
 
 from __future__ import annotations
 
-from repro.campaigns.registry import RunOptions, Scenario, register
+from repro.api.capabilities import Capability
+from repro.api.request import RunRequest
+from repro.campaigns.registry import Scenario, register
 from repro.sweeps.campaign import SweepCampaign, SweepResult
 from repro.sweeps.grids import CURATED, curated_spec
 from repro.sweeps.spec import SweepSpec
@@ -27,18 +29,19 @@ def resolve_spec(grid_args) -> SweepSpec:
     return SweepSpec.from_cli(grid_args)
 
 
-def run_sweep(options: RunOptions) -> SweepResult:
-    spec = resolve_spec(options.grid)
-    n_traces = options.n_traces or DEFAULT_TRACES
+def run_sweep(request: RunRequest) -> SweepResult:
+    spec = resolve_spec(request.grid)
+    n_traces = request.n_traces or DEFAULT_TRACES
     budgets = (n_traces // 2, n_traces) if n_traces >= 64 else (n_traces,)
     campaign = SweepCampaign(
         spec,
         n_traces=n_traces,
         budgets=budgets,
-        chunk_size=options.chunk_size,
-        jobs=options.jobs,
-        seed=options.seed if options.seed is not None else 0x5EEB,
-        precision=options.precision,
+        base_scope=request.scope,
+        chunk_size=request.chunk_size,
+        jobs=request.jobs or 1,
+        seed=request.seed if request.seed is not None else 0x5EEB,
+        precision=request.precision,
     )
     return campaign.run()
 
@@ -55,10 +58,17 @@ SCENARIO = register(
         ),
         runner=run_sweep,
         default_traces=DEFAULT_TRACES,
-        supports_chunking=True,
-        supports_jobs=True,
-        supports_precision=True,
-        supports_grid=True,
+        capabilities=frozenset(
+            {
+                Capability.TRACES,
+                Capability.SEED,
+                Capability.CHUNKING,
+                Capability.JOBS,
+                Capability.PRECISION,
+                Capability.GRID,
+                Capability.SCOPE,
+            }
+        ),
         tags=("sweep", "design-space"),
     )
 )

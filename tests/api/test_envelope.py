@@ -1,0 +1,109 @@
+"""Envelope construction and schema validation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ENVELOPE_SCHEMA,
+    Envelope,
+    EnvelopeSchemaError,
+    ResultEnvelope,
+    validate_envelope,
+)
+
+
+class FakeResult:
+    matches_paper = True
+
+    def render(self):
+        return "rendered report"
+
+    def to_json(self):
+        return {"value": 42}
+
+    def artifacts(self):
+        return {"curve": np.arange(4, dtype=np.float64)}
+
+
+class BareResult:
+    """Minimum contract: render() only (legacy third-party results)."""
+
+    def render(self):
+        return "bare"
+
+
+def envelope(result=None, **overrides):
+    fields = dict(
+        scenario="fake", title="Fake scenario", result=result or FakeResult(), seconds=0.25
+    )
+    fields.update(overrides)
+    return Envelope(**fields)
+
+
+class TestEnvelope:
+    def test_protocol_conformance(self):
+        assert isinstance(envelope(), ResultEnvelope)
+        assert isinstance(FakeResult(), ResultEnvelope)
+
+    def test_to_json_is_schema_valid_and_serializable(self):
+        record = envelope().to_json()
+        assert validate_envelope(record) is record
+        assert record["schema"] == ENVELOPE_SCHEMA
+        assert record["data"] == {"value": 42}
+        assert record["artifacts"] == {"curve": {"dtype": "float64", "shape": [4]}}
+        json.dumps(record)  # round-trips through the json module
+
+    def test_bare_result_still_envelopes(self):
+        record = envelope(result=BareResult()).to_json()
+        validate_envelope(record)
+        assert record["output"] == "bare"
+        assert record["matches_paper"] is None
+        assert "data" not in record
+        assert "artifacts" not in record
+
+    def test_failure_envelope(self):
+        failed = Envelope.failure("fake", "Fake scenario", 0.1, "RuntimeError: boom")
+        assert not failed.ok
+        assert failed.matches_paper is None
+        assert failed.render() == "ERROR: RuntimeError: boom"
+        record = failed.to_json()
+        validate_envelope(record)
+        assert record["error"] == "RuntimeError: boom"
+        assert record["output"] is None
+
+
+class TestValidator:
+    def test_rejects_non_dict(self):
+        with pytest.raises(EnvelopeSchemaError, match="dict"):
+            validate_envelope([1, 2])
+
+    def test_rejects_wrong_schema(self):
+        record = envelope().to_json()
+        record["schema"] = "repro.envelope/999"
+        with pytest.raises(EnvelopeSchemaError, match="schema"):
+            validate_envelope(record)
+
+    def test_rejects_missing_keys(self):
+        record = envelope().to_json()
+        del record["matches_paper"]
+        with pytest.raises(EnvelopeSchemaError, match="matches_paper"):
+            validate_envelope(record)
+
+    def test_rejects_bad_matches_paper(self):
+        record = envelope().to_json()
+        record["matches_paper"] = "yes"
+        with pytest.raises(EnvelopeSchemaError, match="matches_paper"):
+            validate_envelope(record)
+
+    def test_rejects_bad_artifacts(self):
+        record = envelope().to_json()
+        record["artifacts"] = {"curve": {"dtype": 3, "shape": "nope"}}
+        with pytest.raises(EnvelopeSchemaError, match="curve"):
+            validate_envelope(record)
+
+    def test_reports_every_problem(self):
+        with pytest.raises(EnvelopeSchemaError) as excinfo:
+            validate_envelope({"schema": "nope", "seconds": -1})
+        assert len(excinfo.value.problems) >= 3

@@ -1,0 +1,15 @@
+"""The deprecation gate runs as part of tier-1, not only in CI."""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def test_no_legacy_api_references_in_src():
+    sys.path.insert(0, str(REPO_ROOT / "scripts"))
+    try:
+        from check_legacy_imports import violations
+    finally:
+        sys.path.pop(0)
+    assert violations(REPO_ROOT) == []

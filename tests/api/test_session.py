@@ -1,0 +1,145 @@
+"""Session façade: every registered scenario round-trips to a valid envelope."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    CapabilityError,
+    Envelope,
+    RunRequest,
+    Session,
+    validate_envelope,
+)
+from repro.campaigns import registry
+
+#: Tiny per-scenario budgets: the round-trip must be cheap — envelope
+#: shape is under test, not statistical power.
+TINY_BUDGETS = {
+    "ablations": {"n_traces": 96},
+    "baselines": {"n_traces": 96},
+    "figure2": {"reps": 10},
+    "figure3": {"n_traces": 64},
+    "figure4": {"n_traces": 24},
+    "success-curves": {"n_traces": 100},
+    "sweep": {"n_traces": 96, "grid": ("dual_issue=true,false",)},
+    "table1": {"reps": 5},
+    "table2": {"n_traces": 160},
+}
+
+
+def test_budget_table_covers_the_whole_registry():
+    """A newly registered builtin must be added to the round-trip."""
+    assert sorted(TINY_BUDGETS) == registry.names()
+
+
+@pytest.mark.parametrize("name", sorted(TINY_BUDGETS))
+def test_every_scenario_roundtrips_to_a_schema_valid_envelope(name):
+    envelope = Session().run(name, **TINY_BUDGETS[name])
+    assert isinstance(envelope, Envelope)
+    assert envelope.ok
+    assert envelope.scenario == name
+    assert envelope.render()
+    record = envelope.to_json()
+    assert validate_envelope(record) is record
+    json.dumps(record)  # the payloads must be plain-JSON serializable
+    # Every builtin result carries the full ResultEnvelope protocol.
+    assert callable(envelope.result.to_json)
+    assert callable(envelope.result.artifacts)
+    assert isinstance(envelope.artifacts(), dict)
+
+
+class TestSessionPolicy:
+    def test_explicit_knob_beats_session_default(self):
+        session = Session(seed=1)
+        envelope = session.run("figure3", n_traces=64, seed=9)
+        assert envelope.request.seed == 9
+
+    def test_session_defaults_apply_where_supported(self):
+        session = Session(chunk_size=32, seed=5)
+        envelope = session.run("figure3", n_traces=64)
+        assert envelope.request.chunk_size == 32
+        assert envelope.request.seed == 5
+
+    def test_session_defaults_skip_unsupported_scenarios(self):
+        # figure2 supports neither chunking nor seeding: the session
+        # policy must not break it (policy is a default, not a demand).
+        session = Session(chunk_size=32, seed=5, precision="float32")
+        envelope = session.run("figure2", reps=10)
+        assert envelope.ok
+        assert envelope.request.chunk_size is None
+
+    def test_explicit_unsupported_knob_is_an_error(self):
+        with pytest.raises(CapabilityError, match="chunk_size"):
+            Session().run("figure2", reps=10, chunk_size=32)
+
+    def test_session_config_reaches_config_scenarios(self):
+        from repro.uarch.presets import cortex_a7_single_issue
+
+        session = Session(config=cortex_a7_single_issue())
+        envelope = session.run("figure2", reps=10)
+        # The single-issue control must disagree with the paper's
+        # dual-issue Figure 2 — proof the config was honored.
+        assert envelope.matches_paper is False
+
+    def test_request_object_and_knobs_are_exclusive(self):
+        with pytest.raises(TypeError):
+            Session().run("figure2", RunRequest(reps=5), reps=5)
+
+    def test_run_all_isolates_failures(self, monkeypatch):
+        from repro.campaigns.registry import Scenario, _REGISTRY, register
+
+        def boom(_request):
+            raise RuntimeError("kaboom")
+
+        register(Scenario(name="_api-crash", title="t", description="d", runner=boom))
+        monkeypatch.setattr(registry, "names", lambda: ["figure2", "_api-crash"])
+        try:
+            envelopes = Session().run_all(reps=10)
+        finally:
+            _REGISTRY.pop("_api-crash", None)
+        assert [envelope.ok for envelope in envelopes] == [True, False]
+        assert "kaboom" in envelopes[1].error
+        validate_envelope(envelopes[1].to_json())
+
+
+class TestAcquire:
+    def test_acquire_uses_session_scope_and_chunking(self):
+        from repro.isa.parser import assemble
+        from repro.power.acquisition import random_inputs
+        from repro.power.scope import ScopeConfig
+        from repro.isa.registers import Reg
+
+        program = assemble("add r1, r2, r3\nbx lr")
+        inputs = random_inputs(40, reg_names=(Reg.R2, Reg.R3), seed=7)
+        session = Session(
+            scope=ScopeConfig(noise_sigma=1.0, kernel=(1.0,)), chunk_size=16, seed=3
+        )
+        trace_set = session.acquire(program, inputs)
+        assert trace_set.n_traces == 40
+
+    def test_acquire_honors_seed_zero_and_precision(self):
+        import numpy as np
+
+        from repro.isa.parser import assemble
+        from repro.isa.registers import Reg
+        from repro.power.acquisition import random_inputs
+        from repro.power.scope import ScopeConfig
+
+        program = assemble("add r1, r2, r3\nbx lr")
+        inputs = random_inputs(16, reg_names=(Reg.R2, Reg.R3), seed=7)
+        scope = ScopeConfig(noise_sigma=1.0, kernel=(1.0,))
+        # seed=0 is a valid seed, not "unset": it must differ from the
+        # engine's 0xC0FFEE fallback.
+        zero = Session(scope=scope, seed=0).acquire(program, inputs)
+        fallback = Session(scope=scope).acquire(program, inputs)
+        assert not np.array_equal(zero.traces, fallback.traces)
+        # Session precision policy reaches the capture chain.
+        fast = Session(scope=scope, precision="float32").acquire(program, inputs)
+        assert fast.traces.dtype == np.float32
+
+    def test_sweep_facade_runs_the_grid(self):
+        envelope = Session().sweep(grid="dual_issue=true,false", n_traces=96)
+        assert envelope.scenario == "sweep"
+        names = [point["point"] for point in envelope.payload()["points"]]
+        assert any("dual_issue=false" in name for name in names)

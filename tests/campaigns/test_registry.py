@@ -2,8 +2,9 @@
 
 import pytest
 
+from repro.api import Capability, CapabilityError, RunRequest
 from repro.campaigns import registry
-from repro.campaigns.registry import RunOptions, Scenario, register
+from repro.campaigns.registry import Scenario, register
 
 
 class TestBuiltins:
@@ -27,11 +28,15 @@ class TestBuiltins:
             assert scenario.description
             assert callable(scenario.runner)
 
-    def test_streaming_support_flags(self):
-        assert registry.get("figure3").supports_chunking
-        assert registry.get("figure3").supports_jobs
-        assert not registry.get("success-curves").supports_chunking
+    def test_declared_capabilities(self):
+        assert registry.get("figure3").has(Capability.CHUNKING)
+        assert registry.get("figure3").has(Capability.JOBS)
+        assert not registry.get("success-curves").has(Capability.CHUNKING)
+        assert registry.get("sweep").has(Capability.GRID)
+        assert not registry.get("figure3").has(Capability.GRID)
         assert registry.get("table1").default_traces is None
+        assert registry.get("table1").has(Capability.REPS)
+        assert not registry.get("table1").has(Capability.TRACES)
 
     def test_unknown_scenario_raises_with_candidates(self):
         with pytest.raises(KeyError, match="figure3"):
@@ -56,8 +61,8 @@ class TestCustomScenario:
             def render(self):
                 return "custom ok"
 
-        def runner(options: RunOptions):
-            calls.append(options)
+        def runner(request: RunRequest):
+            calls.append(request)
             return _Result()
 
         scenario = register(
@@ -66,22 +71,156 @@ class TestCustomScenario:
                 title="test scenario",
                 description="registered by the test suite",
                 runner=runner,
+                default_traces=40,
+                capabilities=frozenset(
+                    {Capability.TRACES, Capability.CHUNKING, Capability.JOBS}
+                ),
             )
         )
         try:
             assert registry.get("_test-custom") is scenario
             result = registry.run(
-                "_test-custom", RunOptions(n_traces=5, chunk_size=2, jobs=2)
+                "_test-custom", RunRequest(n_traces=5, chunk_size=2, jobs=2)
             )
             assert result.render() == "custom ok"
             assert calls[0].n_traces == 5
             assert calls[0].chunk_size == 2
+            assert calls[0].jobs == 2
         finally:
             registry._REGISTRY.pop("_test-custom", None)
 
-    def test_default_options(self):
-        options = RunOptions()
-        assert options.n_traces is None
-        assert options.chunk_size is None
-        assert options.jobs == 1
-        assert options.seed is None
+    def test_run_none_resolves_scenario_defaults(self):
+        """Scenario.run(None) must resolve per-scenario defaults through
+        RunRequest.resolve — not a global RunOptions() default."""
+        calls = []
+        register(
+            Scenario(
+                name="_test-defaults",
+                title="t",
+                description="d",
+                runner=calls.append,
+                default_traces=123,
+                capabilities=frozenset({Capability.TRACES}),
+            )
+        )
+        try:
+            registry.run("_test-defaults")
+            (request,) = calls
+            assert request.n_traces == 123
+            assert request.jobs == 1
+            # A trace-only scenario has no REPS capability: it must not
+            # inherit the legacy global reps=200 default.
+            assert request.reps is None
+        finally:
+            registry._REGISTRY.pop("_test-defaults", None)
+
+    def test_strict_request_rejects_unsupported_knob(self):
+        register(
+            Scenario(
+                name="_test-strict",
+                title="t",
+                description="d",
+                runner=lambda request: request,
+                capabilities=frozenset(),
+            )
+        )
+        try:
+            with pytest.raises(CapabilityError, match="chunk_size"):
+                registry.run("_test-strict", RunRequest(chunk_size=8))
+        finally:
+            registry._REGISTRY.pop("_test-strict", None)
+
+
+class TestLegacyShims:
+    def test_run_options_import_warns(self):
+        with pytest.warns(DeprecationWarning, match="RunRequest"):
+            from repro.campaigns.registry import RunOptions  # noqa: F401
+
+    def test_run_options_still_runs_leniently(self):
+        """Legacy RunOptions keeps the historical semantics for one
+        release: unsupported knobs are dropped, not an error."""
+        calls = []
+        register(
+            Scenario(
+                name="_test-legacy",
+                title="t",
+                description="d",
+                runner=calls.append,
+                default_traces=10,
+                capabilities=frozenset({Capability.TRACES}),
+            )
+        )
+        try:
+            with pytest.warns(DeprecationWarning):
+                from repro.campaigns.registry import RunOptions
+            registry.run("_test-legacy", RunOptions(n_traces=7, jobs=4, chunk_size=2))
+            (request,) = calls
+            assert request.n_traces == 7
+            assert request.chunk_size is None  # dropped, as the old CLI did
+            assert request.jobs == 1
+            # The old API forwarded reps unconditionally (default 200).
+            assert request.reps == 200
+        finally:
+            registry._REGISTRY.pop("_test-legacy", None)
+
+    def test_run_options_forwards_traces_reps_seed_unconditionally(self):
+        """A pre-capability registration (no supports_* booleans, no
+        capability set) must still receive n_traces/reps/seed — the old
+        runner contract forwarded them for every scenario."""
+        calls = []
+        register(
+            Scenario(
+                name="_test-legacy-bare",
+                title="t",
+                description="d",
+                runner=calls.append,
+                default_traces=1000,
+            )
+        )
+        try:
+            with pytest.warns(DeprecationWarning):
+                from repro.campaigns.registry import RunOptions
+            registry.run(
+                "_test-legacy-bare", RunOptions(n_traces=500, reps=300, seed=3)
+            )
+            (request,) = calls
+            assert request.n_traces == 500
+            assert request.reps == 300
+            assert request.seed == 3
+        finally:
+            registry._REGISTRY.pop("_test-legacy-bare", None)
+
+    def test_bare_legacy_registration_backfills_traces_and_seed(self):
+        """A pre-capability Scenario(..., default_traces=N) with no
+        supports_* booleans and no capability set must still accept
+        n_traces/seed through the strict API path."""
+        scenario = Scenario(
+            name="_test-bare",
+            title="t",
+            description="d",
+            runner=lambda request: request,
+            default_traces=1000,
+        )
+        assert scenario.capabilities == frozenset(
+            {Capability.TRACES, Capability.SEED}
+        )
+        RunRequest(n_traces=5, seed=1).validate(scenario)
+
+    def test_supports_booleans_map_to_capabilities(self):
+        with pytest.warns(DeprecationWarning, match="supports_"):
+            scenario = Scenario(
+                name="_test-supports",
+                title="t",
+                description="d",
+                runner=lambda request: request,
+                default_traces=100,
+                supports_chunking=True,
+                supports_jobs=True,
+            )
+        assert scenario.has(Capability.CHUNKING)
+        assert scenario.has(Capability.JOBS)
+        assert not scenario.has(Capability.GRID)
+        # Legacy declarations predate TRACES/SEED: a scenario with a
+        # trace budget always accepted both.
+        assert scenario.has(Capability.TRACES)
+        assert scenario.has(Capability.SEED)

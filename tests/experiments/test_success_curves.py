@@ -62,12 +62,13 @@ class TestOptions:
 
 
 def test_scenario_runner_forwards_precision():
-    from repro.campaigns.registry import RunOptions, get
+    from repro.api import Capability, RunRequest
+    from repro.campaigns.registry import get
 
     scenario = get("success-curves")
-    assert scenario.supports_precision
+    assert scenario.has(Capability.PRECISION)
     result = scenario.run(
-        RunOptions(n_traces=200, precision="float32", seed=0x5CC5)
+        RunRequest(n_traces=200, precision="float32", seed=0x5CC5)
     )
     # 200-trace campaign: budgets above n_campaign collapse onto it.
     assert max(result.hw_model) == 200

@@ -87,6 +87,15 @@ class TestExecution:
         assert isinstance(report["matches_paper"], bool)
         assert report["seconds"] >= 0
 
+    def test_json_records_are_schema_valid_envelopes(self, capsys):
+        from repro.api import ENVELOPE_SCHEMA, validate_envelope
+
+        assert main(["figure2", "--reps", "40", "--format", "json"]) == 0
+        reports = json.loads(capsys.readouterr().out)
+        for report in reports:
+            assert validate_envelope(report) is report
+            assert report["schema"] == ENVELOPE_SCHEMA
+
     def test_chunked_run_through_the_engine(self, capsys):
         assert main(["table2", "--traces", "400", "--chunk-size", "150"]) == 0
         assert "Table 2 (reproduced)" in capsys.readouterr().out
@@ -96,6 +105,46 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "Design-space sweep" in out
         assert "cortex-a7+dual_issue=false" in out
+
+
+class TestCapabilityErrors:
+    """Knobs a scenario cannot honor are hard usage errors (exit 2)."""
+
+    @pytest.mark.parametrize(
+        ("argv", "flag"),
+        (
+            (["figure2", "--grid", "dual_issue=true,false"], "--grid"),
+            (["figure2", "--precision", "float32"], "--precision"),
+            (["figure2", "--chunk-size", "100"], "--chunk-size"),
+            (["figure2", "--jobs", "4"], "--jobs"),
+            (["table1", "--traces", "500"], "--traces"),
+            (["figure3", "--reps", "50"], "--reps"),
+            (["success-curves", "--chunk-size", "64"], "--chunk-size"),
+        ),
+    )
+    def test_unsupported_knob_exits_2_with_message(self, argv, flag, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert f"does not support {flag}" in err
+        assert argv[0] in err
+        assert "declared capabilities" in err
+
+    def test_jobs_1_is_not_a_demand(self, capsys):
+        # --jobs 1 means "single process" and must not require the JOBS
+        # capability (it is the do-nothing value).
+        assert main(["figure2", "--reps", "40", "--jobs", "1"]) == 0
+        assert "Inferred pipeline structure" in capsys.readouterr().out
+
+    def test_all_narrows_with_a_note_instead_of_erroring(self, capsys, monkeypatch):
+        from repro.campaigns import registry
+
+        monkeypatch.setattr(registry, "names", lambda: ["figure2"])
+        assert main(["all", "--traces", "200", "--reps", "40"]) == 0
+        captured = capsys.readouterr()
+        assert "note: figure2 does not support --traces; ignoring it" in captured.err
+        assert "Inferred pipeline structure" in captured.out
 
 
 class TestScenarioFailureIsolation:
