@@ -314,6 +314,128 @@ def bench_streamed(n_traces: int, chunk_size: int, jobs: int, repeats: int) -> d
     return out
 
 
+def bench_backends(
+    n_traces: int, chunk_size: int, jobs_list: tuple[int, ...], repeats: int
+) -> dict:
+    """Execution backends head to head on the figure-3 float32 campaign.
+
+    Streams the same campaign through every usable backend at every
+    fan-out width, recording traces/s, each backend's ``describe()``
+    provenance, and — the contract the whole matrix rests on — whether
+    the acquired bytes are identical to serial.  A final section times a
+    small design-space sweep against a **cold** persistent pool (workers
+    must rebuild and recompile the campaign) and a **warm** one (their
+    spec-keyed campaign caches already hold it).
+
+    On a single-core host the parallel rows measure dispatch overhead,
+    not speedup — the recorded ``cpu_count`` keeps that interpretable.
+    """
+    from repro.backends import (
+        PoolBackend,
+        cpu_count,
+        fork_available,
+        make_backend,
+    )
+    from repro.campaigns.engine import StreamingCampaign
+    from repro.crypto.aes_asm import LAYOUT, round1_only_program
+    from repro.experiments.figure3 import figure3_scope
+    from repro.power.acquisition import random_inputs
+    from repro.power.profile import cortex_a7_profile
+    from repro.sweeps.campaign import SweepCampaign
+    from repro.sweeps.spec import SweepSpec
+
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    program = round1_only_program(key)
+    inputs = random_inputs(n_traces, mem_blocks={LAYOUT.state: 16}, seed=0xF16003)
+    engine = StreamingCampaign(
+        program,
+        profile=cortex_a7_profile(),
+        scope=figure3_scope("float32"),
+        entry="aes_round1",
+        seed=1,
+        chunk_size=chunk_size,
+    )
+    engine.compiled(inputs)
+
+    def stream_through(backend, jobs):
+        return np.concatenate(
+            [c.traces for c in engine.stream(inputs, jobs=jobs, backend=backend)]
+        )
+
+    out = {
+        "n_traces": n_traces,
+        "chunk_size": chunk_size,
+        "cpu_count": cpu_count(),
+        "campaign": {},
+    }
+
+    reference = stream_through("serial", 1)
+    policies = ["serial"] + (["fork"] if fork_available() else []) + ["spawn"]
+    for policy in policies:
+        rows = {}
+        widths = (1,) if policy == "serial" else jobs_list
+        for jobs in widths:
+            backend = make_backend(policy, jobs)
+            with backend:
+                identical = bool(
+                    np.array_equal(stream_through(backend, jobs), reference)
+                )
+                stats = _measure(lambda: stream_through(backend, jobs), repeats)
+            stats["traces_per_sec"] = _throughput(stats, n_traces)
+            stats["identical_to_serial"] = identical
+            stats["describe"] = backend.describe()
+            rows[f"jobs{jobs}"] = stats
+        out["campaign"][policy] = rows
+
+    # Persistent pool: the same stream with workers kept warm.
+    pool = PoolBackend(jobs=max(jobs_list))
+    try:
+        with pool:
+            cold = _measure(lambda: stream_through(pool, pool.jobs), 1)
+            warm = _measure(lambda: stream_through(pool, pool.jobs), repeats)
+            identical = bool(np.array_equal(stream_through(pool, pool.jobs), reference))
+        out["campaign"]["pool"] = {
+            f"jobs{pool.jobs}": {
+                "cold_s": cold["min_s"],
+                **warm,
+                "traces_per_sec": _throughput(warm, n_traces),
+                "identical_to_serial": identical,
+                "describe": pool.describe(),
+            }
+        }
+    finally:
+        pool.close()
+
+    # Sweep wall-time against a cold vs a warm persistent pool.
+    def sweep_once(backend):
+        SweepCampaign(
+            SweepSpec.from_cli(("dual_issue=true,false",)),
+            n_traces=max(96, n_traces // 4),
+            jobs=2,
+            seed=0x5EEB,
+            backend=backend,
+        ).run()
+
+    pool = PoolBackend(jobs=2)
+    try:
+        pool.start()
+        start = time.perf_counter()
+        sweep_once(pool)
+        cold_s = time.perf_counter() - start
+        warm = _measure(lambda: sweep_once(pool), repeats)
+        out["sweep_pool"] = {
+            "n_traces": max(96, n_traces // 4),
+            "jobs": 2,
+            "cold_s": round(cold_s, 6),
+            "warm_s": warm["min_s"],
+            "warm_speedup": round(cold_s / warm["min_s"], 2),
+            "describe": pool.describe(),
+        }
+    finally:
+        pool.close()
+    return out
+
+
 def bench_session_api(n_traces: int, repeats: int) -> dict:
     """The public façade end to end: ``Session.run`` vs the raw driver.
 
@@ -347,6 +469,17 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true", help="small sizes for CI")
     parser.add_argument("--out", default="BENCH_hotpath.json")
+    parser.add_argument(
+        "--section",
+        choices=("all", "hotpath", "backends"),
+        default="all",
+        help="which benchmark family to run (default: all)",
+    )
+    parser.add_argument(
+        "--backends-out",
+        default="BENCH_backends.json",
+        help="output path of the execution-backend benchmark",
+    )
     parser.add_argument("--traces", type=int, default=None, help="figure3 batch size")
     parser.add_argument("--repeats", type=int, default=None)
     parser.add_argument("--jobs", type=int, default=4, help="streamed fan-out width")
@@ -358,6 +491,45 @@ def main(argv: list[str] | None = None) -> int:
     n3 = args.traces or (600 if args.smoke else 3000)
     n4 = max(30, n3 // 30)
     repeats = args.repeats or (2 if args.smoke else 5)
+
+    if args.section in ("all", "backends"):
+        nb = args.traces or (240 if args.smoke else 600)
+        jobs_list = (1, 2) if args.smoke else (1, 2, 4, 8)
+        chunk = max(30, nb // 8)
+        breport = {
+            "schema": "bench_backends/1",
+            "smoke": bool(args.smoke),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "benchmarks": {},
+        }
+        print(
+            f"execution backends (n={nb}, chunks of {chunk}, jobs={jobs_list}) ...",
+            flush=True,
+        )
+        bench_started = time.time()
+        breport["benchmarks"]["figure3_float32_backends"] = bench_backends(
+            nb, chunk, jobs_list, max(2, repeats)
+        )
+        breport["wall_s"] = round(time.time() - bench_started, 2)
+        backends_path = Path(args.backends_out)
+        backends_path.write_text(json.dumps(breport, indent=2) + "\n")
+        print(f"wrote {backends_path}")
+        section = breport["benchmarks"]["figure3_float32_backends"]
+        for policy, rows in section["campaign"].items():
+            for label, stats in rows.items():
+                print(
+                    f"  {policy:6s} {label:6s} {stats['traces_per_sec']:8.0f} traces/s"
+                    f"   identical_to_serial={stats['identical_to_serial']}"
+                )
+        sweep = section["sweep_pool"]
+        print(
+            f"  sweep via persistent pool: cold {sweep['cold_s']:.2f}s -> "
+            f"warm {sweep['warm_s']:.2f}s  ({sweep['warm_speedup']:.2f}x)"
+        )
+        if args.section == "backends":
+            return 0
 
     started = time.time()
     report = {

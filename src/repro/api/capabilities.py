@@ -28,6 +28,8 @@ class Capability(enum.Enum):
     CHUNKING = "chunking"
     #: the runner honors ``jobs`` (multiprocessing fan-out)
     JOBS = "jobs"
+    #: the runner honors ``backend`` (execution-backend policy)
+    BACKEND = "backend"
     #: the runner honors ``precision`` (float32 capture chain)
     PRECISION = "precision"
     #: the runner honors ``grid`` (design-space sweep axes)
@@ -49,6 +51,7 @@ KNOB_CAPABILITIES: dict[str, Capability] = {
     "reps": Capability.REPS,
     "chunk_size": Capability.CHUNKING,
     "jobs": Capability.JOBS,
+    "backend": Capability.BACKEND,
     "precision": Capability.PRECISION,
     "grid": Capability.GRID,
     "seed": Capability.SEED,
@@ -62,6 +65,7 @@ KNOB_FLAGS: dict[str, str] = {
     "reps": "--reps",
     "chunk_size": "--chunk-size",
     "jobs": "--jobs",
+    "backend": "--backend",
     "precision": "--precision",
     "grid": "--grid",
     "seed": "--seed",

@@ -66,6 +66,9 @@ class Envelope:
     error: str | None = None
     #: capability tags of the producing scenario, for provenance
     tags: tuple[str, ...] = field(default_factory=tuple)
+    #: advisory messages attached by the session (e.g. a requested
+    #: parallelism that degraded to serial); never affect ``ok``
+    notes: tuple[str, ...] = field(default_factory=tuple)
 
     @classmethod
     def failure(cls, scenario: str, title: str, seconds: float, error: str) -> "Envelope":
@@ -108,6 +111,8 @@ class Envelope:
             "seconds": round(self.seconds, 3),
             "matches_paper": self.matches_paper,
         }
+        if self.notes:
+            record["notes"] = [str(note) for note in self.notes]
         if not self.ok:
             record["output"] = None
             record["error"] = str(self.error)
@@ -162,6 +167,11 @@ def validate_envelope(record: Any) -> dict:
         problems.append("'output' must be a string on a successful record")
     if "data" in record and not isinstance(record["data"], (dict, list)):
         problems.append("'data' must be a JSON object or array")
+    notes = record.get("notes")
+    if "notes" in record and (
+        not isinstance(notes, list) or not all(isinstance(n, str) for n in notes)
+    ):
+        problems.append("'notes' must be a list of strings")
     artifacts = record.get("artifacts")
     if "artifacts" in record:
         if not isinstance(artifacts, dict):

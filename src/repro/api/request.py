@@ -39,6 +39,10 @@ class RunRequest:
     seed: int | None = None
     precision: str | None = None
     grid: tuple[str, ...] | None = None
+    #: execution-backend policy: a name from
+    #: :data:`repro.backends.BACKEND_POLICIES` or a live
+    #: :class:`~repro.backends.ExecutionBackend` instance
+    backend: Any = None
     #: a PipelineConfig override (API-only; no CLI flag)
     config: Any = None
     #: a ScopeConfig override (API-only; no CLI flag)
@@ -61,6 +65,20 @@ class RunRequest:
             )
         if self.grid is not None and not isinstance(self.grid, tuple):
             object.__setattr__(self, "grid", tuple(self.grid))
+        if self.backend is not None:
+            if isinstance(self.backend, str):
+                from repro.backends import BACKEND_POLICIES
+
+                if self.backend not in BACKEND_POLICIES:
+                    raise ValueError(
+                        f"backend must be one of {BACKEND_POLICIES} or an "
+                        f"ExecutionBackend instance, got {self.backend!r}"
+                    )
+            elif not hasattr(self.backend, "map_chunks"):
+                raise ValueError(
+                    "backend must be a policy name or an ExecutionBackend "
+                    f"instance, got {type(self.backend).__name__}"
+                )
 
     # -- construction ---------------------------------------------------
 

@@ -23,6 +23,8 @@ scenarios with different capability sets.
 from __future__ import annotations
 
 import time
+import warnings
+from dataclasses import replace
 from typing import Any, Iterable
 
 from repro.api.envelope import Envelope
@@ -41,6 +43,7 @@ class Session:
         jobs: int | None = None,
         precision: str | None = None,
         seed: int | None = None,
+        backend: Any = None,
     ):
         #: session policy, merged (where supported) into every request
         self.defaults = RunRequest(
@@ -50,7 +53,43 @@ class Session:
             precision=precision,
             config=config,
             scope=scope,
+            backend=backend,
         )
+        #: the session-owned persistent pool, created lazily when the
+        #: ``"pool"`` policy is first exercised and kept warm until
+        #: :meth:`close` — sweeps and ``run_all`` batches reuse its
+        #: workers (and their compiled-schedule caches) across calls
+        self._owned_pool: Any = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the session's persistent worker pool, if any."""
+        if self._owned_pool is not None:
+            self._owned_pool.close()
+            self._owned_pool = None
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _materialize_backend(self, request: RunRequest) -> RunRequest:
+        """Swap the ``"pool"`` policy for the session's live pool.
+
+        Per-call backends resolve inside the engine; the persistent pool
+        must outlive individual runs to be worth anything, so the
+        session owns it and substitutes the instance into the resolved
+        request (the engine leaves caller-provided instances running).
+        """
+        if request.backend != "pool":
+            return request
+        if self._owned_pool is None:
+            from repro.backends import PoolBackend
+
+            self._owned_pool = PoolBackend(jobs=request.jobs or 1).start()
+        return replace(request, backend=self._owned_pool)
 
     # -- registry access ------------------------------------------------
 
@@ -95,8 +134,9 @@ class Session:
         # knobs this scenario can honor.
         applicable, _dropped = self.defaults.narrowed_to(scenario)
         resolved = request.merged_defaults(applicable).resolve(scenario)
+        resolved = self._materialize_backend(resolved)
         start = time.perf_counter()
-        result = scenario.runner(resolved)
+        result, notes = self._run_noting(scenario, resolved)
         seconds = time.perf_counter() - start
         return Envelope(
             scenario=scenario.name,
@@ -105,7 +145,33 @@ class Session:
             seconds=seconds,
             request=resolved,
             tags=scenario.tags,
+            notes=notes,
         )
+
+    @staticmethod
+    def _run_noting(scenario, resolved: RunRequest):
+        """Run the scenario, folding degradation warnings into notes.
+
+        A :class:`~repro.backends.BackendDegradationWarning` (requested
+        parallelism that silently would have run serial) is recorded on
+        the envelope so machine consumers see it too; every other
+        warning is re-emitted untouched.
+        """
+        from repro.backends import BackendDegradationWarning
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always", BackendDegradationWarning)
+            result = scenario.runner(resolved)
+        notes = []
+        for entry in caught:
+            if issubclass(entry.category, BackendDegradationWarning):
+                if str(entry.message) not in notes:
+                    notes.append(str(entry.message))
+            else:
+                warnings.warn_explicit(
+                    entry.message, entry.category, entry.filename, entry.lineno
+                )
+        return result, tuple(notes)
 
     def run_all(self, names: Iterable[str] | None = None, **knobs: Any) -> list[Envelope]:
         """Run several scenarios, isolating failures per scenario.
@@ -186,6 +252,7 @@ class Session:
             keep_power=keep_power,
             chunk_size=defaults.chunk_size,
             jobs=defaults.jobs or 1,
+            backend=self._materialize_backend(defaults).backend,
         )
         return engine.acquire(inputs)
 

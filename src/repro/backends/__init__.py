@@ -1,0 +1,151 @@
+"""Pluggable execution backends for campaigns and sweeps.
+
+The streaming engine, the sweep engine, and the session facade all
+execute fan-out work through an :class:`ExecutionBackend`.  Callers pick
+one with a *policy* — a backend instance, or one of the names in
+:data:`BACKEND_POLICIES`:
+
+======== ==============================================================
+policy   meaning
+======== ==============================================================
+auto     fork where available, else spawn, else serial (with a
+         :class:`BackendDegradationWarning`); serial when ``jobs <= 1``
+serial   the in-process reference
+fork     a fork pool per call (copy-on-write state sharing)
+spawn    a spawn pool per call (pickle-safe declarative tasks)
+pool     a persistent worker pool, reused until ``close()``
+numba    serial with the JIT'd packed-tape evaluator (needs numba)
+======== ==============================================================
+
+Every backend is byte-identical to serial for float32 campaigns; see
+``docs/backends.md`` for the determinism argument and a decision guide.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.backends import pools as _pools
+from repro.backends.base import (
+    BackendContext,
+    BackendDegradationWarning,
+    BackendUnavailable,
+    CampaignSpec,
+    ChunkResult,
+    ChunkTask,
+    ExecutionBackend,
+    SerialBackend,
+    run_chunk_task,
+)
+from repro.backends.numba_tape import NumbaTapeBackend, numba_available
+from repro.backends.pools import (
+    ForkBackend,
+    PoolBackend,
+    SpawnBackend,
+    cpu_count,
+    fork_available,
+)
+
+#: every name ``resolve_backend`` accepts
+BACKEND_POLICIES = ("auto", "serial", "fork", "spawn", "pool", "numba")
+
+#: the subset a CLI user can ask for (pool/numba are API-level knobs:
+#: pool needs an owning scope, numba an optional dependency)
+CLI_BACKEND_CHOICES = ("auto", "serial", "fork", "spawn")
+
+
+def make_backend(policy: str, jobs: int = 1) -> ExecutionBackend:
+    """Construct the named backend (no availability fallback)."""
+    if policy == "serial":
+        return SerialBackend()
+    if policy == "fork":
+        return ForkBackend(jobs)
+    if policy == "spawn":
+        return SpawnBackend(jobs)
+    if policy == "pool":
+        return PoolBackend(jobs)
+    if policy == "numba":
+        return NumbaTapeBackend()
+    raise ValueError(f"unknown backend policy {policy!r}; expected one of {BACKEND_POLICIES}")
+
+
+def resolve_backend(
+    policy,
+    jobs: int = 1,
+    *,
+    n_tasks: int | None = None,
+    context: BackendContext | None = None,
+) -> tuple[ExecutionBackend, bool]:
+    """Resolve a policy to ``(backend, owned)``.
+
+    ``owned`` tells the caller whether it created the backend (and must
+    close it) or was handed a live instance to leave running.  Explicit
+    names are strict — asking for ``fork`` on a spawn-only platform
+    raises :class:`BackendUnavailable` — while ``auto`` (or ``None``)
+    degrades with a :class:`BackendDegradationWarning` when ``jobs > 1``
+    cannot actually be honored, instead of silently running serial.
+    """
+    if isinstance(policy, ExecutionBackend):
+        return policy, False
+    if policy is None:
+        policy = "auto"
+    if not isinstance(policy, str):
+        raise TypeError(
+            f"backend policy must be a string or ExecutionBackend, got {type(policy).__name__}"
+        )
+    if policy != "auto":
+        if policy not in BACKEND_POLICIES:
+            raise ValueError(
+                f"unknown backend policy {policy!r}; expected one of {BACKEND_POLICIES}"
+            )
+        backend = make_backend(policy, jobs)
+        if isinstance(backend, ForkBackend):
+            backend._check_available()
+        return backend, True
+
+    # auto: nothing to fan out -> serial, quietly.
+    if jobs <= 1 or (n_tasks is not None and n_tasks <= 1):
+        return SerialBackend(), True
+    if _pools.fork_available():
+        return ForkBackend(jobs), True
+    reason = "the 'fork' start method is unavailable on this platform"
+    if context is not None:
+        try:
+            context.assert_picklable("spawn")
+        except BackendUnavailable as error:
+            reason = f"{reason}, and the spawn fallback cannot run: {error}"
+        else:
+            return SpawnBackend(jobs), True
+    else:
+        return SpawnBackend(jobs), True
+    warnings.warn(
+        f"jobs={jobs} requested but no parallel backend is usable ({reason}); "
+        "running serial",
+        BackendDegradationWarning,
+        stacklevel=2,
+    )
+    return SerialBackend(), True
+
+
+__all__ = [
+    "BACKEND_POLICIES",
+    "CLI_BACKEND_CHOICES",
+    "BackendContext",
+    "BackendDegradationWarning",
+    "BackendUnavailable",
+    "CampaignSpec",
+    "ChunkResult",
+    "ChunkTask",
+    "ExecutionBackend",
+    "ForkBackend",
+    "NumbaTapeBackend",
+    "PoolBackend",
+    "SerialBackend",
+    "SpawnBackend",
+    "cpu_count",
+    "fork_available",
+    "make_backend",
+    "numba_available",
+    "resolve_backend",
+    "run_chunk_task",
+]

@@ -1,0 +1,58 @@
+"""Picklable fault injectors for backend failure testing.
+
+Worker-failure isolation is part of the backend contract: a task that
+raises inside a worker must surface the *original* exception (with the
+remote traceback chained) from the mapping call, the campaign must fail
+cleanly, and the pool must not hang or leak.  Exercising that contract
+under the spawn and persistent-pool backends requires the failing
+callable to cross a pickle boundary, so these injectors live in the
+package (module-level, state-only classes) rather than in the test
+suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class InjectedWorkerError(RuntimeError):
+    """The distinguished error every injector raises."""
+
+
+class FaultyTransform:
+    """A power transform that always raises :class:`InjectedWorkerError`."""
+
+    def __init__(self, message: str = "injected worker fault"):
+        self.message = message
+
+    def __call__(self, power: np.ndarray) -> np.ndarray:
+        raise InjectedWorkerError(self.message)
+
+
+class FaultyTransformFactory:
+    """A transform factory that arms the fault on one chunk index.
+
+    Chunks other than ``fail_index`` get the identity transform, so a
+    multi-chunk stream makes real progress before the failure lands in
+    whichever worker drew the poisoned chunk.
+    """
+
+    def __init__(self, fail_index: int, message: str = "injected worker fault"):
+        self.fail_index = fail_index
+        self.message = message
+
+    def __call__(self, index: int):
+        if index == self.fail_index:
+            return FaultyTransform(f"{self.message} (chunk {index})")
+        return _identity
+
+
+def _identity(power: np.ndarray) -> np.ndarray:
+    return power
+
+
+def faulty_item(item):
+    """A :meth:`map_items` work function that raises on ``"boom"``."""
+    if item == "boom":
+        raise InjectedWorkerError(f"injected item fault ({item!r})")
+    return item

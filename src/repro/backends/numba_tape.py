@@ -1,0 +1,160 @@
+"""Optional Numba-JIT'd packed tape replay, behind a soft import.
+
+When `numba <https://numba.pydata.org>`_ is importable,
+:class:`NumbaTapeBackend` installs a JIT'd evaluator for the packed
+leakage plan — the popcount pools and the level-grouped scatter of
+:class:`repro.power.synth._PackedPlan` fused into one nopython kernel —
+for the float64 path (the float32 scratch path already streams through
+preallocated buffers and is left alone).  The kernel performs exactly
+the reference evaluator's operations in exactly its order (integer
+popcounts; per level, ``power[sample] (=|+=) weight * pool`` ; one
+final gain multiply), so its output is bit-identical to the NumPy
+reference — a tested invariant, not an aspiration
+(``tests/backends/test_numba.py``, skipped where numba is absent).
+
+Without numba everything in this module still imports: the backend
+raises :class:`~repro.backends.base.BackendUnavailable` at construction
+and :func:`numba_available` reports ``False`` (the policy resolver and
+``describe()`` metadata use it); nothing else in the codebase changes
+behavior.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import BackendUnavailable, SerialBackend
+
+try:  # soft dependency: everything degrades gracefully without it
+    import numba
+except ImportError:  # pragma: no cover - exercised where numba is absent
+    numba = None
+
+
+def numba_available() -> bool:
+    return numba is not None
+
+
+if numba is not None:  # pragma: no cover - requires numba
+
+    @numba.njit(cache=True)
+    def _evaluate_kernel(matrix, hw_rows, hd_prev, hd_curr, samples, cols, weights, offsets, n_samples, gain):
+        n_traces = matrix.shape[1]
+        n_hw = hw_rows.shape[0]
+        n_hd = hd_prev.shape[0]
+        pool = np.empty((n_hw + n_hd, n_traces), np.float64)
+        for i in range(n_hw):
+            row = hw_rows[i]
+            for t in range(n_traces):
+                v = np.int64(matrix[row, t])
+                n = 0
+                while v != 0:
+                    v &= v - 1
+                    n += 1
+                pool[i, t] = n
+        for i in range(n_hd):
+            prev = hd_prev[i]
+            curr = hd_curr[i]
+            for t in range(n_traces):
+                v = np.int64(matrix[curr, t] ^ matrix[prev, t])
+                n = 0
+                while v != 0:
+                    v &= v - 1
+                    n += 1
+                pool[n_hw + i, t] = n
+        power = np.zeros((n_samples, n_traces), np.float64)
+        for level in range(offsets.shape[0] - 1):
+            for k in range(offsets[level], offsets[level + 1]):
+                sample = samples[k]
+                col = cols[k]
+                weight = weights[k]
+                if level == 0:
+                    for t in range(n_traces):
+                        power[sample, t] = weight * pool[col, t]
+                else:
+                    for t in range(n_traces):
+                        power[sample, t] += weight * pool[col, t]
+        if gain != 1.0:
+            for s in range(n_samples):
+                for t in range(n_traces):
+                    power[s, t] *= gain
+        return power
+
+
+def _plan_arrays(plan):  # pragma: no cover - requires numba
+    """Flatten a plan's level-grouped passes once, cached on the plan."""
+    cache = getattr(plan, "_numba_arrays", None)
+    if cache is None:
+        samples = np.concatenate([p[0] for p in plan.passes])
+        cols = np.concatenate([p[1] for p in plan.passes])
+        weights = np.concatenate([p[2].ravel() for p in plan.passes])
+        offsets = np.zeros(len(plan.passes) + 1, dtype=np.intp)
+        np.cumsum([p[0].size for p in plan.passes], out=offsets[1:])
+        cache = (samples, cols, weights, offsets)
+        plan._numba_arrays = cache
+    return cache
+
+
+def jit_packed_evaluate(plan, table, dtype):  # pragma: no cover - requires numba
+    """The hook :mod:`repro.power.synth` consults when installed.
+
+    Returns the evaluated power matrix, or ``None`` to decline (float32
+    scratch path, empty plans) so the NumPy reference runs instead.
+    """
+    if np.dtype(dtype) != np.float64 or not plan.passes:
+        return None
+    samples, cols, weights, offsets = _plan_arrays(plan)
+    power = _evaluate_kernel(
+        table.matrix,
+        plan.hw_rows,
+        plan.hd_prev,
+        plan.hd_curr,
+        samples,
+        cols,
+        weights,
+        offsets,
+        plan.n_samples,
+        plan.gain,
+    )
+    return power.T
+
+
+class NumbaTapeBackend(SerialBackend):
+    """Serial execution with the JIT'd packed-tape evaluator installed.
+
+    ``start()`` installs the evaluator hook (first evaluation pays the
+    JIT compile, cached on disk by numba thereafter); ``close()``
+    restores whatever was installed before, so the backend nests safely.
+    """
+
+    name = "numba"
+
+    def __init__(self):
+        if numba is None:
+            raise BackendUnavailable(
+                "the numba backend needs the optional 'numba' package, which "
+                "is not importable in this environment"
+            )
+        self._previous_hook: object = _UNSET
+
+    def start(self) -> "NumbaTapeBackend":
+        from repro.power import synth
+
+        if self._previous_hook is _UNSET:
+            self._previous_hook = synth.set_packed_evaluate_hook(jit_packed_evaluate)
+        return self
+
+    def close(self) -> None:
+        from repro.power import synth
+
+        if self._previous_hook is not _UNSET:
+            synth.set_packed_evaluate_hook(self._previous_hook)
+            self._previous_hook = _UNSET
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info["numba_version"] = getattr(numba, "__version__", None)
+        return info
+
+
+_UNSET = object()

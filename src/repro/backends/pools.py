@@ -1,0 +1,320 @@
+"""Process-pool backends: fork, spawn, and a persistent worker pool.
+
+Three ways to put more cores behind a campaign, all byte-identical to
+:class:`~repro.backends.base.SerialBackend` by construction:
+
+* :class:`ForkBackend` — a pool forked per :meth:`map_chunks` call.  The
+  live campaign (with its compiled schedule and replay tape) and the
+  full input batch are inherited copy-on-write at fork time, so nothing
+  campaign-sized crosses a pipe.  The fastest option where ``fork``
+  exists; unavailable on spawn-only platforms.
+* :class:`SpawnBackend` — a pool spawned per call.  Workers receive a
+  declarative :class:`~repro.backends.base.CampaignSpec` (pickle-safe by
+  contract) and recompile the schedule once per worker; chunk tasks are
+  pure data.  Slower to start, but works everywhere — this is what
+  ``jobs > 1`` degrades to where fork is unavailable, instead of the
+  historical silent serial fallback.
+* :class:`PoolBackend` — a **persistent** pool (fork- or spawn-started)
+  that keeps workers alive across ``map_chunks``/``map_items`` calls.
+  Tasks are fully declarative (each carries its spec and input slice);
+  each worker keeps an identity-keyed campaign cache, so a sweep or a
+  ``Session.run_all`` re-seeds the compiled-schedule cache once per
+  campaign shape and then pays zero pool-setup or recompile cost per
+  point.  A worker that raises reports the failure (with the original
+  traceback chained as ``__cause__``) without poisoning the pool.
+
+Worker-side state lives in module globals installed by pool
+initializers; results stream back in task order via ``imap``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.backends.base import (
+    BackendContext,
+    BackendUnavailable,
+    CampaignSpec,
+    ChunkResult,
+    ChunkTask,
+    ExecutionBackend,
+    run_chunk_task,
+)
+from repro.power.acquisition import TraceCampaign, TraceSet
+
+
+def fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _pool_size(jobs: int, n_tasks: int | None = None) -> int:
+    size = max(1, int(jobs))
+    if n_tasks is not None:
+        size = min(size, max(1, n_tasks))
+    return size
+
+
+def _slim_payload(trace_set: TraceSet, parent_path: list[int] | None):
+    """Strip shared compiled objects when the worker's path matches.
+
+    The parent holds the same compiled schedule (inherited at fork, or
+    structurally identical under spawn), so only the per-chunk arrays
+    need to cross the pipe; a recompiled divergent chunk ships whole.
+    """
+    if parent_path is not None and trace_set.path == parent_path:
+        return trace_set.traces, trace_set.table, trace_set.power
+    return trace_set
+
+
+# -- fork workers (state inherited copy-on-write at fork) ---------------
+
+_FORK_STATE: dict = {}
+
+
+def _fork_init(campaign, inputs, transform, factory, parent_path) -> None:  # pragma: no cover
+    _FORK_STATE["campaign"] = campaign
+    _FORK_STATE["inputs"] = inputs
+    _FORK_STATE["transform"] = transform
+    _FORK_STATE["factory"] = factory
+    _FORK_STATE["parent_path"] = parent_path
+
+
+def _fork_chunk(task: ChunkTask):  # pragma: no cover - exercised via Pool
+    campaign: TraceCampaign = _FORK_STATE["campaign"]
+    factory = _FORK_STATE["factory"]
+    transform = factory(task.index) if factory is not None else _FORK_STATE["transform"]
+    trace_set = run_chunk_task(campaign, _FORK_STATE["inputs"], task, transform)
+    return task.index, task.lo, _slim_payload(trace_set, _FORK_STATE["parent_path"])
+
+
+# -- spawn workers (state rebuilt from the pickled spec) ----------------
+
+_SPAWN_STATE: dict = {}
+
+
+def _spawn_init(spec, inputs, transform, factory, parent_path) -> None:  # pragma: no cover
+    _SPAWN_STATE["campaign"] = spec.build()
+    _SPAWN_STATE["inputs"] = inputs
+    _SPAWN_STATE["transform"] = transform
+    _SPAWN_STATE["factory"] = factory
+    _SPAWN_STATE["parent_path"] = parent_path
+
+
+def _spawn_chunk(task: ChunkTask):  # pragma: no cover - exercised via Pool
+    campaign: TraceCampaign = _SPAWN_STATE["campaign"]
+    factory = _SPAWN_STATE["factory"]
+    transform = factory(task.index) if factory is not None else _SPAWN_STATE["transform"]
+    trace_set = run_chunk_task(campaign, _SPAWN_STATE["inputs"], task, transform)
+    return task.index, task.lo, _slim_payload(trace_set, _SPAWN_STATE["parent_path"])
+
+
+# -- persistent-pool workers (fully declarative tasks) ------------------
+
+#: spec cache_key -> rebuilt TraceCampaign, kept warm across calls
+_POOL_CAMPAIGNS: dict[str, TraceCampaign] = {}
+
+
+def _pool_init() -> None:  # pragma: no cover - exercised via Pool
+    _POOL_CAMPAIGNS.clear()
+
+
+def _pool_campaign(spec: CampaignSpec) -> TraceCampaign:  # pragma: no cover
+    key = spec.cache_key()
+    campaign = _POOL_CAMPAIGNS.get(key)
+    if campaign is None:
+        campaign = spec.build()
+        _POOL_CAMPAIGNS[key] = campaign
+    # Per-campaign state the cached shape does not capture.
+    campaign.seed = spec.seed
+    campaign.pinned_full_scale = spec.pinned_full_scale
+    return campaign
+
+
+def _pool_chunk(payload):  # pragma: no cover - exercised via Pool
+    spec, chunk_inputs, transform, factory, task, parent_path = payload
+    campaign = _pool_campaign(spec)
+    if factory is not None:
+        transform = factory(task.index)
+    trace_set = campaign.acquire(
+        chunk_inputs,
+        power_transform=transform,
+        scope_seed=task.scope_seed,
+        trace_offset=task.trace_offset,
+    )
+    return task.index, task.lo, _slim_payload(trace_set, parent_path)
+
+
+def _apply(payload):  # pragma: no cover - exercised via Pool
+    fn, item = payload
+    return fn(item)
+
+
+class _PoolBackendBase(ExecutionBackend):
+    """Shared per-call pool plumbing for the fork and spawn backends."""
+
+    def __init__(self, jobs: int = 2):
+        self.jobs = max(1, int(jobs))
+
+    @property
+    def workers(self) -> int:
+        return self.jobs
+
+    def _context(self):
+        return multiprocessing.get_context(self.start_method)
+
+    def _check_available(self) -> None:
+        if self.start_method not in multiprocessing.get_all_start_methods():
+            raise BackendUnavailable(
+                f"start method '{self.start_method}' is unavailable on this "
+                f"platform (has: {multiprocessing.get_all_start_methods()})"
+            )
+
+    def map_items(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+        self._check_available()
+        payloads = [(fn, item) for item in items]
+        if len(payloads) <= 1:
+            return [fn(item) for _fn, item in payloads]
+        with self._context().Pool(processes=_pool_size(self.jobs, len(payloads))) as pool:
+            return list(pool.imap(_apply, payloads))
+
+
+class ForkBackend(_PoolBackendBase):
+    """A fork pool per call; campaign state inherited copy-on-write."""
+
+    name = "fork"
+    start_method = "fork"
+
+    def map_chunks(
+        self, context: BackendContext, tasks: Sequence[ChunkTask]
+    ) -> Iterator[ChunkResult]:
+        self._check_available()
+        with self._context().Pool(
+            processes=_pool_size(self.jobs, len(tasks)),
+            initializer=_fork_init,
+            initargs=(
+                context.campaign,
+                context.inputs,
+                context.power_transform,
+                context.power_transform_factory,
+                context.compiled_path(),
+            ),
+        ) as pool:
+            yield from pool.imap(_fork_chunk, tasks)
+
+
+class SpawnBackend(_PoolBackendBase):
+    """A spawn pool per call; campaign state rebuilt from a pickled spec."""
+
+    name = "spawn"
+    start_method = "spawn"
+
+    def map_chunks(
+        self, context: BackendContext, tasks: Sequence[ChunkTask]
+    ) -> Iterator[ChunkResult]:
+        self._check_available()
+        context.assert_picklable(self.name)
+        with self._context().Pool(
+            processes=_pool_size(self.jobs, len(tasks)),
+            initializer=_spawn_init,
+            initargs=(
+                context.spec(),
+                context.inputs,
+                context.power_transform,
+                context.power_transform_factory,
+                context.compiled_path(),
+            ),
+        ) as pool:
+            yield from pool.imap(_spawn_chunk, tasks)
+
+
+class PoolBackend(ExecutionBackend):
+    """A persistent worker pool reused across campaigns and sweeps.
+
+    Unlike the per-call backends, ``start()`` builds the pool once and
+    every subsequent :meth:`map_chunks`/:meth:`map_items` call reuses
+    the warm workers: each worker keeps the campaigns it has rebuilt
+    (and their compiled schedules) in a cache keyed by the spec's
+    structural identity, so repeated campaigns over the same workload —
+    a sweep's grid points, a session's scenario batch — compile once per
+    worker and then stream pure data.
+
+    A task that raises inside a worker surfaces the original exception
+    (with the remote traceback chained) from the mapping call; the pool
+    itself stays healthy and subsequent calls keep working.
+    """
+
+    name = "pool"
+
+    def __init__(self, jobs: int = 2, start_method: str | None = None):
+        self.jobs = max(1, int(jobs))
+        if start_method is None:
+            start_method = "fork" if fork_available() else "spawn"
+        if start_method not in multiprocessing.get_all_start_methods():
+            raise BackendUnavailable(
+                f"start method '{start_method}' is unavailable on this platform"
+            )
+        self.start_method = start_method
+        self._pool = None
+        #: total tasks dispatched over the pool's lifetime (provenance)
+        self.tasks_dispatched = 0
+
+    @property
+    def workers(self) -> int:
+        return self.jobs
+
+    def start(self) -> "PoolBackend":
+        if self._pool is None:
+            self._pool = multiprocessing.get_context(self.start_method).Pool(
+                processes=self.jobs, initializer=_pool_init
+            )
+        return self
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info["persistent"] = True
+        info["tasks_dispatched"] = self.tasks_dispatched
+        return info
+
+    def _live_pool(self):
+        self.start()
+        return self._pool
+
+    def map_chunks(
+        self, context: BackendContext, tasks: Sequence[ChunkTask]
+    ) -> Iterator[ChunkResult]:
+        context.assert_picklable(self.name)
+        spec = context.spec()
+        parent_path = context.compiled_path()
+        payloads = [
+            (
+                spec,
+                context.inputs.slice(task.lo, task.hi),
+                context.power_transform,
+                context.power_transform_factory,
+                task,
+                parent_path,
+            )
+            for task in tasks
+        ]
+        self.tasks_dispatched += len(payloads)
+        yield from self._live_pool().imap(_pool_chunk, payloads)
+
+    def map_items(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+        payloads = [(fn, item) for item in items]
+        self.tasks_dispatched += len(payloads)
+        return list(self._live_pool().imap(_apply, payloads))
+
+
+def cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1

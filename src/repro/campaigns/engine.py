@@ -18,19 +18,28 @@ Properties the rest of the stack builds on:
   ``(seed, chunk_size)`` regardless of worker count or acquisition
   history; chunk 0 of a single-chunk stream is byte-identical to the
   historical monolithic acquisition;
-* **parallelism** — chunks are independent, so they fan out across
-  ``fork``-ed worker processes; results stream back in chunk order.
+* **parallelism** — chunks are independent *declarative tasks*
+  (:class:`~repro.backends.base.ChunkTask`: chunk bounds, a counter
+  range via ``trace_offset``, the chunk's scope seed) dispatched through
+  a pluggable :class:`~repro.backends.ExecutionBackend`; results stream
+  back in chunk order, and every backend is byte-identical to the
+  serial reference for float32 campaigns (see ``docs/backends.md``).
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import weakref
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
 import numpy as np
 
+from repro.backends import (
+    BackendContext,
+    ChunkTask,
+    ExecutionBackend,
+    resolve_backend,
+)
 from repro.isa.program import Program
 from repro.power.acquisition import (
     BatchInputs,
@@ -120,11 +129,15 @@ class StreamingCampaign:
         keep_power: bool = False,
         chunk_size: int | None = None,
         jobs: int = 1,
+        backend: str | ExecutionBackend | None = None,
     ):
         self.program = program
         self.seed = seed
         self.chunk_size = chunk_size
         self.jobs = max(1, jobs)
+        #: backend policy ("auto"/"serial"/"fork"/"spawn"/... or a live
+        #: :class:`ExecutionBackend`); ``None`` means "auto"
+        self.backend = backend
         self._campaign = TraceCampaign(
             program,
             config=config,
@@ -216,6 +229,7 @@ class StreamingCampaign:
         power_transform: Callable[[np.ndarray], np.ndarray] | None = None,
         power_transform_factory: Callable[[int], Callable[[np.ndarray], np.ndarray]]
         | None = None,
+        backend: str | ExecutionBackend | None = None,
     ) -> Iterator[TraceChunk]:
         """Yield the campaign as ordered, seed-stable trace chunks.
 
@@ -224,6 +238,12 @@ class StreamingCampaign:
         index and returns that chunk's transform — the hook that lets
         seeded environment models decorrelate their noise per chunk
         (:meth:`repro.os_sim.environment.Environment.reseeded`).
+
+        ``backend`` picks where chunk tasks execute (a policy name or a
+        live :class:`~repro.backends.ExecutionBackend`); the default
+        ``"auto"`` parallelizes when ``jobs > 1``, degrading with a
+        :class:`~repro.backends.BackendDegradationWarning` — never
+        silently — when no parallel backend is usable.
         """
         if power_transform is not None and power_transform_factory is not None:
             raise ValueError("pass power_transform or power_transform_factory, not both")
@@ -234,8 +254,8 @@ class StreamingCampaign:
         # resolve the campaign's quantizer full-scale so every chunk —
         # in every worker — shares one LSB.  Calibration sees chunk 0's
         # power transform (factories must be pure functions of the
-        # chunk index — the engine may evaluate factory(0) twice).
-        self.compiled(inputs)
+        # chunk index — parallel backends may evaluate factory(0) twice).
+        compiled = self.compiled(inputs)
         transform0 = (
             power_transform_factory(0)
             if power_transform_factory is not None
@@ -243,26 +263,55 @@ class StreamingCampaign:
         )
         self._calibrate_full_scale(inputs, bounds, transform0)
         float32 = self._campaign.precision == "float32"
-        if jobs > 1 and len(bounds) > 1 and _fork_available():
-            yield from self._stream_parallel(
-                inputs, bounds, jobs, power_transform, power_transform_factory
+        tasks = [
+            ChunkTask(
+                index=index,
+                lo=lo,
+                hi=hi,
+                scope_seed=self._chunk_scope_seed(index),
+                trace_offset=lo if float32 else 0,
             )
-        else:
-            for index, (lo, hi) in enumerate(bounds):
-                transform = (
-                    transform0
-                    if index == 0
-                    else power_transform_factory(index)
-                    if power_transform_factory is not None
-                    else power_transform
-                )
-                trace_set = self._campaign.acquire(
-                    inputs.slice(lo, hi),
-                    power_transform=transform,
-                    scope_seed=self._chunk_scope_seed(index),
-                    trace_offset=lo if float32 else 0,
-                )
+            for index, (lo, hi) in enumerate(bounds)
+        ]
+        context = BackendContext(
+            campaign=self._campaign,
+            inputs=inputs,
+            power_transform=power_transform,
+            power_transform_factory=power_transform_factory,
+            transform0=transform0,
+            compiled=compiled,
+        )
+        policy = backend if backend is not None else self.backend
+        resolved, owned = resolve_backend(
+            policy, jobs=jobs, n_tasks=len(tasks), context=context
+        )
+        try:
+            resolved.start()
+            path, schedule, leakage = compiled
+            for index, lo, payload in resolved.map_chunks(context, tasks):
+                if isinstance(payload, TraceSet):
+                    # Rare: the chunk recompiled against a different path
+                    # (data-dependent branch direction), or the backend
+                    # ships whole trace sets; take it as-is.
+                    trace_set = payload
+                else:
+                    # Common case: the worker's schedule matches the
+                    # parent's compiled triple, so only the per-chunk
+                    # data crossed the pipe; rewrap with shared objects.
+                    traces, table, power = payload
+                    trace_set = TraceSet(
+                        traces=traces,
+                        inputs=inputs.slice(lo, lo + traces.shape[0]),
+                        schedule=schedule,
+                        leakage=leakage,
+                        table=table,
+                        path=path,
+                        power=power,
+                    )
                 yield TraceChunk(start=lo, index=index, trace_set=trace_set)
+        finally:
+            if owned:
+                resolved.close()
 
     def _chunk_scope_seed(self, index: int) -> int:
         """The oscilloscope seed of chunk ``index``.
@@ -321,81 +370,3 @@ class StreamingCampaign:
         scope = Oscilloscope(config, seed=self._chunk_scope_seed(0))
         campaign.pinned_full_scale = scope.calibrate_full_scale(power)
 
-    def _stream_parallel(
-        self,
-        inputs: BatchInputs,
-        bounds: list[tuple[int, int]],
-        jobs: int,
-        power_transform: Callable[[np.ndarray], np.ndarray] | None,
-        power_transform_factory: Callable[[int], Callable[[np.ndarray], np.ndarray]]
-        | None,
-    ) -> Iterator[TraceChunk]:
-        path, schedule, leakage = self.compiled(inputs)
-        context = multiprocessing.get_context("fork")
-        float32 = self._campaign.precision == "float32"
-        tasks = [
-            (index, lo, hi, self._chunk_scope_seed(index), lo if float32 else 0)
-            for index, (lo, hi) in enumerate(bounds)
-        ]
-        with context.Pool(
-            processes=min(jobs, len(bounds)),
-            initializer=_worker_init,
-            initargs=(self._campaign, inputs, power_transform, power_transform_factory),
-        ) as pool:
-            for index, lo, payload in pool.imap(_worker_chunk, tasks):
-                if isinstance(payload, TraceSet):
-                    # Rare: the chunk recompiled against a different path
-                    # (data-dependent branch direction); ship everything.
-                    trace_set = payload
-                else:
-                    # Common case: the worker's schedule matches the
-                    # parent's compiled triple, so only the per-chunk
-                    # data crossed the pipe; rewrap with shared objects.
-                    traces, table, power = payload
-                    trace_set = TraceSet(
-                        traces=traces,
-                        inputs=inputs.slice(lo, lo + traces.shape[0]),
-                        schedule=schedule,
-                        leakage=leakage,
-                        table=table,
-                        path=path,
-                        power=power,
-                    )
-                yield TraceChunk(start=lo, index=index, trace_set=trace_set)
-
-
-def _fork_available() -> bool:
-    return "fork" in multiprocessing.get_all_start_methods()
-
-
-# Worker-side state, installed by the pool initializer after fork.  The
-# campaign and the full input batch are inherited copy-on-write; each
-# task touches only its own slice.
-_WORKER_STATE: dict = {}
-
-
-def _worker_init(campaign, inputs, power_transform, factory) -> None:  # pragma: no cover
-    _WORKER_STATE["campaign"] = campaign
-    _WORKER_STATE["inputs"] = inputs
-    _WORKER_STATE["transform"] = power_transform
-    _WORKER_STATE["factory"] = factory
-
-
-def _worker_chunk(task):  # pragma: no cover - exercised via Pool
-    index, lo, hi, seed, trace_offset = task
-    campaign: TraceCampaign = _WORKER_STATE["campaign"]
-    inputs: BatchInputs = _WORKER_STATE["inputs"]
-    factory = _WORKER_STATE["factory"]
-    transform = factory(index) if factory is not None else _WORKER_STATE["transform"]
-    compiled = campaign._compiled
-    trace_set = campaign.acquire(
-        inputs.slice(lo, hi),
-        power_transform=transform,
-        scope_seed=seed,
-        trace_offset=trace_offset,
-    )
-    if compiled is not None and trace_set.path == compiled[0]:
-        # The parent holds the same compiled schedule (inherited at
-        # fork); send only the per-chunk arrays, not N copies of it.
-        return index, lo, (trace_set.traces, trace_set.table, trace_set.power)
-    return index, lo, trace_set

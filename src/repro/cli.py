@@ -24,7 +24,12 @@ Flags:
     Stream the campaign through the engine in chunks of ``N`` traces
     (constant memory).  Default: one monolithic chunk.
 ``--jobs N``
-    Fan chunks out over ``N`` worker processes (requires ``fork``).
+    Fan chunks out over ``N`` worker processes.
+``--backend serial|fork|spawn|auto``
+    Execution backend for the fan-out (see ``docs/backends.md``).  The
+    default ``auto`` forks where available and falls back to spawn;
+    every backend is byte-identical to ``serial`` for float32
+    campaigns.
 ``--seed N``
     Campaign seed override, for independent re-runs of a scenario.
 ``--precision float64-exact|float32``
@@ -90,6 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for chunk fan-out (with --chunk-size)",
     )
     parser.add_argument(
+        "--backend",
+        choices=("auto", "serial", "fork", "spawn"),
+        default=None,
+        help="execution backend for the worker fan-out (default: auto)",
+    )
+    parser.add_argument(
         "--seed", type=int, default=None, help="campaign seed override"
     )
     parser.add_argument(
@@ -126,6 +137,7 @@ def _build_request(parser: argparse.ArgumentParser, args: argparse.Namespace):
             reps=args.reps,
             chunk_size=args.chunk_size,
             jobs=args.jobs,
+            backend=args.backend,
             seed=args.seed,
             precision=args.precision,
             grid=tuple(args.grid) if args.grid else None,

@@ -127,6 +127,7 @@ def _measure(
     jobs: int = 1,
     budgets: tuple[int, ...] | None = None,
     precision: str | None = None,
+    backend=None,
 ) -> tuple[float, int, dict[int, float] | None]:
     """Peak |corr| of ``model`` at the given components' samples.
 
@@ -146,6 +147,7 @@ def _measure(
         seed=seed,
         chunk_size=chunk_size,
         jobs=jobs,
+        backend=backend,
     )
     _path, _schedule, leakage = engine.compiled(inputs)
     samples: set[int] = set()
@@ -228,6 +230,7 @@ def ablate_operand_swap(
     jobs: int = 1,
     budgets: tuple[int, ...] | None = None,
     precision: str | None = None,
+    backend=None,
 ) -> AblationResult:
     """§4.2 i+ii: a commutative operand swap re-combines the shares."""
     inputs, secret = _masked_inputs(n_traces, seed)
@@ -241,10 +244,11 @@ def ablate_operand_swap(
     corr_unsafe, n_samples, curve = _measure(
         "\n".join(unsafe), inputs, model, _ISSUE_LAYER, seed=seed,
         chunk_size=chunk_size, jobs=jobs, budgets=budgets, precision=precision,
+        backend=backend,
     )
     corr_safe, _n, _curve = _measure(
         "\n".join(safe), inputs, model, _ISSUE_LAYER, seed=seed + 1,
-        chunk_size=chunk_size, jobs=jobs, precision=precision,
+        chunk_size=chunk_size, jobs=jobs, precision=precision, backend=backend,
     )
     return AblationResult(
         name="operand-swap",
@@ -263,6 +267,7 @@ def ablate_dual_issue_adjacency(
     jobs: int = 1,
     budgets: tuple[int, ...] | None = None,
     precision: str | None = None,
+    backend=None,
 ) -> AblationResult:
     """§4.2 iii: dual-issue makes non-adjacent instructions collide."""
     inputs, secret = _masked_inputs(n_traces, seed)
@@ -274,7 +279,7 @@ def ablate_dual_issue_adjacency(
     source = "\n".join(lines)
     corr_dual, n_samples, curve = _measure(
         source, inputs, model, _ISSUE_LAYER, seed=seed, chunk_size=chunk_size,
-        jobs=jobs, budgets=budgets, precision=precision,
+        jobs=jobs, budgets=budgets, precision=precision, backend=backend,
     )
     corr_single, _n, _curve = _measure(
         source,
@@ -286,6 +291,7 @@ def ablate_dual_issue_adjacency(
         chunk_size=chunk_size,
         jobs=jobs,
         precision=precision,
+        backend=backend,
     )
     return AblationResult(
         name="dual-issue-adjacency",
@@ -304,6 +310,7 @@ def ablate_nop_insertion(
     jobs: int = 1,
     budgets: tuple[int, ...] | None = None,
     precision: str | None = None,
+    backend=None,
 ) -> AblationResult:
     """§4.1: inserting a nop adds HW leakage modes (bus driven to zero)."""
     rng = np.random.default_rng(seed)
@@ -323,10 +330,11 @@ def ablate_nop_insertion(
     corr_with, n_samples, curve = _measure(
         "\n".join(with_nop), inputs, model, _ISSUE_LAYER, seed=seed,
         chunk_size=chunk_size, jobs=jobs, budgets=budgets, precision=precision,
+        backend=backend,
     )
     corr_without, _n, _curve = _measure(
         "\n".join(without_nop), inputs, model, _ISSUE_LAYER, seed=seed + 1,
-        chunk_size=chunk_size, jobs=jobs, precision=precision,
+        chunk_size=chunk_size, jobs=jobs, precision=precision, backend=backend,
     )
     return AblationResult(
         name="nop-insertion",
@@ -345,6 +353,7 @@ def ablate_lsu_remanence(
     jobs: int = 1,
     budgets: tuple[int, ...] | None = None,
     precision: str | None = None,
+    backend=None,
 ) -> AblationResult:
     """§4.2 iv: a stored share survives in the LSU and meets the next one."""
     inputs, secret = _masked_inputs(n_traces, seed)
@@ -363,7 +372,7 @@ def ablate_lsu_remanence(
     source = "\n".join(lines) + buffers
     corr_with, n_samples, curve = _measure(
         source, inputs, model, ("align_store",), seed=seed, chunk_size=chunk_size,
-        jobs=jobs, budgets=budgets, precision=precision,
+        jobs=jobs, budgets=budgets, precision=precision, backend=backend,
     )
     corr_without, _n, _curve = _measure(
         source,
@@ -375,6 +384,7 @@ def ablate_lsu_remanence(
         chunk_size=chunk_size,
         jobs=jobs,
         precision=precision,
+        backend=backend,
     )
     return AblationResult(
         name="lsu-remanence",
@@ -393,6 +403,7 @@ def ablate_parallel_shares(
     jobs: int = 1,
     budgets: tuple[int, ...] | None = None,
     precision: str | None = None,
+    backend=None,
 ) -> AblationResult:
     """§4.2 defensive: dual-issuing the two shares separates their buses."""
     inputs, secret = _masked_inputs(n_traces, seed)
@@ -405,10 +416,11 @@ def ablate_parallel_shares(
     corr_seq, n_samples, curve = _measure(
         "\n".join(sequential), inputs, model, _ISSUE_LAYER, seed=seed,
         chunk_size=chunk_size, jobs=jobs, budgets=budgets, precision=precision,
+        backend=backend,
     )
     corr_par, _n, _curve = _measure(
         "\n".join(parallel), inputs, model, _ISSUE_LAYER, seed=seed + 1,
-        chunk_size=chunk_size, jobs=jobs, precision=precision,
+        chunk_size=chunk_size, jobs=jobs, precision=precision, backend=backend,
     )
     return AblationResult(
         name="parallel-shares",
@@ -427,6 +439,7 @@ def ablate_scalar_write_port(
     jobs: int = 1,
     budgets: tuple[int, ...] | None = None,
     precision: str | None = None,
+    backend=None,
 ) -> AblationResult:
     """[18,19]: the scalar core's single write port combines results.
 
@@ -499,6 +512,7 @@ def run_preset_ablations(
     jobs: int = 1,
     seed: int = 0x5EEB,
     precision: str | None = None,
+    backend=None,
 ):
     """The §4.2 preset ablation table, rebased onto the sweep engine.
 
@@ -520,6 +534,7 @@ def run_preset_ablations(
         jobs=jobs,
         seed=seed,
         precision=precision,
+        backend=backend,
     ).run()
 
 
@@ -529,6 +544,7 @@ def run_all_ablations(
     jobs: int = 1,
     budgets: tuple[int, ...] | None = None,
     precision: str | None = None,
+    backend=None,
 ) -> list[AblationResult]:
     return [
         ablation(
@@ -537,6 +553,7 @@ def run_all_ablations(
             jobs=jobs,
             budgets=budgets,
             precision=precision,
+            backend=backend,
         )
         for ablation in ALL_ABLATIONS
     ]
@@ -589,12 +606,14 @@ def _scenario_runner(request: RunRequest) -> _AblationSuite:
             chunk_size=request.chunk_size,
             jobs=request.jobs,
             precision=request.precision,
+            backend=request.backend,
         ),
         preset_sweep=run_preset_ablations(
             n_traces=request.n_traces,
             chunk_size=request.chunk_size,
             jobs=request.jobs,
             precision=request.precision,
+            backend=request.backend,
             **({} if request.seed is None else {"seed": request.seed}),
         ),
     )
@@ -616,6 +635,7 @@ SCENARIO = register(
                 Capability.SEED,
                 Capability.CHUNKING,
                 Capability.JOBS,
+                Capability.BACKEND,
                 Capability.PRECISION,
             }
         ),

@@ -136,6 +136,7 @@ def _measure_case(
     seed: int,
     chunk_size: int | None = None,
     jobs: int = 1,
+    backend=None,
 ) -> PredictionCase:
     source = "\n".join(
         ["    nop"] * 12 + ["bench_start:"] + [f"    {line}" for line in source_lines]
@@ -158,6 +159,7 @@ def _measure_case(
         seed=seed ^ 0x9999,
         chunk_size=chunk_size,
         jobs=jobs,
+        backend=backend,
     )
     _path, _schedule, leakage = engine.compiled(inputs)
     base = program.instruction_at(program.label_address("bench_start")).index
@@ -205,6 +207,7 @@ def run_baseline_comparison(
     seed: int = 0xBA5E,
     chunk_size: int | None = None,
     jobs: int = 1,
+    backend=None,
 ) -> BaselineComparison:
     """Measure the three scenarios and each model's verdicts."""
     cases = [
@@ -218,6 +221,7 @@ def run_baseline_comparison(
             seed,
             chunk_size=chunk_size,
             jobs=jobs,
+            backend=backend,
         ),
         _measure_case(
             "adjacent-dual-issued",
@@ -229,6 +233,7 @@ def run_baseline_comparison(
             seed + 1,
             chunk_size=chunk_size,
             jobs=jobs,
+            backend=backend,
         ),
         _measure_case(
             "non-adjacent-via-dual-issue",
@@ -241,6 +246,7 @@ def run_baseline_comparison(
             seed + 2,
             chunk_size=chunk_size,
             jobs=jobs,
+            backend=backend,
         ),
     ]
     return BaselineComparison(cases=cases)
@@ -252,6 +258,7 @@ def _scenario_runner(request: RunRequest) -> BaselineComparison:
         n_traces=request.n_traces,
         chunk_size=request.chunk_size,
         jobs=request.jobs,
+        backend=request.backend,
         **kwargs,
     )
 
@@ -272,6 +279,7 @@ SCENARIO = register(
                 Capability.SEED,
                 Capability.CHUNKING,
                 Capability.JOBS,
+                Capability.BACKEND,
             }
         ),
         tags=("comparison",),

@@ -152,6 +152,7 @@ def run_figure3(
     chunk_size: int | None = None,
     jobs: int = 1,
     precision: str | None = None,
+    backend=None,
 ) -> Figure3Result:
     """Acquire the bare-metal campaign and run the Figure-3 CPA.
 
@@ -174,6 +175,7 @@ def run_figure3(
         seed=seed ^ 0x5A5A,
         chunk_size=chunk_size,
         jobs=jobs,
+        backend=backend,
     )
     plaintexts = inputs.mem_bytes[LAYOUT.state]
 
@@ -240,6 +242,7 @@ def _scenario_runner(request: RunRequest) -> Figure3Result:
         chunk_size=request.chunk_size,
         jobs=request.jobs,
         precision=request.precision,
+        backend=request.backend,
         **kwargs,
     )
 
@@ -260,6 +263,7 @@ SCENARIO = register(
                 Capability.SEED,
                 Capability.CHUNKING,
                 Capability.JOBS,
+                Capability.BACKEND,
                 Capability.PRECISION,
                 Capability.PIPELINE_CONFIG,
                 Capability.SCOPE,

@@ -194,6 +194,7 @@ def run_figure4(
     jobs: int = 1,
     margin_budgets: tuple[int, ...] | None = None,
     precision: str | None = None,
+    backend=None,
 ) -> Figure4Result:
     """Run the loaded-Linux campaign and the chained HD-store attack.
 
@@ -239,6 +240,7 @@ def run_figure4(
             seed=campaign_seed,
             chunk_size=chunk_size,
             jobs=jobs,
+            backend=backend,
         )
         curve: dict[int, float] | None = None
         if chunk_size is None:
@@ -354,6 +356,7 @@ def _scenario_runner(request: RunRequest) -> Figure4Result:
         chunk_size=request.chunk_size,
         jobs=request.jobs,
         precision=request.precision,
+        backend=request.backend,
         **kwargs,
     )
 
@@ -375,6 +378,7 @@ SCENARIO = register(
                 Capability.SEED,
                 Capability.CHUNKING,
                 Capability.JOBS,
+                Capability.BACKEND,
                 Capability.PRECISION,
                 Capability.PIPELINE_CONFIG,
             }

@@ -526,6 +526,7 @@ def run_table2(
     confidence: float = 0.995,
     chunk_size: int | None = None,
     jobs: int = 1,
+    backend=None,
 ) -> Table2Result:
     """Run all seven benchmarks and classify every model expression.
 
@@ -552,6 +553,7 @@ def run_table2(
             seed=seed + 31 * row,
             chunk_size=chunk_size,
             jobs=jobs,
+            backend=backend,
         )
         _path, schedule, leakage = engine.compiled(inputs)
         bench_base = program.instruction_at(program.label_address("bench_start")).index
@@ -626,6 +628,7 @@ def _scenario_runner(request: RunRequest) -> Table2Result:
         n_traces=request.n_traces,
         chunk_size=request.chunk_size,
         jobs=request.jobs,
+        backend=request.backend,
         **kwargs,
     )
 
@@ -646,6 +649,7 @@ SCENARIO = register(
                 Capability.SEED,
                 Capability.CHUNKING,
                 Capability.JOBS,
+                Capability.BACKEND,
                 Capability.PIPELINE_CONFIG,
             }
         ),

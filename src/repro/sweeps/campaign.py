@@ -15,21 +15,26 @@ budget, one pass).  Every point uses the *same* campaign seed, so all
 points measure paired noise realizations and their metric differences
 isolate the configuration change.
 
-``jobs > 1`` fans *points* out over forked worker processes (each
-worker runs its points' campaigns single-process); point results are
-independent of the worker layout, so any ``jobs`` value reproduces the
-serial metrics bit for bit.
+``jobs > 1`` fans *points* out through an execution backend
+(:mod:`repro.backends`; each worker runs its points' campaigns
+single-process); point results are independent of the worker layout, so
+any ``jobs`` value — and any backend, including a persistent
+:class:`~repro.backends.PoolBackend` kept warm across sweeps —
+reproduces the serial metrics bit for bit.  Workloads are built from
+module-level callables, so every payload a spawn-style backend ships is
+picklable by construction.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import time
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable
 
 import numpy as np
 
+from repro.backends import ExecutionBackend, resolve_backend
 from repro.campaigns.engine import StreamingCampaign, schedule_cache_info
 from repro.crypto.aes_asm import LAYOUT, round1_only_program
 from repro.experiments.reporting import render_table
@@ -63,6 +68,22 @@ class SweepWorkload:
     entry: str | None = None
 
 
+def _aes_build_inputs(n_traces: int, seed: int, input_seed: int) -> BatchInputs:
+    return random_inputs(
+        n_traces, mem_blocks={LAYOUT.state: 16}, seed=seed ^ input_seed
+    )
+
+
+def _aes_model_matrix(
+    inputs: BatchInputs, lo: int, hi: int, byte_index: int
+) -> np.ndarray:
+    plaintexts = inputs.mem_bytes[LAYOUT.state][lo:hi]
+    return np.stack(
+        [hw_sbox_model(plaintexts, byte_index, guess) for guess in range(256)],
+        axis=1,
+    )
+
+
 def aes_round1_workload(
     key: bytes = DEFAULT_KEY, byte_index: int = 0, input_seed: int = 0x5EED
 ) -> SweepWorkload:
@@ -70,26 +91,15 @@ def aes_round1_workload(
 
     The partition labels of the Welch/SNR detectors are the true-key
     model column (the Hamming weight of the attacked S-box output), so
-    all three metrics score the same intermediate.
+    all three metrics score the same intermediate.  Built from
+    module-level callables (via :func:`functools.partial`), the workload
+    is picklable — a requirement of the spawn-style backends.
     """
-
-    def build_inputs(n_traces: int, seed: int) -> BatchInputs:
-        return random_inputs(
-            n_traces, mem_blocks={LAYOUT.state: 16}, seed=seed ^ input_seed
-        )
-
-    def model_matrix(inputs: BatchInputs, lo: int, hi: int) -> np.ndarray:
-        plaintexts = inputs.mem_bytes[LAYOUT.state][lo:hi]
-        return np.stack(
-            [hw_sbox_model(plaintexts, byte_index, guess) for guess in range(256)],
-            axis=1,
-        )
-
     return SweepWorkload(
         name=f"aes-round1/hw-sbox[{byte_index}]",
-        build_program=lambda: round1_only_program(key),
-        build_inputs=build_inputs,
-        model_matrix=model_matrix,
+        build_program=partial(round1_only_program, key),
+        build_inputs=partial(_aes_build_inputs, input_seed=input_seed),
+        model_matrix=partial(_aes_model_matrix, byte_index=byte_index),
         true_key=key[byte_index],
         entry="aes_round1",
     )
@@ -284,6 +294,7 @@ class SweepCampaign:
         jobs: int = 1,
         seed: int = 0x5EEB,
         precision: str | None = None,
+        backend: str | ExecutionBackend | None = None,
     ):
         self.spec = spec
         self.n_traces = int(n_traces)
@@ -302,6 +313,18 @@ class SweepCampaign:
         self.chunk_size = chunk_size
         self.jobs = max(1, jobs)
         self.seed = int(seed)
+        #: backend policy for the point fan-out ("auto"/"serial"/... or
+        #: a live :class:`~repro.backends.ExecutionBackend` to reuse)
+        self.backend = backend
+
+    def __getstate__(self):
+        # Point payloads carry the campaign into pool workers; a live
+        # backend instance (its pool handle) must not ride along, and a
+        # worker's points never nest further fan-out anyway.
+        state = self.__dict__.copy()
+        if isinstance(state.get("backend"), ExecutionBackend):
+            state["backend"] = "serial"
+        return state
 
     # -- per-point evaluation -------------------------------------------
 
@@ -354,10 +377,18 @@ class SweepCampaign:
             for point in points
         }
         _programs_before, entries_before = schedule_cache_info()
-        if self.jobs > 1 and len(points) > 1 and _fork_available():
-            results = self._run_parallel(points, program, inputs)
-        else:
-            results = [self._run_point(point, program, inputs) for point in points]
+        resolved, owned = resolve_backend(
+            self.backend, jobs=self.jobs, n_tasks=len(points)
+        )
+        try:
+            resolved.start()
+            results = resolved.map_items(
+                _run_point_task,
+                [(self, program, inputs, point) for point in points],
+            )
+        finally:
+            if owned:
+                resolved.close()
         _programs_after, entries_after = schedule_cache_info()
         compiled = entries_after - entries_before
         if compiled <= 0:
@@ -380,37 +411,8 @@ class SweepCampaign:
     def _scope_identity(self, point: SweepPoint) -> int:
         return point.resolve_scope(self.base_scope).samples_per_cycle
 
-    def _run_parallel(self, points, program, inputs) -> list[SweepPointResult]:
-        context = multiprocessing.get_context("fork")
-        with context.Pool(
-            processes=min(self.jobs, len(points)),
-            initializer=_sweep_worker_init,
-            initargs=(self, program, inputs, points),
-        ) as pool:
-            indexed = pool.map(_sweep_worker_point, range(len(points)))
-        return [result for _index, result in sorted(indexed, key=lambda x: x[0])]
 
-
-def _fork_available() -> bool:
-    return "fork" in multiprocessing.get_all_start_methods()
-
-
-# Worker-side state, inherited copy-on-write at fork (the campaign, the
-# shared program and the full input batch never cross the pipe).
-_WORKER_STATE: dict = {}
-
-
-def _sweep_worker_init(campaign, program, inputs, points) -> None:  # pragma: no cover
-    _WORKER_STATE["campaign"] = campaign
-    _WORKER_STATE["program"] = program
-    _WORKER_STATE["inputs"] = inputs
-    _WORKER_STATE["points"] = points
-
-
-def _sweep_worker_point(index: int):  # pragma: no cover - exercised via Pool
-    campaign: SweepCampaign = _WORKER_STATE["campaign"]
-    point = _WORKER_STATE["points"][index]
-    result = campaign._run_point(
-        point, _WORKER_STATE["program"], _WORKER_STATE["inputs"]
-    )
-    return index, result
+def _run_point_task(payload) -> SweepPointResult:
+    """Module-level point runner, so pooled payloads pickle cleanly."""
+    campaign, program, inputs, point = payload
+    return campaign._run_point(point, program, inputs)

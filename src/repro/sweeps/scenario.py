@@ -42,6 +42,7 @@ def run_sweep(request: RunRequest) -> SweepResult:
         jobs=request.jobs or 1,
         seed=request.seed if request.seed is not None else 0x5EEB,
         precision=request.precision,
+        backend=request.backend,
     )
     return campaign.run()
 
@@ -64,6 +65,7 @@ SCENARIO = register(
                 Capability.SEED,
                 Capability.CHUNKING,
                 Capability.JOBS,
+                Capability.BACKEND,
                 Capability.PRECISION,
                 Capability.GRID,
                 Capability.SCOPE,

@@ -74,6 +74,26 @@ class TestEnvelope:
         assert record["output"] is None
 
 
+class TestNotes:
+    def test_notes_serialize_on_success_records(self):
+        noted = envelope(notes=("jobs=4 degraded to serial",))
+        record = noted.to_json()
+        assert validate_envelope(record) is record
+        assert record["notes"] == ["jobs=4 degraded to serial"]
+        json.dumps(record)
+
+    def test_empty_notes_stay_off_the_record(self):
+        assert "notes" not in envelope().to_json()
+
+    def test_failure_records_carry_notes_too(self):
+        failed = Envelope.failure("fake", "Fake scenario", 0.1, "RuntimeError: boom")
+        failed.notes = ("advisory",)
+        record = failed.to_json()
+        validate_envelope(record)
+        assert record["notes"] == ["advisory"]
+        assert record["error"] == "RuntimeError: boom"
+
+
 class TestValidator:
     def test_rejects_non_dict(self):
         with pytest.raises(EnvelopeSchemaError, match="dict"):
@@ -95,6 +115,12 @@ class TestValidator:
         record = envelope().to_json()
         record["matches_paper"] = "yes"
         with pytest.raises(EnvelopeSchemaError, match="matches_paper"):
+            validate_envelope(record)
+
+    def test_rejects_non_string_notes(self):
+        record = envelope().to_json()
+        record["notes"] = ["fine", 7]
+        with pytest.raises(EnvelopeSchemaError, match="notes"):
             validate_envelope(record)
 
     def test_rejects_bad_artifacts(self):

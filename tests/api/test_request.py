@@ -53,11 +53,26 @@ class TestValidation:
             {"jobs": 0},
             {"seed": -1},
             {"precision": "float16"},
+            {"backend": "threads"},
+            {"backend": object()},
         ),
     )
     def test_malformed_values_rejected_at_construction(self, knobs):
         with pytest.raises(ValueError):
             RunRequest(**knobs)
+
+    def test_backend_accepts_policies_and_instances(self):
+        from repro.backends import BACKEND_POLICIES, SerialBackend
+
+        for policy in BACKEND_POLICIES:
+            assert RunRequest(backend=policy).backend == policy
+        instance = SerialBackend()
+        assert RunRequest(backend=instance).backend is instance
+
+    def test_backend_is_a_capability_gated_knob(self):
+        with pytest.raises(CapabilityError, match="backend"):
+            RunRequest(backend="fork").validate(scenario_with(Capability.JOBS))
+        RunRequest(backend="fork").validate(scenario_with(Capability.BACKEND))
 
 
 class TestNarrowing:

@@ -103,6 +103,54 @@ class TestSessionPolicy:
         validate_envelope(envelopes[1].to_json())
 
 
+class TestBackendPolicy:
+    def test_explicit_backend_on_unsupporting_scenario_is_an_error(self):
+        with pytest.raises(CapabilityError, match="backend"):
+            Session().run("figure2", reps=10, backend="fork")
+
+    def test_session_backend_default_skips_unsupported_scenarios(self):
+        envelope = Session(backend="serial").run("figure2", reps=10)
+        assert envelope.ok
+        assert envelope.request.backend is None
+
+    def test_backend_default_reaches_supporting_scenarios(self):
+        envelope = Session(backend="serial").run("figure3", n_traces=64)
+        assert envelope.request.backend == "serial"
+
+    def test_degradation_is_recorded_in_envelope_notes(self, monkeypatch):
+        from repro.backends import BackendUnavailable
+        from repro.backends.base import BackendContext
+
+        monkeypatch.setattr("repro.backends.pools.fork_available", lambda: False)
+
+        def deny(self, backend_name):
+            raise BackendUnavailable("pickling denied for the test")
+
+        monkeypatch.setattr(BackendContext, "assert_picklable", deny)
+        envelope = Session().run("figure3", n_traces=64, chunk_size=16, jobs=2)
+        assert envelope.ok
+        assert any("running serial" in note for note in envelope.notes)
+        record = envelope.to_json()
+        assert record["notes"] == list(envelope.notes)
+        validate_envelope(record)
+
+    def test_quiet_runs_carry_no_notes(self):
+        assert Session().run("figure2", reps=10).notes == ()
+
+    def test_pool_policy_is_session_owned_and_released(self):
+        with Session(chunk_size=32, jobs=2, backend="pool") as session:
+            envelope = session.run("figure3", n_traces=64)
+            assert envelope.ok
+            pool = session._owned_pool
+            assert pool is not None
+            assert pool.tasks_dispatched == 2  # 64 traces / 32 per chunk
+            # A second run reuses the same warm pool.
+            session.run("figure3", n_traces=64)
+            assert session._owned_pool is pool
+            assert pool.tasks_dispatched == 4
+        assert session._owned_pool is None  # the context manager closed it
+
+
 class TestAcquire:
     def test_acquire_uses_session_scope_and_chunking(self):
         from repro.isa.parser import assemble

@@ -33,6 +33,7 @@ LOCKED_CAPABILITIES = {
     "reps",
     "chunking",
     "jobs",
+    "backend",
     "precision",
     "grid",
     "seed",

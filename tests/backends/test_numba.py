@@ -1,0 +1,88 @@
+"""The optional numba backend: soft gating, hook seam, bit-exactness.
+
+The JIT tests skip where numba is absent; the gating tests and the
+evaluator-hook seam run everywhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import BackendUnavailable, NumbaTapeBackend, numba_available
+from repro.power import synth
+
+
+def _has_numba() -> bool:
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+class TestSoftGating:
+    def test_availability_tracks_the_import(self):
+        assert numba_available() == _has_numba()
+
+    def test_backend_refuses_construction_without_numba(self):
+        if numba_available():
+            pytest.skip("numba is installed here")
+        with pytest.raises(BackendUnavailable, match="numba"):
+            NumbaTapeBackend()
+
+
+class TestEvaluateHookSeam:
+    """The synth-side seam the backend installs into, numba or not."""
+
+    def test_declining_hook_is_consulted_and_bit_transparent(
+        self, make_engine, make_inputs
+    ):
+        inputs = make_inputs(16)
+        baseline = make_engine(precision="float64-exact", seed=0xD0).acquire(inputs)
+        calls = []
+
+        def declining_hook(plan, table, dtype):
+            calls.append(np.dtype(dtype))
+            return None  # decline: the NumPy reference must run
+
+        previous = synth.set_packed_evaluate_hook(declining_hook)
+        try:
+            hooked = make_engine(precision="float64-exact", seed=0xD0).acquire(inputs)
+        finally:
+            synth.set_packed_evaluate_hook(previous)
+        assert calls, "the packed evaluator never consulted the hook"
+        np.testing.assert_array_equal(hooked.traces, baseline.traces)
+
+    def test_set_hook_returns_the_previous_hook(self):
+        def hook(plan, table, dtype):
+            return None
+
+        original = synth.set_packed_evaluate_hook(hook)
+        assert synth.set_packed_evaluate_hook(original) is hook
+
+
+class TestWithNumba:
+    def test_backend_is_bit_exact_against_the_numpy_reference(
+        self, make_engine, make_inputs
+    ):
+        pytest.importorskip("numba")
+        inputs = make_inputs(24)
+        reference = make_engine(precision="float64-exact", seed=0xD1).acquire(inputs)
+        backend = NumbaTapeBackend()
+        with backend:
+            jitted = make_engine(precision="float64-exact", seed=0xD1).acquire(inputs)
+        np.testing.assert_array_equal(jitted.traces, reference.traces)
+        # close() restored the seam: a fresh run is the reference again.
+        restored = make_engine(precision="float64-exact", seed=0xD1).acquire(inputs)
+        np.testing.assert_array_equal(restored.traces, reference.traces)
+
+    def test_stream_through_the_numba_policy_matches_serial(self, capture):
+        pytest.importorskip("numba")
+        np.testing.assert_array_equal(
+            capture("numba", 16, precision="float64-exact", jobs=1),
+            capture("serial", 16, precision="float64-exact", jobs=1),
+        )
+
+    def test_describe_reports_the_numba_version(self):
+        numba = pytest.importorskip("numba")
+        backend = NumbaTapeBackend()
+        assert backend.describe()["numba_version"] == numba.__version__

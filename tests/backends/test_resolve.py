@@ -1,0 +1,108 @@
+"""Policy resolution: auto degradation chain, strict explicit names."""
+
+import pytest
+
+from repro.backends import (
+    BackendContext,
+    BackendDegradationWarning,
+    BackendUnavailable,
+    CLI_BACKEND_CHOICES,
+    ForkBackend,
+    PoolBackend,
+    SerialBackend,
+    SpawnBackend,
+    fork_available,
+    make_backend,
+    resolve_backend,
+)
+from repro.backends.faults import _identity
+
+needs_fork = pytest.mark.skipif(not fork_available(), reason="fork unavailable")
+
+
+class TestMakeBackend:
+    @pytest.mark.parametrize(
+        ("policy", "cls"),
+        [("serial", SerialBackend), ("fork", ForkBackend), ("spawn", SpawnBackend)],
+    )
+    def test_names_map_to_classes(self, policy, cls):
+        assert isinstance(make_backend(policy, jobs=2), cls)
+
+    def test_pool_policy_builds_a_persistent_backend(self):
+        backend = make_backend("pool", jobs=2)
+        assert isinstance(backend, PoolBackend)
+        backend.close()
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown backend policy"):
+            make_backend("threads")
+
+
+class TestResolveAuto:
+    def test_jobs_one_resolves_serial(self):
+        backend, owned = resolve_backend("auto", jobs=1, n_tasks=10)
+        assert isinstance(backend, SerialBackend) and owned
+
+    def test_single_task_resolves_serial(self):
+        backend, owned = resolve_backend("auto", jobs=4, n_tasks=1)
+        assert isinstance(backend, SerialBackend) and owned
+
+    def test_none_means_auto(self):
+        backend, _owned = resolve_backend(None, jobs=1)
+        assert isinstance(backend, SerialBackend)
+
+    @needs_fork
+    def test_parallel_prefers_fork(self):
+        backend, owned = resolve_backend("auto", jobs=4, n_tasks=8)
+        assert isinstance(backend, ForkBackend) and owned
+        assert backend.workers == 4
+
+    def test_falls_back_to_spawn_without_fork(self, monkeypatch):
+        monkeypatch.setattr("repro.backends.pools.fork_available", lambda: False)
+        context = BackendContext(campaign=None, inputs=None, power_transform=_identity)
+        backend, _owned = resolve_backend("auto", jobs=2, n_tasks=4, context=context)
+        assert isinstance(backend, SpawnBackend)
+
+    def test_degrades_loudly_when_nothing_parallel_works(self, monkeypatch):
+        monkeypatch.setattr("repro.backends.pools.fork_available", lambda: False)
+        context = BackendContext(
+            campaign=None, inputs=None, power_transform=lambda power: power
+        )
+        with pytest.warns(BackendDegradationWarning, match="jobs=4"):
+            backend, owned = resolve_backend("auto", jobs=4, n_tasks=8, context=context)
+        assert isinstance(backend, SerialBackend) and owned
+
+
+class TestResolveExplicit:
+    def test_instance_passes_through_unowned(self):
+        instance = SerialBackend()
+        backend, owned = resolve_backend(instance, jobs=4)
+        assert backend is instance
+        assert not owned
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown backend policy"):
+            resolve_backend("threads", jobs=2)
+
+    def test_non_string_policy_raises(self):
+        with pytest.raises(TypeError, match="policy"):
+            resolve_backend(42, jobs=2)
+
+    def test_explicit_fork_is_strict_about_availability(self, monkeypatch):
+        import multiprocessing
+
+        monkeypatch.setattr(
+            multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        with pytest.raises(BackendUnavailable, match="fork"):
+            resolve_backend("fork", jobs=2)
+
+    def test_explicit_serial_honored_despite_jobs(self):
+        backend, owned = resolve_backend("serial", jobs=8, n_tasks=8)
+        assert isinstance(backend, SerialBackend) and owned
+
+
+def test_cli_choices_are_a_subset_of_the_policies():
+    from repro.backends import BACKEND_POLICIES
+
+    assert set(CLI_BACKEND_CHOICES) <= set(BACKEND_POLICIES)

@@ -37,6 +37,17 @@ class TestParser:
         assert args.seed == 9
         assert args.format == "text"
 
+    def test_backend_choices_match_the_published_cli_subset(self):
+        from repro.backends import CLI_BACKEND_CHOICES
+
+        parser = build_parser()
+        for choice in CLI_BACKEND_CHOICES:
+            assert parser.parse_args(["figure3", "--backend", choice]).backend == choice
+        action = next(a for a in parser._actions if a.dest == "backend")
+        assert tuple(action.choices) == CLI_BACKEND_CHOICES
+        with pytest.raises(SystemExit):
+            parser.parse_args(["figure3", "--backend", "threads"])
+
     def test_format_choices(self):
         assert build_parser().parse_args(["table1", "--format", "json"]).format == "json"
         with pytest.raises(SystemExit):
@@ -100,6 +111,31 @@ class TestExecution:
         assert main(["table2", "--traces", "400", "--chunk-size", "150"]) == 0
         assert "Table 2 (reproduced)" in capsys.readouterr().out
 
+    def test_backend_fork_json_is_byte_identical_to_serial(self, capsys):
+        from repro.backends import fork_available
+
+        if not fork_available():
+            pytest.skip("fork unavailable")
+
+        def run(backend):
+            argv = [
+                "figure3",
+                "--traces", "150",
+                "--chunk-size", "60",
+                "--precision", "float32",
+                "--backend", backend,
+                "--format", "json",
+            ]
+            if backend != "serial":
+                argv += ["--jobs", "2"]
+            assert main(argv) == 0
+            records = json.loads(capsys.readouterr().out)
+            for record in records:
+                record.pop("seconds", None)  # wall time is the one volatile field
+            return json.dumps(records, sort_keys=True)
+
+        assert run("fork") == run("serial")
+
     def test_sweep_grid_end_to_end(self, capsys):
         assert main(["sweep", "--grid", "dual_issue=true,false", "--traces", "128"]) == 0
         out = capsys.readouterr().out
@@ -117,6 +153,7 @@ class TestCapabilityErrors:
             (["figure2", "--precision", "float32"], "--precision"),
             (["figure2", "--chunk-size", "100"], "--chunk-size"),
             (["figure2", "--jobs", "4"], "--jobs"),
+            (["figure2", "--backend", "fork"], "--backend"),
             (["table1", "--traces", "500"], "--traces"),
             (["figure3", "--reps", "50"], "--reps"),
             (["success-curves", "--chunk-size", "64"], "--chunk-size"),
