@@ -465,13 +465,80 @@ def bench_session_api(n_traces: int, repeats: int) -> dict:
     return out
 
 
+def bench_resilience(n_traces: int, repeats: int) -> dict:
+    """Resilience layer cost: happy-path overhead and recovery latency.
+
+    Streams the same figure-3 float32 campaign three ways — plain
+    (historical dispatch), armed (retry budget + per-chunk validation,
+    no faults), and through one injected transient fault (the full
+    retry path) — and records the armed-vs-plain overhead.  The
+    acceptance bar is under 2% on the fault-free path.
+    """
+    import tempfile
+
+    from repro.backends.faults import FlakyTransform
+    from repro.backends.resilience import RetryPolicy
+    from repro.campaigns.engine import StreamingCampaign
+    from repro.crypto.aes_asm import LAYOUT, round1_only_program
+    from repro.experiments.figure3 import figure3_scope
+    from repro.power.acquisition import random_inputs
+    from repro.power.profile import cortex_a7_profile
+
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    program = round1_only_program(key)
+    inputs = random_inputs(n_traces, mem_blocks={LAYOUT.state: 16}, seed=0xF16003)
+    chunk = max(30, n_traces // 8)
+    engine = StreamingCampaign(
+        program,
+        profile=cortex_a7_profile(),
+        scope=figure3_scope("float32"),
+        entry="aes_round1",
+        seed=1,
+        chunk_size=chunk,
+    )
+    engine.compiled(inputs)
+
+    def run(**kwargs):
+        for _chunk in engine.stream(inputs, **kwargs):
+            pass
+
+    run()  # warm the compiled schedule and buffers once
+    out = {"n_traces": n_traces, "chunk_size": chunk}
+    out["plain"] = _measure(run, repeats)
+    # Zero backoff so the bench times the machinery, not sleeps.
+    policy = RetryPolicy.from_retries(2, backoff_base=0.0)
+    out["armed"] = _measure(lambda: run(retry=policy), repeats)
+    out["happy_path_overhead_pct"] = round(
+        100.0 * (out["armed"]["median_s"] / out["plain"]["median_s"] - 1.0), 2
+    )
+    out["overhead_budget_pct"] = 2.0
+
+    # Recovery latency: one transient fault per run, absorbed by the
+    # retry path (a fresh ledger per repeat re-arms the fault).
+    with tempfile.TemporaryDirectory(prefix="bench-resilience-") as workdir:
+        counter = {"n": 0}
+
+        def faulted():
+            counter["n"] += 1
+            flaky = FlakyTransform(
+                f"{workdir}/ledger-{counter['n']}", fail_times=1
+            )
+            run(power_transform=flaky, retry=policy)
+
+        out["recovered"] = _measure(faulted, repeats)
+    out["recovery_latency_s"] = round(
+        max(0.0, out["recovered"]["median_s"] - out["plain"]["median_s"]), 6
+    )
+    return out
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true", help="small sizes for CI")
     parser.add_argument("--out", default="BENCH_hotpath.json")
     parser.add_argument(
         "--section",
-        choices=("all", "hotpath", "backends"),
+        choices=("all", "hotpath", "backends", "resilience"),
         default="all",
         help="which benchmark family to run (default: all)",
     )
@@ -479,6 +546,11 @@ def main(argv: list[str] | None = None) -> int:
         "--backends-out",
         default="BENCH_backends.json",
         help="output path of the execution-backend benchmark",
+    )
+    parser.add_argument(
+        "--resilience-out",
+        default="BENCH_resilience.json",
+        help="output path of the resilience-layer benchmark",
     )
     parser.add_argument("--traces", type=int, default=None, help="figure3 batch size")
     parser.add_argument("--repeats", type=int, default=None)
@@ -529,6 +601,39 @@ def main(argv: list[str] | None = None) -> int:
             f"warm {sweep['warm_s']:.2f}s  ({sweep['warm_speedup']:.2f}x)"
         )
         if args.section == "backends":
+            return 0
+
+    if args.section in ("all", "resilience"):
+        nr = args.traces or (240 if args.smoke else 600)
+        rreport = {
+            "schema": "bench_resilience/1",
+            "smoke": bool(args.smoke),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "benchmarks": {},
+        }
+        print(f"resilience layer (n={nr}, repeats={repeats}) ...", flush=True)
+        bench_started = time.time()
+        rreport["benchmarks"]["figure3_float32_resilience"] = bench_resilience(
+            nr, max(2, repeats)
+        )
+        rreport["wall_s"] = round(time.time() - bench_started, 2)
+        resilience_path = Path(args.resilience_out)
+        resilience_path.write_text(json.dumps(rreport, indent=2) + "\n")
+        print(f"wrote {resilience_path}")
+        section = rreport["benchmarks"]["figure3_float32_resilience"]
+        print(
+            f"  happy path: plain {section['plain']['median_s']*1e3:.1f} ms -> "
+            f"armed {section['armed']['median_s']*1e3:.1f} ms  "
+            f"({section['happy_path_overhead_pct']:+.2f}% overhead, "
+            f"budget {section['overhead_budget_pct']:.1f}%)"
+        )
+        print(
+            f"  recovery: one transient fault {section['recovered']['median_s']*1e3:.1f} ms "
+            f"(+{section['recovery_latency_s']*1e3:.1f} ms over plain)"
+        )
+        if args.section == "resilience":
             return 0
 
     started = time.time()

@@ -40,6 +40,9 @@ class Capability(enum.Enum):
     PIPELINE_CONFIG = "pipeline-config"
     #: the runner honors ``scope`` (a ScopeConfig override)
     SCOPE = "scope"
+    #: the runner honors the fault-tolerance knobs (``retries``,
+    #: ``chunk_timeout``, ``checkpoint``, ``resume``)
+    RESILIENCE = "resilience"
 
     def __str__(self) -> str:  # "chunking", not "Capability.CHUNKING"
         return self.value
@@ -57,6 +60,10 @@ KNOB_CAPABILITIES: dict[str, Capability] = {
     "seed": Capability.SEED,
     "config": Capability.PIPELINE_CONFIG,
     "scope": Capability.SCOPE,
+    "retries": Capability.RESILIENCE,
+    "chunk_timeout": Capability.RESILIENCE,
+    "checkpoint": Capability.RESILIENCE,
+    "resume": Capability.RESILIENCE,
 }
 
 #: RunRequest field -> the CLI flag that sets it (for error messages).
@@ -71,6 +78,10 @@ KNOB_FLAGS: dict[str, str] = {
     "seed": "--seed",
     "config": "config=",
     "scope": "scope=",
+    "retries": "--retries",
+    "chunk_timeout": "--chunk-timeout",
+    "checkpoint": "--checkpoint",
+    "resume": "--resume",
 }
 
 

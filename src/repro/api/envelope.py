@@ -69,6 +69,11 @@ class Envelope:
     #: advisory messages attached by the session (e.g. a requested
     #: parallelism that degraded to serial); never affect ``ok``
     notes: tuple[str, ...] = field(default_factory=tuple)
+    #: the structured resilience record (attempts, retries, timeouts,
+    #: degradations, checkpoint events) the session collected during the
+    #: run; ``None`` on a fault-free run, so happy-path envelopes are
+    #: byte-identical to pre-resilience ones
+    fault_report: dict | None = None
 
     @classmethod
     def failure(cls, scenario: str, title: str, seconds: float, error: str) -> "Envelope":
@@ -113,6 +118,8 @@ class Envelope:
         }
         if self.notes:
             record["notes"] = [str(note) for note in self.notes]
+        if self.fault_report:
+            record["fault_report"] = dict(self.fault_report)
         if not self.ok:
             record["output"] = None
             record["error"] = str(self.error)
@@ -172,6 +179,16 @@ def validate_envelope(record: Any) -> dict:
         not isinstance(notes, list) or not all(isinstance(n, str) for n in notes)
     ):
         problems.append("'notes' must be a list of strings")
+    fault_report = record.get("fault_report")
+    if "fault_report" in record:
+        if not isinstance(fault_report, dict):
+            problems.append("'fault_report' must be a JSON object")
+        else:
+            attempts = fault_report.get("attempts")
+            if not isinstance(attempts, int) or isinstance(attempts, bool) or attempts < 0:
+                problems.append("'fault_report.attempts' must be a non-negative integer")
+            if not isinstance(fault_report.get("retries"), list):
+                problems.append("'fault_report.retries' must be a list")
     artifacts = record.get("artifacts")
     if "artifacts" in record:
         if not isinstance(artifacts, dict):

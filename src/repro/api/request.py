@@ -47,6 +47,14 @@ class RunRequest:
     config: Any = None
     #: a ScopeConfig override (API-only; no CLI flag)
     scope: Any = None
+    #: per-chunk retry budget (0 = fail fast; requires RESILIENCE)
+    retries: int | None = None
+    #: soft per-chunk watchdog deadline in seconds (requires RESILIENCE)
+    chunk_timeout: float | None = None
+    #: checkpoint directory for crash/resume (requires RESILIENCE)
+    checkpoint: str | None = None
+    #: resume from ``checkpoint`` instead of starting fresh
+    resume: bool | None = None
 
     def __post_init__(self) -> None:
         if self.n_traces is not None and self.n_traces <= 0:
@@ -62,6 +70,12 @@ class RunRequest:
         if self.precision is not None and self.precision not in PRECISIONS:
             raise ValueError(
                 f"precision must be one of {PRECISIONS}, got {self.precision!r}"
+            )
+        if self.retries is not None and self.retries < 0:
+            raise ValueError(f"retries must be non-negative, got {self.retries}")
+        if self.chunk_timeout is not None and self.chunk_timeout <= 0:
+            raise ValueError(
+                f"chunk_timeout must be positive, got {self.chunk_timeout}"
             )
         if self.grid is not None and not isinstance(self.grid, tuple):
             object.__setattr__(self, "grid", tuple(self.grid))
@@ -117,6 +131,10 @@ class RunRequest:
             if name == "jobs":
                 if value is not None and value > 1:
                     knobs.append(name)
+            elif name == "resume":
+                # resume=False is indistinguishable from "not asked"
+                if value:
+                    knobs.append(name)
             elif value is not None:
                 knobs.append(name)
         return tuple(knobs)
@@ -158,6 +176,12 @@ class RunRequest:
         resolves to 1.
         """
         self.validate(scenario)
+        # Cross-knob coherence is checked post-merge, so a session-level
+        # checkpoint default satisfies a per-run resume=True.
+        if self.resume and self.checkpoint is None:
+            raise ValueError(
+                "resume requires a checkpoint directory (set checkpoint=...)"
+            )
         return self.fill_defaults(scenario)
 
     def fill_defaults(self, scenario: "Scenario") -> "RunRequest":

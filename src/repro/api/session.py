@@ -44,6 +44,9 @@ class Session:
         precision: str | None = None,
         seed: int | None = None,
         backend: Any = None,
+        retries: int | None = None,
+        chunk_timeout: float | None = None,
+        checkpoint: str | None = None,
     ):
         #: session policy, merged (where supported) into every request
         self.defaults = RunRequest(
@@ -54,6 +57,9 @@ class Session:
             config=config,
             scope=scope,
             backend=backend,
+            retries=retries,
+            chunk_timeout=chunk_timeout,
+            checkpoint=checkpoint,
         )
         #: the session-owned persistent pool, created lazily when the
         #: ``"pool"`` policy is first exercised and kept warm until
@@ -135,8 +141,17 @@ class Session:
         applicable, _dropped = self.defaults.narrowed_to(scenario)
         resolved = request.merged_defaults(applicable).resolve(scenario)
         resolved = self._materialize_backend(resolved)
+        from repro.backends.resilience import collecting_faults
+
         start = time.perf_counter()
-        result, notes = self._run_noting(scenario, resolved)
+        try:
+            with collecting_faults() as report:
+                result, notes = self._run_noting(scenario, resolved)
+        except KeyboardInterrupt:
+            # Release the session-owned pool before propagating: an
+            # interrupted run must not leave orphaned workers behind.
+            self.close()
+            raise
         seconds = time.perf_counter() - start
         return Envelope(
             scenario=scenario.name,
@@ -146,6 +161,7 @@ class Session:
             request=resolved,
             tags=scenario.tags,
             notes=notes,
+            fault_report=report.to_json() if report.has_events() else None,
         )
 
     @staticmethod

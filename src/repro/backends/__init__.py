@@ -19,6 +19,14 @@ numba    serial with the JIT'd packed-tape evaluator (needs numba)
 
 Every backend is byte-identical to serial for float32 campaigns; see
 ``docs/backends.md`` for the determinism argument and a decision guide.
+
+``auto`` also honors the process-wide quarantine registry
+(:func:`quarantine_backend` / :func:`is_quarantined`): a backend the
+resilience layer declared :class:`BackendBroken` is skipped by every
+later resolution, and streams fall down the
+``pool -> fork -> spawn -> serial`` degradation ladder instead of
+failing — loudly, via :class:`BackendDegradationWarning`.  See
+``docs/resilience.md``.
 """
 
 from __future__ import annotations
@@ -44,6 +52,20 @@ from repro.backends.pools import (
     SpawnBackend,
     cpu_count,
     fork_available,
+)
+from repro.backends.resilience import (
+    DEGRADATION_LADDER,
+    BackendBroken,
+    ChunkCorruption,
+    FaultReport,
+    ResilienceContext,
+    RetryPolicy,
+    TransientChunkError,
+    WatchdogTimeout,
+    clear_quarantine,
+    is_quarantined,
+    quarantine_backend,
+    quarantine_info,
 )
 
 #: every name ``resolve_backend`` accepts
@@ -106,10 +128,18 @@ def resolve_backend(
     # auto: nothing to fan out -> serial, quietly.
     if jobs <= 1 or (n_tasks is not None and n_tasks <= 1):
         return SerialBackend(), True
-    if _pools.fork_available():
+    if _pools.fork_available() and not is_quarantined("fork"):
         return ForkBackend(jobs), True
-    reason = "the 'fork' start method is unavailable on this platform"
-    if context is not None:
+    if is_quarantined("fork"):
+        reason = f"the 'fork' backend is quarantined ({quarantine_info().get('fork')})"
+    else:
+        reason = "the 'fork' start method is unavailable on this platform"
+    if is_quarantined("spawn"):
+        reason = (
+            f"{reason}, and the 'spawn' backend is quarantined "
+            f"({quarantine_info().get('spawn')})"
+        )
+    elif context is not None:
         try:
             context.assert_picklable("spawn")
         except BackendUnavailable as error:
@@ -130,22 +160,34 @@ def resolve_backend(
 __all__ = [
     "BACKEND_POLICIES",
     "CLI_BACKEND_CHOICES",
+    "DEGRADATION_LADDER",
+    "BackendBroken",
     "BackendContext",
     "BackendDegradationWarning",
     "BackendUnavailable",
     "CampaignSpec",
+    "ChunkCorruption",
     "ChunkResult",
     "ChunkTask",
     "ExecutionBackend",
+    "FaultReport",
     "ForkBackend",
     "NumbaTapeBackend",
     "PoolBackend",
+    "ResilienceContext",
+    "RetryPolicy",
     "SerialBackend",
     "SpawnBackend",
+    "TransientChunkError",
+    "WatchdogTimeout",
+    "clear_quarantine",
     "cpu_count",
     "fork_available",
+    "is_quarantined",
     "make_backend",
     "numba_available",
+    "quarantine_backend",
+    "quarantine_info",
     "resolve_backend",
     "run_chunk_task",
 ]

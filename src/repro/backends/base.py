@@ -34,6 +34,7 @@ from typing import Any, Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro.backends.resilience import ResilienceContext, run_attempts
 from repro.power.acquisition import (
     BatchInputs,
     CompiledAcquisition,
@@ -165,6 +166,8 @@ class BackendContext:
     transform0: Callable[[np.ndarray], np.ndarray] | None = None
     #: the parent's compiled triple, for slim-payload rewrapping
     compiled: CompiledAcquisition | None = None
+    #: retry/watchdog/validation state (None: historical dispatch paths)
+    resilience: "ResilienceContext | None" = None
     _spec: CampaignSpec | None = field(default=None, repr=False)
 
     def transform_for(self, index: int):
@@ -273,17 +276,38 @@ def run_chunk_task(
 
 
 class SerialBackend(ExecutionBackend):
-    """The in-process reference implementation every backend must match."""
+    """The in-process reference implementation every backend must match.
+
+    With a :class:`~repro.backends.resilience.ResilienceContext` on the
+    context, each task runs under the retry policy (validation included).
+    There is no watchdog serially — a soft deadline cannot preempt the
+    thread doing the work — so ``chunk_timeout`` is a no-op here; hangs
+    are a parallel-backend failure mode and recover there.
+    """
 
     name = "serial"
 
     def map_chunks(
         self, context: BackendContext, tasks: Sequence[ChunkTask]
     ) -> Iterator[ChunkResult]:
+        resilience = context.resilience
         for task in tasks:
-            trace_set = run_chunk_task(
-                context.campaign, context.inputs, task, context.transform_for(task.index)
-            )
+            if resilience is None:
+                trace_set = run_chunk_task(
+                    context.campaign, context.inputs, task, context.transform_for(task.index)
+                )
+            else:
+                trace_set = run_attempts(
+                    resilience,
+                    task,
+                    lambda attempt: run_chunk_task(
+                        context.campaign,
+                        context.inputs,
+                        task,
+                        context.transform_for(task.index),
+                    ),
+                    self.name,
+                )
             yield task.index, task.lo, trace_set
 
 

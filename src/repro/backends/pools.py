@@ -24,7 +24,16 @@ Three ways to put more cores behind a campaign, all byte-identical to
   traceback chained as ``__cause__``) without poisoning the pool.
 
 Worker-side state lives in module globals installed by pool
-initializers; results stream back in task order via ``imap``.
+initializers; results stream back in task order via ``imap`` on the
+historical happy path.  When the engine attaches a
+:class:`~repro.backends.resilience.ResilienceContext`, dispatch switches
+to per-task ``apply_async`` with a watchdog ``get(timeout)``: a worker
+that hangs *or* dies (SIGKILL included — the pool silently repopulates
+the process, but the in-flight task's result never arrives) surfaces as
+a :class:`~repro.backends.resilience.WatchdogTimeout`, the pool is
+killed and replaced wholesale, and every not-yet-delivered chunk is
+re-dispatched.  Ctrl-C always terminates and joins the children before
+propagating, so an interrupted campaign leaves no orphaned workers.
 """
 
 from __future__ import annotations
@@ -41,6 +50,11 @@ from repro.backends.base import (
     ChunkTask,
     ExecutionBackend,
     run_chunk_task,
+)
+from repro.backends.resilience import (
+    BackendBroken,
+    ResilienceContext,
+    WatchdogTimeout,
 )
 from repro.power.acquisition import TraceCampaign, TraceSet
 
@@ -151,6 +165,111 @@ def _apply(payload):  # pragma: no cover - exercised via Pool
     return fn(item)
 
 
+# -- resilient dispatch --------------------------------------------------
+
+
+def _shutdown(pool) -> None:
+    """Terminate a pool and wait for its children to actually exit."""
+    pool.terminate()
+    pool.join()
+
+
+def _await_result(future, timeout: float | None, task: ChunkTask, backend_name: str):
+    """Wait for one chunk result under the watchdog deadline.
+
+    A worker exception re-raises here with its remote traceback chained
+    (unchanged from the ``imap`` path); a missed deadline — hung worker
+    or a dead one whose result will never arrive — becomes a
+    :class:`WatchdogTimeout`.
+    """
+    try:
+        return future.get(timeout)
+    except multiprocessing.TimeoutError as error:
+        raise WatchdogTimeout(
+            f"chunk {task.index} missed its {timeout:g}s soft deadline on "
+            f"backend '{backend_name}' (worker hung or died)"
+        ) from error
+
+
+def _resilient_dispatch(
+    tasks: Sequence[ChunkTask],
+    resilience: ResilienceContext,
+    backend_name: str,
+    *,
+    acquire: Callable[[], Any],
+    replace: Callable[[Any], Any],
+    release: Callable[[Any], None],
+    submit: Callable[[Any, ChunkTask], Any],
+):
+    """Per-task ``apply_async`` dispatch with retries and a watchdog.
+
+    All tasks are submitted up front (the pool's task queue provides the
+    same pipelining ``imap`` did) and results are consumed in task
+    order.  A failed attempt is retried per the policy: task-level
+    errors re-submit just that task; a watchdog timeout means the pool
+    itself is suspect (a hung or killed worker still occupies it), so
+    the pool is replaced via ``replace`` and every not-yet-delivered
+    task is re-submitted against the fresh one.  Exhausting the budget
+    on timeouts raises :class:`BackendBroken` — the engine's cue to
+    quarantine this backend and fall down the degradation ladder.
+    """
+    policy = resilience.policy
+    pool = acquire()
+    try:
+        futures: dict[int, Any] = {}
+        attempts: dict[int, int] = dict.fromkeys((t.index for t in tasks), 0)
+        delivered: set[int] = set()
+
+        def submit_pending(target_pool) -> None:
+            for t in tasks:
+                if t.index not in delivered:
+                    futures[t.index] = submit(target_pool, t)
+
+        submit_pending(pool)
+        for task in tasks:
+            while True:
+                attempts[task.index] += 1
+                resilience.report.record_attempt()
+                try:
+                    index, lo, data = _await_result(
+                        futures[task.index], resilience.chunk_timeout, task, backend_name
+                    )
+                    if resilience.validator is not None:
+                        resilience.validator(task, data)
+                    yield index, lo, data
+                    delivered.add(task.index)
+                    break
+                except KeyboardInterrupt:
+                    raise
+                except Exception as error:
+                    resilience.record_failure(error)
+                    timed_out = isinstance(error, WatchdogTimeout)
+                    exhausted = attempts[task.index] >= policy.max_attempts
+                    if exhausted or not policy.retryable(error):
+                        if timed_out:
+                            raise BackendBroken(
+                                backend_name,
+                                f"backend '{backend_name}' exhausted "
+                                f"{policy.max_attempts} attempt(s) on chunk "
+                                f"{task.index}: {error}",
+                            ) from error
+                        raise
+                    resilience.backoff(
+                        task_index=task.index,
+                        attempt=attempts[task.index],
+                        error=error,
+                        backend=backend_name,
+                    )
+                    if timed_out:
+                        pool = replace(pool)
+                        futures.clear()
+                        submit_pending(pool)
+                    else:
+                        futures[task.index] = submit(pool, task)
+    finally:
+        release(pool)
+
+
 class _PoolBackendBase(ExecutionBackend):
     """Shared per-call pool plumbing for the fork and spawn backends."""
 
@@ -176,8 +295,53 @@ class _PoolBackendBase(ExecutionBackend):
         payloads = [(fn, item) for item in items]
         if len(payloads) <= 1:
             return [fn(item) for _fn, item in payloads]
-        with self._context().Pool(processes=_pool_size(self.jobs, len(payloads))) as pool:
+        pool = self._context().Pool(processes=_pool_size(self.jobs, len(payloads)))
+        try:
             return list(pool.imap(_apply, payloads))
+        finally:
+            _shutdown(pool)
+
+    def _initargs(self, context: BackendContext) -> tuple:
+        raise NotImplementedError
+
+    def _chunk_fn(self):
+        raise NotImplementedError
+
+    def _make_pool(self, context: BackendContext, n_tasks: int):
+        return self._context().Pool(
+            processes=_pool_size(self.jobs, n_tasks),
+            initializer=self._initializer,
+            initargs=self._initargs(context),
+        )
+
+    def map_chunks(
+        self, context: BackendContext, tasks: Sequence[ChunkTask]
+    ) -> Iterator[ChunkResult]:
+        self._check_available()
+        self._check_context(context)
+        chunk_fn = self._chunk_fn()
+        resilience = context.resilience
+        if resilience is None:
+            # Historical path: one pool, ordered imap.  terminate+join in
+            # all cases (Ctrl-C included) so no child outlives the call.
+            pool = self._make_pool(context, len(tasks))
+            try:
+                yield from pool.imap(chunk_fn, tasks)
+            finally:
+                _shutdown(pool)
+            return
+        yield from _resilient_dispatch(
+            tasks,
+            resilience,
+            self.name,
+            acquire=lambda: self._make_pool(context, len(tasks)),
+            replace=lambda old: (_shutdown(old), self._make_pool(context, len(tasks)))[1],
+            release=_shutdown,
+            submit=lambda pool, task: pool.apply_async(chunk_fn, (task,)),
+        )
+
+    def _check_context(self, context: BackendContext) -> None:
+        """Hook for pickle-safety checks; the fork backend needs none."""
 
 
 class ForkBackend(_PoolBackendBase):
@@ -185,23 +349,19 @@ class ForkBackend(_PoolBackendBase):
 
     name = "fork"
     start_method = "fork"
+    _initializer = staticmethod(_fork_init)
 
-    def map_chunks(
-        self, context: BackendContext, tasks: Sequence[ChunkTask]
-    ) -> Iterator[ChunkResult]:
-        self._check_available()
-        with self._context().Pool(
-            processes=_pool_size(self.jobs, len(tasks)),
-            initializer=_fork_init,
-            initargs=(
-                context.campaign,
-                context.inputs,
-                context.power_transform,
-                context.power_transform_factory,
-                context.compiled_path(),
-            ),
-        ) as pool:
-            yield from pool.imap(_fork_chunk, tasks)
+    def _initargs(self, context: BackendContext) -> tuple:
+        return (
+            context.campaign,
+            context.inputs,
+            context.power_transform,
+            context.power_transform_factory,
+            context.compiled_path(),
+        )
+
+    def _chunk_fn(self):
+        return _fork_chunk
 
 
 class SpawnBackend(_PoolBackendBase):
@@ -209,24 +369,22 @@ class SpawnBackend(_PoolBackendBase):
 
     name = "spawn"
     start_method = "spawn"
+    _initializer = staticmethod(_spawn_init)
 
-    def map_chunks(
-        self, context: BackendContext, tasks: Sequence[ChunkTask]
-    ) -> Iterator[ChunkResult]:
-        self._check_available()
+    def _check_context(self, context: BackendContext) -> None:
         context.assert_picklable(self.name)
-        with self._context().Pool(
-            processes=_pool_size(self.jobs, len(tasks)),
-            initializer=_spawn_init,
-            initargs=(
-                context.spec(),
-                context.inputs,
-                context.power_transform,
-                context.power_transform_factory,
-                context.compiled_path(),
-            ),
-        ) as pool:
-            yield from pool.imap(_spawn_chunk, tasks)
+
+    def _initargs(self, context: BackendContext) -> tuple:
+        return (
+            context.spec(),
+            context.inputs,
+            context.power_transform,
+            context.power_transform_factory,
+            context.compiled_path(),
+        )
+
+    def _chunk_fn(self):
+        return _spawn_chunk
 
 
 class PoolBackend(ExecutionBackend):
@@ -259,6 +417,8 @@ class PoolBackend(ExecutionBackend):
         self._pool = None
         #: total tasks dispatched over the pool's lifetime (provenance)
         self.tasks_dispatched = 0
+        #: watchdog-triggered pool replacements (provenance)
+        self.pools_rebuilt = 0
 
     @property
     def workers(self) -> int:
@@ -281,11 +441,24 @@ class PoolBackend(ExecutionBackend):
         info = super().describe()
         info["persistent"] = True
         info["tasks_dispatched"] = self.tasks_dispatched
+        info["pools_rebuilt"] = self.pools_rebuilt
         return info
 
     def _live_pool(self):
         self.start()
         return self._pool
+
+    def _replace_pool(self):
+        """Kill and rebuild the worker pool after a watchdog timeout.
+
+        The backend object itself stays healthy — callers keep using it
+        — but the workers (and their warm campaign caches) are replaced
+        wholesale, since a hung or SIGKILLed worker cannot be told apart
+        from the outside and must not linger.
+        """
+        self.pools_rebuilt += 1
+        self.close()
+        return self._live_pool()
 
     def map_chunks(
         self, context: BackendContext, tasks: Sequence[ChunkTask]
@@ -293,8 +466,8 @@ class PoolBackend(ExecutionBackend):
         context.assert_picklable(self.name)
         spec = context.spec()
         parent_path = context.compiled_path()
-        payloads = [
-            (
+        payloads = {
+            task.index: (
                 spec,
                 context.inputs.slice(task.lo, task.hi),
                 context.power_transform,
@@ -303,14 +476,38 @@ class PoolBackend(ExecutionBackend):
                 parent_path,
             )
             for task in tasks
-        ]
+        }
         self.tasks_dispatched += len(payloads)
-        yield from self._live_pool().imap(_pool_chunk, payloads)
+        resilience = context.resilience
+        if resilience is None:
+            try:
+                yield from self._live_pool().imap(_pool_chunk, list(payloads.values()))
+            except KeyboardInterrupt:
+                # Release the session-owned workers promptly: an
+                # interrupted campaign must not leave orphans behind.
+                self.close()
+                raise
+            return
+        yield from _resilient_dispatch(
+            tasks,
+            resilience,
+            self.name,
+            acquire=self._live_pool,
+            replace=lambda _old: self._replace_pool(),
+            release=lambda _pool: None,  # persistent: the owner closes it
+            submit=lambda pool, task: pool.apply_async(
+                _pool_chunk, (payloads[task.index],)
+            ),
+        )
 
     def map_items(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
         payloads = [(fn, item) for item in items]
         self.tasks_dispatched += len(payloads)
-        return list(self._live_pool().imap(_apply, payloads))
+        try:
+            return list(self._live_pool().imap(_apply, payloads))
+        except KeyboardInterrupt:
+            self.close()
+            raise
 
 
 def cpu_count() -> int:

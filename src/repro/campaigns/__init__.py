@@ -8,6 +8,8 @@ The shared acquisition→attack path of every experiment in the repo:
 * :mod:`repro.campaigns.accumulators` — online sufficient statistics
   (Pearson, SNR, Welch-t, CPA) that fold chunks into the same results
   the monolithic two-pass code produces;
+* :mod:`repro.campaigns.checkpoint` — atomic, versioned
+  checkpoint/resume state for killed-and-restarted campaigns;
 * :mod:`repro.campaigns.registry` — the declarative scenario registry
   the CLI and benchmarks enumerate.
 
@@ -19,6 +21,10 @@ pull numpy/scipy through the engine and accumulator modules.
 from typing import Any
 
 _EXPORTS = {
+    "CheckpointError": "repro.campaigns.checkpoint",
+    "CheckpointMismatch": "repro.campaigns.checkpoint",
+    "CheckpointStore": "repro.campaigns.checkpoint",
+    "Checkpointer": "repro.campaigns.checkpoint",
     "BudgetSplitter": "repro.campaigns.accumulators",
     "CpaAccumulator": "repro.campaigns.accumulators",
     "CpaBudgetSnapshots": "repro.campaigns.accumulators",

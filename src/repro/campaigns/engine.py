@@ -28,18 +28,28 @@ Properties the rest of the stack builds on:
 
 from __future__ import annotations
 
+import warnings
 import weakref
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
 import numpy as np
 
 from repro.backends import (
+    BackendBroken,
     BackendContext,
+    BackendDegradationWarning,
+    ChunkCorruption,
     ChunkTask,
     ExecutionBackend,
+    ResilienceContext,
+    RetryPolicy,
+    make_backend,
+    quarantine_backend,
     resolve_backend,
 )
+from repro.backends.resilience import active_report, next_rung
+from repro.campaigns.checkpoint import Checkpointer, checkpoint_fingerprint, digest_inputs
 from repro.isa.program import Program
 from repro.power.acquisition import (
     BatchInputs,
@@ -85,11 +95,18 @@ def clear_schedule_cache() -> None:
 
 @dataclass
 class TraceChunk:
-    """One streamed slice of a campaign: a TraceSet plus its offset."""
+    """One streamed slice of a campaign: a TraceSet plus its offset.
+
+    ``replayed`` marks a chunk re-yielded from an already-complete
+    checkpointed run: its statistics are part of the restored state, so
+    drivers must *not* fold it again — it exists only so they still see
+    a final chunk's trace-set metadata (schedule, table, path).
+    """
 
     start: int
     index: int
     trace_set: TraceSet
+    replayed: bool = field(default=False, compare=False)
 
     @property
     def traces(self) -> np.ndarray:
@@ -230,6 +247,9 @@ class StreamingCampaign:
         power_transform_factory: Callable[[int], Callable[[np.ndarray], np.ndarray]]
         | None = None,
         backend: str | ExecutionBackend | None = None,
+        retry: RetryPolicy | int | None = None,
+        chunk_timeout: float | None = None,
+        checkpoint: Checkpointer | None = None,
     ) -> Iterator[TraceChunk]:
         """Yield the campaign as ordered, seed-stable trace chunks.
 
@@ -244,6 +264,32 @@ class StreamingCampaign:
         ``"auto"`` parallelizes when ``jobs > 1``, degrading with a
         :class:`~repro.backends.BackendDegradationWarning` — never
         silently — when no parallel backend is usable.
+
+        The resilience knobs (see ``docs/resilience.md``) are all off by
+        default, in which case the historical dispatch paths run
+        untouched:
+
+        * ``retry`` — a retry count or a full
+          :class:`~repro.backends.RetryPolicy`; each chunk task runs
+          under it inside the backend, and retried chunks are
+          byte-identical because every chunk is a pure function of its
+          trace range.
+        * ``chunk_timeout`` — a soft per-chunk deadline (seconds) on
+          pool backends: a hung or killed worker surfaces as a
+          :class:`~repro.backends.WatchdogTimeout`, the pool is rebuilt
+          and the chunk re-dispatched.  A backend that exhausts its
+          budget on timeouts is quarantined; under ``auto`` the stream
+          then falls down the ``pool -> fork -> spawn -> serial``
+          degradation ladder instead of failing.
+        * ``checkpoint`` — a
+          :class:`~repro.campaigns.checkpoint.Checkpointer`; completed
+          chunk ranges (plus the driver's accumulator state) persist
+          across kills and ``resume`` re-acquires only missing chunks.
+
+        Any of them also enables per-chunk result validation
+        (shape/dtype/finiteness on rewrap, rejected chunks raise
+        :class:`~repro.backends.ChunkCorruption` and count as retryable
+        failures).
         """
         if power_transform is not None and power_transform_factory is not None:
             raise ValueError("pass power_transform or power_transform_factory, not both")
@@ -261,7 +307,15 @@ class StreamingCampaign:
             if power_transform_factory is not None
             else power_transform
         )
-        self._calibrate_full_scale(inputs, bounds, transform0)
+        resilience = self._resilience_context(retry, chunk_timeout, checkpoint, compiled)
+        # Calibration applies chunk 0's transform in the parent, so a
+        # transient fault can strike here too; give it the same retry
+        # budget the chunks get (index -1 in the fault report).
+        self._retrying(
+            resilience,
+            lambda: self._calibrate_full_scale(inputs, bounds, transform0),
+            "calibrate",
+        )
         float32 = self._campaign.precision == "float32"
         tasks = [
             ChunkTask(
@@ -280,38 +334,210 @@ class StreamingCampaign:
             power_transform_factory=power_transform_factory,
             transform0=transform0,
             compiled=compiled,
+            resilience=resilience,
         )
+        run_tasks = tasks
+        replay_last = False
+        if checkpoint is not None:
+            fingerprint = self._stream_fingerprint(inputs, bounds)
+            completed = checkpoint.begin(fingerprint, n_chunks=len(tasks))
+            run_tasks = [task for task in tasks if task.index not in completed]
+            if not run_tasks and tasks:
+                # Everything was already committed: re-acquire the last
+                # chunk (pure function of its range, so free of side
+                # effects on the statistics) and yield it flagged
+                # ``replayed`` so drivers still see final-chunk metadata
+                # without double-folding.
+                run_tasks = [tasks[-1]]
+                replay_last = True
         policy = backend if backend is not None else self.backend
+        ladder_eligible = policy is None or policy == "auto"
         resolved, owned = resolve_backend(
             policy, jobs=jobs, n_tasks=len(tasks), context=context
         )
         try:
             resolved.start()
             path, schedule, leakage = compiled
-            for index, lo, payload in resolved.map_chunks(context, tasks):
-                if isinstance(payload, TraceSet):
-                    # Rare: the chunk recompiled against a different path
-                    # (data-dependent branch direction), or the backend
-                    # ships whole trace sets; take it as-is.
-                    trace_set = payload
-                else:
-                    # Common case: the worker's schedule matches the
-                    # parent's compiled triple, so only the per-chunk
-                    # data crossed the pipe; rewrap with shared objects.
-                    traces, table, power = payload
-                    trace_set = TraceSet(
-                        traces=traces,
-                        inputs=inputs.slice(lo, lo + traces.shape[0]),
-                        schedule=schedule,
-                        leakage=leakage,
-                        table=table,
-                        path=path,
-                        power=power,
+            pending = list(run_tasks)
+            delivered: set[int] = set()
+            while pending:
+                try:
+                    for index, lo, payload in resolved.map_chunks(context, pending):
+                        if isinstance(payload, TraceSet):
+                            # Rare: the chunk recompiled against a different path
+                            # (data-dependent branch direction), or the backend
+                            # ships whole trace sets; take it as-is.
+                            trace_set = payload
+                        else:
+                            # Common case: the worker's schedule matches the
+                            # parent's compiled triple, so only the per-chunk
+                            # data crossed the pipe; rewrap with shared objects.
+                            traces, table, power = payload
+                            trace_set = TraceSet(
+                                traces=traces,
+                                inputs=inputs.slice(lo, lo + traces.shape[0]),
+                                schedule=schedule,
+                                leakage=leakage,
+                                table=table,
+                                path=path,
+                                power=power,
+                            )
+                        yield TraceChunk(
+                            start=lo, index=index, trace_set=trace_set, replayed=replay_last
+                        )
+                        # Reaching here means the consumer asked for the
+                        # next chunk, i.e. it finished folding this one:
+                        # the commit point for checkpointing.
+                        delivered.add(index)
+                        if checkpoint is not None and not replay_last:
+                            checkpoint.chunk_done(index)
+                    pending = []
+                except BackendBroken as error:
+                    # The backend exhausted its watchdog retries.  Under
+                    # an explicit policy that is the caller's problem;
+                    # under auto, quarantine it and fall down the ladder
+                    # (loudly), re-dispatching the undelivered chunks.
+                    if not ladder_eligible:
+                        raise
+                    rung = next_rung(error.backend)
+                    quarantine_backend(error.backend, str(error))
+                    message = (
+                        f"backend '{error.backend}' quarantined after repeated "
+                        f"failures ({error}); degrading to '{rung}'"
                     )
-                yield TraceChunk(start=lo, index=index, trace_set=trace_set)
+                    warnings.warn(message, BackendDegradationWarning, stacklevel=2)
+                    if resilience is not None:
+                        resilience.report.record_quarantine(error.backend)
+                        resilience.report.record_degradation(message)
+                    if owned:
+                        resolved.close()
+                    resolved = make_backend(rung, jobs)
+                    owned = True
+                    resolved.start()
+                    pending = [task for task in run_tasks if task.index not in delivered]
+            if checkpoint is not None:
+                checkpoint.finalize()
         finally:
             if owned:
                 resolved.close()
+
+    def _resilience_context(
+        self,
+        retry: RetryPolicy | int | None,
+        chunk_timeout: float | None,
+        checkpoint: Checkpointer | None,
+        compiled: CompiledAcquisition,
+    ) -> ResilienceContext | None:
+        """Build the stream's resilience state, or ``None`` when off.
+
+        Any resilience knob also arms per-chunk validation; the ambient
+        fault report (a :class:`~repro.api.session.Session` collecting
+        faults) is reused so events reach the result envelope.
+        """
+        if retry is None and chunk_timeout is None and checkpoint is None:
+            return None
+        if retry is None:
+            policy = RetryPolicy()
+        elif isinstance(retry, RetryPolicy):
+            policy = retry
+        else:
+            policy = RetryPolicy.from_retries(int(retry))
+        if chunk_timeout is not None and chunk_timeout <= 0:
+            raise ValueError(f"chunk timeout must be positive, got {chunk_timeout}")
+        context = ResilienceContext(
+            policy=policy,
+            chunk_timeout=chunk_timeout,
+            validator=self._chunk_validator(compiled),
+        )
+        ambient = active_report()
+        if ambient is not None:
+            context.report = ambient
+        return context
+
+    @staticmethod
+    def _retrying(resilience: ResilienceContext | None, fn: Callable[[], None], label: str):
+        """Run a parent-side step under the stream's retry policy."""
+        if resilience is None:
+            return fn()
+        attempt = 1
+        while True:
+            try:
+                return fn()
+            except Exception as error:
+                resilience.record_failure(error)
+                if (
+                    attempt >= resilience.policy.max_attempts
+                    or not resilience.policy.retryable(error)
+                ):
+                    raise
+                resilience.backoff(
+                    task_index=-1, attempt=attempt, error=error, backend=label
+                )
+                attempt += 1
+
+    def _chunk_validator(self, compiled: CompiledAcquisition):
+        """Reject malformed chunk results before they reach the fold.
+
+        Slim payloads must match the parent's compiled schedule exactly
+        (row count, sample width, dtype); full trace sets may carry a
+        divergent recompiled path, so only their row count and
+        finiteness are checked.  Violations raise
+        :class:`~repro.backends.ChunkCorruption` (retryable).
+        """
+        expected_samples = compiled.leakage.n_samples
+        # Both precision chains store captured traces as float32 (the
+        # mode governs intermediate arithmetic, not the output dtype).
+        expected_dtype = np.dtype(np.float32)
+
+        def validate(task: ChunkTask, payload) -> None:
+            slim = not isinstance(payload, TraceSet)
+            traces = payload[0] if slim else payload.traces
+            rows = task.hi - task.lo
+            if traces.ndim != 2 or traces.shape[0] != rows:
+                raise ChunkCorruption(
+                    f"chunk {task.index}: trace block has shape {traces.shape}, "
+                    f"expected ({rows}, n_samples)"
+                )
+            if slim and traces.shape[1] != expected_samples:
+                raise ChunkCorruption(
+                    f"chunk {task.index}: {traces.shape[1]} samples per trace, "
+                    f"expected {expected_samples}"
+                )
+            if slim and traces.dtype != expected_dtype:
+                raise ChunkCorruption(
+                    f"chunk {task.index}: traces have dtype {traces.dtype}, "
+                    f"expected {expected_dtype}"
+                )
+            if not np.isfinite(traces).all():
+                raise ChunkCorruption(
+                    f"chunk {task.index}: non-finite values in traces"
+                )
+
+        return validate
+
+    def _stream_fingerprint(self, inputs: BatchInputs, bounds: list[tuple[int, int]]) -> str:
+        """What a checkpoint must match to be resumable against this stream.
+
+        Covers the full campaign recipe *and* the chunking (the bounds
+        decide trace ranges) *and* the input content — anything that
+        changes the bytes a resumed run would produce.
+        """
+        campaign = self._campaign
+        return checkpoint_fingerprint(
+            (
+                "repro.stream/1",
+                campaign.config.identity(),
+                campaign.scope_config,
+                campaign.entry,
+                campaign.window_cycles,
+                campaign.precision,
+                campaign.keep_power,
+                self.seed,
+                tuple(bounds),
+                inputs.signature(),
+                digest_inputs(inputs),
+            )
+        )
 
     def _chunk_scope_seed(self, index: int) -> int:
         """The oscilloscope seed of chunk ``index``.
@@ -367,6 +593,13 @@ class StreamingCampaign:
         )
         if power_transform is not None:
             power = power_transform(power)
+            if not np.isfinite(power).all():
+                # A corrupted transform must not silently poison the
+                # campaign-wide LSB; raise (retryable) instead.
+                raise ChunkCorruption(
+                    "calibration power contains non-finite values; refusing "
+                    "to pin a corrupted quantizer full-scale"
+                )
         scope = Oscilloscope(config, seed=self._chunk_scope_seed(0))
         campaign.pinned_full_scale = scope.calibrate_full_scale(power)
 

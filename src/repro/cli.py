@@ -40,6 +40,20 @@ Flags:
     One design-space axis for grid-aware scenarios (``sweep``); repeat
     the flag for a multi-axis grid, or pass a curated grid name
     (``--grid noise-floor``).  See ``docs/sweeps.md``.
+``--retries N``
+    Per-chunk retry budget for transient worker faults (0 = fail fast).
+    Retried chunks are pure functions of their trace range, so retries
+    never change results.  See ``docs/resilience.md``.
+``--chunk-timeout SECONDS``
+    Soft per-chunk watchdog deadline: a hung or killed worker is
+    detected, the pool is rebuilt, and the chunk re-dispatched (counts
+    against ``--retries``).
+``--checkpoint DIR``
+    Persist accumulator state and completed chunk ranges to ``DIR``
+    after every folded chunk (atomic write-rename).
+``--resume``
+    Resume a killed run from ``--checkpoint DIR`` instead of starting
+    fresh; the finished run is byte-identical to an uninterrupted one.
 ``--format json|text``
     ``text`` (default) prints each scenario's rendered report;
     ``json`` emits an array of schema-versioned result envelopes
@@ -49,7 +63,10 @@ Flags:
 
 A knob the chosen scenario cannot honor is a hard usage error (exit
 status 2) — the scenario's declared capabilities decide, not a
-hand-maintained flag table.  Only ``all`` narrows the knob set per
+hand-maintained flag table.  Malformed knob *values* (``--jobs 0``,
+``--chunk-size 0``, ``--traces 0``, a negative ``--retries``) are
+likewise rejected at parse time with the offending flag named, before
+any scenario code loads.  Only ``all`` narrows the knob set per
 scenario (with a note on stderr), since one flag set fans out over
 scenarios with different capabilities.
 """
@@ -60,6 +77,45 @@ import argparse
 import json
 import sys
 import time
+
+
+def _int_at_least(flag: str, minimum: int):
+    """An argparse ``type`` rejecting out-of-range values flag-by-name.
+
+    Validating inside the parser (rather than letting RunRequest throw
+    later) keeps the contract uniform with capability errors: a bad
+    value is a usage error — exit status 2, message naming the flag —
+    not a stack trace.
+    """
+
+    def parse(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+        if value < minimum:
+            bound = "positive" if minimum == 1 else f"at least {minimum}"
+            if minimum == 0:
+                bound = "non-negative"
+            raise argparse.ArgumentTypeError(f"{flag} must be {bound}, got {value}")
+        return value
+
+    parse.__name__ = "int"  # argparse error prefix: "invalid int value"
+    return parse
+
+
+def _positive_float(flag: str):
+    def parse(text: str) -> float:
+        try:
+            value = float(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+        if not value > 0:
+            raise argparse.ArgumentTypeError(f"{flag} must be positive, got {value}")
+        return value
+
+    parse.__name__ = "float"
+    return parse
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -77,20 +133,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="which scenario to run, or 'all' for every registered scenario",
     )
     parser.add_argument(
-        "--traces", type=int, default=None, help="trace count override (statistical experiments)"
+        "--traces",
+        type=_int_at_least("--traces", 1),
+        default=None,
+        help="trace count override (statistical experiments)",
     )
     parser.add_argument(
-        "--reps", type=int, default=None, help="microbenchmark repetitions (CPI experiments)"
+        "--reps",
+        type=_int_at_least("--reps", 1),
+        default=None,
+        help="microbenchmark repetitions (CPI experiments)",
     )
     parser.add_argument(
         "--chunk-size",
-        type=int,
+        type=_int_at_least("--chunk-size", 1),
         default=None,
         help="stream campaigns in chunks of this many traces (constant memory)",
     )
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=_int_at_least("--jobs", 1),
         default=None,
         help="worker processes for chunk fan-out (with --chunk-size)",
     )
@@ -101,7 +163,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend for the worker fan-out (default: auto)",
     )
     parser.add_argument(
-        "--seed", type=int, default=None, help="campaign seed override"
+        "--seed",
+        type=_int_at_least("--seed", 0),
+        default=None,
+        help="campaign seed override",
     )
     parser.add_argument(
         "--precision",
@@ -120,6 +185,31 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--retries",
+        type=_int_at_least("--retries", 0),
+        default=None,
+        metavar="N",
+        help="per-chunk retry budget for transient worker faults (0 = fail fast)",
+    )
+    parser.add_argument(
+        "--chunk-timeout",
+        type=_positive_float("--chunk-timeout"),
+        default=None,
+        metavar="SECONDS",
+        help="soft per-chunk watchdog deadline (hung workers re-dispatched)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="checkpoint accumulator state + completed chunks to DIR",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume a killed run from --checkpoint DIR (byte-identical finish)",
+    )
+    parser.add_argument(
         "--format",
         choices=("text", "json"),
         default="text",
@@ -131,6 +221,8 @@ def build_parser() -> argparse.ArgumentParser:
 def _build_request(parser: argparse.ArgumentParser, args: argparse.Namespace):
     from repro.api import RunRequest
 
+    if args.resume and args.checkpoint is None:
+        parser.error("--resume requires --checkpoint DIR")
     try:
         return RunRequest(
             n_traces=args.traces,
@@ -141,6 +233,10 @@ def _build_request(parser: argparse.ArgumentParser, args: argparse.Namespace):
             seed=args.seed,
             precision=args.precision,
             grid=tuple(args.grid) if args.grid else None,
+            retries=args.retries,
+            chunk_timeout=args.chunk_timeout,
+            checkpoint=args.checkpoint,
+            resume=True if args.resume else None,
         )
     except ValueError as error:
         parser.error(str(error))

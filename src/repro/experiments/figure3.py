@@ -153,6 +153,10 @@ def run_figure3(
     jobs: int = 1,
     precision: str | None = None,
     backend=None,
+    retries: int | None = None,
+    chunk_timeout: float | None = None,
+    checkpoint: str | None = None,
+    resume: bool = False,
 ) -> Figure3Result:
     """Acquire the bare-metal campaign and run the Figure-3 CPA.
 
@@ -161,6 +165,15 @@ def run_figure3(
     the historical monolithic path (identical numerics).
     ``precision="float32"`` switches the capture chain to the
     counter-based high-throughput mode (ignored if ``scope`` is given).
+
+    The resilience knobs (``retries``, ``chunk_timeout``,
+    ``checkpoint``/``resume``) force the streamed path — retrying,
+    watchdogging and checkpointing all operate per chunk — defaulting to
+    a single whole-campaign chunk when ``chunk_size`` is unset.  With a
+    checkpoint, the CPA accumulator state and the completed chunk set
+    persist after every folded chunk; a killed run restarted with
+    ``resume=True`` re-acquires only the missing chunks and produces
+    byte-identical results (see ``docs/resilience.md``).
     """
     program = round1_only_program(key)
     inputs = random_inputs(n_traces, mem_blocks={LAYOUT.state: 16}, seed=seed)
@@ -179,23 +192,46 @@ def run_figure3(
     )
     plaintexts = inputs.mem_bytes[LAYOUT.state]
 
-    if chunk_size is None:
+    resilient = retries is not None or chunk_timeout is not None or checkpoint is not None
+    if chunk_size is None and not resilient:
         trace_set = engine.acquire(inputs)
         cpa = cpa_attack(
             trace_set.traces, lambda guess: hw_sbox_model(plaintexts, byte_index, guess)
         )
     else:
-        accumulator = CpaAccumulator()
+        # A mutable holder so checkpoint restore can swap the live
+        # accumulator for the persisted one before streaming resumes.
+        state = {"cpa": CpaAccumulator()}
+        checkpointer = None
+        if checkpoint is not None:
+            from repro.campaigns.checkpoint import Checkpointer
+
+            checkpointer = Checkpointer(
+                checkpoint,
+                state_fn=lambda: state["cpa"],
+                restore_fn=lambda saved: state.__setitem__("cpa", saved),
+                resume=resume,
+            )
         trace_set = None
-        for chunk in engine.stream(inputs):
+        for chunk in engine.stream(
+            inputs,
+            retry=retries,
+            chunk_timeout=chunk_timeout,
+            checkpoint=checkpointer,
+        ):
+            trace_set = chunk.trace_set
+            if chunk.replayed:
+                # A fully-checkpointed run replays its last chunk for
+                # metadata only; its statistics are already in the
+                # restored accumulator.
+                continue
             chunk_plaintexts = plaintexts[chunk.start : chunk.stop]
-            accumulator.update(
+            state["cpa"].update(
                 chunk.traces,
                 lambda guess: hw_sbox_model(chunk_plaintexts, byte_index, guess),
             )
-            trace_set = chunk.trace_set
         assert trace_set is not None
-        cpa = accumulator.result()
+        cpa = state["cpa"].result()
     segments = _segment_map(trace_set, program)
     threshold = significance_threshold(n_traces, confidence=0.995)
     timecourse = cpa.timecourse(key[byte_index])
@@ -243,6 +279,10 @@ def _scenario_runner(request: RunRequest) -> Figure3Result:
         jobs=request.jobs,
         precision=request.precision,
         backend=request.backend,
+        retries=request.retries,
+        chunk_timeout=request.chunk_timeout,
+        checkpoint=request.checkpoint,
+        resume=bool(request.resume),
         **kwargs,
     )
 
@@ -267,6 +307,7 @@ SCENARIO = register(
                 Capability.PRECISION,
                 Capability.PIPELINE_CONFIG,
                 Capability.SCOPE,
+                Capability.RESILIENCE,
             }
         ),
         tags=("cpa", "bare-metal"),

@@ -295,6 +295,8 @@ class SweepCampaign:
         seed: int = 0x5EEB,
         precision: str | None = None,
         backend: str | ExecutionBackend | None = None,
+        retries: int | None = None,
+        chunk_timeout: float | None = None,
     ):
         self.spec = spec
         self.n_traces = int(n_traces)
@@ -316,6 +318,11 @@ class SweepCampaign:
         #: backend policy for the point fan-out ("auto"/"serial"/... or
         #: a live :class:`~repro.backends.ExecutionBackend` to reuse)
         self.backend = backend
+        #: per-chunk retry budget inside each point's campaign (forces
+        #: the streamed path; see :mod:`repro.backends.resilience`)
+        self.retries = retries
+        #: soft per-chunk watchdog deadline inside each point's campaign
+        self.chunk_timeout = chunk_timeout
 
     def __getstate__(self):
         # Point payloads carry the campaign into pool workers; a live
@@ -342,13 +349,19 @@ class SweepCampaign:
             chunk_size=self.chunk_size,
         )
         fold = LeakageMetricsFold(self.budgets, self.workload.true_key)
-        if self.chunk_size is None:
+        resilient = self.retries is not None or self.chunk_timeout is not None
+        if self.chunk_size is None and not resilient:
             trace_set = engine.acquire(inputs)
             models = self.workload.model_matrix(inputs, 0, inputs.n_traces)
             labels = models[:, self.workload.true_key].astype(np.int64)
             fold.update(trace_set.traces, models, labels)
         else:
-            for chunk in engine.stream(inputs):
+            # The resilience knobs operate per chunk, so they force the
+            # streamed path (one whole-point chunk when chunk_size is
+            # unset) — numerics are identical either way.
+            for chunk in engine.stream(
+                inputs, retry=self.retries, chunk_timeout=self.chunk_timeout
+            ):
                 models = self.workload.model_matrix(inputs, chunk.start, chunk.stop)
                 labels = models[:, self.workload.true_key].astype(np.int64)
                 fold.update(chunk.traces, models, labels)
@@ -367,7 +380,17 @@ class SweepCampaign:
 
     # -- the sweep ------------------------------------------------------
 
-    def run(self) -> SweepResult:
+    def run(self, checkpoint=None, resume: bool = False) -> SweepResult:
+        """Evaluate every point; optionally checkpoint at point level.
+
+        ``checkpoint`` (a directory path or a prebuilt
+        :class:`~repro.campaigns.checkpoint.Checkpointer`) persists each
+        finished :class:`SweepPointResult` — including its original
+        ``seconds`` — after every dispatched batch, so a killed sweep
+        restarted with ``resume=True`` re-runs only the missing points
+        and reproduces the uninterrupted ranking bit for bit (points
+        share one campaign seed, so completion order is irrelevant).
+        """
         start = time.perf_counter()
         points = self.spec.expand()
         program = self.workload.build_program()
@@ -376,19 +399,45 @@ class SweepCampaign:
             (point.config.identity(), self._scope_identity(point))
             for point in points
         }
+        done_results: dict[int, SweepPointResult] = {}
+        checkpointer = self._checkpointer(checkpoint, resume, done_results)
+        done: set[int] = set()
+        if checkpointer is not None:
+            done = checkpointer.begin(
+                self._sweep_fingerprint(points), n_chunks=len(points)
+            )
+        pending = [i for i in range(len(points)) if i not in done]
         _programs_before, entries_before = schedule_cache_info()
         resolved, owned = resolve_backend(
-            self.backend, jobs=self.jobs, n_tasks=len(points)
+            self.backend, jobs=self.jobs, n_tasks=max(1, len(pending))
         )
         try:
             resolved.start()
-            results = resolved.map_items(
-                _run_point_task,
-                [(self, program, inputs, point) for point in points],
-            )
+            if checkpointer is None:
+                outputs = resolved.map_items(
+                    _run_point_task,
+                    [(self, program, inputs, points[i]) for i in pending],
+                )
+                done_results.update(zip(pending, outputs))
+            else:
+                # Dispatch in jobs-sized batches and commit after each,
+                # so a kill loses at most one batch of point work.
+                batch_size = max(1, self.jobs)
+                for lo in range(0, len(pending), batch_size):
+                    batch = pending[lo : lo + batch_size]
+                    outputs = resolved.map_items(
+                        _run_point_task,
+                        [(self, program, inputs, points[i]) for i in batch],
+                    )
+                    for index, result in zip(batch, outputs):
+                        done_results[index] = result
+                        checkpointer.chunk_done(index)
         finally:
             if owned:
                 resolved.close()
+        if checkpointer is not None:
+            checkpointer.finalize()
+        results = [done_results[i] for i in range(len(points))]
         _programs_after, entries_after = schedule_cache_info()
         compiled = entries_after - entries_before
         if compiled <= 0:
@@ -410,6 +459,51 @@ class SweepCampaign:
 
     def _scope_identity(self, point: SweepPoint) -> int:
         return point.resolve_scope(self.base_scope).samples_per_cycle
+
+    # -- checkpointing ---------------------------------------------------
+
+    def _checkpointer(self, checkpoint, resume: bool, done_results: dict):
+        """Bind a checkpointer to the sweep's results dict, or ``None``."""
+        if checkpoint is None:
+            return None
+        from repro.campaigns.checkpoint import Checkpointer
+
+        checkpointer = (
+            checkpoint
+            if isinstance(checkpoint, Checkpointer)
+            else Checkpointer(checkpoint, resume=resume)
+        )
+        checkpointer.state_fn = lambda: dict(done_results)
+        checkpointer.restore_fn = lambda saved: done_results.update(saved)
+        return checkpointer
+
+    def _sweep_fingerprint(self, points) -> str:
+        """Digest of the work a sweep checkpoint belongs to.
+
+        Covers everything that changes point results: the expanded grid
+        (names, config identities, scope overrides), the workload, trace
+        and budget counts, the seed, chunking and the acquisition chain
+        (``base_scope`` includes precision).  Deliberately excludes the
+        execution layout (jobs/backend) — results are independent of it.
+        """
+        from repro.campaigns.checkpoint import checkpoint_fingerprint
+
+        return checkpoint_fingerprint(
+            (
+                "repro.sweep/1",
+                self.spec.name,
+                tuple(
+                    (point.name, point.config.identity(), tuple(point.scope_overrides))
+                    for point in points
+                ),
+                self.workload.name,
+                self.n_traces,
+                self.budgets,
+                self.seed,
+                self.chunk_size,
+                self.base_scope,
+            )
+        )
 
 
 def _run_point_task(payload) -> SweepPointResult:

@@ -43,8 +43,10 @@ def run_sweep(request: RunRequest) -> SweepResult:
         seed=request.seed if request.seed is not None else 0x5EEB,
         precision=request.precision,
         backend=request.backend,
+        retries=request.retries,
+        chunk_timeout=request.chunk_timeout,
     )
-    return campaign.run()
+    return campaign.run(checkpoint=request.checkpoint, resume=bool(request.resume))
 
 
 SCENARIO = register(
@@ -69,6 +71,7 @@ SCENARIO = register(
                 Capability.PRECISION,
                 Capability.GRID,
                 Capability.SCOPE,
+                Capability.RESILIENCE,
             }
         ),
         tags=("sweep", "design-space"),

@@ -123,6 +123,32 @@ class TestValidator:
         with pytest.raises(EnvelopeSchemaError, match="notes"):
             validate_envelope(record)
 
+    def test_rejects_non_object_fault_report(self):
+        record = envelope().to_json()
+        record["fault_report"] = ["not", "a", "dict"]
+        with pytest.raises(EnvelopeSchemaError, match="fault_report"):
+            validate_envelope(record)
+
+    def test_rejects_malformed_fault_report_fields(self):
+        record = envelope().to_json()
+        record["fault_report"] = {"attempts": -1, "retries": "nope"}
+        with pytest.raises(EnvelopeSchemaError) as excinfo:
+            validate_envelope(record)
+        assert any("attempts" in p for p in excinfo.value.problems)
+        assert any("retries" in p for p in excinfo.value.problems)
+
+    def test_accepts_well_formed_fault_report(self):
+        record = envelope(
+            fault_report={
+                "attempts": 5,
+                "retries": [{"chunk": 0, "attempt": 1}],
+                "timeouts": 1,
+                "corruptions": 0,
+            }
+        ).to_json()
+        assert validate_envelope(record) is record
+        json.dumps(record)
+
     def test_rejects_bad_artifacts(self):
         record = envelope().to_json()
         record["artifacts"] = {"curve": {"dtype": 3, "shape": "nope"}}

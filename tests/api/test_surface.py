@@ -39,6 +39,7 @@ LOCKED_CAPABILITIES = {
     "seed",
     "pipeline-config",
     "scope",
+    "resilience",
 }
 
 

@@ -1,0 +1,409 @@
+"""Checkpoint/resume: atomic stores, fingerprints, byte-identical restarts.
+
+The acceptance bar for the resilience layer: a campaign killed
+mid-stream and resumed from its checkpoint finishes with exactly the
+bytes an uninterrupted run produces, on every backend and at both
+precisions — chunk determinism makes the re-acquired chunks identical,
+the checkpoint makes the already-folded ones survive.
+"""
+
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import numpy as np
+import pytest
+
+from repro.backends import PoolBackend, fork_available
+from repro.campaigns.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointError,
+    CheckpointMismatch,
+    CheckpointStore,
+    Checkpointer,
+    checkpoint_fingerprint,
+    digest_inputs,
+)
+from repro.campaigns.engine import StreamingCampaign
+from repro.isa.parser import assemble
+from repro.isa.registers import Reg
+from repro.power.acquisition import random_inputs
+from repro.power.scope import ScopeConfig
+
+SRC = """
+    add r0, r1, r2
+    eor r3, r0, r1
+    lsl r4, r3, #3
+    str r3, [r9]
+    bx lr
+    .org 0x30000
+buf:
+    .space 64
+"""
+
+needs_fork = pytest.mark.skipif(not fork_available(), reason="fork unavailable")
+
+
+def make_inputs(n=48, seed=11):
+    inputs = random_inputs(n, reg_names=(Reg.R1, Reg.R2), seed=seed)
+    inputs.regs[Reg.R9] = np.full(n, 0x30000, dtype=np.uint32)
+    return inputs
+
+
+def make_engine(precision="float32", seed=0xCB, **kwargs):
+    return StreamingCampaign(
+        assemble(SRC),
+        scope=ScopeConfig(noise_sigma=3.0, precision=precision),
+        seed=seed,
+        **kwargs,
+    )
+
+
+class TestCheckpointStore:
+    def test_save_load_roundtrip_is_exact(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        record = {"schema": CHECKPOINT_SCHEMA, "completed": [0, 1], "state": {"x": 1}}
+        store.save(record)
+        assert store.load() == record
+        assert store.exists()
+
+    def test_missing_checkpoint_loads_none(self, tmp_path):
+        assert CheckpointStore(str(tmp_path)).load() is None
+
+    def test_save_leaves_no_temp_files_behind(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save({"schema": CHECKPOINT_SCHEMA})
+        store.save({"schema": CHECKPOINT_SCHEMA, "more": True})
+        assert sorted(os.listdir(tmp_path)) == ["checkpoint.pkl"]
+
+    def test_unreadable_record_raises_checkpoint_error(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        with open(store.path, "wb") as handle:
+            handle.write(b"not a pickle")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            store.load()
+
+    def test_foreign_schema_is_rejected(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        with open(store.path, "wb") as handle:
+            pickle.dump({"schema": "someone-else/9"}, handle)
+        with pytest.raises(CheckpointError, match="schema"):
+            store.load()
+
+    def test_clear_is_idempotent(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save({"schema": CHECKPOINT_SCHEMA})
+        store.clear()
+        store.clear()
+        assert not store.exists()
+
+
+class TestCheckpointer:
+    def test_fresh_run_discards_any_stored_record(self, tmp_path):
+        first = Checkpointer(str(tmp_path))
+        assert first.begin("fp-a", n_chunks=3) == set()
+        first.chunk_done(0)
+        # resume=False (the default) starts over even with a record present.
+        second = Checkpointer(str(tmp_path))
+        assert second.begin("fp-a", n_chunks=3) == set()
+
+    def test_resume_restores_completed_set_and_state(self, tmp_path):
+        holder = {"value": None}
+        first = Checkpointer(str(tmp_path), state_fn=lambda: "folded-2")
+        first.begin("fp-a", n_chunks=3)
+        first.chunk_done(0)
+        first.chunk_done(1)
+        second = Checkpointer(
+            str(tmp_path),
+            restore_fn=lambda saved: holder.__setitem__("value", saved),
+            resume=True,
+        )
+        assert second.begin("fp-a", n_chunks=3) == {0, 1}
+        assert holder["value"] == "folded-2"
+        assert second.resumed_from == 2
+
+    def test_fingerprint_mismatch_refuses_to_resume(self, tmp_path):
+        first = Checkpointer(str(tmp_path))
+        first.begin("fp-a", n_chunks=2)
+        first.chunk_done(0)
+        second = Checkpointer(str(tmp_path), resume=True)
+        with pytest.raises(CheckpointMismatch, match="different"):
+            second.begin("fp-b", n_chunks=2)
+
+    def test_interval_batches_flushes(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        checkpointer = Checkpointer(store, interval=2)
+        checkpointer.begin("fp", n_chunks=4)
+        checkpointer.chunk_done(0)
+        assert not store.exists()  # below the interval, nothing written
+        checkpointer.chunk_done(1)
+        assert set(store.load()["completed"]) == {0, 1}
+        checkpointer.chunk_done(2)
+        checkpointer.finalize()  # always flushes, interval or not
+        record = store.load()
+        assert record["complete"] is True
+        assert set(record["completed"]) == {0, 1, 2}
+
+    def test_resume_without_a_record_starts_fresh(self, tmp_path):
+        checkpointer = Checkpointer(str(tmp_path), resume=True)
+        assert checkpointer.begin("fp", n_chunks=2) == set()
+
+
+class TestFingerprints:
+    def test_digest_covers_input_values_not_just_shapes(self):
+        a = make_inputs(seed=11)
+        b = make_inputs(seed=12)  # same shapes, different bytes
+        assert digest_inputs(a) == digest_inputs(make_inputs(seed=11))
+        assert digest_inputs(a) != digest_inputs(b)
+
+    def test_stream_fingerprint_pins_the_campaign_recipe(self):
+        inputs = make_inputs()
+        bounds = [(0, 24), (24, 48)]
+        base = make_engine()._stream_fingerprint(inputs, bounds)
+        assert base == make_engine()._stream_fingerprint(inputs, bounds)
+        assert base != make_engine(seed=0xCC)._stream_fingerprint(inputs, bounds)
+        assert base != make_engine()._stream_fingerprint(inputs, [(0, 48)])
+        assert base != make_engine(precision="float64-exact")._stream_fingerprint(
+            inputs, bounds
+        )
+
+    def test_checkpoint_fingerprint_is_stable(self):
+        payload = ("v1", (1, 2), "x")
+        assert checkpoint_fingerprint(payload) == checkpoint_fingerprint(payload)
+        assert checkpoint_fingerprint(payload) != checkpoint_fingerprint(("v1",))
+
+
+BACKENDS = [
+    "serial",
+    pytest.param("fork", marks=needs_fork),
+    "spawn",
+    pytest.param("pool", marks=needs_fork),
+]
+
+
+def _stream_traces(
+    engine, inputs, backend, checkpointer=None, abort_after=None, sink=None
+):
+    """Stream with optional checkpoint; abort (kill) after N folded chunks.
+
+    ``sink`` is the driver's accumulator: chunks are folded into it
+    *inside* the loop, before the engine's commit point, so a
+    checkpointer's ``state_fn`` observes the state the commit covers.
+    """
+    owned_pool = None
+    if backend == "pool":
+        owned_pool = PoolBackend(jobs=2)
+        backend = owned_pool
+    folded = []
+    try:
+        stream = engine.stream(
+            inputs, chunk_size=12, jobs=2, backend=backend, checkpoint=checkpointer
+        )
+        for chunk in stream:
+            if not chunk.replayed:
+                folded.append((chunk.index, chunk.traces))
+                if sink is not None:
+                    sink[chunk.index] = chunk.traces
+            if abort_after is not None and len(folded) >= abort_after:
+                stream.close()  # the in-process stand-in for a kill
+                break
+    finally:
+        if owned_pool is not None:
+            owned_pool.close()
+    return folded
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("precision", ["float32", "float64-exact"])
+class TestResumeByteIdentity:
+    """The acceptance criterion: killed + resumed == uninterrupted."""
+
+    def test_aborted_stream_resumes_byte_identical(
+        self, backend, precision, tmp_path
+    ):
+        inputs = make_inputs(48)
+        clean = np.concatenate(
+            [
+                t
+                for _i, t in _stream_traces(
+                    make_engine(precision), inputs, "serial"
+                )
+            ]
+        )
+
+        # First run: checkpoint each folded chunk, die after two.
+        state: dict = {}
+        first = Checkpointer(
+            str(tmp_path), state_fn=lambda: dict(state), resume=False
+        )
+        _stream_traces(
+            make_engine(precision),
+            inputs,
+            backend,
+            checkpointer=first,
+            abort_after=2,
+            sink=state,
+        )
+
+        # Second run: resume restores the folded chunks, re-acquires the
+        # rest through the same backend.
+        restored: dict = {}
+        second = Checkpointer(
+            str(tmp_path),
+            state_fn=lambda: dict(restored),
+            restore_fn=lambda saved: restored.update(saved),
+            resume=True,
+        )
+        _stream_traces(
+            make_engine(precision),
+            inputs,
+            backend,
+            checkpointer=second,
+            sink=restored,
+        )
+        assert second.resumed_from >= 1
+
+        resumed = np.concatenate([restored[i] for i in sorted(restored)])
+        np.testing.assert_array_equal(resumed, clean)
+
+
+class TestResumeSemantics:
+    def test_fully_complete_resume_replays_only_the_last_chunk(self, tmp_path):
+        inputs = make_inputs(48)
+        state: dict = {}
+        first = Checkpointer(str(tmp_path), state_fn=lambda: dict(state))
+        engine = make_engine()
+        for chunk in engine.stream(inputs, chunk_size=12, checkpoint=first):
+            state[chunk.index] = chunk.traces
+
+        second = Checkpointer(
+            str(tmp_path),
+            restore_fn=lambda saved: None,
+            resume=True,
+        )
+        chunks = list(
+            make_engine().stream(inputs, chunk_size=12, checkpoint=second)
+        )
+        assert [c.replayed for c in chunks] == [True]
+        assert chunks[0].index == 3  # the last of four 12-trace chunks
+        np.testing.assert_array_equal(chunks[0].traces, state[3])
+
+    def test_resuming_different_inputs_is_refused(self, tmp_path):
+        first = Checkpointer(str(tmp_path))
+        engine = make_engine()
+        list(engine.stream(make_inputs(48, seed=11), chunk_size=12, checkpoint=first))
+        second = Checkpointer(str(tmp_path), resume=True)
+        with pytest.raises(CheckpointMismatch):
+            list(
+                make_engine().stream(
+                    make_inputs(48, seed=12), chunk_size=12, checkpoint=second
+                )
+            )
+
+    def test_checkpoint_events_reach_the_ambient_fault_report(self, tmp_path):
+        from repro.backends.resilience import collecting_faults
+
+        inputs = make_inputs(24)
+        with collecting_faults() as report:
+            checkpointer = Checkpointer(str(tmp_path))
+            list(
+                make_engine().stream(inputs, chunk_size=12, checkpoint=checkpointer)
+            )
+        events = [entry["event"] for entry in report.checkpoint]
+        assert events[0] == "started"
+        assert events[-1] == "completed"
+        assert "saved" in events
+
+
+DRIVER = textwrap.dedent(
+    """
+    import os
+    import signal
+    import sys
+
+    import numpy as np
+
+    from repro.campaigns.checkpoint import Checkpointer
+    from repro.campaigns.engine import StreamingCampaign
+    from repro.isa.parser import assemble
+    from repro.isa.registers import Reg
+    from repro.power.acquisition import random_inputs
+    from repro.power.scope import ScopeConfig
+
+    SRC = '''
+        add r0, r1, r2
+        eor r3, r0, r1
+        lsl r4, r3, #3
+        str r3, [r9]
+        bx lr
+        .org 0x30000
+    buf:
+        .space 64
+    '''
+
+
+    def main(checkpoint_dir):
+        program = assemble(SRC)
+        inputs = random_inputs(48, reg_names=(Reg.R1, Reg.R2), seed=11)
+        inputs.regs[Reg.R9] = np.full(48, 0x30000, dtype=np.uint32)
+        engine = StreamingCampaign(
+            program, scope=ScopeConfig(noise_sigma=3.0, precision="float32"), seed=0xCB
+        )
+        state = {}
+        checkpointer = Checkpointer(checkpoint_dir, state_fn=lambda: dict(state))
+        folded = 0
+        for chunk in engine.stream(inputs, chunk_size=12, checkpoint=checkpointer):
+            state[chunk.index] = chunk.traces
+            folded += 1
+            if folded == 2:
+                print("dying", flush=True)
+                os.kill(os.getpid(), signal.SIGKILL)
+        print("survived", flush=True)
+
+
+    if __name__ == "__main__":
+        main(sys.argv[1])
+    """
+)
+
+
+class TestKilledProcessResume:
+    def test_sigkilled_campaign_resumes_byte_identical(self, tmp_path):
+        """A real process kill, not a simulated abort: run a checkpointing
+        campaign in a subprocess, SIGKILL it mid-stream, resume here."""
+        script = tmp_path / "driver.py"
+        script.write_text(DRIVER)
+        proc = subprocess.run(
+            [sys.executable, str(script), str(tmp_path / "ckpt")],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == -signal.SIGKILL
+        assert "dying" in proc.stdout
+
+        inputs = make_inputs(48)
+        clean = np.concatenate(
+            [t for _i, t in _stream_traces(make_engine(), inputs, "serial")]
+        )
+        restored: dict = {}
+        checkpointer = Checkpointer(
+            str(tmp_path / "ckpt"),
+            state_fn=lambda: dict(restored),
+            restore_fn=lambda saved: restored.update(saved),
+            resume=True,
+        )
+        for chunk in make_engine().stream(
+            inputs, chunk_size=12, checkpoint=checkpointer
+        ):
+            if not chunk.replayed:
+                restored[chunk.index] = chunk.traces
+        # The kill landed after two folds; at least one chunk survived
+        # the last flush and was not re-acquired.
+        assert checkpointer.resumed_from >= 1
+        resumed = np.concatenate([restored[i] for i in sorted(restored)])
+        np.testing.assert_array_equal(resumed, clean)

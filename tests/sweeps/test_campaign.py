@@ -164,6 +164,60 @@ class TestChunkedSweep:
                 assert el.cpa_rank == er.cpa_rank
 
 
+class TestSweepCheckpointResume:
+    """A sweep killed mid-grid resumes with only the missing points."""
+
+    KW = dict(n_traces=96, budgets=(48, 96), seed=0xC41)
+
+    def test_crashed_sweep_resumes_bit_identical(self, tmp_path, monkeypatch):
+        clean = SweepCampaign(sweep_ablations_spec(), **self.KW).run()
+
+        original = SweepCampaign._run_point
+        calls = {"n": 0}
+
+        def crashing(self, point, program, inputs):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise RuntimeError("synthetic mid-sweep crash")
+            return original(self, point, program, inputs)
+
+        # jobs=1 -> one-point batches: the first two points commit
+        # before the third one crashes the sweep.
+        monkeypatch.setattr(SweepCampaign, "_run_point", crashing)
+        with pytest.raises(RuntimeError, match="mid-sweep"):
+            SweepCampaign(sweep_ablations_spec(), **self.KW).run(
+                checkpoint=str(tmp_path / "ckpt")
+            )
+
+        resumed_calls = {"n": 0}
+
+        def counting(self, point, program, inputs):
+            resumed_calls["n"] += 1
+            return original(self, point, program, inputs)
+
+        monkeypatch.setattr(SweepCampaign, "_run_point", counting)
+        result = SweepCampaign(sweep_ablations_spec(), **self.KW).run(
+            checkpoint=str(tmp_path / "ckpt"), resume=True
+        )
+        # 5 preset points, 2 checkpointed: only 3 re-execute.
+        assert resumed_calls["n"] == 3
+        assert [p.name for p in result.points] == [p.name for p in clean.points]
+        for ours, theirs in zip(result.points, clean.points):
+            assert ours.metrics.to_json() == theirs.metrics.to_json()
+        assert result.render()
+
+    def test_resume_against_a_different_grid_is_refused(self, tmp_path):
+        from repro.campaigns.checkpoint import CheckpointMismatch
+
+        SweepCampaign(sweep_ablations_spec(), **self.KW).run(
+            checkpoint=str(tmp_path / "ckpt")
+        )
+        with pytest.raises(CheckpointMismatch):
+            SweepCampaign(
+                sweep_ablations_spec(), n_traces=96, budgets=(48, 96), seed=0xC42
+            ).run(checkpoint=str(tmp_path / "ckpt"), resume=True)
+
+
 class TestPresetAblationsRebase:
     def test_run_preset_ablations_delegates_to_the_sweep(self):
         from repro.experiments.ablations import run_preset_ablations

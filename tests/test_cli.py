@@ -69,12 +69,51 @@ class TestParser:
             ["--chunk-size", "-1"],
             ["--jobs", "0"],
             ["--seed", "-1"],
+            ["--retries", "-1"],
+            ["--chunk-timeout", "0"],
+            ["--chunk-timeout", "-2.5"],
         ),
     )
     def test_nonpositive_knobs_rejected_cleanly(self, flags, capsys):
-        with pytest.raises(SystemExit):
+        with pytest.raises(SystemExit) as excinfo:
             main(["figure3", *flags])
-        assert "must be" in capsys.readouterr().err
+        # Parse-time rejection: argparse usage errors exit 2 and name
+        # the offending flag, before any scenario work starts.
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "must be" in err
+        assert flags[0] in err
+
+    def test_resilience_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "figure3",
+                "--retries", "3",
+                "--chunk-timeout", "2.5",
+                "--checkpoint", "/tmp/ckpt",
+                "--resume",
+            ]
+        )
+        assert args.retries == 3
+        assert args.chunk_timeout == 2.5
+        assert args.checkpoint == "/tmp/ckpt"
+        assert args.resume is True
+        # All default to off.
+        bare = build_parser().parse_args(["figure3"])
+        assert bare.retries is None
+        assert bare.chunk_timeout is None
+        assert bare.checkpoint is None
+        assert bare.resume is False
+
+    def test_retries_zero_means_fail_fast_not_an_error(self):
+        assert build_parser().parse_args(["figure3", "--retries", "0"]).retries == 0
+
+    def test_resume_without_checkpoint_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["figure3", "--resume"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--resume requires --checkpoint" in err
 
 
 class TestExecution:
@@ -157,6 +196,9 @@ class TestCapabilityErrors:
             (["table1", "--traces", "500"], "--traces"),
             (["figure3", "--reps", "50"], "--reps"),
             (["success-curves", "--chunk-size", "64"], "--chunk-size"),
+            (["table1", "--retries", "2"], "--retries"),
+            (["table1", "--chunk-timeout", "5"], "--chunk-timeout"),
+            (["figure2", "--checkpoint", "/tmp/ckpt"], "--checkpoint"),
         ),
     )
     def test_unsupported_knob_exits_2_with_message(self, argv, flag, capsys):
@@ -182,6 +224,38 @@ class TestCapabilityErrors:
         captured = capsys.readouterr()
         assert "note: figure2 does not support --traces; ignoring it" in captured.err
         assert "Inferred pipeline structure" in captured.out
+
+
+class TestResilienceExecution:
+    def test_retries_do_not_change_the_json_output(self, capsys):
+        def run(extra):
+            argv = [
+                "figure3", "--traces", "96", "--chunk-size", "48",
+                "--format", "json", *extra,
+            ]
+            assert main(argv) == 0
+            records = json.loads(capsys.readouterr().out)
+            for record in records:
+                record.pop("seconds", None)
+            return json.dumps(records, sort_keys=True)
+
+        assert run(["--retries", "2"]) == run([])
+
+    def test_checkpoint_then_resume_round_trips(self, tmp_path, capsys):
+        argv = [
+            "figure3", "--traces", "96", "--chunk-size", "48",
+            "--checkpoint", str(tmp_path / "ckpt"), "--format", "json",
+        ]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--resume"]) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        for record in first + resumed:
+            record.pop("seconds", None)
+            # The resumed record carries checkpoint lifecycle events in
+            # its fault_report; the payload itself must be identical.
+            record.pop("fault_report", None)
+        assert resumed == first
 
 
 class TestScenarioFailureIsolation:
