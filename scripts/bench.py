@@ -436,6 +436,184 @@ def bench_backends(
     return out
 
 
+def bench_comms(
+    n_traces: int, chunk_size: int, jobs_list: tuple[int, ...], repeats: int
+) -> dict:
+    """Chunk transports head to head: bytes over IPC and traces/s.
+
+    Sizes what actually crosses the process boundary per chunk of the
+    figure-3 float32 streamed campaign — ``len(pickle.dumps(payload))``
+    of each worker-side encoder's real output — for the raw slim
+    transport, the worker-folded sufficient statistics
+    (:class:`~repro.campaigns.reduction.SboxCpaFold` and the extreme
+    case, :class:`~repro.campaigns.reduction.SboxTTestFold`), and the
+    shared-memory descriptor.  Then times all three transports through
+    every usable backend at every fan-out width, asserting on the way
+    that worker reduction reproduces the parent-side fold bit for bit
+    and that shm-transported trace bytes are identical to serial.
+
+    On a single-core host the parallel rows measure dispatch overhead,
+    not speedup — the point of the comparison is the *relative* cost of
+    the transports at equal work, and the IPC byte counts, which are
+    machine-independent.
+    """
+    import pickle
+
+    from repro.backends import cpu_count, fork_available, make_backend
+    from repro.backends.base import ChunkTask, slim_payload
+    from repro.backends.shm import ShmCodec, shm_available
+    from repro.campaigns.engine import StreamingCampaign
+    from repro.campaigns.reduction import SboxCpaFold, SboxTTestFold
+    from repro.crypto.aes_asm import LAYOUT, round1_only_program
+    from repro.experiments.figure3 import figure3_scope
+    from repro.power.acquisition import random_inputs
+    from repro.power.profile import cortex_a7_profile
+    from repro.sca.models import hw_sbox_model
+
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    program = round1_only_program(key)
+    inputs = random_inputs(n_traces, mem_blocks={LAYOUT.state: 16}, seed=0xF16003)
+    engine = StreamingCampaign(
+        program,
+        profile=cortex_a7_profile(),
+        scope=figure3_scope("float32"),
+        entry="aes_round1",
+        seed=1,
+        chunk_size=chunk_size,
+    )
+    engine.compiled(inputs)
+
+    cpa_fold = SboxCpaFold(byte_index=0)
+    ttest_fold = SboxTTestFold(byte_index=0, key_byte=key[0])
+
+    # -- bytes over IPC: the actual worker-side encoders on real chunks --
+    serial_chunks = list(engine.stream(inputs))
+    parent_path = serial_chunks[0].trace_set.path
+    sizes = {"raw_pickle": [], "worker_fold_cpa": [], "worker_fold_ttest": []}
+    shm_codec = ShmCodec(token="benchcomms0") if shm_available() else None
+    if shm_codec is not None:
+        sizes["shm_descriptor"] = []
+    try:
+        for chunk in serial_chunks:
+            trace_set = chunk.trace_set
+            task = ChunkTask(
+                index=chunk.index,
+                lo=chunk.start,
+                hi=chunk.start + trace_set.traces.shape[0],
+                scope_seed=0,
+                trace_offset=chunk.start,
+            )
+            sizes["raw_pickle"].append(
+                len(pickle.dumps(slim_payload(trace_set, parent_path)))
+            )
+            sizes["worker_fold_cpa"].append(
+                len(pickle.dumps(cpa_fold.fold_chunk(task, trace_set)))
+            )
+            sizes["worker_fold_ttest"].append(
+                len(pickle.dumps(ttest_fold.fold_chunk(task, trace_set)))
+            )
+            if shm_codec is not None:
+                sizes["shm_descriptor"].append(
+                    len(pickle.dumps(shm_codec.encode(task, trace_set, parent_path)))
+                )
+    finally:
+        if shm_codec is not None:
+            shm_codec.cleanup(len(serial_chunks))
+
+    bytes_over_ipc = {
+        mode: {
+            "total": int(sum(values)),
+            "per_chunk_max": int(max(values)),
+            "per_trace": round(sum(values) / n_traces, 1),
+        }
+        for mode, values in sizes.items()
+    }
+    raw_total = bytes_over_ipc["raw_pickle"]["total"]
+    bytes_over_ipc["reduction_vs_raw"] = {
+        mode: round(raw_total / bytes_over_ipc[mode]["total"], 1)
+        for mode in sizes
+        if mode != "raw_pickle"
+    }
+
+    # -- reference results for the equivalence columns --
+    reference_traces = np.concatenate([c.trace_set.traces for c in serial_chunks])
+    parent_acc = cpa_fold.create()
+    for chunk in serial_chunks:
+        plaintexts = chunk.trace_set.inputs.mem_bytes[LAYOUT.state]
+        parent_acc.update(
+            chunk.trace_set.traces,
+            lambda guess: hw_sbox_model(plaintexts, 0, guess),
+        )
+    reference_corr = parent_acc.result().correlations
+
+    def consume(backend, jobs, transport=None):
+        for _chunk in engine.stream(
+            inputs, jobs=jobs, backend=backend, transport=transport
+        ):
+            pass
+
+    def reduce_run(backend, jobs):
+        return engine.reduce(inputs, cpa_fold, jobs=jobs, backend=backend)
+
+    out = {
+        "n_traces": n_traces,
+        "chunk_size": chunk_size,
+        "n_chunks": len(serial_chunks),
+        "cpu_count": cpu_count(),
+        "shm_available": shm_codec is not None,
+        "bytes_over_ipc": bytes_over_ipc,
+        "campaign": {},
+    }
+
+    policies = ["serial"] + (["fork"] if fork_available() else []) + ["spawn"]
+    for policy in policies:
+        widths = (1,) if policy == "serial" else jobs_list
+        # A fresh spawn pool per run rebuilds the campaign from its
+        # spec; fewer repeats keep the matrix affordable.
+        policy_repeats = 2 if policy == "spawn" else repeats
+        rows = {}
+        for jobs in widths:
+            modes = {}
+            backend = make_backend(policy, jobs)
+            with backend:
+                consume(backend, jobs)  # warm the workers/caches once
+                stats = _measure(lambda: consume(backend, jobs), policy_repeats)
+                stats["traces_per_sec"] = _throughput(stats, n_traces)
+                modes["raw"] = stats
+
+                reduced = reduce_run(backend, jobs)
+                identical = bool(
+                    np.array_equal(
+                        reduced.value.result().correlations, reference_corr
+                    )
+                )
+                stats = _measure(lambda: reduce_run(backend, jobs), policy_repeats)
+                stats["traces_per_sec"] = _throughput(stats, n_traces)
+                stats["identical_to_parent_fold"] = identical
+                modes["worker_fold"] = stats
+
+                if policy != "serial" and shm_codec is not None:
+                    shm_traces = np.concatenate(
+                        [
+                            c.trace_set.traces
+                            for c in engine.stream(
+                                inputs, jobs=jobs, backend=backend, transport="shm"
+                            )
+                        ]
+                    )
+                    identical = bool(np.array_equal(shm_traces, reference_traces))
+                    stats = _measure(
+                        lambda: consume(backend, jobs, transport="shm"),
+                        policy_repeats,
+                    )
+                    stats["traces_per_sec"] = _throughput(stats, n_traces)
+                    stats["identical_to_serial"] = identical
+                    modes["shm"] = stats
+            rows[f"jobs{jobs}"] = modes
+        out["campaign"][policy] = rows
+    return out
+
+
 def bench_session_api(n_traces: int, repeats: int) -> dict:
     """The public façade end to end: ``Session.run`` vs the raw driver.
 
@@ -538,9 +716,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", default="BENCH_hotpath.json")
     parser.add_argument(
         "--section",
-        choices=("all", "hotpath", "backends", "resilience"),
+        choices=("all", "hotpath", "backends", "resilience", "comms"),
         default="all",
         help="which benchmark family to run (default: all)",
+    )
+    parser.add_argument(
+        "--comms-out",
+        default="BENCH_comms.json",
+        help="output path of the chunk-transport (comms) benchmark",
     )
     parser.add_argument(
         "--backends-out",
@@ -634,6 +817,55 @@ def main(argv: list[str] | None = None) -> int:
             f"(+{section['recovery_latency_s']*1e3:.1f} ms over plain)"
         )
         if args.section == "resilience":
+            return 0
+
+    if args.section in ("all", "comms"):
+        nc = args.traces or (240 if args.smoke else 600)
+        chunk = max(30, nc // 8)
+        jobs_list = (2,) if args.smoke else (2, 4)
+        creport = {
+            "schema": "bench_comms/1",
+            "smoke": bool(args.smoke),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "benchmarks": {},
+        }
+        print(
+            f"chunk transports (n={nc}, chunks of {chunk}, jobs={jobs_list}) ...",
+            flush=True,
+        )
+        bench_started = time.time()
+        creport["benchmarks"]["figure3_float32_comms"] = bench_comms(
+            nc, chunk, jobs_list, max(2, repeats)
+        )
+        creport["wall_s"] = round(time.time() - bench_started, 2)
+        comms_path = Path(args.comms_out)
+        comms_path.write_text(json.dumps(creport, indent=2) + "\n")
+        print(f"wrote {comms_path}")
+        section = creport["benchmarks"]["figure3_float32_comms"]
+        ipc = section["bytes_over_ipc"]
+        print(f"  bytes over IPC (n={section['n_traces']}, {section['n_chunks']} chunks):")
+        for mode, stats in ipc.items():
+            if mode == "reduction_vs_raw":
+                continue
+            factor = ipc["reduction_vs_raw"].get(mode)
+            suffix = f"   {factor:.1f}x smaller than raw" if factor else ""
+            print(f"    {mode:18s} {stats['total']:>12,} B total{suffix}")
+        for policy, rows in section["campaign"].items():
+            for label, modes in rows.items():
+                for mode, stats in modes.items():
+                    checks = [
+                        f"{flag}={stats[flag]}"
+                        for flag in ("identical_to_parent_fold", "identical_to_serial")
+                        if flag in stats
+                    ]
+                    print(
+                        f"  {policy:6s} {label:6s} {mode:11s} "
+                        f"{stats['traces_per_sec']:8.0f} traces/s"
+                        + ("   " + " ".join(checks) if checks else "")
+                    )
+        if args.section == "comms":
             return 0
 
     started = time.time()

@@ -43,6 +43,9 @@ class Capability(enum.Enum):
     #: the runner honors the fault-tolerance knobs (``retries``,
     #: ``chunk_timeout``, ``checkpoint``, ``resume``)
     RESILIENCE = "resilience"
+    #: the runner honors ``reduce`` (worker-side statistic folding —
+    #: the comms-avoiding dispatch mode, see docs/backends.md)
+    REDUCE = "reduce"
 
     def __str__(self) -> str:  # "chunking", not "Capability.CHUNKING"
         return self.value
@@ -64,6 +67,7 @@ KNOB_CAPABILITIES: dict[str, Capability] = {
     "chunk_timeout": Capability.RESILIENCE,
     "checkpoint": Capability.RESILIENCE,
     "resume": Capability.RESILIENCE,
+    "reduce": Capability.REDUCE,
 }
 
 #: RunRequest field -> the CLI flag that sets it (for error messages).
@@ -82,6 +86,7 @@ KNOB_FLAGS: dict[str, str] = {
     "chunk_timeout": "--chunk-timeout",
     "checkpoint": "--checkpoint",
     "resume": "--resume",
+    "reduce": "--reduce",
 }
 
 

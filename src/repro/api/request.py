@@ -22,6 +22,9 @@ if TYPE_CHECKING:  # registry imports this module lazily; avoid the cycle
 #: Accepted values of the ``precision`` knob.
 PRECISIONS = ("float64-exact", "float32")
 
+#: Accepted values of the ``reduce`` knob.
+REDUCE_MODES = ("parent", "worker")
+
 
 @dataclass(frozen=True)
 class RunRequest:
@@ -55,6 +58,10 @@ class RunRequest:
     checkpoint: str | None = None
     #: resume from ``checkpoint`` instead of starting fresh
     resume: bool | None = None
+    #: where campaign statistics fold: ``"parent"`` streams raw chunks
+    #: back, ``"worker"`` folds worker-side and ships only sufficient
+    #: statistics (comms-avoiding; requires REDUCE)
+    reduce: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_traces is not None and self.n_traces <= 0:
@@ -76,6 +83,10 @@ class RunRequest:
         if self.chunk_timeout is not None and self.chunk_timeout <= 0:
             raise ValueError(
                 f"chunk_timeout must be positive, got {self.chunk_timeout}"
+            )
+        if self.reduce is not None and self.reduce not in REDUCE_MODES:
+            raise ValueError(
+                f"reduce must be one of {REDUCE_MODES}, got {self.reduce!r}"
             )
         if self.grid is not None and not isinstance(self.grid, tuple):
             object.__setattr__(self, "grid", tuple(self.grid))
@@ -134,6 +145,10 @@ class RunRequest:
             elif name == "resume":
                 # resume=False is indistinguishable from "not asked"
                 if value:
+                    knobs.append(name)
+            elif name == "reduce":
+                # "parent" is every scenario's implicit behavior
+                if value == "worker":
                     knobs.append(name)
             elif value is not None:
                 knobs.append(name)

@@ -47,6 +47,7 @@ class Session:
         retries: int | None = None,
         chunk_timeout: float | None = None,
         checkpoint: str | None = None,
+        reduce: str | None = None,
     ):
         #: session policy, merged (where supported) into every request
         self.defaults = RunRequest(
@@ -60,6 +61,7 @@ class Session:
             retries=retries,
             chunk_timeout=chunk_timeout,
             checkpoint=checkpoint,
+            reduce=reduce,
         )
         #: the session-owned persistent pool, created lazily when the
         #: ``"pool"`` policy is first exercised and kept warm until

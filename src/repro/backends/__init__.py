@@ -123,6 +123,16 @@ def resolve_backend(
         backend = make_backend(policy, jobs)
         if isinstance(backend, ForkBackend):
             backend._check_available()
+        # Nothing to fan out: spinning up a pool for one worker or one
+        # chunk only adds fork/pickle overhead (BENCH_backends.json had
+        # fork at jobs=1 around half the serial throughput), and serial
+        # is byte-identical by contract.  Availability stays strict —
+        # the checks above ran — and 'numba' is excluded because it
+        # changes the evaluator, not just the dispatch.
+        if policy in ("fork", "spawn", "pool") and (
+            jobs <= 1 or (n_tasks is not None and n_tasks <= 1)
+        ):
+            return SerialBackend(), True
         return backend, True
 
     # auto: nothing to fan out -> serial, quietly.

@@ -168,6 +168,12 @@ class BackendContext:
     compiled: CompiledAcquisition | None = None
     #: retry/watchdog/validation state (None: historical dispatch paths)
     resilience: "ResilienceContext | None" = None
+    #: worker-side chunk codec — an object with
+    #: ``encode(task, trace_set, parent_path) -> payload`` applied to
+    #: every chunk result *before* it crosses the process boundary
+    #: (fold states for ``reduce="worker"``, shared-memory descriptors
+    #: for the shm transport); ``None`` keeps the historical payloads
+    codec: Any | None = None
     _spec: CampaignSpec | None = field(default=None, repr=False)
 
     def transform_for(self, index: int):
@@ -196,6 +202,7 @@ class BackendContext:
         for label, obj in (
             ("power_transform", self.power_transform),
             ("power_transform_factory", self.power_transform_factory),
+            ("codec", self.codec),
         ):
             if obj is None:
                 continue
@@ -209,10 +216,36 @@ class BackendContext:
                 ) from error
 
 
-#: ``(index, lo, payload)`` where payload is a full :class:`TraceSet`
-#: or the slim ``(traces, table, power)`` triple to rewrap against the
-#: parent's compiled schedule.
+#: ``(index, lo, payload)`` where payload is a full :class:`TraceSet`,
+#: the slim ``(traces, table, power)`` triple to rewrap against the
+#: parent's compiled schedule, or whatever the context's ``codec``
+#: encoded (a fold state, a shared-memory descriptor).
 ChunkResult = tuple[int, int, Any]
+
+
+def slim_payload(trace_set: TraceSet, parent_path: list[int] | None):
+    """Strip shared compiled objects when the worker's path matches.
+
+    The parent holds the same compiled schedule (inherited at fork, or
+    structurally identical under spawn), so only the per-chunk arrays
+    need to cross the pipe; a recompiled divergent chunk ships whole.
+    """
+    if parent_path is not None and trace_set.path == parent_path:
+        return trace_set.traces, trace_set.table, trace_set.power
+    return trace_set
+
+
+def encode_chunk(codec, task: ChunkTask, trace_set: TraceSet, parent_path):
+    """Apply the context codec (or the slim default) to one chunk result.
+
+    This runs on the worker side of the process boundary — the whole
+    point of a codec is to shrink what crosses it — and uniformly in
+    the serial backend, so validators and consumers see one payload
+    shape per campaign regardless of backend.
+    """
+    if codec is not None:
+        return codec.encode(task, trace_set, parent_path)
+    return slim_payload(trace_set, parent_path)
 
 
 class ExecutionBackend(abc.ABC):
@@ -291,24 +324,28 @@ class SerialBackend(ExecutionBackend):
         self, context: BackendContext, tasks: Sequence[ChunkTask]
     ) -> Iterator[ChunkResult]:
         resilience = context.resilience
+        codec = context.codec
+        parent_path = context.compiled_path()
+
+        def produce(task: ChunkTask):
+            # The codec runs inside the attempt so a retried chunk
+            # re-encodes from scratch and validators always see the
+            # same payload shape the pool backends deliver.
+            trace_set = run_chunk_task(
+                context.campaign, context.inputs, task, context.transform_for(task.index)
+            )
+            if codec is not None:
+                return codec.encode(task, trace_set, parent_path)
+            return trace_set
+
         for task in tasks:
             if resilience is None:
-                trace_set = run_chunk_task(
-                    context.campaign, context.inputs, task, context.transform_for(task.index)
-                )
+                payload = produce(task)
             else:
-                trace_set = run_attempts(
-                    resilience,
-                    task,
-                    lambda attempt: run_chunk_task(
-                        context.campaign,
-                        context.inputs,
-                        task,
-                        context.transform_for(task.index),
-                    ),
-                    self.name,
+                payload = run_attempts(
+                    resilience, task, lambda attempt: produce(task), self.name
                 )
-            yield task.index, task.lo, trace_set
+            yield task.index, task.lo, payload
 
 
 def _numba_available() -> bool:

@@ -49,7 +49,9 @@ from repro.backends.base import (
     ChunkResult,
     ChunkTask,
     ExecutionBackend,
+    encode_chunk,
     run_chunk_task,
+    slim_payload,
 )
 from repro.backends.resilience import (
     BackendBroken,
@@ -70,16 +72,9 @@ def _pool_size(jobs: int, n_tasks: int | None = None) -> int:
     return size
 
 
-def _slim_payload(trace_set: TraceSet, parent_path: list[int] | None):
-    """Strip shared compiled objects when the worker's path matches.
-
-    The parent holds the same compiled schedule (inherited at fork, or
-    structurally identical under spawn), so only the per-chunk arrays
-    need to cross the pipe; a recompiled divergent chunk ships whole.
-    """
-    if parent_path is not None and trace_set.path == parent_path:
-        return trace_set.traces, trace_set.table, trace_set.power
-    return trace_set
+#: Backwards-compatible alias: the slim-payload helper moved to base so
+#: the serial backend can share it with codec dispatch.
+_slim_payload = slim_payload
 
 
 # -- fork workers (state inherited copy-on-write at fork) ---------------
@@ -87,12 +82,13 @@ def _slim_payload(trace_set: TraceSet, parent_path: list[int] | None):
 _FORK_STATE: dict = {}
 
 
-def _fork_init(campaign, inputs, transform, factory, parent_path) -> None:  # pragma: no cover
+def _fork_init(campaign, inputs, transform, factory, parent_path, codec=None) -> None:  # pragma: no cover
     _FORK_STATE["campaign"] = campaign
     _FORK_STATE["inputs"] = inputs
     _FORK_STATE["transform"] = transform
     _FORK_STATE["factory"] = factory
     _FORK_STATE["parent_path"] = parent_path
+    _FORK_STATE["codec"] = codec
 
 
 def _fork_chunk(task: ChunkTask):  # pragma: no cover - exercised via Pool
@@ -100,7 +96,10 @@ def _fork_chunk(task: ChunkTask):  # pragma: no cover - exercised via Pool
     factory = _FORK_STATE["factory"]
     transform = factory(task.index) if factory is not None else _FORK_STATE["transform"]
     trace_set = run_chunk_task(campaign, _FORK_STATE["inputs"], task, transform)
-    return task.index, task.lo, _slim_payload(trace_set, _FORK_STATE["parent_path"])
+    payload = encode_chunk(
+        _FORK_STATE.get("codec"), task, trace_set, _FORK_STATE["parent_path"]
+    )
+    return task.index, task.lo, payload
 
 
 # -- spawn workers (state rebuilt from the pickled spec) ----------------
@@ -108,12 +107,13 @@ def _fork_chunk(task: ChunkTask):  # pragma: no cover - exercised via Pool
 _SPAWN_STATE: dict = {}
 
 
-def _spawn_init(spec, inputs, transform, factory, parent_path) -> None:  # pragma: no cover
+def _spawn_init(spec, inputs, transform, factory, parent_path, codec=None) -> None:  # pragma: no cover
     _SPAWN_STATE["campaign"] = spec.build()
     _SPAWN_STATE["inputs"] = inputs
     _SPAWN_STATE["transform"] = transform
     _SPAWN_STATE["factory"] = factory
     _SPAWN_STATE["parent_path"] = parent_path
+    _SPAWN_STATE["codec"] = codec
 
 
 def _spawn_chunk(task: ChunkTask):  # pragma: no cover - exercised via Pool
@@ -121,7 +121,10 @@ def _spawn_chunk(task: ChunkTask):  # pragma: no cover - exercised via Pool
     factory = _SPAWN_STATE["factory"]
     transform = factory(task.index) if factory is not None else _SPAWN_STATE["transform"]
     trace_set = run_chunk_task(campaign, _SPAWN_STATE["inputs"], task, transform)
-    return task.index, task.lo, _slim_payload(trace_set, _SPAWN_STATE["parent_path"])
+    payload = encode_chunk(
+        _SPAWN_STATE.get("codec"), task, trace_set, _SPAWN_STATE["parent_path"]
+    )
+    return task.index, task.lo, payload
 
 
 # -- persistent-pool workers (fully declarative tasks) ------------------
@@ -147,7 +150,7 @@ def _pool_campaign(spec: CampaignSpec) -> TraceCampaign:  # pragma: no cover
 
 
 def _pool_chunk(payload):  # pragma: no cover - exercised via Pool
-    spec, chunk_inputs, transform, factory, task, parent_path = payload
+    spec, chunk_inputs, transform, factory, task, parent_path, codec = payload
     campaign = _pool_campaign(spec)
     if factory is not None:
         transform = factory(task.index)
@@ -157,7 +160,7 @@ def _pool_chunk(payload):  # pragma: no cover - exercised via Pool
         scope_seed=task.scope_seed,
         trace_offset=task.trace_offset,
     )
-    return task.index, task.lo, _slim_payload(trace_set, parent_path)
+    return task.index, task.lo, encode_chunk(codec, task, trace_set, parent_path)
 
 
 def _apply(payload):  # pragma: no cover - exercised via Pool
@@ -358,6 +361,7 @@ class ForkBackend(_PoolBackendBase):
             context.power_transform,
             context.power_transform_factory,
             context.compiled_path(),
+            context.codec,
         )
 
     def _chunk_fn(self):
@@ -381,6 +385,7 @@ class SpawnBackend(_PoolBackendBase):
             context.power_transform,
             context.power_transform_factory,
             context.compiled_path(),
+            context.codec,
         )
 
     def _chunk_fn(self):
@@ -474,6 +479,7 @@ class PoolBackend(ExecutionBackend):
                 context.power_transform_factory,
                 task,
                 parent_path,
+                context.codec,
             )
             for task in tasks
         }

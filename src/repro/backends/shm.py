@@ -1,0 +1,248 @@
+"""Zero-copy chunk transport over ``multiprocessing.shared_memory``.
+
+The pickle transport serializes every chunk's trace block into the pool
+result pipe and deserializes it in the parent — two full copies plus
+pipe traffic for data that both sides could simply map.  The shm
+transport instead has the worker write its traces into a named POSIX
+shared-memory segment and ship only a tiny descriptor
+(:class:`ShmChunkPayload`); the parent maps the segment and wraps it in
+a numpy array **without copying**, unlinking the name immediately so
+the segment's lifetime is exactly the array's mapping.
+
+Ownership protocol (Python 3.11 registers segments with the resource
+tracker on *both* create and attach):
+
+1. the worker creates the segment under a deterministic name, copies
+   the chunk in, **unregisters** it from its own tracker (ownership is
+   being transferred) and closes its mapping;
+2. the parent attaches (its tracker now owns the name), unlinks the
+   name on the spot — the memory stays valid while mapped, and a parent
+   crash after this point can no longer leak the name — and hands out a
+   zero-copy array whose finalizer closes the mapping;
+3. deterministic names make retries and crash recovery idempotent: a
+   worker re-dispatched after a SIGKILL first unlinks any leftover
+   segment from the dead attempt, and the engine sweeps all of a
+   stream's names in a ``finally`` so no fault path leaks ``/dev/shm``
+   entries.
+
+Fallbacks: a chunk whose executed path diverged from the parent's
+compiled schedule ships as a whole pickled
+:class:`~repro.power.acquisition.TraceSet` (exactly like the slim
+transport), and :func:`shm_available` lets callers degrade to pickle on
+platforms without POSIX shared memory.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import weakref
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.backends.resilience import ChunkCorruption
+
+_AVAILABLE: bool | None = None
+
+#: Attached segments whose zero-copy arrays have died but whose mapping
+#: could not be closed yet.  An ndarray finalizer runs *during* the
+#: array's deallocation, before the buffer export is released, so
+#: ``close()`` at that moment raises ``BufferError``; the finalizer
+#: instead parks the segment here and the next sweep closes it.
+_GRAVEYARD: list = []
+
+
+def _bury(segment) -> None:
+    _GRAVEYARD.append(segment)
+
+
+def sweep_graveyard() -> int:
+    """Close parked segment mappings whose exports are gone.
+
+    Runs on every :meth:`ShmChunkPayload.materialize` (bounding the
+    number of open mappings over a long stream), on
+    :meth:`ShmCodec.cleanup`, and at interpreter exit.  Returns how many
+    mappings remain parked (still referenced by live arrays).
+    """
+    remaining = []
+    for segment in _GRAVEYARD:
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - a view is still alive
+            remaining.append(segment)
+    _GRAVEYARD[:] = remaining
+    return len(remaining)
+
+
+def _shutdown() -> None:  # pragma: no cover - exercised at interpreter exit
+    """Detach straggler mappings so teardown stays silent.
+
+    Memory was unlinked at materialize time, so an unclosed mapping
+    cannot leak past the process; this only prevents ``BufferError``
+    noise from ``SharedMemory.__del__`` during interpreter teardown.
+    """
+    sweep_graveyard()
+    for segment in _GRAVEYARD:
+        if segment._fd >= 0:
+            try:
+                os.close(segment._fd)
+            except OSError:
+                pass
+            segment._fd = -1
+        segment._mmap = None
+        segment._buf = None
+    _GRAVEYARD.clear()
+
+
+atexit.register(_shutdown)
+
+
+def shm_available() -> bool:
+    """Can this platform create and unlink POSIX shared memory?"""
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        try:
+            from multiprocessing import shared_memory
+
+            probe = shared_memory.SharedMemory(create=True, size=16)
+            probe.close()
+            probe.unlink()
+            _AVAILABLE = True
+        except Exception:
+            _AVAILABLE = False
+    return _AVAILABLE
+
+
+def segment_name(token: str, index: int) -> str:
+    return f"repro-{token}-c{index}"
+
+
+def _unlink_quietly(name: str) -> None:
+    """Remove a leftover segment (dead attempt, killed run), if any."""
+    from multiprocessing import shared_memory
+
+    try:
+        leftover = shared_memory.SharedMemory(name=name)
+    except (FileNotFoundError, OSError):
+        return
+    try:
+        leftover.close()
+        leftover.unlink()
+    except (FileNotFoundError, OSError):  # pragma: no cover - raced cleanup
+        pass
+
+
+class ShmArray(np.ndarray):
+    """A plain ndarray view that supports weak references.
+
+    Base ``numpy.ndarray`` objects cannot be weak-referenced, and the
+    parent needs a finalizer on the zero-copy array to close the
+    segment mapping once the last consumer lets go.
+    """
+
+
+@dataclass
+class ShmChunkPayload:
+    """The descriptor that replaces a chunk's trace block on the wire."""
+
+    name: str
+    shape: tuple
+    dtype: str
+    table: Any
+    power: Any
+    _cached: tuple | None = field(default=None, repr=False, compare=False)
+
+    def materialize(self) -> tuple:
+        """Attach, unlink, and wrap the segment as ``(traces, table, power)``.
+
+        Zero-copy: the returned traces array maps the shared segment
+        directly; a finalizer closes the mapping when the array dies.
+        Idempotent per delivered payload (validation and rewrap both
+        call it), and a missing segment — a worker that died between
+        creating and filling it never reports success, so this means
+        external interference — raises a retryable
+        :class:`~repro.backends.ChunkCorruption`.
+        """
+        if self._cached is not None:
+            return self._cached
+        from multiprocessing import shared_memory
+
+        try:
+            segment = shared_memory.SharedMemory(name=self.name)
+        except (FileNotFoundError, OSError) as error:
+            raise ChunkCorruption(
+                f"shared-memory segment '{self.name}' vanished before the "
+                f"parent attached ({error})"
+            ) from error
+        # Unlink on the spot: the mapping keeps the memory alive, and
+        # from here no crash can leak the /dev/shm name.
+        try:
+            segment.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover - raced cleanup
+            pass
+        dtype = np.dtype(self.dtype)
+        count = int(np.prod(self.shape, dtype=np.int64))
+        traces = (
+            np.frombuffer(segment.buf, dtype=dtype, count=count)
+            .reshape(self.shape)
+            .view(ShmArray)
+        )
+        weakref.finalize(traces, _bury, segment)
+        sweep_graveyard()
+        self._cached = (traces, self.table, self.power)
+        return self._cached
+
+
+@dataclass(frozen=True)
+class ShmCodec:
+    """Worker-side codec: trace blocks into named shared segments.
+
+    ``token`` is derived deterministically from the stream fingerprint,
+    so a run killed and resumed reuses — and therefore can clean up —
+    the same names.  (Corollary: don't run the *same* campaign twice
+    concurrently with the shm transport.)
+    """
+
+    token: str
+
+    def encode(self, task, trace_set, parent_path):
+        if parent_path is None or trace_set.path != parent_path:
+            # Divergent recompiled chunk: ship it whole, like the slim
+            # transport does — correctness over transport savings.
+            return trace_set
+        from multiprocessing import resource_tracker, shared_memory
+
+        traces = np.ascontiguousarray(trace_set.traces)
+        name = segment_name(self.token, task.index)
+        _unlink_quietly(name)  # leftover of a SIGKILLed earlier attempt
+        segment = shared_memory.SharedMemory(
+            name=name, create=True, size=traces.nbytes
+        )
+        view = np.frombuffer(segment.buf, dtype=traces.dtype, count=traces.size)
+        view[:] = traces.ravel()
+        del view
+        # Hand ownership to the parent: this process's tracker must
+        # forget the name or it would unlink it again at worker exit.
+        resource_tracker.unregister(segment._name, "shared_memory")
+        segment.close()
+        return ShmChunkPayload(
+            name=name,
+            shape=traces.shape,
+            dtype=str(traces.dtype),
+            table=trace_set.table,
+            power=trace_set.power,
+        )
+
+    def cleanup(self, n_tasks: int) -> None:
+        """Unlink every segment this stream could have created.
+
+        Runs in the engine's ``finally``: covers chunks that were
+        encoded but never consumed (a fault aborting the stream, a
+        consumer abandoning the generator) and leftovers of a killed
+        previous run under the same fingerprint.
+        """
+        for index in range(n_tasks):
+            _unlink_quietly(segment_name(self.token, index))
+        sweep_graveyard()

@@ -32,6 +32,16 @@ can interleave updates and snapshots to obtain the statistic at every
 prefix of a stream — that is the engine behind the prefix-incremental
 curves (:func:`repro.sca.cpa.cpa_attack_curve` and friends) and the
 chunk-aligned :class:`CpaBudgetSnapshots`.
+
+Every accumulator additionally exposes a compact ``state()`` /
+``from_state()`` serialization (plain dicts of numpy arrays and
+scalars) so a worker process can ship *sufficient statistics* back to
+the parent instead of raw traces — the comms-avoiding reduction of
+``docs/backends.md``.  Merging a ``from_state`` round-trip of a
+single-chunk accumulator is bit-identical to updating with that chunk
+directly (the combine runs on exactly the chunk moments ``update``
+would compute), which is what makes worker-side reduction byte-equal
+to the serial fold.
 """
 
 from __future__ import annotations
@@ -86,6 +96,25 @@ class OnlineMeanVar:
         self._m2 += m2 + delta**2 * (self.n * k / n_total)
         self.mean += delta * (k / n_total)
         self.n = n_total
+
+    def state(self) -> dict:
+        """The sufficient statistics as a compact, picklable dict."""
+        return {
+            "n": int(self.n),
+            "mean": None if self.mean is None else self.mean.copy(),
+            "m2": None if self._m2 is None else self._m2.copy(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "OnlineMeanVar":
+        acc = cls()
+        acc.n = int(state["n"])
+        acc.mean = None if state["mean"] is None else np.asarray(state["mean"], dtype=np.float64).copy()
+        acc._m2 = None if state["m2"] is None else np.asarray(state["m2"], dtype=np.float64).copy()
+        return acc
+
+    def clone(self) -> "OnlineMeanVar":
+        return self.from_state(self.state())
 
     def var(self, ddof: int = 0) -> np.ndarray:
         """Variance per column (population by default, like ``np.var``)."""
@@ -189,6 +218,33 @@ class OnlineCorrAccumulator:
         self._mean_y += delta_y * (other.n / n_total)
         self.n = n_total
 
+    _STATE_ARRAYS = ("mean_x", "mean_y", "m2_x", "m2_y", "comoment")
+
+    def state(self) -> dict:
+        """The sufficient statistics as a compact, picklable dict."""
+        record: dict = {"n": int(self.n), "single": self._single}
+        for key in self._STATE_ARRAYS:
+            value = getattr(self, f"_{key}")
+            record[key] = None if value is None else value.copy()
+        return record
+
+    @classmethod
+    def from_state(cls, state: dict) -> "OnlineCorrAccumulator":
+        acc = cls()
+        acc.n = int(state["n"])
+        acc._single = state["single"]
+        for key in cls._STATE_ARRAYS:
+            value = state[key]
+            setattr(
+                acc,
+                f"_{key}",
+                None if value is None else np.asarray(value, dtype=np.float64).copy(),
+            )
+        return acc
+
+    def clone(self) -> "OnlineCorrAccumulator":
+        return self.from_state(self.state())
+
     def correlations(self) -> np.ndarray:
         """``[n_models, n_samples]`` (or ``[n_samples]`` for 1-D models)."""
         if self.n == 0 or self._comoment is None:
@@ -232,6 +288,26 @@ class OnlineSnrAccumulator:
         self._total.merge(other._total)
         for value, acc in other._classes.items():
             self._classes.setdefault(value, OnlineMeanVar()).merge(acc)
+
+    def state(self) -> dict:
+        """The sufficient statistics as a compact, picklable dict."""
+        return {
+            "classes": {value: acc.state() for value, acc in self._classes.items()},
+            "total": self._total.state(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "OnlineSnrAccumulator":
+        acc = cls()
+        acc._classes = {
+            int(value): OnlineMeanVar.from_state(sub)
+            for value, sub in state["classes"].items()
+        }
+        acc._total = OnlineMeanVar.from_state(state["total"])
+        return acc
+
+    def clone(self) -> "OnlineSnrAccumulator":
+        return self.from_state(self.state())
 
     def result(self, min_class_size: int = 2) -> SnrResult:
         """Finish into an :class:`SnrResult` (same math as partition_snr)."""
@@ -278,6 +354,24 @@ class OnlineTTestAccumulator:
     def merge(self, other: "OnlineTTestAccumulator") -> None:
         self.group_a.merge(other.group_a)
         self.group_b.merge(other.group_b)
+
+    def state(self) -> dict:
+        """The sufficient statistics as a compact, picklable dict."""
+        return {
+            "threshold": float(self.threshold),
+            "a": self.group_a.state(),
+            "b": self.group_b.state(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "OnlineTTestAccumulator":
+        acc = cls(threshold=float(state["threshold"]))
+        acc.group_a = OnlineMeanVar.from_state(state["a"])
+        acc.group_b = OnlineMeanVar.from_state(state["b"])
+        return acc
+
+    def clone(self) -> "OnlineTTestAccumulator":
+        return self.from_state(self.state())
 
     def result(self) -> TTestResult:
         """Finish into a :class:`TTestResult` (same math as welch_ttest)."""
@@ -326,6 +420,19 @@ class CpaAccumulator:
             raise ValueError("cannot merge CPA accumulators over different guesses")
         self._corr.merge(other._corr)
 
+    def state(self) -> dict:
+        """The sufficient statistics as a compact, picklable dict."""
+        return {"guesses": self.guesses.copy(), "corr": self._corr.state()}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "CpaAccumulator":
+        acc = cls(guesses=np.asarray(state["guesses"]))
+        acc._corr = OnlineCorrAccumulator.from_state(state["corr"])
+        return acc
+
+    def clone(self) -> "CpaAccumulator":
+        return self.from_state(self.state())
+
     def result(self):
         """Snapshot the folded state as a :class:`repro.sca.cpa.CpaResult`.
 
@@ -352,15 +459,15 @@ class BudgetSplitter:
     or ``None`` for the remainder past the last boundary in the chunk.
     """
 
-    def __init__(self, budgets: Sequence[int]):
+    def __init__(self, budgets: Sequence[int], start: int = 0):
         budget_array = np.asarray(list(budgets), dtype=np.int64)
         if budget_array.size == 0 or np.any(budget_array <= 0):
             raise ValueError("budgets must be positive")
         if np.any(np.diff(budget_array) <= 0):
             raise ValueError("budgets must be strictly increasing")
         self.budgets = budget_array
-        self._reached = 0
-        self._base = 0
+        self._base = int(start)
+        self._reached = int(np.searchsorted(self.budgets, self._base, side="right"))
 
     def split(self, chunk_len: int):
         low = 0
@@ -385,18 +492,44 @@ class CpaBudgetSnapshots:
     pass over a (chunked, possibly budget-misaligned) campaign yields
     ``cpa_attack``-equivalent results at every budget — plus, via
     :meth:`result`, the full-campaign result of everything folded.
+
+    In *deferred* mode (``defer=True``) the snapshots are not taken:
+    each budget-split sub-range is folded into its own fresh
+    :class:`CpaAccumulator` and appended to an ordered parts list.  A
+    worker process can therefore fold its chunk at ``start=<chunk lo>``
+    and ship only the parts; the parent merges them in stream order into
+    a non-deferred instance, which replays exactly the combine sequence
+    the serial fold would have run — bit for bit, because each part
+    carries precisely the sub-range moments ``update`` computes.
     """
 
-    def __init__(self, budgets: Sequence[int], guesses: Sequence[int] = tuple(range(256))):
-        self._splitter = BudgetSplitter(budgets)
+    def __init__(
+        self,
+        budgets: Sequence[int],
+        guesses: Sequence[int] = tuple(range(256)),
+        *,
+        start: int = 0,
+        defer: bool = False,
+    ):
+        self._splitter = BudgetSplitter(budgets, start=start)
         self.budgets = self._splitter.budgets
         self.guesses = np.asarray(list(guesses))
+        self.start = int(start)
+        self._defer = bool(defer)
         self._accumulator = CpaAccumulator(self.guesses)
+        self._parts: list[tuple[int | None, CpaAccumulator]] = []
         self.results: list = []
 
     @property
     def n_traces(self) -> int:
+        if self._defer:
+            return sum(part.n_traces for _budget, part in self._parts)
         return self._accumulator.n_traces
+
+    @property
+    def end(self) -> int:
+        """One past the last stream position folded (``start`` + length)."""
+        return self._splitter._base
 
     def update(self, traces: np.ndarray, model_fn: Callable[[int], np.ndarray]) -> None:
         """Fold one chunk, snapshotting at every budget it crosses."""
@@ -405,13 +538,103 @@ class CpaBudgetSnapshots:
             axis=1,
         )
         for low, high, budget in self._splitter.split(traces.shape[0]):
-            self._accumulator._corr.update(models[low:high], traces[low:high])
-            if budget is not None:
-                self.results.append(self._accumulator.result())
+            if self._defer:
+                part = CpaAccumulator(self.guesses)
+                part._corr.update(models[low:high], traces[low:high])
+                self._parts.append((budget, part))
+            else:
+                self._accumulator._corr.update(models[low:high], traces[low:high])
+                if budget is not None:
+                    self.results.append(self._accumulator.result())
+
+    def merge(self, other: "CpaBudgetSnapshots") -> None:
+        """Fold a *deferred* sibling in, in stream order.
+
+        ``other`` must start exactly where this instance ends so the
+        budget boundaries stay chunk-aligned; the parts replay the same
+        per-sub-range combines the serial fold runs, keeping the merged
+        snapshots byte-identical to serial streaming.
+        """
+        if not other._defer:
+            raise ValueError("can only merge deferred (worker-side) snapshot parts")
+        if not np.array_equal(self.budgets, other.budgets):
+            raise ValueError("cannot merge snapshots over different budgets")
+        if not np.array_equal(self.guesses, other.guesses):
+            raise ValueError("cannot merge snapshots over different guesses")
+        if other.start != self.end:
+            raise ValueError(
+                f"non-contiguous merge: have traces up to {self.end}, "
+                f"parts start at {other.start}"
+            )
+        if self._defer:
+            self._parts.extend(other._parts)
+        else:
+            for budget, part in other._parts:
+                self._accumulator.merge(part)
+                if budget is not None:
+                    self.results.append(self._accumulator.result())
+        self._splitter._base = other._splitter._base
+        self._splitter._reached = other._splitter._reached
+
+    def state(self) -> dict:
+        """The sufficient statistics as a compact, picklable dict."""
+        record: dict = {
+            "budgets": self.budgets.copy(),
+            "guesses": self.guesses.copy(),
+            "start": self.start,
+            "end": self.end,
+            "defer": self._defer,
+        }
+        if self._defer:
+            record["parts"] = [
+                (budget, part.state()) for budget, part in self._parts
+            ]
+        else:
+            record["accumulator"] = self._accumulator.state()
+            record["results"] = [
+                (snap.correlations.copy(), snap.n_traces) for snap in self.results
+            ]
+        return record
+
+    @classmethod
+    def from_state(cls, state: dict) -> "CpaBudgetSnapshots":
+        from repro.sca.cpa import CpaResult
+
+        acc = cls(
+            state["budgets"],
+            state["guesses"],
+            start=int(state["start"]),
+            defer=bool(state["defer"]),
+        )
+        acc._splitter._base = int(state["end"])
+        acc._splitter._reached = int(
+            np.searchsorted(acc.budgets, acc._splitter._base, side="right")
+        )
+        if acc._defer:
+            acc._parts = [
+                (None if budget is None else int(budget), CpaAccumulator.from_state(sub))
+                for budget, sub in state["parts"]
+            ]
+        else:
+            acc._accumulator = CpaAccumulator.from_state(state["accumulator"])
+            acc.results = [
+                CpaResult(
+                    correlations=np.asarray(correlations).copy(),
+                    guesses=acc.guesses,
+                    n_traces=int(n_traces),
+                )
+                for correlations, n_traces in state["results"]
+            ]
+        return acc
+
+    def clone(self) -> "CpaBudgetSnapshots":
+        return self.from_state(self.state())
 
     def result(self):
         """The full-campaign :class:`CpaResult` over everything folded
         (the stream keeps accumulating past the last budget)."""
+        if self._defer:
+            raise ValueError("deferred snapshot parts have no finished result")
         return self._accumulator.result()
 
 

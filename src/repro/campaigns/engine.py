@@ -28,6 +28,8 @@ Properties the rest of the stack builds on:
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 import warnings
 import weakref
 from dataclasses import dataclass, field
@@ -71,6 +73,11 @@ CompiledSchedule = CompiledAcquisition
 #: keyed by identity and evicted by a weakref finalizer when the program
 #: is garbage-collected.
 _SCHEDULE_CACHE: dict[int, dict] = {}
+
+
+def _fold_digest(fold) -> str:
+    """A stable digest of a fold's recipe, for checkpoint fingerprints."""
+    return hashlib.sha256(pickle.dumps(fold)).hexdigest()
 
 
 def _program_cache(program: Program) -> dict:
@@ -250,8 +257,20 @@ class StreamingCampaign:
         retry: RetryPolicy | int | None = None,
         chunk_timeout: float | None = None,
         checkpoint: Checkpointer | None = None,
+        transport: str | None = None,
     ) -> Iterator[TraceChunk]:
         """Yield the campaign as ordered, seed-stable trace chunks.
+
+        ``transport`` picks how chunk results cross the process
+        boundary: ``"pickle"`` (the default) serializes the slim
+        ``(traces, table, power)`` payload through the pool pipe, while
+        ``"shm"`` has workers write trace blocks into named
+        ``multiprocessing.shared_memory`` segments and ship only a tiny
+        descriptor — the parent maps each segment zero-copy (see
+        ``repro.backends.shm``).  The bytes are identical either way;
+        ``"shm"`` falls back to pickle, with a
+        :class:`~repro.backends.BackendDegradationWarning`, on platforms
+        without POSIX shared memory.
 
         ``power_transform`` applies one callable to every chunk's power
         matrix; ``power_transform_factory`` instead receives the chunk
@@ -291,6 +310,205 @@ class StreamingCampaign:
         :class:`~repro.backends.ChunkCorruption` and count as retryable
         failures).
         """
+        if transport not in (None, "pickle", "shm"):
+            raise ValueError(
+                f"unknown transport {transport!r}; expected 'pickle' or 'shm'"
+            )
+        bounds, jobs, compiled, tasks, context = self._prepare(
+            inputs,
+            chunk_size,
+            jobs,
+            power_transform,
+            power_transform_factory,
+            retry,
+            chunk_timeout,
+            checkpoint,
+        )
+        codec = None
+        if transport == "shm" and jobs > 1 and len(tasks) > 1:
+            from repro.backends.shm import ShmCodec, shm_available
+
+            if shm_available():
+                # A fingerprint-derived token keeps segment names
+                # deterministic across a kill/resume of the same run,
+                # so recovery can always clean its predecessor up.
+                token = self._stream_fingerprint(inputs, bounds)[:12]
+                codec = ShmCodec(token=token)
+                context.codec = codec
+            else:
+                warnings.warn(
+                    "shared-memory transport requested but POSIX shared "
+                    "memory is unavailable; falling back to pickle",
+                    BackendDegradationWarning,
+                    stacklevel=2,
+                )
+        run_tasks = tasks
+        replay_last = False
+        if checkpoint is not None:
+            fingerprint = self._stream_fingerprint(inputs, bounds)
+            completed = checkpoint.begin(fingerprint, n_chunks=len(tasks))
+            run_tasks = [task for task in tasks if task.index not in completed]
+            if not run_tasks and tasks:
+                # Everything was already committed: re-acquire the last
+                # chunk (pure function of its range, so free of side
+                # effects on the statistics) and yield it flagged
+                # ``replayed`` so drivers still see final-chunk metadata
+                # without double-folding.
+                run_tasks = [tasks[-1]]
+                replay_last = True
+        policy = backend if backend is not None else self.backend
+        path, schedule, leakage = compiled
+        try:
+            for index, lo, payload in self._dispatch(
+                context,
+                run_tasks,
+                policy=policy,
+                jobs=jobs,
+                checkpoint=checkpoint,
+                replay_last=replay_last,
+            ):
+                if hasattr(payload, "materialize"):
+                    # shm descriptor: attach, unlink, wrap zero-copy
+                    # (cached — validation may have attached already).
+                    payload = payload.materialize()
+                if isinstance(payload, TraceSet):
+                    # Rare: the chunk recompiled against a different path
+                    # (data-dependent branch direction), or the backend
+                    # ships whole trace sets; take it as-is.
+                    trace_set = payload
+                else:
+                    # Common case: the worker's schedule matches the
+                    # parent's compiled triple, so only the per-chunk
+                    # data crossed the pipe; rewrap with shared objects.
+                    traces, table, power = payload
+                    trace_set = TraceSet(
+                        traces=traces,
+                        inputs=inputs.slice(lo, lo + traces.shape[0]),
+                        schedule=schedule,
+                        leakage=leakage,
+                        table=table,
+                        path=path,
+                        power=power,
+                    )
+                yield TraceChunk(
+                    start=lo, index=index, trace_set=trace_set, replayed=replay_last
+                )
+        finally:
+            if codec is not None:
+                # Unlink anything encoded but never consumed (a fault
+                # aborting the stream, an abandoned generator, leftovers
+                # of a killed previous run under this fingerprint).
+                codec.cleanup(len(tasks))
+
+    def reduce(
+        self,
+        inputs: BatchInputs,
+        fold,
+        chunk_size: int | None = None,
+        jobs: int | None = None,
+        power_transform: Callable[[np.ndarray], np.ndarray] | None = None,
+        power_transform_factory: Callable[[int], Callable[[np.ndarray], np.ndarray]]
+        | None = None,
+        backend: str | ExecutionBackend | None = None,
+        retry: RetryPolicy | int | None = None,
+        chunk_timeout: float | None = None,
+        checkpoint: Checkpointer | None = None,
+    ):
+        """Run the campaign comms-avoidingly: fold worker-side, merge states.
+
+        ``fold`` is a :class:`~repro.campaigns.reduction.ChunkFold`.
+        Each worker folds its chunk into a fresh accumulator and ships
+        only the accumulator's compact sufficient-statistic state; the
+        parent merges the states **in chunk order**, which keeps the
+        merged result byte-identical to the serial fold (and keeps
+        budget snapshots chunk-aligned).  Raw traces never cross the
+        process boundary — statistics-only campaigns shrink their IPC
+        by orders of magnitude (see ``BENCH_comms.json``).
+
+        The resilience knobs behave exactly as for :meth:`stream`;
+        per-chunk validation inspects the fold states (finiteness) and a
+        retried chunk recomputes its state from scratch, so a recovered
+        campaign merges each chunk exactly once.  With a ``checkpoint``,
+        the *merged* accumulator state persists after every folded chunk
+        (the checkpoint's ``state_fn``/``restore_fn`` default to the
+        fold's ``freeze``/``thaw``); a resumed run re-acquires only
+        missing chunks and merges them onto the restored state.
+
+        Returns a :class:`~repro.campaigns.reduction.ReducedCampaign`
+        whose ``value`` is the merged accumulator and whose
+        ``trace_set`` is a zero-row metadata trace set over the
+        compiled schedule.
+        """
+        from repro.campaigns.checkpoint import checkpoint_fingerprint as _fp
+        from repro.campaigns.reduction import FoldCodec, ReducedCampaign
+
+        bounds, jobs, compiled, tasks, context = self._prepare(
+            inputs,
+            chunk_size,
+            jobs,
+            power_transform,
+            power_transform_factory,
+            retry,
+            chunk_timeout,
+            checkpoint,
+            validator=self._state_validator(),
+        )
+        context.codec = FoldCodec(fold)
+        holder = {"acc": fold.create()}
+        run_tasks = tasks
+        if checkpoint is not None:
+            if checkpoint.state_fn is None:
+                checkpoint.state_fn = lambda: fold.freeze(holder["acc"])
+            if checkpoint.restore_fn is None:
+                checkpoint.restore_fn = lambda frozen: holder.__setitem__(
+                    "acc", fold.thaw(frozen)
+                )
+            fingerprint = _fp(
+                (
+                    "repro.reduce/1",
+                    self._stream_fingerprint(inputs, bounds),
+                    _fold_digest(fold),
+                )
+            )
+            completed = checkpoint.begin(fingerprint, n_chunks=len(tasks))
+            run_tasks = [task for task in tasks if task.index not in completed]
+        by_index = {task.index: task for task in tasks}
+        policy = backend if backend is not None else self.backend
+        for index, _lo, state in self._dispatch(
+            context, run_tasks, policy=policy, jobs=jobs, checkpoint=checkpoint
+        ):
+            holder["acc"] = fold.merge_state(holder["acc"], by_index[index], state)
+        path, schedule, leakage = compiled
+        meta = TraceSet(
+            traces=np.empty((0, leakage.n_samples), dtype=np.float32),
+            inputs=inputs,
+            schedule=schedule,
+            leakage=leakage,
+            table=None,
+            path=path,
+            power=None,
+        )
+        return ReducedCampaign(
+            value=holder["acc"],
+            trace_set=meta,
+            n_traces=inputs.n_traces,
+            n_chunks=len(tasks),
+            backend={"policy": getattr(policy, "name", policy) or "auto", "jobs": jobs},
+        )
+
+    def _prepare(
+        self,
+        inputs: BatchInputs,
+        chunk_size: int | None,
+        jobs: int | None,
+        power_transform,
+        power_transform_factory,
+        retry,
+        chunk_timeout,
+        checkpoint,
+        validator: Callable | None = None,
+    ):
+        """The shared stream/reduce prelude: compile, calibrate, build tasks."""
         if power_transform is not None and power_transform_factory is not None:
             raise ValueError("pass power_transform or power_transform_factory, not both")
         inputs.validate()
@@ -307,7 +525,9 @@ class StreamingCampaign:
             if power_transform_factory is not None
             else power_transform
         )
-        resilience = self._resilience_context(retry, chunk_timeout, checkpoint, compiled)
+        resilience = self._resilience_context(
+            retry, chunk_timeout, checkpoint, compiled, validator=validator
+        )
         # Calibration applies chunk 0's transform in the parent, so a
         # transient fault can strike here too; give it the same retry
         # budget the chunks get (index -1 in the fault report).
@@ -336,58 +556,40 @@ class StreamingCampaign:
             compiled=compiled,
             resilience=resilience,
         )
-        run_tasks = tasks
-        replay_last = False
-        if checkpoint is not None:
-            fingerprint = self._stream_fingerprint(inputs, bounds)
-            completed = checkpoint.begin(fingerprint, n_chunks=len(tasks))
-            run_tasks = [task for task in tasks if task.index not in completed]
-            if not run_tasks and tasks:
-                # Everything was already committed: re-acquire the last
-                # chunk (pure function of its range, so free of side
-                # effects on the statistics) and yield it flagged
-                # ``replayed`` so drivers still see final-chunk metadata
-                # without double-folding.
-                run_tasks = [tasks[-1]]
-                replay_last = True
-        policy = backend if backend is not None else self.backend
+        return bounds, jobs, compiled, tasks, context
+
+    def _dispatch(
+        self,
+        context: BackendContext,
+        run_tasks: list[ChunkTask],
+        *,
+        policy,
+        jobs: int,
+        checkpoint: Checkpointer | None = None,
+        replay_last: bool = False,
+    ):
+        """Resolve the backend and stream ``(index, lo, payload)`` results.
+
+        Commit semantics: a chunk counts as delivered (and its
+        checkpoint record is written) only once the consumer resumes
+        this generator, i.e. after the driver finished folding it.
+        Under an ``auto`` policy a :class:`BackendBroken` backend is
+        quarantined and the undelivered chunks re-dispatched down the
+        degradation ladder.
+        """
+        resilience = context.resilience
         ladder_eligible = policy is None or policy == "auto"
         resolved, owned = resolve_backend(
-            policy, jobs=jobs, n_tasks=len(tasks), context=context
+            policy, jobs=jobs, n_tasks=len(run_tasks), context=context
         )
         try:
             resolved.start()
-            path, schedule, leakage = compiled
             pending = list(run_tasks)
             delivered: set[int] = set()
             while pending:
                 try:
                     for index, lo, payload in resolved.map_chunks(context, pending):
-                        if isinstance(payload, TraceSet):
-                            # Rare: the chunk recompiled against a different path
-                            # (data-dependent branch direction), or the backend
-                            # ships whole trace sets; take it as-is.
-                            trace_set = payload
-                        else:
-                            # Common case: the worker's schedule matches the
-                            # parent's compiled triple, so only the per-chunk
-                            # data crossed the pipe; rewrap with shared objects.
-                            traces, table, power = payload
-                            trace_set = TraceSet(
-                                traces=traces,
-                                inputs=inputs.slice(lo, lo + traces.shape[0]),
-                                schedule=schedule,
-                                leakage=leakage,
-                                table=table,
-                                path=path,
-                                power=power,
-                            )
-                        yield TraceChunk(
-                            start=lo, index=index, trace_set=trace_set, replayed=replay_last
-                        )
-                        # Reaching here means the consumer asked for the
-                        # next chunk, i.e. it finished folding this one:
-                        # the commit point for checkpointing.
+                        yield index, lo, payload
                         delivered.add(index)
                         if checkpoint is not None and not replay_last:
                             checkpoint.chunk_done(index)
@@ -427,12 +629,15 @@ class StreamingCampaign:
         chunk_timeout: float | None,
         checkpoint: Checkpointer | None,
         compiled: CompiledAcquisition,
+        validator: Callable | None = None,
     ) -> ResilienceContext | None:
         """Build the stream's resilience state, or ``None`` when off.
 
-        Any resilience knob also arms per-chunk validation; the ambient
-        fault report (a :class:`~repro.api.session.Session` collecting
-        faults) is reused so events reach the result envelope.
+        Any resilience knob also arms per-chunk validation (by default
+        the trace-block validator; ``validator`` overrides it for
+        encoded payloads such as fold states); the ambient fault report
+        (a :class:`~repro.api.session.Session` collecting faults) is
+        reused so events reach the result envelope.
         """
         if retry is None and chunk_timeout is None and checkpoint is None:
             return None
@@ -447,7 +652,7 @@ class StreamingCampaign:
         context = ResilienceContext(
             policy=policy,
             chunk_timeout=chunk_timeout,
-            validator=self._chunk_validator(compiled),
+            validator=validator if validator is not None else self._chunk_validator(compiled),
         )
         ambient = active_report()
         if ambient is not None:
@@ -490,6 +695,11 @@ class StreamingCampaign:
         expected_dtype = np.dtype(np.float32)
 
         def validate(task: ChunkTask, payload) -> None:
+            if hasattr(payload, "materialize"):
+                # shm descriptor: attach once here; the rewrap reuses
+                # the cached mapping.  A vanished segment raises
+                # ChunkCorruption itself (retryable).
+                payload = payload.materialize()
             slim = not isinstance(payload, TraceSet)
             traces = payload[0] if slim else payload.traces
             rows = task.hi - task.lo
@@ -512,6 +722,38 @@ class StreamingCampaign:
                 raise ChunkCorruption(
                     f"chunk {task.index}: non-finite values in traces"
                 )
+
+        return validate
+
+    @staticmethod
+    def _state_validator() -> Callable:
+        """Reject corrupted fold states before they reach the merge.
+
+        Fold states are nested dicts/lists of numpy arrays and scalars;
+        a corrupted chunk (non-finite traces, a poisoned transform)
+        surfaces as non-finite moments.  Violations raise
+        :class:`~repro.backends.ChunkCorruption` (retryable) exactly
+        like the trace-block validator does for raw payloads.
+        """
+
+        def check(value) -> None:
+            if isinstance(value, dict):
+                for sub in value.values():
+                    check(sub)
+            elif isinstance(value, (list, tuple)):
+                for sub in value:
+                    check(sub)
+            elif isinstance(value, np.ndarray):
+                if value.dtype.kind == "f" and not np.isfinite(value).all():
+                    raise ValueError("non-finite array in fold state")
+            elif isinstance(value, float) and not np.isfinite(value):
+                raise ValueError("non-finite scalar in fold state")
+
+        def validate(task: ChunkTask, payload) -> None:
+            try:
+                check(payload)
+            except ValueError as error:
+                raise ChunkCorruption(f"chunk {task.index}: {error}") from None
 
         return validate
 

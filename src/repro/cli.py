@@ -54,6 +54,12 @@ Flags:
 ``--resume``
     Resume a killed run from ``--checkpoint DIR`` instead of starting
     fresh; the finished run is byte-identical to an uninterrupted one.
+``--reduce parent|worker``
+    Where campaign statistics fold.  ``worker`` is the comms-avoiding
+    mode: each worker folds its chunk locally and ships only compact
+    sufficient statistics, merged in chunk order — byte-identical to
+    the parent fold at a fraction of the IPC bytes (see
+    ``docs/backends.md``, "Reduction modes").
 ``--format json|text``
     ``text`` (default) prints each scenario's rendered report;
     ``json`` emits an array of schema-versioned result envelopes
@@ -210,6 +216,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume a killed run from --checkpoint DIR (byte-identical finish)",
     )
     parser.add_argument(
+        "--reduce",
+        choices=("parent", "worker"),
+        default=None,
+        help=(
+            "where campaign statistics fold: 'worker' ships only "
+            "sufficient statistics between processes (comms-avoiding, "
+            "byte-identical); default: 'parent'"
+        ),
+    )
+    parser.add_argument(
         "--format",
         choices=("text", "json"),
         default="text",
@@ -237,6 +253,7 @@ def _build_request(parser: argparse.ArgumentParser, args: argparse.Namespace):
             chunk_timeout=args.chunk_timeout,
             checkpoint=args.checkpoint,
             resume=True if args.resume else None,
+            reduce=args.reduce,
         )
     except ValueError as error:
         parser.error(str(error))

@@ -157,6 +157,7 @@ def run_figure3(
     chunk_timeout: float | None = None,
     checkpoint: str | None = None,
     resume: bool = False,
+    reduce: str | None = None,
 ) -> Figure3Result:
     """Acquire the bare-metal campaign and run the Figure-3 CPA.
 
@@ -174,7 +175,16 @@ def run_figure3(
     persist after every folded chunk; a killed run restarted with
     ``resume=True`` re-acquires only the missing chunks and produces
     byte-identical results (see ``docs/resilience.md``).
+
+    ``reduce="worker"`` runs the comms-avoiding dispatch: each worker
+    folds its chunk into a CPA accumulator locally and only the compact
+    sufficient-statistic state crosses the process boundary, merged in
+    chunk order — byte-identical to the streamed parent fold, at a
+    fraction of the IPC bytes (see ``BENCH_comms.json``).  The default
+    (``None`` or ``"parent"``) keeps the raw-chunk paths above.
     """
+    if reduce not in (None, "parent", "worker"):
+        raise ValueError(f"reduce must be 'parent' or 'worker', got {reduce!r}")
     program = round1_only_program(key)
     inputs = random_inputs(n_traces, mem_blocks={LAYOUT.state: 16}, seed=seed)
     engine = StreamingCampaign(
@@ -193,7 +203,26 @@ def run_figure3(
     plaintexts = inputs.mem_bytes[LAYOUT.state]
 
     resilient = retries is not None or chunk_timeout is not None or checkpoint is not None
-    if chunk_size is None and not resilient:
+    if reduce == "worker":
+        from repro.campaigns.reduction import SboxCpaFold
+
+        checkpointer = None
+        if checkpoint is not None:
+            from repro.campaigns.checkpoint import Checkpointer
+
+            # No state_fn/restore_fn: the engine persists the merged
+            # fold state via the fold's own freeze/thaw.
+            checkpointer = Checkpointer(checkpoint, resume=resume)
+        reduced = engine.reduce(
+            inputs,
+            SboxCpaFold(byte_index=byte_index),
+            retry=retries,
+            chunk_timeout=chunk_timeout,
+            checkpoint=checkpointer,
+        )
+        trace_set = reduced.trace_set
+        cpa = reduced.value.result()
+    elif chunk_size is None and not resilient:
         trace_set = engine.acquire(inputs)
         cpa = cpa_attack(
             trace_set.traces, lambda guess: hw_sbox_model(plaintexts, byte_index, guess)
@@ -283,6 +312,7 @@ def _scenario_runner(request: RunRequest) -> Figure3Result:
         chunk_timeout=request.chunk_timeout,
         checkpoint=request.checkpoint,
         resume=bool(request.resume),
+        reduce=request.reduce,
         **kwargs,
     )
 
@@ -308,6 +338,7 @@ SCENARIO = register(
                 Capability.PIPELINE_CONFIG,
                 Capability.SCOPE,
                 Capability.RESILIENCE,
+                Capability.REDUCE,
             }
         ),
         tags=("cpa", "bare-metal"),

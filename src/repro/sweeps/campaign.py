@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.backends import ExecutionBackend, resolve_backend
 from repro.campaigns.engine import StreamingCampaign, schedule_cache_info
+from repro.campaigns.reduction import ChunkFold
 from repro.crypto.aes_asm import LAYOUT, round1_only_program
 from repro.experiments.reporting import render_table
 from repro.power.acquisition import BatchInputs, random_inputs
@@ -103,6 +104,38 @@ def aes_round1_workload(
         true_key=key[byte_index],
         entry="aes_round1",
     )
+
+
+@dataclass(frozen=True)
+class SweepMetricsFold(ChunkFold):
+    """A sweep point's leakage metrics, folded worker-side.
+
+    Each chunk's model matrix is evaluated against the chunk's own
+    input slice (value-identical to slicing the full batch), folded in
+    deferred mode, and shipped as a compact state; the parent's in-order
+    merge reproduces the serial :class:`LeakageMetricsFold` stream —
+    budget snapshots included — bit for bit.
+    """
+
+    model_matrix: Callable[[BatchInputs, int, int], np.ndarray]
+    true_key: int
+    budgets: tuple
+
+    def create(self) -> LeakageMetricsFold:
+        return LeakageMetricsFold(self.budgets, self.true_key)
+
+    def fold_chunk(self, task, trace_set) -> dict:
+        models = self.model_matrix(trace_set.inputs, 0, trace_set.traces.shape[0])
+        labels = models[:, self.true_key].astype(np.int64)
+        part = LeakageMetricsFold(
+            self.budgets, self.true_key, start=task.lo, defer=True
+        )
+        part.update(trace_set.traces, models, labels)
+        return part.state()
+
+    def merge_state(self, accumulator, task, state):
+        accumulator.merge(LeakageMetricsFold.from_state(state))
+        return accumulator
 
 
 @dataclass(frozen=True)
@@ -297,6 +330,7 @@ class SweepCampaign:
         backend: str | ExecutionBackend | None = None,
         retries: int | None = None,
         chunk_timeout: float | None = None,
+        reduce: str | None = None,
     ):
         self.spec = spec
         self.n_traces = int(n_traces)
@@ -323,6 +357,15 @@ class SweepCampaign:
         self.retries = retries
         #: soft per-chunk watchdog deadline inside each point's campaign
         self.chunk_timeout = chunk_timeout
+        if reduce not in (None, "parent", "worker"):
+            raise ValueError(
+                f"reduce must be 'worker', 'parent' or None, got {reduce!r}"
+            )
+        #: ``"worker"`` folds each point's chunks into sufficient
+        #: statistics where they were acquired (comms-avoiding; see
+        #: ``docs/backends.md``); ``"parent"``/``None`` keeps the
+        #: historical parent-side fold.  Results are bit-identical.
+        self.reduce = reduce
 
     def __getstate__(self):
         # Point payloads carry the campaign into pool workers; a live
@@ -350,6 +393,23 @@ class SweepCampaign:
         )
         fold = LeakageMetricsFold(self.budgets, self.workload.true_key)
         resilient = self.retries is not None or self.chunk_timeout is not None
+        if self.reduce == "worker":
+            reduced = engine.reduce(
+                inputs,
+                SweepMetricsFold(
+                    model_matrix=self.workload.model_matrix,
+                    true_key=self.workload.true_key,
+                    budgets=self.budgets,
+                ),
+                retry=self.retries,
+                chunk_timeout=self.chunk_timeout,
+            )
+            return SweepPointResult(
+                point=point,
+                metrics=reduced.value.result(),
+                seconds=time.perf_counter() - start,
+                is_baseline=self._is_baseline(point),
+            )
         if self.chunk_size is None and not resilient:
             trace_set = engine.acquire(inputs)
             models = self.workload.model_matrix(inputs, 0, inputs.n_traces)

@@ -96,6 +96,14 @@ class LeakageMetricsFold:
     CPA model matrix and its ``[k]`` integer partition labels.  All
     three accumulators fold the same budget-aligned sub-ranges, so one
     pass yields every budget's snapshot.
+
+    In *deferred* mode (``defer=True``, with ``start`` at the chunk's
+    absolute trace offset) nothing is snapshotted: each budget-split
+    sub-range folds into its own fresh accumulator triple, and the
+    ordered parts ship to the parent as a compact :meth:`state` dict.
+    The parent's :meth:`merge` replays them in stream order, which
+    reproduces the serial fold's combine sequence — and therefore its
+    snapshots — exactly (see ``docs/backends.md``, "Reduction modes").
     """
 
     def __init__(
@@ -104,17 +112,29 @@ class LeakageMetricsFold:
         true_key: int,
         guesses=tuple(range(256)),
         t_split: tuple[int, int] = T_SPLIT,
+        *,
+        start: int = 0,
+        defer: bool = False,
     ):
-        self._splitter = BudgetSplitter(budgets)
+        self._splitter = BudgetSplitter(budgets, start=start)
         self.budgets = tuple(int(b) for b in self._splitter.budgets)
         self.true_key = int(true_key)
         self.guesses = np.asarray(list(guesses))
         self.t_low, self.t_high = t_split
+        self.start = int(start)
+        self._defer = bool(defer)
         self._corr = OnlineCorrAccumulator()
         self._ttest = OnlineTTestAccumulator()
         self._snr = OnlineSnrAccumulator()
+        #: deferred mode: ordered ``(budget|None, corr, ttest, snr)`` parts
+        self._parts: list[tuple] = []
         self._snapshots: list[BudgetMetrics] = []
         self._n_samples = 0
+
+    @property
+    def end(self) -> int:
+        """One past the last stream position folded (``start`` + length)."""
+        return self._splitter._base
 
     def update(self, traces: np.ndarray, models: np.ndarray, labels: np.ndarray) -> None:
         traces = np.asarray(traces)
@@ -131,16 +151,92 @@ class LeakageMetricsFold:
         for low, high, budget in self._splitter.split(traces.shape[0]):
             rows = traces[low:high]
             sub_labels = labels[low:high]
-            self._corr.update(models[low:high], rows)
+            if self._defer:
+                corr = OnlineCorrAccumulator()
+                ttest = OnlineTTestAccumulator()
+                snr = OnlineSnrAccumulator()
+            else:
+                corr, ttest, snr = self._corr, self._ttest, self._snr
+            corr.update(models[low:high], rows)
             mask_low = sub_labels <= self.t_low
             mask_high = sub_labels >= self.t_high
             if np.any(mask_low):
-                self._ttest.update_a(rows[mask_low])
+                ttest.update_a(rows[mask_low])
             if np.any(mask_high):
-                self._ttest.update_b(rows[mask_high])
-            self._snr.update(rows, sub_labels)
-            if budget is not None:
+                ttest.update_b(rows[mask_high])
+            snr.update(rows, sub_labels)
+            if self._defer:
+                self._parts.append((budget, corr, ttest, snr))
+            elif budget is not None:
                 self._snapshots.append(self._snapshot(budget))
+
+    def merge(self, other: "LeakageMetricsFold") -> None:
+        """Fold a *deferred* sibling in, in stream order."""
+        if not other._defer:
+            raise ValueError("can only merge deferred (worker-side) metric parts")
+        if self.budgets != other.budgets or self.true_key != other.true_key:
+            raise ValueError("cannot merge folds over different budgets or keys")
+        if other.start != self.end:
+            raise ValueError(
+                f"non-contiguous merge: have traces up to {self.end}, "
+                f"parts start at {other.start}"
+            )
+        self._n_samples = other._n_samples or self._n_samples
+        if self._defer:
+            self._parts.extend(other._parts)
+        else:
+            for budget, corr, ttest, snr in other._parts:
+                self._corr.merge(corr)
+                self._ttest.merge(ttest)
+                self._snr.merge(snr)
+                if budget is not None:
+                    self._snapshots.append(self._snapshot(budget))
+        self._splitter._base = other._splitter._base
+        self._splitter._reached = other._splitter._reached
+
+    def state(self) -> dict:
+        """The deferred parts as a compact, picklable dict."""
+        if not self._defer:
+            raise ValueError("only deferred folds serialize; merge into one instead")
+        return {
+            "budgets": self.budgets,
+            "true_key": self.true_key,
+            "guesses": self.guesses.copy(),
+            "t_split": (self.t_low, self.t_high),
+            "start": self.start,
+            "end": self.end,
+            "n_samples": self._n_samples,
+            "parts": [
+                (budget, corr.state(), ttest.state(), snr.state())
+                for budget, corr, ttest, snr in self._parts
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LeakageMetricsFold":
+        fold = cls(
+            state["budgets"],
+            state["true_key"],
+            state["guesses"],
+            tuple(state["t_split"]),
+            start=int(state["start"]),
+            defer=True,
+        )
+        fold._splitter._base = int(state["end"])
+        fold._splitter._reached = int(
+            np.searchsorted(fold._splitter.budgets, fold._splitter._base, side="right")
+        )
+        fold._n_samples = int(state["n_samples"])
+        fold._parts = [
+            (
+                None if budget is None else int(budget),
+                OnlineCorrAccumulator.from_state(corr),
+                OnlineTTestAccumulator.from_state(ttest),
+                OnlineSnrAccumulator.from_state(snr),
+            )
+            for budget, corr, ttest, snr in state["parts"]
+        ]
+        return fold
 
     def _snapshot(self, budget: int) -> BudgetMetrics:
         correlations = np.atleast_2d(self._corr.snapshot())

@@ -40,6 +40,7 @@ LOCKED_CAPABILITIES = {
     "pipeline-config",
     "scope",
     "resilience",
+    "reduce",
 }
 
 

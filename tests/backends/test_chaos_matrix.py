@@ -148,6 +148,81 @@ class TestWatchdogFaults:
         assert report.timeouts >= 1
 
 
+def _reduce(make_engine, make_inputs, policy, **kwargs):
+    """The whole campaign under ``reduce="worker"``: merged mean/var."""
+    from repro.campaigns.reduction import TraceMeanVarFold
+
+    return make_engine().reduce(
+        make_inputs(48),
+        TraceMeanVarFold(),
+        chunk_size=12,
+        jobs=2,
+        backend=policy,
+        **kwargs,
+    ).value
+
+
+def _assert_same_fold(recovered, clean):
+    # ``n`` is the sharpest double-merge detector: a chunk merged twice
+    # inflates the count before it perturbs any moment.
+    assert recovered.n == clean.n
+    np.testing.assert_array_equal(recovered.mean, clean.mean)
+    np.testing.assert_array_equal(recovered.sum_sq_dev, clean.sum_sq_dev)
+
+
+@pytest.mark.parametrize("policy", TRANSIENT_BACKENDS)
+class TestWorkerReductionFaults:
+    """``reduce="worker"`` under fault injection: merge each chunk once.
+
+    A retried chunk recomputes its fold state from scratch and the
+    dispatch layer yields it exactly once, so the recovered merged
+    accumulator must equal the clean serial reduction bit for bit —
+    any double merge shows up immediately in the count and moments.
+    """
+
+    def test_clean_reduction_matches_serial(
+        self, policy, make_engine, make_inputs
+    ):
+        clean = _reduce(make_engine, make_inputs, "serial")
+        assert clean.n == 48
+        _assert_same_fold(_reduce(make_engine, make_inputs, policy), clean)
+
+    def test_flaky_reduction_recovers_without_double_merge(
+        self, policy, tmp_path, make_engine, make_inputs
+    ):
+        clean = _reduce(make_engine, make_inputs, "serial")
+        with collecting_faults() as report:
+            recovered = _reduce(
+                make_engine,
+                make_inputs,
+                policy,
+                power_transform=FlakyTransform(_ledger(tmp_path), fail_times=2),
+                retry=FAST_RETRY,
+            )
+        _assert_same_fold(recovered, clean)
+        assert report.attempts >= 2
+        assert len(report.retries) >= 1
+
+    def test_corrupted_state_is_rejected_and_recomputed(
+        self, policy, tmp_path, make_engine, make_inputs
+    ):
+        # NaN power reaches the fold state, where the per-chunk state
+        # validator (finiteness) rejects it as retryable corruption.
+        clean = _reduce(make_engine, make_inputs, "serial")
+        with collecting_faults() as report:
+            recovered = _reduce(
+                make_engine,
+                make_inputs,
+                policy,
+                power_transform=CorruptingTransform(
+                    _ledger(tmp_path), corrupt_times=2
+                ),
+                retry=FAST_RETRY,
+            )
+        _assert_same_fold(recovered, clean)
+        assert report.corruptions >= 1
+
+
 class TestPersistentPoolRecovery:
     @needs_fork
     def test_pool_rebuild_is_counted_and_pool_stays_usable(

@@ -1,0 +1,105 @@
+"""The shared-memory chunk transport: byte-identity and leak-freedom.
+
+``stream(transport="shm")`` must deliver exactly the bytes the pickle
+transport delivers, through every parallel backend, with or without the
+resilience layer armed — and must never leave a ``/dev/shm/repro-*``
+segment behind, whatever happens to the stream (consumed, abandoned,
+validated twice on a retry).
+"""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.backends import PoolBackend, fork_available
+from repro.backends.resilience import ChunkCorruption
+from repro.backends.shm import (
+    ShmChunkPayload,
+    segment_name,
+    shm_available,
+    sweep_graveyard,
+)
+
+needs_fork = pytest.mark.skipif(not fork_available(), reason="fork unavailable")
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable"
+)
+
+
+def _leaked_segments():
+    sweep_graveyard()
+    return glob.glob("/dev/shm/repro-*")
+
+
+@pytest.fixture(autouse=True)
+def no_shm_leaks():
+    yield
+    assert _leaked_segments() == []
+
+
+@needs_shm
+class TestByteIdentity:
+    @needs_fork
+    def test_fork_shm_matches_serial(self, capture):
+        np.testing.assert_array_equal(
+            capture("fork", 16, transport="shm"), capture("serial", 16)
+        )
+
+    def test_spawn_shm_matches_serial(self, capture):
+        np.testing.assert_array_equal(
+            capture("spawn", 16, transport="shm"), capture("serial", 16)
+        )
+
+    def test_persistent_pool_shm_matches_serial(self, capture):
+        backend = PoolBackend(jobs=2)
+        try:
+            np.testing.assert_array_equal(
+                capture(backend, 16, transport="shm"), capture("serial", 16)
+            )
+        finally:
+            backend.close()
+
+    @needs_fork
+    def test_shm_with_retry_armed_matches_serial(self, capture):
+        # The validator materializes each descriptor before the rewrap
+        # does; the cached mapping must serve both without re-attaching.
+        np.testing.assert_array_equal(
+            capture("fork", 16, transport="shm", retry=2), capture("serial", 16)
+        )
+
+
+@needs_shm
+class TestLifecycle:
+    def test_serial_path_never_engages_shm(self, capture):
+        # jobs=1 resolves to the serial backend; the codec must not
+        # engage (no segments, no copies) and the bytes are unchanged.
+        np.testing.assert_array_equal(
+            capture("serial", 16, jobs=1, transport="shm"), capture("serial", 16)
+        )
+
+    @needs_fork
+    def test_abandoned_stream_unlinks_everything(self, make_engine, make_inputs):
+        engine = make_engine()
+        stream = engine.stream(
+            make_inputs(), chunk_size=8, jobs=2, backend="fork", transport="shm"
+        )
+        next(stream)
+        stream.close()  # the finally-cleanup must sweep the rest
+
+    def test_unknown_transport_rejected(self, make_engine, make_inputs):
+        with pytest.raises(ValueError, match="transport"):
+            next(make_engine().stream(make_inputs(), transport="pipe"))
+
+
+class TestDescriptor:
+    def test_vanished_segment_is_chunk_corruption(self):
+        payload = ShmChunkPayload(
+            name=segment_name("deadbeef0000", 0),
+            shape=(4, 8),
+            dtype="float32",
+            table=None,
+            power=None,
+        )
+        with pytest.raises(ChunkCorruption, match="vanished"):
+            payload.materialize()

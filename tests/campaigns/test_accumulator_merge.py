@@ -1,0 +1,323 @@
+"""Property tests: every online accumulator merges associatively.
+
+The comms-avoiding dispatch (``reduce="worker"``, see
+``docs/backends.md``) rests on three algebraic facts, checked here with
+hypothesis over arbitrary data and arbitrary re-partitionings:
+
+* **merge == serial folding** — any split of a stream into contiguous
+  chunks, each folded into its own fresh accumulator and merged in
+  stream order, agrees with folding the whole stream into one
+  accumulator.  For single-chunk-per-accumulator partitions this is
+  *byte-identical* (merge replays the exact ``_combine`` calls the
+  serial fold makes); pre-merged groupings re-associate the combine and
+  agree within 1e-10.
+* **associativity** — ``(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)`` within 1e-10.
+* **identity** — merging a fresh (empty) accumulator is a no-op.
+
+``state()``/``from_state()`` round-trips are exercised on every merge
+path (that is how worker states actually travel).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaigns.accumulators import (
+    CpaAccumulator,
+    CpaBudgetSnapshots,
+    OnlineCorrAccumulator,
+    OnlineMeanVar,
+    OnlineSnrAccumulator,
+    OnlineTTestAccumulator,
+)
+
+TOL = 1e-10
+
+
+def _data(n, n_samples=5, seed=0):
+    rng = np.random.default_rng(seed)
+    traces = rng.normal(size=(n, n_samples))
+    models = rng.normal(size=(n, 3))
+    labels = rng.integers(0, 4, size=n)
+    return traces, models, labels
+
+
+def _cuts_to_bounds(n, cuts):
+    edges = sorted({0, n, *[c % (n + 1) for c in cuts]})
+    return list(zip(edges, edges[1:]))
+
+
+#: up to five random cut points -> an arbitrary contiguous partition
+partitions = st.lists(st.integers(min_value=0, max_value=10**6), max_size=5)
+
+
+def _fold_meanvar(traces, lo, hi):
+    acc = OnlineMeanVar()
+    acc.update(traces[lo:hi])
+    return acc
+
+
+def _fold_corr(data, lo, hi):
+    traces, models, _ = data
+    acc = OnlineCorrAccumulator()
+    acc.update(models[lo:hi], traces[lo:hi])
+    return acc
+
+
+def _fold_snr(data, lo, hi):
+    traces, _, labels = data
+    acc = OnlineSnrAccumulator()
+    acc.update(traces[lo:hi], labels[lo:hi])
+    return acc
+
+
+def _fold_ttest(data, lo, hi):
+    traces, _, labels = data
+    acc = OnlineTTestAccumulator()
+    low = labels[lo:hi] <= 1
+    high = labels[lo:hi] >= 2
+    if np.any(low):
+        acc.update_a(traces[lo:hi][low])
+    if np.any(high):
+        acc.update_b(traces[lo:hi][high])
+    return acc
+
+
+class TestRepartitioning:
+    """Arbitrary contiguous partition, merged in order == one-shot fold."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(min_value=4, max_value=60), cuts=partitions, seed=st.integers(0, 99))
+    def test_meanvar_any_partition_bitwise(self, n, cuts, seed):
+        traces, _, _ = _data(n, seed=seed)
+        serial = OnlineMeanVar()
+        merged = OnlineMeanVar()
+        for lo, hi in _cuts_to_bounds(n, cuts):
+            serial.update(traces[lo:hi])
+            part = OnlineMeanVar.from_state(_fold_meanvar(traces, lo, hi).state())
+            merged.merge(part)
+        # One chunk per accumulator replays the serial _combine calls
+        # exactly: bitwise, not approximate.
+        assert merged.n == serial.n
+        np.testing.assert_array_equal(merged.mean, serial.mean)
+        np.testing.assert_array_equal(merged.sum_sq_dev, serial.sum_sq_dev)
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(min_value=4, max_value=60), cuts=partitions, seed=st.integers(0, 99))
+    def test_corr_any_partition_bitwise(self, n, cuts, seed):
+        data = _data(n, seed=seed)
+        traces, models, _ = data
+        serial = OnlineCorrAccumulator()
+        merged = OnlineCorrAccumulator()
+        for lo, hi in _cuts_to_bounds(n, cuts):
+            serial.update(models[lo:hi], traces[lo:hi])
+            merged.merge(OnlineCorrAccumulator.from_state(_fold_corr(data, lo, hi).state()))
+        np.testing.assert_array_equal(merged.correlations(), serial.correlations())
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(min_value=8, max_value=60), cuts=partitions, seed=st.integers(0, 99))
+    def test_snr_any_partition_bitwise(self, n, cuts, seed):
+        data = _data(n, seed=seed)
+        traces, _, labels = data
+        serial = OnlineSnrAccumulator()
+        merged = OnlineSnrAccumulator()
+        for lo, hi in _cuts_to_bounds(n, cuts):
+            serial.update(traces[lo:hi], labels[lo:hi])
+            merged.merge(OnlineSnrAccumulator.from_state(_fold_snr(data, lo, hi).state()))
+        assert merged._total.n == serial._total.n
+        np.testing.assert_array_equal(merged._total.mean, serial._total.mean)
+        for value, acc in serial._classes.items():
+            np.testing.assert_array_equal(merged._classes[value].mean, acc.mean)
+            np.testing.assert_array_equal(merged._classes[value].sum_sq_dev, acc.sum_sq_dev)
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(min_value=10, max_value=60), cuts=partitions, seed=st.integers(0, 99))
+    def test_ttest_any_partition_bitwise(self, n, cuts, seed):
+        data = _data(n, seed=seed)
+        traces, _, labels = data
+        serial = OnlineTTestAccumulator()
+        merged = OnlineTTestAccumulator()
+        for lo, hi in _cuts_to_bounds(n, cuts):
+            low = labels[lo:hi] <= 1
+            high = labels[lo:hi] >= 2
+            if np.any(low):
+                serial.update_a(traces[lo:hi][low])
+            if np.any(high):
+                serial.update_b(traces[lo:hi][high])
+            merged.merge(OnlineTTestAccumulator.from_state(_fold_ttest(data, lo, hi).state()))
+        np.testing.assert_array_equal(merged.group_a.mean, serial.group_a.mean)
+        np.testing.assert_array_equal(merged.group_a.sum_sq_dev, serial.group_a.sum_sq_dev)
+        np.testing.assert_array_equal(merged.group_b.mean, serial.group_b.mean)
+        np.testing.assert_array_equal(merged.group_b.sum_sq_dev, serial.group_b.sum_sq_dev)
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(min_value=6, max_value=48), cuts=partitions, seed=st.integers(0, 99))
+    def test_cpa_any_partition_bitwise(self, n, cuts, seed):
+        rng = np.random.default_rng(seed)
+        traces = rng.normal(size=(n, 4))
+        model_rows = rng.normal(size=(n, 8))
+        guesses = tuple(range(8))
+
+        serial = CpaAccumulator(guesses)
+        merged = CpaAccumulator(guesses)
+        for lo, hi in _cuts_to_bounds(n, cuts):
+            chunk_models = model_rows[lo:hi]
+            serial.update(traces[lo:hi], lambda g: chunk_models[:, g])
+            part = CpaAccumulator(guesses)
+            part.update(traces[lo:hi], lambda g: chunk_models[:, g])
+            merged.merge(CpaAccumulator.from_state(part.state()))
+        np.testing.assert_array_equal(
+            merged.result().correlations, serial.result().correlations
+        )
+
+
+class TestAssociativity:
+    """(a ⊕ b) ⊕ c agrees with a ⊕ (b ⊕ c) within 1e-10."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        sizes=st.tuples(*[st.integers(min_value=1, max_value=20)] * 3),
+        seed=st.integers(0, 99),
+    )
+    def test_meanvar_associative(self, sizes, seed):
+        n = sum(sizes)
+        traces, _, _ = _data(n, seed=seed)
+        bounds = []
+        lo = 0
+        for size in sizes:
+            bounds.append((lo, lo + size))
+            lo += size
+        a, b, c = (_fold_meanvar(traces, lo, hi) for lo, hi in bounds)
+
+        left = a.clone()
+        ab = a.clone()
+        ab.merge(b)
+        left = ab
+        left.merge(c)
+
+        bc = b.clone()
+        bc.merge(c)
+        right = a.clone()
+        right.merge(bc)
+
+        assert left.n == right.n
+        np.testing.assert_allclose(left.mean, right.mean, rtol=0, atol=TOL)
+        np.testing.assert_allclose(left.sum_sq_dev, right.sum_sq_dev, rtol=0, atol=TOL)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        sizes=st.tuples(*[st.integers(min_value=2, max_value=20)] * 3),
+        seed=st.integers(0, 99),
+    )
+    def test_corr_associative(self, sizes, seed):
+        n = sum(sizes)
+        data = _data(n, seed=seed)
+        bounds = []
+        lo = 0
+        for size in sizes:
+            bounds.append((lo, lo + size))
+            lo += size
+        a, b, c = (_fold_corr(data, lo, hi) for lo, hi in bounds)
+
+        left = a.clone()
+        left.merge(b)
+        left.merge(c)
+        bc = b.clone()
+        bc.merge(c)
+        right = a.clone()
+        right.merge(bc)
+        np.testing.assert_allclose(
+            left.correlations(), right.correlations(), rtol=0, atol=TOL
+        )
+
+
+class TestIdentity:
+    """Merging a fresh accumulator changes nothing, bitwise."""
+
+    def test_meanvar_identity(self):
+        traces, _, _ = _data(20, seed=3)
+        acc = OnlineMeanVar()
+        acc.update(traces)
+        before = acc.state()
+        acc.merge(OnlineMeanVar())
+        after = acc.state()
+        assert before["n"] == after["n"]
+        np.testing.assert_array_equal(before["mean"], after["mean"])
+        np.testing.assert_array_equal(before["m2"], after["m2"])
+
+    def test_corr_identity_both_sides(self):
+        data = _data(20, seed=4)
+        acc = _fold_corr(data, 0, 20)
+        reference = acc.correlations()
+        acc.merge(OnlineCorrAccumulator())
+        np.testing.assert_array_equal(acc.correlations(), reference)
+        empty = OnlineCorrAccumulator()
+        empty.merge(_fold_corr(data, 0, 20))
+        np.testing.assert_array_equal(empty.correlations(), reference)
+
+    def test_ttest_identity(self):
+        data = _data(20, seed=5)
+        acc = _fold_ttest(data, 0, 20)
+        reference = acc.result().max_abs_t
+        acc.merge(OnlineTTestAccumulator())
+        assert acc.result().max_abs_t == reference
+
+    def test_snr_identity(self):
+        data = _data(20, seed=6)
+        acc = _fold_snr(data, 0, 20)
+        reference = acc.result().snr.copy()
+        acc.merge(OnlineSnrAccumulator())
+        np.testing.assert_array_equal(acc.result().snr, reference)
+
+    def test_cpa_identity(self):
+        rng = np.random.default_rng(7)
+        traces = rng.normal(size=(16, 4))
+        models = rng.normal(size=(16, 8))
+        acc = CpaAccumulator(tuple(range(8)))
+        acc.update(traces, lambda g: models[:, g])
+        reference = acc.result().correlations.copy()
+        acc.merge(CpaAccumulator(tuple(range(8))))
+        np.testing.assert_array_equal(acc.result().correlations, reference)
+
+
+class TestBudgetSnapshots:
+    """Deferred budget folds replay the serial snapshot sequence exactly."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(cuts=partitions, seed=st.integers(0, 99))
+    def test_deferred_merge_matches_serial_snapshots(self, cuts, seed):
+        n, budgets = 48, (16, 32, 48)
+        rng = np.random.default_rng(seed)
+        traces = rng.normal(size=(n, 4))
+        models = rng.normal(size=(n, 8))
+        guesses = tuple(range(8))
+
+        serial = CpaBudgetSnapshots(budgets, guesses)
+        merged = CpaBudgetSnapshots(budgets, guesses)
+        for lo, hi in _cuts_to_bounds(n, cuts):
+            chunk_models = models[lo:hi]
+            serial.update(traces[lo:hi], lambda g: chunk_models[:, g])
+            part = CpaBudgetSnapshots(budgets, guesses, start=lo, defer=True)
+            part.update(traces[lo:hi], lambda g: chunk_models[:, g])
+            merged.merge(CpaBudgetSnapshots.from_state(part.state()))
+
+        assert len(serial.results) == len(merged.results) == len(budgets)
+        for ours, theirs in zip(merged.results, serial.results):
+            assert ours.n_traces == theirs.n_traces
+            np.testing.assert_array_equal(ours.correlations, theirs.correlations)
+        np.testing.assert_array_equal(
+            merged.result().correlations, serial.result().correlations
+        )
+
+    def test_non_contiguous_merge_rejected(self):
+        parent = CpaBudgetSnapshots((8,), tuple(range(4)))
+        rng = np.random.default_rng(0)
+        part = CpaBudgetSnapshots((8,), tuple(range(4)), start=5, defer=True)
+        models = rng.normal(size=(3, 4))
+        part.update(rng.normal(size=(3, 2)), lambda g: models[:, g])
+        try:
+            parent.merge(part)
+        except ValueError as error:
+            assert "non-contiguous" in str(error)
+        else:
+            raise AssertionError("merging a gapped part must fail")
