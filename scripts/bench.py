@@ -710,15 +710,172 @@ def bench_resilience(n_traces: int, repeats: int) -> dict:
     return out
 
 
+def _start_service(spool: str, workers: int) -> tuple:
+    """Launch ``repro serve`` on an ephemeral port; returns (proc, port)."""
+    import os
+    import subprocess
+
+    try:
+        os.unlink(os.path.join(spool, "port"))  # a restart must re-discover
+    except FileNotFoundError:
+        pass
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(p for p in ("src", env.get("PYTHONPATH")) if p)
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--spool", spool, "--workers", str(workers),
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.STDOUT,
+    )
+    port_path = os.path.join(spool, "port")
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        if os.path.exists(port_path) and process.poll() is None:
+            with open(port_path) as handle:
+                return process, int(handle.read())
+        if process.poll() is not None:
+            raise RuntimeError("repro serve died at startup")
+        time.sleep(0.05)
+    process.kill()
+    raise RuntimeError("repro serve never published its port")
+
+
+def bench_service(
+    total_requests: int,
+    n_variants: int,
+    n_traces: int,
+    workers: int,
+    concurrency: int,
+    restart_jobs: int,
+    restart_traces: int,
+) -> dict:
+    """The HTTP service under load, plus a mid-bench ``kill -9`` restart.
+
+    Phase 1 drives a running ``repro serve`` with the zipf-ish request
+    mix of :mod:`repro.service.loadgen` — sustained throughput, p50/p95
+    latency split by cache disposition, dedup rate and the peak queue
+    depth observed.  Phase 2 submits a batch of distinct slower jobs,
+    SIGKILLs the whole service mid-batch, restarts it on the same spool
+    and counts lost jobs (the acceptance number is zero: recovery
+    re-queues every claimed-but-unfinished job and completes it).
+    """
+    import os
+    import signal
+    import subprocess
+    import tempfile
+
+    from repro.service.client import ServiceClient
+    from repro.service.loadgen import run_load
+
+    out: dict = {
+        "workers": workers,
+        "concurrency": concurrency,
+        "mix": {
+            "n_variants": n_variants,
+            "n_traces": n_traces,
+            "weights": "zipf (1/rank)",
+        },
+    }
+
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as spool_root:
+        spool = os.path.join(spool_root, "spool")
+        process, port = _start_service(spool, workers)
+        try:
+            # warm one variant so the run starts with a live worker Session
+            ServiceClient("127.0.0.1", port).run(
+                "figure3",
+                {"schema": "repro.request/1", "n_traces": n_traces, "seed": 1000,
+                 "precision": "float32"},
+            )
+            report = run_load(
+                "127.0.0.1",
+                port,
+                total_requests=total_requests,
+                concurrency=concurrency,
+                n_variants=n_variants,
+                n_traces=n_traces,
+            )
+            out["sustained"] = report.to_json()
+            out["sustained"]["target_runs_per_min"] = 1000.0
+            out["sustained"]["meets_target"] = report.runs_per_min >= 1000.0
+        finally:
+            if process.poll() is None:
+                process.send_signal(signal.SIGTERM)
+                try:
+                    process.wait(timeout=15)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+
+    with tempfile.TemporaryDirectory(prefix="bench-service-restart-") as spool_root:
+        spool = os.path.join(spool_root, "spool")
+        process, port = _start_service(spool, workers)
+        client = ServiceClient("127.0.0.1", port)
+        submitted = []
+        killed_cleanly = False
+        try:
+            for index in range(restart_jobs):
+                body = client.submit(
+                    "figure3",
+                    {"schema": "repro.request/1", "n_traces": restart_traces,
+                     "seed": 2000 + index},
+                )
+                submitted.append(body["id"])
+            # let a worker claim work, then pull the plug mid-job
+            deadline = time.time() + 60
+            while time.time() < deadline:
+                states = [client.status(job_id)["state"] for job_id in submitted]
+                if any(state != "queued" for state in states):
+                    break
+                time.sleep(0.02)
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=10)
+            killed_cleanly = True
+        finally:
+            if not killed_cleanly and process.poll() is None:
+                process.kill()
+
+        restart_started = time.time()
+        process, port = _start_service(spool, workers)
+        try:
+            client = ServiceClient("127.0.0.1", port)
+            lost = 0
+            for job_id in submitted:
+                envelope = client.result(job_id, wait=True, timeout=600)
+                if envelope.get("error") or envelope.get("scenario") != "figure3":
+                    lost += 1
+            out["restart"] = {
+                "jobs": restart_jobs,
+                "n_traces": restart_traces,
+                "lost_jobs": lost,
+                "recovered_in_s": round(time.time() - restart_started, 3),
+            }
+        finally:
+            if process.poll() is None:
+                process.send_signal(signal.SIGTERM)
+                try:
+                    process.wait(timeout=15)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+    return out
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true", help="small sizes for CI")
     parser.add_argument("--out", default="BENCH_hotpath.json")
     parser.add_argument(
         "--section",
-        choices=("all", "hotpath", "backends", "resilience", "comms"),
+        choices=("all", "hotpath", "backends", "resilience", "comms", "service"),
         default="all",
         help="which benchmark family to run (default: all)",
+    )
+    parser.add_argument(
+        "--service-out",
+        default="BENCH_service.json",
+        help="output path of the HTTP-service benchmark",
     )
     parser.add_argument(
         "--comms-out",
@@ -746,6 +903,58 @@ def main(argv: list[str] | None = None) -> int:
     n3 = args.traces or (600 if args.smoke else 3000)
     n4 = max(30, n3 // 30)
     repeats = args.repeats or (2 if args.smoke else 5)
+
+    if args.section == "service":
+        total = 80 if args.smoke else 400
+        sreport = {
+            "schema": "bench_service/1",
+            "smoke": bool(args.smoke),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "benchmarks": {},
+        }
+        print(f"HTTP service under load ({total} requests) ...", flush=True)
+        bench_started = time.time()
+        sreport["benchmarks"]["service_zipf_mix"] = bench_service(
+            total_requests=total,
+            n_variants=8 if args.smoke else 12,
+            n_traces=32,
+            workers=1,
+            concurrency=4,
+            restart_jobs=3 if args.smoke else 6,
+            restart_traces=2000 if args.smoke else 6000,
+        )
+        sreport["wall_s"] = round(time.time() - bench_started, 2)
+        service_path = Path(args.service_out)
+        service_path.write_text(json.dumps(sreport, indent=2) + "\n")
+        print(f"wrote {service_path}")
+        section = sreport["benchmarks"]["service_zipf_mix"]
+        sustained = section["sustained"]
+        print(
+            f"  sustained: {sustained['runs_per_min']:.0f} runs/min "
+            f"(target {sustained['target_runs_per_min']:.0f}, "
+            f"met: {sustained['meets_target']}), "
+            f"dedup rate {sustained['dedup_rate']:.2f}, "
+            f"max queue depth {sustained['max_queue_depth']}"
+            f"/{sustained['max_queue_bound']}"
+        )
+        latency = sustained["latency"]
+        for disposition in ("all", "miss", "hit", "coalesced"):
+            stats = latency.get(disposition)
+            if stats:
+                print(
+                    f"  latency[{disposition:9s}] p50 {stats['p50_ms']:8.1f} ms   "
+                    f"p95 {stats['p95_ms']:8.1f} ms   (n={stats['n']})"
+                )
+        if sustained.get("cache_hit_speedup"):
+            print(f"  cache-hit speedup: {sustained['cache_hit_speedup']:.0f}x (p50 miss/hit)")
+        restart = section["restart"]
+        print(
+            f"  restart: {restart['jobs']} jobs, kill -9 mid-run, "
+            f"lost {restart['lost_jobs']}, recovered in {restart['recovered_in_s']:.1f}s"
+        )
+        return 0
 
     if args.section in ("all", "backends"):
         nb = args.traces or (240 if args.smoke else 600)

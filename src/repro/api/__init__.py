@@ -29,6 +29,8 @@ __all__ = [
     "ENVELOPE_SCHEMA",
     "Envelope",
     "EnvelopeSchemaError",
+    "REQUEST_SCHEMA",
+    "RequestSchemaError",
     "ResultEnvelope",
     "RunRequest",
     "Scenario",
@@ -45,6 +47,8 @@ _EXPORTS = {
     "ENVELOPE_SCHEMA": "repro.api.envelope",
     "Envelope": "repro.api.envelope",
     "EnvelopeSchemaError": "repro.api.envelope",
+    "REQUEST_SCHEMA": "repro.api.wire",
+    "RequestSchemaError": "repro.api.wire",
     "ResultEnvelope": "repro.api.envelope",
     "RunRequest": "repro.api.request",
     "Scenario": "repro.campaigns.registry",

@@ -172,8 +172,19 @@ def validate_envelope(record: Any) -> dict:
             problems.append("an error record must carry 'output': null")
     elif "output" in record and not isinstance(output, str):
         problems.append("'output' must be a string on a successful record")
-    if "data" in record and not isinstance(record["data"], (dict, list)):
-        problems.append("'data' must be a JSON object or array")
+    if "data" in record:
+        if not isinstance(record["data"], (dict, list)):
+            problems.append("'data' must be a JSON object or array")
+        else:
+            # The service edge serves stored records verbatim, so a
+            # payload that cannot actually be serialized must be caught
+            # here, at the gate, not as a 500 at response time.
+            import json
+
+            try:
+                json.dumps(record["data"])
+            except (TypeError, ValueError) as error:
+                problems.append(f"'data' is not JSON-serializable: {error}")
     notes = record.get("notes")
     if "notes" in record and (
         not isinstance(notes, list) or not all(isinstance(n, str) for n in notes)

@@ -105,6 +105,36 @@ class RunRequest:
                     f"instance, got {type(self.backend).__name__}"
                 )
 
+    # -- wire format ----------------------------------------------------
+
+    def to_json(self) -> dict:
+        """This request as a ``repro.request/1`` record (set knobs only).
+
+        Unset knobs are omitted rather than serialized as ``null``, so a
+        deserialized request resolves byte-identically to a locally
+        built one — per-scenario defaulting stays in :meth:`resolve`.
+        Live backend instances are not wire-serializable (pass a policy
+        name).
+        """
+        from repro.api.wire import request_to_json
+
+        return request_to_json(self)
+
+    @classmethod
+    def from_json(cls, record: Any, scenario: Any = None) -> "RunRequest":
+        """Parse one ``repro.request/1`` record, strictly.
+
+        Unknown fields and mistyped values raise
+        :class:`~repro.api.wire.RequestSchemaError` naming every
+        violation.  With ``scenario`` given, the request is
+        capability-validated immediately (the service front-end maps the
+        resulting :class:`~repro.api.capabilities.CapabilityError` to a
+        structured 4xx body via ``cli_message()``).
+        """
+        from repro.api.wire import request_from_json
+
+        return request_from_json(record, scenario)
+
     # -- construction ---------------------------------------------------
 
     @classmethod

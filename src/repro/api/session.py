@@ -68,16 +68,39 @@ class Session:
         #: :meth:`close` — sweeps and ``run_all`` batches reuse its
         #: workers (and their compiled-schedule caches) across calls
         self._owned_pool: Any = None
+        self._closed = False
 
     # -- lifecycle -------------------------------------------------------
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def close(self) -> None:
-        """Release the session's persistent worker pool, if any."""
+        """Release the session's persistent worker pool, if any.
+
+        Idempotent: closing twice is a no-op.  A closed session refuses
+        further work (``run``/``run_all``/``sweep``/``acquire`` raise
+        ``RuntimeError``) instead of silently re-materializing a worker
+        pool that nothing would ever release — service workers hold
+        sessions for their whole lifetime and rely on this boundary.
+        """
+        if self._closed:
+            return
+        self._closed = True
         if self._owned_pool is not None:
             self._owned_pool.close()
             self._owned_pool = None
 
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "this Session is closed; create a new Session instead of "
+                "reusing one whose worker pool has been released"
+            )
+
     def __enter__(self) -> "Session":
+        self._check_open()
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -133,6 +156,7 @@ class Session:
         drivers that need isolation catch them and build
         ``Envelope.failure`` records).
         """
+        self._check_open()
         if request is not None and knobs:
             raise TypeError("pass either a RunRequest or keyword knobs, not both")
         scenario = self.scenario(name)
@@ -200,6 +224,7 @@ class Session:
         """
         from repro.campaigns import registry
 
+        self._check_open()
         chosen = list(names) if names is not None else registry.names()
         request = RunRequest(**knobs)
         envelopes = []
@@ -249,6 +274,7 @@ class Session:
 
         from repro.campaigns.engine import StreamingCampaign
 
+        self._check_open()
         defaults = self.defaults
         scope = defaults.scope
         if defaults.precision is not None:

@@ -12,6 +12,10 @@ Usage::
     python -m repro figure3   [--traces 3000] [--chunk-size 500] [--jobs 4]
     python -m repro table2    [--traces 3000] [--seed 7]
     python -m repro all       [--format json]
+    python -m repro serve     [--port 8737] [--workers 2] [--spool DIR]
+
+``repro serve`` starts the HTTP/JSON leakage-evaluation service (its
+own flag set; see :mod:`repro.service.cli` and ``docs/service.md``).
 
 Flags:
 
@@ -136,7 +140,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=known_names() + ["all"],
-        help="which scenario to run, or 'all' for every registered scenario",
+        help=(
+            "which scenario to run, or 'all' for every registered scenario "
+            "('repro serve' starts the HTTP service; see repro serve --help)"
+        ),
     )
     parser.add_argument(
         "--traces",
@@ -260,8 +267,15 @@ def _build_request(parser: argparse.ArgumentParser, args: argparse.Namespace):
 
 
 def main(argv: list[str] | None = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "serve":
+        # The service front-end has its own flag set (host/port/spool/
+        # tenants); scenario knobs never leak into it and vice versa.
+        from repro.service.cli import main as serve_main
+
+        return serve_main(arguments[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     request = _build_request(parser, args)
 
     from repro.api import CapabilityError, Envelope, Session

@@ -90,6 +90,17 @@ class ScopeConfig:
         """Per-sample noise sigma after averaging ``n_averages`` runs."""
         return self.noise_sigma / np.sqrt(self.n_averages)
 
+    def identity(self) -> tuple:
+        """Every acquisition field, as a hashable tuple.
+
+        Two scopes with equal identity produce identical traces for the
+        same campaign; the service-layer dedup cache keys on this (the
+        acquisition-chain counterpart of ``PipelineConfig.identity()``).
+        """
+        from dataclasses import fields
+
+        return tuple(getattr(self, f.name) for f in fields(self))
+
 
 class Oscilloscope:
     """Applies the acquisition chain to noise-free leakage power."""

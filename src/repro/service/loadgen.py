@@ -1,0 +1,228 @@
+"""A closed-loop load generator for the leakage-evaluation service.
+
+Drives a running ``repro serve`` instance with a **zipf-ish request
+mix**: a small population of distinct request variants with weights
+``1/rank``, so a few variants dominate (the realistic dedup regime — a
+service mostly re-answers the questions it was just asked) while the
+tail keeps introducing fresh work.  Each worker thread runs its own
+keep-alive :class:`~repro.service.client.ServiceClient` in a submit →
+poll-result loop, honoring 429 ``Retry-After`` backoff, and records the
+end-to-end latency and cache disposition of every completed run.
+
+The report feeds ``scripts/bench.py --section service`` and the tracked
+``BENCH_service.json``: sustained runs/min, p50/p95 latency split by
+disposition, dedup rate, cache-hit speedup, and the peak queue depth a
+sampler thread observed (bounded-queue evidence).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.service.client import ServiceClient, ServiceError
+
+
+@dataclass
+class LoadSample:
+    """One completed request, as observed by a generator thread."""
+
+    variant: int
+    disposition: str  # miss | hit | coalesced
+    latency_s: float
+    state: str  # done | failed
+
+
+@dataclass
+class LoadReport:
+    """Aggregated outcome of one load run."""
+
+    completed: int
+    failed: int
+    rejected_429: int
+    elapsed_s: float
+    runs_per_min: float
+    dedup_rate: float
+    dispositions: dict = field(default_factory=dict)
+    latency: dict = field(default_factory=dict)
+    cache_hit_speedup: float | None = None
+    max_queue_depth: int = 0
+    max_queue_bound: int | None = None
+
+    def to_json(self) -> dict:
+        return {
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected_429": self.rejected_429,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "runs_per_min": round(self.runs_per_min, 1),
+            "dedup_rate": round(self.dedup_rate, 4),
+            "dispositions": dict(self.dispositions),
+            "latency": self.latency,
+            "cache_hit_speedup": self.cache_hit_speedup,
+            "max_queue_depth": self.max_queue_depth,
+            "max_queue_bound": self.max_queue_bound,
+        }
+
+
+def zipf_variants(n_variants: int, *, scenario: str = "figure3", n_traces: int = 32) -> list[dict]:
+    """``n_variants`` distinct small requests (rank k differs by seed)."""
+    return [
+        {
+            "scenario": scenario,
+            "request": {
+                "schema": "repro.request/1",
+                "n_traces": n_traces,
+                "seed": 1000 + rank,
+                "precision": "float32",
+            },
+        }
+        for rank in range(n_variants)
+    ]
+
+
+def _percentiles(values: list[float]) -> dict:
+    if not values:
+        return {}
+    ordered = sorted(values)
+
+    def pct(q: float) -> float:
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return round(ordered[index] * 1e3, 3)  # milliseconds
+
+    return {
+        "p50_ms": pct(0.50),
+        "p95_ms": pct(0.95),
+        "max_ms": round(ordered[-1] * 1e3, 3),
+        "n": len(ordered),
+    }
+
+
+def run_load(
+    host: str,
+    port: int,
+    *,
+    total_requests: int,
+    concurrency: int = 4,
+    n_variants: int = 12,
+    n_traces: int = 32,
+    seed: int = 0x10AD,
+    token: str | None = None,
+    poll: float = 0.01,
+    result_timeout: float = 300.0,
+) -> LoadReport:
+    """Run the closed loop and aggregate a :class:`LoadReport`.
+
+    ``total_requests`` completed runs are split across ``concurrency``
+    threads; each thread samples the zipf-ish variant population
+    independently (deterministically, from ``seed``), so the mix is
+    reproducible run to run.
+    """
+    variants = zipf_variants(n_variants, n_traces=n_traces)
+    weights = [1.0 / (rank + 1) for rank in range(n_variants)]
+    samples: list[LoadSample] = []
+    rejected = [0]
+    lock = threading.Lock()
+    per_thread = [
+        total_requests // concurrency + (1 if i < total_requests % concurrency else 0)
+        for i in range(concurrency)
+    ]
+
+    def generate(thread_index: int) -> None:
+        rng = random.Random(seed + thread_index)
+        client = ServiceClient(host, port, token=token)
+        with client:
+            for _ in range(per_thread[thread_index]):
+                (variant_index,) = rng.choices(range(n_variants), weights=weights)
+                payload = variants[variant_index]
+                started = time.perf_counter()
+                while True:
+                    try:
+                        submitted = client.submit(
+                            payload["scenario"], dict(payload["request"])
+                        )
+                        break
+                    except ServiceError as error:
+                        if error.status != 429:
+                            raise
+                        with lock:
+                            rejected[0] += 1
+                        time.sleep(error.retry_after or 0.1)
+                envelope = client.result(
+                    submitted["id"], wait=True, timeout=result_timeout, poll=poll
+                )
+                sample = LoadSample(
+                    variant=variant_index,
+                    disposition=submitted.get("cache", "miss"),
+                    latency_s=time.perf_counter() - started,
+                    state="failed" if envelope.get("error") else "done",
+                )
+                with lock:
+                    samples.append(sample)
+
+    depth_seen = [0]
+    bound_seen: list[int | None] = [None]
+    stop_sampling = threading.Event()
+
+    def sample_depth() -> None:
+        client = ServiceClient(host, port, token=token)
+        with client:
+            while not stop_sampling.is_set():
+                try:
+                    health = client.healthz()
+                except (ServiceError, OSError):
+                    break
+                depth_seen[0] = max(depth_seen[0], int(health.get("queued", 0)))
+                bound_seen[0] = health.get("queue_depth_bound")
+                stop_sampling.wait(0.05)
+
+    threads = [
+        threading.Thread(target=generate, args=(index,), daemon=True)
+        for index in range(concurrency)
+    ]
+    sampler = threading.Thread(target=sample_depth, daemon=True)
+    started = time.perf_counter()
+    sampler.start()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    stop_sampling.set()
+    sampler.join(timeout=2.0)
+
+    dispositions: dict[str, int] = {}
+    for sample in samples:
+        dispositions[sample.disposition] = dispositions.get(sample.disposition, 0) + 1
+    completed = len(samples)
+    failed = sum(1 for sample in samples if sample.state == "failed")
+    deduped = dispositions.get("hit", 0) + dispositions.get("coalesced", 0)
+
+    latency = {"all": _percentiles([sample.latency_s for sample in samples])}
+    for disposition in ("miss", "hit", "coalesced"):
+        series = [
+            sample.latency_s for sample in samples if sample.disposition == disposition
+        ]
+        if series:
+            latency[disposition] = _percentiles(series)
+    speedup = None
+    if latency.get("miss") and latency.get("hit"):
+        hit_p50 = latency["hit"]["p50_ms"]
+        if hit_p50 > 0:
+            speedup = round(latency["miss"]["p50_ms"] / hit_p50, 2)
+
+    return LoadReport(
+        completed=completed,
+        failed=failed,
+        rejected_429=rejected[0],
+        elapsed_s=elapsed,
+        runs_per_min=completed / elapsed * 60.0 if elapsed > 0 else 0.0,
+        dedup_rate=deduped / completed if completed else 0.0,
+        dispositions=dispositions,
+        latency=latency,
+        cache_hit_speedup=speedup,
+        max_queue_depth=depth_seen[0],
+        max_queue_bound=bound_seen[0],
+    )

@@ -137,6 +137,35 @@ class TestValidator:
         assert any("attempts" in p for p in excinfo.value.problems)
         assert any("retries" in p for p in excinfo.value.problems)
 
+    def test_rejects_fault_report_missing_required_fields(self):
+        record = envelope().to_json()
+        record["fault_report"] = {}  # neither 'attempts' nor 'retries'
+        with pytest.raises(EnvelopeSchemaError) as excinfo:
+            validate_envelope(record)
+        assert any("attempts" in p for p in excinfo.value.problems)
+        assert any("retries" in p for p in excinfo.value.problems)
+
+    def test_rejects_non_container_data(self):
+        record = envelope().to_json()
+        record["data"] = "just a string"
+        with pytest.raises(EnvelopeSchemaError, match="object or array"):
+            validate_envelope(record)
+
+    def test_rejects_non_json_serializable_data(self):
+        # The service stores validated envelopes verbatim and serves them
+        # back as JSON bodies, so a payload the json module cannot encode
+        # must fail at the validation gate, not at response time.
+        record = envelope().to_json()
+        record["data"] = {"leak": {1, 2, 3}}  # sets are not JSON
+        with pytest.raises(EnvelopeSchemaError, match="JSON-serializable"):
+            validate_envelope(record)
+
+    def test_rejects_bytes_in_data(self):
+        record = envelope().to_json()
+        record["data"] = [b"\x00\x01"]
+        with pytest.raises(EnvelopeSchemaError, match="JSON-serializable"):
+            validate_envelope(record)
+
     def test_accepts_well_formed_fault_report(self):
         record = envelope(
             fault_report={

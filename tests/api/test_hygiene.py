@@ -1,7 +1,10 @@
-"""The deprecation gate runs as part of tier-1, not only in CI."""
+"""Repo hygiene gates run as part of tier-1, not only in CI."""
 
+import subprocess
 import sys
 from pathlib import Path
+
+import pytest
 
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 
@@ -13,3 +16,33 @@ def test_no_legacy_api_references_in_src():
     finally:
         sys.path.pop(0)
     assert violations(REPO_ROOT) == []
+
+
+def tracked_files():
+    completed = subprocess.run(
+        ["git", "ls-files"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if completed.returncode != 0:
+        pytest.skip("not a git checkout")
+    return completed.stdout.splitlines()
+
+
+def test_no_service_spool_state_is_committed():
+    """Runtime spool state (job queue, caches, sockets) must stay out of git.
+
+    The service writes everything under its spool directory; a stray
+    `git add .` from a tree where `repro serve` ran must not be able to
+    commit queue markers, cached envelopes or port files.
+    """
+    spool_parts = {".repro-spool", "queued", "running"}
+    offenders = [
+        path
+        for path in tracked_files()
+        if path.endswith(".sock")
+        or spool_parts.intersection(Path(path).parts)
+        or Path(path).name in ("port", "stop")
+    ]
+    assert offenders == [], f"service spool state committed to git: {offenders}"

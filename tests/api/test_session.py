@@ -151,6 +151,53 @@ class TestBackendPolicy:
         assert session._owned_pool is None  # the context manager closed it
 
 
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        session = Session()
+        assert not session.closed
+        session.close()
+        assert session.closed
+        session.close()  # second close must be a no-op, not an error
+        assert session.closed
+
+    def test_close_releases_the_owned_pool_exactly_once(self):
+        session = Session(chunk_size=32, jobs=2, backend="pool")
+        session.run("figure3", n_traces=64)
+        pool = session._owned_pool
+        assert pool is not None
+        session.close()
+        assert session._owned_pool is None
+        session.close()  # would double-release the pool if not guarded
+        assert session._owned_pool is None
+
+    def test_run_after_close_raises_a_clear_error(self):
+        session = Session()
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.run("figure3", n_traces=64)
+
+    def test_run_all_and_acquire_refuse_after_close(self):
+        session = Session()
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.run_all(["figure3"])
+        with pytest.raises(RuntimeError, match="closed"):
+            # the gate fires before the program is ever inspected
+            session.acquire(object(), inputs=4)
+
+    def test_context_manager_entry_refuses_a_closed_session(self):
+        session = Session()
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            with session:
+                pass
+
+    def test_exiting_the_context_manager_closes(self):
+        with Session() as session:
+            assert not session.closed
+        assert session.closed
+
+
 class TestAcquire:
     def test_acquire_uses_session_scope_and_chunking(self):
         from repro.isa.parser import assemble

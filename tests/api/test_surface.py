@@ -17,6 +17,8 @@ LOCKED_SURFACE = [
     "ENVELOPE_SCHEMA",
     "Envelope",
     "EnvelopeSchemaError",
+    "REQUEST_SCHEMA",
+    "RequestSchemaError",
     "ResultEnvelope",
     "RunRequest",
     "Scenario",
@@ -61,6 +63,12 @@ def test_envelope_schema_version_is_locked():
     # Bumping the version is allowed but must be deliberate: update the
     # schema docs and the migration notes in docs/api.md alongside.
     assert ENVELOPE_SCHEMA == "repro.envelope/1"
+
+
+def test_request_schema_version_is_locked():
+    from repro.api import REQUEST_SCHEMA
+
+    assert REQUEST_SCHEMA == "repro.request/1"
 
 
 def test_capability_vocabulary_is_locked():
