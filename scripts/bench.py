@@ -710,6 +710,58 @@ def bench_resilience(n_traces: int, repeats: int) -> dict:
     return out
 
 
+def bench_corpus(n_traces: int) -> dict:
+    """Manifest-driven batch throughput: cold run vs store-served rerun.
+
+    Expands a 3-workload x 2-config manifest (6 cells), runs it cold
+    into a fresh artifact store, then reruns the identical manifest so
+    every cell is served from disk.  Records cells/min for both passes
+    and the warm speedup — the number the content-addressed store earns.
+    """
+    import tempfile
+
+    from repro.corpus.manifest import GridEntry, Manifest
+    from repro.corpus.runner import CorpusCampaign
+
+    manifest = Manifest(
+        name="bench",
+        workloads=("present-round", "memcpy", "aes-sbox-tablefree"),
+        configs=(
+            GridEntry("baseline"),
+            GridEntry("single-issue", overrides=(("dual_issue", False),)),
+        ),
+        budgets=(n_traces,),
+    )
+
+    def cells_per_min(result):
+        return round(60.0 * len(result.cells) / result.seconds, 1)
+
+    with tempfile.TemporaryDirectory(prefix="bench-corpus-") as store:
+        cold = CorpusCampaign(manifest, store=store).run()
+        warm = CorpusCampaign(manifest, store=store).run()
+
+    return {
+        "n_traces": n_traces,
+        "n_cells": len(cold.cells),
+        "workloads": list(manifest.workloads),
+        "configs": [entry.name for entry in manifest.configs],
+        "cold": {
+            "seconds": round(cold.seconds, 6),
+            "cells_per_min": cells_per_min(cold),
+            "store_misses": cold.store_misses,
+        },
+        "warm": {
+            "seconds": round(warm.seconds, 6),
+            "cells_per_min": cells_per_min(warm),
+            "store_hits": warm.store_hits,
+        },
+        "warm_speedup": round(cold.seconds / warm.seconds, 2),
+        "all_cells_ok": cold.failed == 0 and warm.failed == 0,
+        "warm_fully_store_served": warm.store_hits == len(warm.cells),
+        "leakiest_cell": cold.ranked()[0].cell.name if cold.ranked() else None,
+    }
+
+
 def _start_service(spool: str, workers: int) -> tuple:
     """Launch ``repro serve`` on an ephemeral port; returns (proc, port)."""
     import os
@@ -868,9 +920,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", default="BENCH_hotpath.json")
     parser.add_argument(
         "--section",
-        choices=("all", "hotpath", "backends", "resilience", "comms", "service"),
+        choices=(
+            "all", "hotpath", "backends", "resilience", "comms", "service",
+            "corpus",
+        ),
         default="all",
         help="which benchmark family to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-sections",
+        action="store_true",
+        help="print the available --section names and exit",
     )
     parser.add_argument(
         "--service-out",
@@ -892,6 +952,11 @@ def main(argv: list[str] | None = None) -> int:
         default="BENCH_resilience.json",
         help="output path of the resilience-layer benchmark",
     )
+    parser.add_argument(
+        "--corpus-out",
+        default="BENCH_corpus.json",
+        help="output path of the corpus batch benchmark",
+    )
     parser.add_argument("--traces", type=int, default=None, help="figure3 batch size")
     parser.add_argument("--repeats", type=int, default=None)
     parser.add_argument("--jobs", type=int, default=4, help="streamed fan-out width")
@@ -899,6 +964,12 @@ def main(argv: list[str] | None = None) -> int:
         "--no-streamed", action="store_true", help="skip the streamed/fan-out bench"
     )
     args = parser.parse_args(argv)
+
+    if args.list_sections:
+        action = next(a for a in parser._actions if a.dest == "section")
+        for name in action.choices:
+            print(name)
+        return 0
 
     n3 = args.traces or (600 if args.smoke else 3000)
     n4 = max(30, n3 // 30)
@@ -955,6 +1026,37 @@ def main(argv: list[str] | None = None) -> int:
             f"lost {restart['lost_jobs']}, recovered in {restart['recovered_in_s']:.1f}s"
         )
         return 0
+
+    if args.section in ("all", "corpus"):
+        ncorp = args.traces or (64 if args.smoke else 200)
+        xreport = {
+            "schema": "bench_corpus/1",
+            "smoke": bool(args.smoke),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "benchmarks": {},
+        }
+        print(f"corpus batch (6 cells, n={ncorp} each) ...", flush=True)
+        bench_started = time.time()
+        xreport["benchmarks"]["corpus_batch"] = bench_corpus(ncorp)
+        xreport["wall_s"] = round(time.time() - bench_started, 2)
+        corpus_path = Path(args.corpus_out)
+        corpus_path.write_text(json.dumps(xreport, indent=2) + "\n")
+        print(f"wrote {corpus_path}")
+        section = xreport["benchmarks"]["corpus_batch"]
+        print(
+            f"  cold: {section['cold']['cells_per_min']:.1f} cells/min -> "
+            f"warm (store-served): {section['warm']['cells_per_min']:.1f} cells/min "
+            f"({section['warm_speedup']:.0f}x)"
+        )
+        print(
+            f"  all cells ok: {section['all_cells_ok']}, "
+            f"warm fully store-served: {section['warm_fully_store_served']}, "
+            f"leakiest: {section['leakiest_cell']}"
+        )
+        if args.section == "corpus":
+            return 0
 
     if args.section in ("all", "backends"):
         nb = args.traces or (240 if args.smoke else 600)

@@ -1,0 +1,143 @@
+"""CI corpus smoke: batch isolation and the artifact store, end to end.
+
+Three phases, all through the real ``repro corpus run`` front-end on
+the committed manifests:
+
+1. **cold batch** — ``manifests/smoke.yaml`` runs end to end into a
+   fresh artifact store; every cell must complete (exit 0) and miss
+   the store;
+2. **warm batch** — the identical manifest again, same store: every
+   cell must be served from disk (100% hits, zero misses) and the
+   metrics must match the cold run bit for bit;
+3. **poisoned batch** — ``manifests/poisoned.yaml`` carries one config
+   whose override names a nonexistent pipeline field.  The batch must
+   exit 1, record the error against exactly that cell, and still
+   complete every other cell.
+
+The structured per-phase report is written to the ``--out`` path so CI
+can upload it as an artifact.
+
+Usage: PYTHONPATH=src python scripts/corpus_smoke.py [--out corpus_report.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.corpus.cli import main as corpus_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SMOKE = str(REPO_ROOT / "manifests" / "smoke.yaml")
+POISONED = str(REPO_ROOT / "manifests" / "poisoned.yaml")
+
+
+def run_batch(manifest: str, store: str) -> tuple[int, dict]:
+    """One ``repro corpus run --format json`` invocation, parsed."""
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = corpus_main(
+            ["run", manifest, "--store", store, "--format", "json"]
+        )
+    return code, json.loads(buffer.getvalue())
+
+
+def stable_metrics(record: dict) -> str:
+    """The per-cell metrics alone, minus volatile wall-clock fields."""
+    cells = [
+        {"cell": cell["cell"], "metrics": cell.get("metrics")}
+        for cell in record["cells"]
+    ]
+    return json.dumps(cells, sort_keys=True)
+
+
+def phase_cold(store: str) -> dict:
+    code, record = run_batch(SMOKE, store)
+    n_cells = len(record["cells"])
+    assert code == 0, f"cold batch exited {code}"
+    assert record["errors"] == {}, f"cold batch failed: {record['errors']}"
+    assert record["store"]["misses"] == n_cells, "cold batch hit the store"
+    assert n_cells == 3, f"smoke.yaml must expand to 3 cells, got {n_cells}"
+    return {
+        "exit_code": code,
+        "cells": n_cells,
+        "store_misses": record["store"]["misses"],
+        "ranking": record["ranking"],
+        "metrics": stable_metrics(record),
+    }
+
+
+def phase_warm(store: str, cold: dict) -> dict:
+    code, record = run_batch(SMOKE, store)
+    assert code == 0, f"warm batch exited {code}"
+    assert record["store"]["hits"] == cold["cells"], "warm batch not fully served"
+    assert record["store"]["misses"] == 0, "warm batch re-executed a cell"
+    assert stable_metrics(record) == cold["metrics"], (
+        "store-served metrics diverged from the cold run"
+    )
+    return {
+        "exit_code": code,
+        "store_hits": record["store"]["hits"],
+        "identical_metrics": True,
+    }
+
+
+def phase_poisoned(store: str) -> dict:
+    code, record = run_batch(POISONED, store)
+    assert code == 1, f"poisoned batch exited {code}, wanted 1"
+    errors = record["errors"]
+    assert list(errors) == ["memcpy/bad/default/n48"], (
+        f"wrong failure set: {sorted(errors)}"
+    )
+    assert "no_such_pipeline_field" in errors["memcpy/bad/default/n48"]
+    completed = [c for c in record["cells"] if c.get("error") is None]
+    assert len(completed) == len(record["cells"]) - 1, (
+        "a healthy cell was dragged down by the poisoned one"
+    )
+    return {
+        "exit_code": code,
+        "failed_cells": sorted(errors),
+        "completed_cells": len(completed),
+        "error_recorded": True,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="corpus_report.json")
+    args = parser.parse_args(argv)
+
+    report: dict = {"schema": "corpus_smoke/1", "phases": {}}
+    with tempfile.TemporaryDirectory(prefix="corpus-smoke-") as store:
+        print("phase 1: cold batch (manifests/smoke.yaml) ...", flush=True)
+        cold = phase_cold(store)
+        report["phases"]["cold"] = cold
+        print(f"  {cold['cells']} cells ok, {cold['store_misses']} store misses")
+
+        print("phase 2: warm batch (same store) ...", flush=True)
+        warm = phase_warm(store, cold)
+        report["phases"]["warm"] = warm
+        print(f"  {warm['store_hits']} hits, metrics identical to cold run")
+
+        print("phase 3: poisoned batch (manifests/poisoned.yaml) ...", flush=True)
+        poisoned = phase_poisoned(store)
+        report["phases"]["poisoned"] = poisoned
+        print(
+            f"  exit 1, {poisoned['completed_cells']} cells completed, "
+            f"failed: {poisoned['failed_cells']}"
+        )
+
+    report["phases"]["cold"].pop("metrics")  # internal comparison detail
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    print("corpus smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -86,6 +86,20 @@ PAPER_NOTES = {
         "grid campaigns over PipelineConfig/ScopeConfig, ranked against "
         "the cortex-a7 baseline."
     ),
+    "corpus": (
+        "**Beyond the paper:** the evaluation generalized from one AES "
+        "target to a registry of workloads (PRESENT, table-free S-box, "
+        "masked round, straight-line memory code), batched by manifest "
+        "and ranked leakiest-first; completed cells persist in a "
+        "content-addressed artifact store (docs/corpus.md)."
+    ),
+}
+
+#: Knobs a scenario needs in *every* regeneration (not budget-related).
+#: The corpus scenario requires a manifest; the committed smoke
+#: manifest keeps the regeneration self-contained.
+REQUIRED_KNOBS = {
+    "corpus": {"manifest": "manifests/smoke.yaml"},
 }
 
 #: Reduced budgets for --quick regenerations.
@@ -117,11 +131,12 @@ def capability_matrix() -> str:
     divider = "|---" * (len(columns) + 2) + "|"
     rows = []
     for scenario in registry.scenarios():
-        budget = (
-            f"{scenario.default_traces} traces"
-            if scenario.default_traces is not None
-            else f"{scenario.default_reps} reps"
-        )
+        if scenario.has(Capability.MANIFEST):
+            budget = "per manifest cell"
+        elif scenario.default_traces is not None:
+            budget = f"{scenario.default_traces} traces"
+        else:
+            budget = f"{scenario.default_reps} reps"
         cells = " | ".join(
             "x" if scenario.has(capability) else " " for capability in columns
         )
@@ -171,7 +186,8 @@ def main(argv: list[str] | None = None) -> None:
     )
     envelopes: dict[str, object] = {}
     for scenario in ordered:
-        knobs = QUICK_BUDGETS.get(scenario.name, {}) if args.quick else {}
+        knobs = dict(QUICK_BUDGETS.get(scenario.name, {})) if args.quick else {}
+        knobs.update(REQUIRED_KNOBS.get(scenario.name, {}))
         print(f"running {scenario.name} ...", flush=True)
         if scenario.name == "figure2" and "table1" in envelopes:
             from repro.api import Envelope

@@ -46,6 +46,9 @@ class Capability(enum.Enum):
     #: the runner honors ``reduce`` (worker-side statistic folding —
     #: the comms-avoiding dispatch mode, see docs/backends.md)
     REDUCE = "reduce"
+    #: the runner honors ``manifest`` (a corpus batch-manifest path —
+    #: and *requires* one, see docs/corpus.md)
+    MANIFEST = "manifest"
 
     def __str__(self) -> str:  # "chunking", not "Capability.CHUNKING"
         return self.value
@@ -68,6 +71,7 @@ KNOB_CAPABILITIES: dict[str, Capability] = {
     "checkpoint": Capability.RESILIENCE,
     "resume": Capability.RESILIENCE,
     "reduce": Capability.REDUCE,
+    "manifest": Capability.MANIFEST,
 }
 
 #: RunRequest field -> the CLI flag that sets it (for error messages).
@@ -87,6 +91,7 @@ KNOB_FLAGS: dict[str, str] = {
     "checkpoint": "--checkpoint",
     "resume": "--resume",
     "reduce": "--reduce",
+    "manifest": "--manifest",
 }
 
 
@@ -115,4 +120,31 @@ class CapabilityError(ValueError):
         return (
             f"scenario '{self.scenario}' does not support {flags} "
             f"(declared capabilities: {declared})"
+        )
+
+
+class ManifestRequiredError(CapabilityError):
+    """A MANIFEST-capable scenario was dispatched without a manifest.
+
+    The inverse direction of :class:`CapabilityError`: the scenario
+    *requires* the knob rather than rejecting it, so the message is
+    built directly instead of through the ``does not support`` wording.
+    """
+
+    def __init__(self, scenario: str, supported: Iterable[Capability]):
+        self.scenario = scenario
+        self.knobs = ("manifest",)
+        self.supported = frozenset(supported)
+        # Skip CapabilityError.__init__: its message has the polarity
+        # reversed for this case.
+        ValueError.__init__(
+            self,
+            f"scenario {scenario!r} requires a manifest "
+            "(set RunRequest.manifest to a manifest path)",
+        )
+
+    def cli_message(self) -> str:
+        return (
+            f"scenario '{self.scenario}' requires --manifest PATH "
+            "(see docs/corpus.md for the manifest schema)"
         )

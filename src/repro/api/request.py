@@ -62,6 +62,9 @@ class RunRequest:
     #: back, ``"worker"`` folds worker-side and ships only sufficient
     #: statistics (comms-avoiding; requires REDUCE)
     reduce: str | None = None
+    #: path of a corpus batch manifest (requires MANIFEST; the corpus
+    #: scenario also *requires* one to be set — see docs/corpus.md)
+    manifest: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_traces is not None and self.n_traces <= 0:
@@ -87,6 +90,10 @@ class RunRequest:
         if self.reduce is not None and self.reduce not in REDUCE_MODES:
             raise ValueError(
                 f"reduce must be one of {REDUCE_MODES}, got {self.reduce!r}"
+            )
+        if self.manifest is not None and not isinstance(self.manifest, str):
+            raise ValueError(
+                f"manifest must be a path string, got {type(self.manifest).__name__}"
             )
         if self.grid is not None and not isinstance(self.grid, tuple):
             object.__setattr__(self, "grid", tuple(self.grid))

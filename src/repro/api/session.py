@@ -48,6 +48,7 @@ class Session:
         chunk_timeout: float | None = None,
         checkpoint: str | None = None,
         reduce: str | None = None,
+        manifest: str | None = None,
     ):
         #: session policy, merged (where supported) into every request
         self.defaults = RunRequest(
@@ -62,6 +63,7 @@ class Session:
             chunk_timeout=chunk_timeout,
             checkpoint=checkpoint,
             reduce=reduce,
+            manifest=manifest,
         )
         #: the session-owned persistent pool, created lazily when the
         #: ``"pool"`` policy is first exercised and kept warm until
@@ -220,13 +222,24 @@ class Session:
 
         Knobs narrow per scenario (batch semantics); a crashing scenario
         contributes an ``Envelope.failure`` record instead of aborting
-        the batch.
+        the batch.  Manifest-required scenarios (the corpus) join the
+        default everything-batch only when a ``manifest=`` knob supplies
+        one; naming such a scenario *explicitly* without a manifest
+        yields its failure envelope instead (strict, like any other
+        scenario error).
         """
+        from repro.api.capabilities import Capability
         from repro.campaigns import registry
 
         self._check_open()
         chosen = list(names) if names is not None else registry.names()
         request = RunRequest(**knobs)
+        if names is None and request.manifest is None and self.defaults.manifest is None:
+            chosen = [
+                name
+                for name in chosen
+                if Capability.MANIFEST not in self.scenario(name).capabilities
+            ]
         envelopes = []
         for name in chosen:
             scenario = self.scenario(name)

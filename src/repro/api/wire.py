@@ -48,6 +48,7 @@ _SCALAR_FIELDS: dict[str, tuple[type, ...]] = {
     "checkpoint": (str,),
     "resume": (bool,),
     "reduce": (str,),
+    "manifest": (str,),
 }
 
 

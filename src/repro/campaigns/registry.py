@@ -200,6 +200,7 @@ _BUILTINS_LOADED = False
 BUILTIN_NAMES = (
     "ablations",
     "baselines",
+    "corpus",
     "figure2",
     "figure3",
     "figure4",
@@ -237,6 +238,7 @@ def load_builtin_scenarios() -> None:
         table1,
         table2,
     )
+    from repro.corpus import scenario as corpus_scenario  # noqa: F401
     from repro.sweeps import scenario  # noqa: F401
 
     _BUILTINS_LOADED = True

@@ -13,9 +13,14 @@ Usage::
     python -m repro table2    [--traces 3000] [--seed 7]
     python -m repro all       [--format json]
     python -m repro serve     [--port 8737] [--workers 2] [--spool DIR]
+    python -m repro corpus run manifest.yaml [--store DIR] [--force]
 
 ``repro serve`` starts the HTTP/JSON leakage-evaluation service (its
 own flag set; see :mod:`repro.service.cli` and ``docs/service.md``).
+``repro corpus run``/``repro corpus list`` are the batch front-end of
+the workload corpus (their own flag set; see :mod:`repro.corpus.cli`
+and ``docs/corpus.md``); ``repro corpus --manifest PATH`` runs the same
+batch through the generic scenario path below.
 
 Flags:
 
@@ -58,6 +63,10 @@ Flags:
 ``--resume``
     Resume a killed run from ``--checkpoint DIR`` instead of starting
     fresh; the finished run is byte-identical to an uninterrupted one.
+``--manifest PATH``
+    Batch manifest for the ``corpus`` scenario (which *requires* one;
+    see ``docs/corpus.md``).  Under ``all``, the corpus joins the batch
+    only when a manifest is supplied.
 ``--reduce parent|worker``
     Where campaign statistics fold.  ``worker`` is the comms-avoiding
     mode: each worker folds its chunk locally and ships only compact
@@ -223,6 +232,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume a killed run from --checkpoint DIR (byte-identical finish)",
     )
     parser.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="batch manifest for the corpus scenario (see docs/corpus.md)",
+    )
+    parser.add_argument(
         "--reduce",
         choices=("parent", "worker"),
         default=None,
@@ -261,6 +276,7 @@ def _build_request(parser: argparse.ArgumentParser, args: argparse.Namespace):
             checkpoint=args.checkpoint,
             resume=True if args.resume else None,
             reduce=args.reduce,
+            manifest=args.manifest,
         )
     except ValueError as error:
         parser.error(str(error))
@@ -274,6 +290,17 @@ def main(argv: list[str] | None = None) -> int:
         from repro.service.cli import main as serve_main
 
         return serve_main(arguments[1:])
+    if (
+        len(arguments) >= 2
+        and arguments[0] == "corpus"
+        and arguments[1] in ("run", "list")
+    ):
+        # The batch front-end (store/force control, workload listing);
+        # `repro corpus --manifest PATH` without a verb still dispatches
+        # through the generic scenario path below.
+        from repro.corpus.cli import main as corpus_main
+
+        return corpus_main(arguments[1:])
     parser = build_parser()
     args = parser.parse_args(arguments)
     request = _build_request(parser, args)
@@ -285,11 +312,33 @@ def main(argv: list[str] | None = None) -> int:
     session = Session()
     run_all = args.experiment == "all"
     chosen = registry.names() if run_all else [args.experiment]
+    if run_all and request.manifest is None:
+        from repro.api.capabilities import Capability
+
+        for name in [n for n in chosen]:
+            if Capability.MANIFEST in registry.get(name).capabilities:
+                chosen.remove(name)
+                print(
+                    f"note: skipping {name} (requires --manifest PATH; "
+                    "see docs/corpus.md)",
+                    file=sys.stderr,
+                )
     if not run_all:
+        scenario = registry.get(args.experiment)
         try:
-            request.validate(registry.get(args.experiment))
+            request.validate(scenario)
         except CapabilityError as error:
             parser.error(error.cli_message())
+        from repro.api.capabilities import Capability, ManifestRequiredError
+
+        if Capability.MANIFEST in scenario.capabilities and request.manifest is None:
+            # Manifest-required scenarios fail at parse time (a usage
+            # error, exit 2), not as a runtime failure envelope.
+            parser.error(
+                ManifestRequiredError(
+                    scenario.name, scenario.capabilities
+                ).cli_message()
+            )
 
     records = []
     failures = 0

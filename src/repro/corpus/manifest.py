@@ -1,0 +1,436 @@
+"""The ``repro.manifest/1`` schema: declarative batch-campaign grids.
+
+A manifest names a set of corpus workloads plus optional config, scope
+and trace-budget grids; :meth:`Manifest.expand` takes the product and
+yields :class:`CorpusCell` entries — one isolated unit of work each.
+Manifests load from JSON or from a small, documented YAML subset
+(:func:`parse_simple_yaml` — mappings, lists and scalars by 2-space
+indentation; no anchors, no flow collections, no multi-line strings),
+so no third-party loader is needed.
+
+Config/scope override *values* are deliberately not validated here:
+an override naming an unknown ``PipelineConfig``/``ScopeConfig`` field
+is a per-cell failure at run time (the runner isolates it), not a
+manifest-load error — one poisoned grid entry must not sink the batch.
+
+Example (YAML subset)::
+
+    schema: repro.manifest/1
+    name: smoke
+    seed: 7
+    workloads:
+      - present-round
+      - memcpy
+    configs:
+      - name: baseline
+      - name: single-issue
+        overrides:
+          dual_issue: false
+        only:
+          - present-round
+    scopes:
+      - name: default
+    budgets:
+      - 120
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+#: Versioned manifest schema identifier.
+MANIFEST_SCHEMA = "repro.manifest/1"
+
+#: Default campaign seed when the manifest does not set one (the
+#: acquisition façade's default, so ad-hoc and manifest runs agree).
+DEFAULT_SEED = 0xC0FFEE
+
+
+class ManifestError(ValueError):
+    """A manifest file or record does not conform to the schema."""
+
+    def __init__(self, problems: list[str] | str):
+        if isinstance(problems, str):
+            problems = [problems]
+        self.problems = list(problems)
+        super().__init__("; ".join(self.problems))
+
+
+# -- the YAML subset -----------------------------------------------------
+
+
+def _indent_of(line: str) -> int:
+    if line.lstrip(" ") != line.lstrip():
+        raise ManifestError("tabs are not allowed for indentation (use spaces)")
+    return len(line) - len(line.lstrip(" "))
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a ``#`` comment (full-line, or preceded by whitespace)."""
+    if line.lstrip().startswith("#"):
+        return ""
+    in_single = in_double = False
+    for position, char in enumerate(line):
+        if char == "'" and not in_double:
+            in_single = not in_single
+        elif char == '"' and not in_single:
+            in_double = not in_double
+        elif (
+            char == "#"
+            and not in_single
+            and not in_double
+            and position > 0
+            and line[position - 1] in (" ", "\t")
+        ):
+            return line[:position].rstrip()
+    return line.rstrip()
+
+
+def _parse_scalar(text: str) -> Any:
+    if text in ("null", "~"):
+        return None
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    if (text.startswith('"') and text.endswith('"') and len(text) >= 2) or (
+        text.startswith("'") and text.endswith("'") and len(text) >= 2
+    ):
+        return text[1:-1]
+    try:
+        return int(text, 0)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _parse_block(lines: list[str], index: int, indent: int) -> tuple[Any, int]:
+    if lines[index].strip().startswith("- "):
+        return _parse_list(lines, index, indent)
+    return _parse_mapping(lines, index, indent)
+
+
+def _parse_mapping(lines: list[str], index: int, indent: int) -> tuple[dict, int]:
+    result: dict[str, Any] = {}
+    while index < len(lines):
+        current = _indent_of(lines[index])
+        if current < indent:
+            break
+        if current > indent:
+            raise ManifestError(f"unexpected indent at: {lines[index].strip()!r}")
+        line = lines[index].strip()
+        if line.startswith("- "):
+            raise ManifestError(f"list item where a key was expected: {line!r}")
+        key, separator, rest = line.partition(":")
+        if not separator or not key.strip():
+            raise ManifestError(f"expected 'key: value', got {line!r}")
+        key = key.strip()
+        if key in result:
+            raise ManifestError(f"duplicate key {key!r}")
+        rest = rest.strip()
+        index += 1
+        if rest:
+            result[key] = _parse_scalar(rest)
+        elif index < len(lines) and _indent_of(lines[index]) > indent:
+            result[key], index = _parse_block(lines, index, _indent_of(lines[index]))
+        else:
+            result[key] = None
+    return result, index
+
+
+def _parse_list(lines: list[str], index: int, indent: int) -> tuple[list, int]:
+    result: list[Any] = []
+    while index < len(lines) and _indent_of(lines[index]) == indent:
+        line = lines[index].strip()
+        if not line.startswith("- "):
+            break
+        rest = line[2:].strip()
+        index += 1
+        if ":" in rest and not (rest.startswith(("'", '"'))):
+            # Inline mapping start ("- name: baseline"): re-indent the
+            # inline part and collect the item's continuation lines
+            # (which must sit at marker indent + 2, aligned under it).
+            sub = [" " * (indent + 2) + rest]
+            while index < len(lines) and _indent_of(lines[index]) > indent:
+                sub.append(lines[index])
+                index += 1
+            item, used = _parse_mapping(sub, 0, indent + 2)
+            if used != len(sub):
+                raise ManifestError(
+                    f"could not parse list-item mapping near {rest!r}"
+                )
+            result.append(item)
+        else:
+            result.append(_parse_scalar(rest))
+    return result, index
+
+
+def parse_simple_yaml(text: str) -> Any:
+    """Parse the documented YAML subset into plain Python objects."""
+    lines = [
+        stripped
+        for stripped in (_strip_comment(raw) for raw in text.splitlines())
+        if stripped.strip()
+    ]
+    if not lines:
+        raise ManifestError("the manifest file is empty")
+    value, consumed = _parse_block(lines, 0, _indent_of(lines[0]))
+    if consumed != len(lines):
+        raise ManifestError(
+            f"trailing content could not be parsed: {lines[consumed].strip()!r}"
+        )
+    return value
+
+
+# -- manifest model ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GridEntry:
+    """One named point of a config or scope grid."""
+
+    name: str
+    #: field -> value overrides, applied at cell run time (a bad field
+    #: name fails the *cell*, not the manifest)
+    overrides: tuple[tuple[str, Any], ...] = ()
+    #: workload names this entry applies to (empty = every workload)
+    only: tuple[str, ...] = ()
+
+    def applies_to(self, workload_name: str) -> bool:
+        return not self.only or workload_name in self.only
+
+    def to_json(self) -> dict:
+        record: dict[str, Any] = {"name": self.name}
+        if self.overrides:
+            record["overrides"] = dict(self.overrides)
+        if self.only:
+            record["only"] = list(self.only)
+        return record
+
+
+@dataclass(frozen=True)
+class CorpusCell:
+    """One isolated unit of corpus work: workload x config x scope x budget."""
+
+    index: int
+    workload: str
+    config: GridEntry
+    scope: GridEntry
+    #: trace budget; ``None`` defers to the workload's default
+    budget: int | None
+
+    @property
+    def name(self) -> str:
+        budget = f"n{self.budget}" if self.budget is not None else "nauto"
+        return f"{self.workload}/{self.config.name}/{self.scope.name}/{budget}"
+
+    def identity(self) -> tuple:
+        """Everything that distinguishes this cell's work (checkpointing)."""
+        return (
+            self.workload,
+            self.config.name,
+            self.config.overrides,
+            self.scope.name,
+            self.scope.overrides,
+            self.budget,
+        )
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """A parsed ``repro.manifest/1`` record."""
+
+    name: str
+    workloads: tuple[str, ...]
+    configs: tuple[GridEntry, ...] = (GridEntry("baseline"),)
+    scopes: tuple[GridEntry, ...] = (GridEntry("default"),)
+    budgets: tuple[int | None, ...] = (None,)
+    seed: int = DEFAULT_SEED
+    source: str | None = field(default=None, compare=False)
+
+    def expand(self) -> list[CorpusCell]:
+        """The cell grid, workload-major, ``only`` filters applied."""
+        cells: list[CorpusCell] = []
+        for workload_name in self.workloads:
+            for config in self.configs:
+                if not config.applies_to(workload_name):
+                    continue
+                for scope in self.scopes:
+                    if not scope.applies_to(workload_name):
+                        continue
+                    for budget in self.budgets:
+                        cells.append(
+                            CorpusCell(
+                                index=len(cells),
+                                workload=workload_name,
+                                config=config,
+                                scope=scope,
+                                budget=budget,
+                            )
+                        )
+        if not cells:
+            raise ManifestError(
+                f"manifest {self.name!r} expands to zero cells "
+                "(check the 'only' filters)"
+            )
+        return cells
+
+    def to_json(self) -> dict:
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "name": self.name,
+            "seed": self.seed,
+            "workloads": list(self.workloads),
+            "configs": [entry.to_json() for entry in self.configs],
+            "scopes": [entry.to_json() for entry in self.scopes],
+            "budgets": list(self.budgets),
+        }
+
+
+# -- parsing -------------------------------------------------------------
+
+
+def _parse_grid(record: Any, key: str, problems: list[str]) -> tuple[GridEntry, ...]:
+    entries: list[GridEntry] = []
+    if not isinstance(record, list) or not record:
+        problems.append(f"'{key}' must be a non-empty list of entries")
+        return ()
+    seen: set[str] = set()
+    for position, raw in enumerate(record):
+        where = f"{key}[{position}]"
+        if not isinstance(raw, dict):
+            problems.append(f"{where} must be a mapping with at least 'name'")
+            continue
+        unknown = sorted(set(raw) - {"name", "overrides", "only"})
+        if unknown:
+            problems.append(f"{where} carries unknown key(s): {', '.join(unknown)}")
+        name = raw.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"{where} needs a non-empty string 'name'")
+            continue
+        if name in seen:
+            problems.append(f"{where}: duplicate entry name {name!r}")
+            continue
+        seen.add(name)
+        overrides = raw.get("overrides") or {}
+        if not isinstance(overrides, dict):
+            problems.append(f"{where}.overrides must be a mapping")
+            continue
+        only = raw.get("only") or []
+        if not isinstance(only, list) or not all(isinstance(w, str) for w in only):
+            problems.append(f"{where}.only must be a list of workload names")
+            continue
+        entries.append(
+            GridEntry(
+                name=name,
+                overrides=tuple(sorted(overrides.items())),
+                only=tuple(only),
+            )
+        )
+    return tuple(entries)
+
+
+def parse_manifest(record: Any, source: str | None = None) -> Manifest:
+    """Validate one ``repro.manifest/1`` record, strictly."""
+    problems: list[str] = []
+    if not isinstance(record, dict):
+        raise ManifestError(
+            [f"manifest must be a mapping, got {type(record).__name__}"]
+        )
+    if record.get("schema") != MANIFEST_SCHEMA:
+        problems.append(
+            f"schema must be {MANIFEST_SCHEMA!r}, got {record.get('schema')!r}"
+        )
+    known = {"schema", "name", "seed", "workloads", "configs", "scopes", "budgets"}
+    unknown = sorted(set(record) - known)
+    if unknown:
+        problems.append(f"unknown field(s): {', '.join(unknown)}")
+
+    name = record.get("name")
+    if name is None and source is not None:
+        name = Path(source).stem
+    if not isinstance(name, str) or not name:
+        problems.append("'name' must be a non-empty string")
+        name = "<invalid>"
+
+    seed = record.get("seed", DEFAULT_SEED)
+    if not isinstance(seed, int) or isinstance(seed, bool) or seed < 0:
+        problems.append("'seed' must be a non-negative integer")
+        seed = DEFAULT_SEED
+
+    raw_workloads = record.get("workloads")
+    if (
+        not isinstance(raw_workloads, list)
+        or not raw_workloads
+        or not all(isinstance(w, str) and w for w in raw_workloads)
+    ):
+        problems.append("'workloads' must be a non-empty list of workload names")
+        raw_workloads = []
+    elif len(set(raw_workloads)) != len(raw_workloads):
+        problems.append("'workloads' contains duplicates")
+
+    configs = (
+        _parse_grid(record["configs"], "configs", problems)
+        if "configs" in record
+        else (GridEntry("baseline"),)
+    )
+    scopes = (
+        _parse_grid(record["scopes"], "scopes", problems)
+        if "scopes" in record
+        else (GridEntry("default"),)
+    )
+
+    budgets: tuple[int | None, ...] = (None,)
+    if "budgets" in record:
+        raw_budgets = record["budgets"]
+        if (
+            not isinstance(raw_budgets, list)
+            or not raw_budgets
+            or not all(
+                budget is None
+                or (isinstance(budget, int) and not isinstance(budget, bool) and budget > 0)
+                for budget in raw_budgets
+            )
+        ):
+            problems.append(
+                "'budgets' must be a non-empty list of positive trace counts "
+                "(null defers to each workload's default)"
+            )
+        else:
+            budgets = tuple(raw_budgets)
+
+    if problems:
+        raise ManifestError(problems)
+    return Manifest(
+        name=name,
+        workloads=tuple(raw_workloads),
+        configs=configs,
+        scopes=scopes,
+        budgets=budgets,
+        seed=seed,
+        source=source,
+    )
+
+
+def load_manifest(path: str) -> Manifest:
+    """Load a manifest file: JSON, or the documented YAML subset."""
+    try:
+        text = Path(path).read_text()
+    except OSError as error:
+        raise ManifestError(f"cannot read manifest {path!r}: {error}") from error
+    stripped = text.lstrip()
+    if str(path).endswith(".json") or stripped.startswith("{"):
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ManifestError(f"manifest {path!r} is not valid JSON: {error}") from error
+    else:
+        record = parse_simple_yaml(text)
+    return parse_manifest(record, source=str(path))

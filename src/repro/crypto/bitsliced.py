@@ -1,0 +1,191 @@
+"""Table-free AES S-box: branchless GF(2^8) arithmetic instead of a table.
+
+Bitsliced / table-free S-boxes are the standard software hardening
+against cache- and table-index leakage: the substitution is computed as
+``affine(x^254)`` with a fixed square-and-multiply addition chain, so
+there is no table in memory and the instruction path is identical for
+every input byte.  The microarchitectural question this workload poses
+is whether the *datapath* (operand buses, forwarding, register writes)
+still leaks the intermediates the table never exposes.
+
+The GF(2^8) product is a called, branchless shift-and-add routine (mask
+from the multiplier LSB, reduction mask from the carry bit) with eight
+unrolled iterations — the same "constant-time helper via ``bl``" shape
+as the AES ``xtime_fn``.  The addition chain is
+
+    a^2, a^3, a^6, a^12, a^15, a^30, a^60, a^120, a^240,
+    a^252 = a^240 * a^12,  a^254 = a^252 * a^2
+
+(7 squarings + 4 products).  ``a = 0`` needs no special case: every
+product with 0 is 0 and ``affine(0) = 0x63 = S[0]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crypto.sbox import SBOX, gf_mul
+from repro.isa.parser import assemble
+from repro.isa.program import Program
+
+
+def tablefree_sbox_byte(value: int) -> int:
+    """S-box of one byte via the branchless inversion chain (no table)."""
+    a = value & 0xFF
+    a2 = gf_mul(a, a)
+    a3 = gf_mul(a2, a)
+    a6 = gf_mul(a3, a3)
+    a12 = gf_mul(a6, a6)
+    a15 = gf_mul(a12, a3)
+    a30 = gf_mul(a15, a15)
+    a60 = gf_mul(a30, a30)
+    a120 = gf_mul(a60, a60)
+    a240 = gf_mul(a120, a120)
+    a252 = gf_mul(a240, a12)
+    a254 = gf_mul(a252, a2)
+    result = a254
+    for shift in (1, 2, 3, 4):
+        result ^= ((a254 << shift) | (a254 >> (8 - shift))) & 0xFF
+    return result ^ 0x63
+
+
+def tablefree_sbox(values: np.ndarray) -> np.ndarray:
+    """Vectorized table-free S-box (reference oracle for the assembly)."""
+    flat = np.asarray(values, dtype=np.uint8).ravel()
+    out = np.array([tablefree_sbox_byte(int(v)) for v in flat], dtype=np.uint8)
+    return out.reshape(np.asarray(values).shape)
+
+
+@dataclass(frozen=True)
+class TablefreeLayout:
+    """Memory map of the table-free S-box program (note: no table)."""
+
+    input: int = 0x24000  # one byte, the plaintext byte x
+    output: int = 0x24010  # one byte, S(x ^ k)
+    saved_lr: int = 0x24020
+    stack_top: int = 0x24800
+
+
+TABLEFREE_LAYOUT = TablefreeLayout()
+
+
+def _gf_mul_function(lines: list[str]) -> None:
+    """``r0 * r1`` in GF(2^8) -> ``r0``; branchless, eight unrolled steps."""
+    lines.append("@ ---- gf_mul: branchless shift-and-add, called not inlined ----")
+    lines.append("gf_mul_fn:")
+    lines.append("    str r2, [sp, #-4]   @ callee-save spill")
+    lines.append("    str r3, [sp, #-8]")
+    lines.append("    mov r2, #0")
+    for _ in range(8):
+        lines += [
+            "    and r3, r1, #1",
+            "    rsb r3, r3, #0      @ 0x00000000 or 0xffffffff",
+            "    and r3, r0, r3",
+            "    eor r2, r2, r3",
+            "    lsr r1, r1, #1",
+            "    lsr r3, r0, #7",
+            "    rsb r3, r3, #0",
+            "    and r3, r3, #0x1b",
+            "    lsl r0, r0, #1",
+            "    eor r0, r0, r3",
+            "    and r0, r0, #0xff",
+        ]
+    lines.append("    mov r0, r2")
+    lines.append("    ldr r2, [sp, #-4]   @ fill")
+    lines.append("    ldr r3, [sp, #-8]")
+    lines.append("    bx lr")
+
+
+def tablefree_sbox_source(key_byte: int, layout: TablefreeLayout = TABLEFREE_LAYOUT) -> str:
+    """Compute ``S(x ^ key_byte)`` without any table in memory.
+
+    Register conventions: ``r4`` holds ``a = x ^ k``; the chain keeps
+    ``a^2`` in ``r5``, ``a^3`` in ``r6``, ``a^12`` in ``r7``, ``a^15``
+    in ``r8`` and ``a^240`` in ``r9``; ``gf_mul_fn`` takes ``r0, r1``
+    and returns in ``r0``.
+    """
+    lines = [
+        "tf_sbox:",
+        "    ldr r3, =tf_saved_lr",
+        "    str lr, [r3]",
+        f"    ldr sp, ={layout.stack_top:#x}",
+        "    ldr r3, =tf_input",
+        "    ldrb r4, [r3]",
+        f"    eor r4, r4, #{key_byte & 0xFF:#x}   @ key addition",
+        "tf_chain_start:",
+        "@ ---- inversion chain: a^254 via 7 squarings + 4 products ----",
+        "    mov r0, r4",
+        "    mov r1, r4",
+        "    bl gf_mul_fn",
+        "    mov r5, r0          @ a^2",
+        "    mov r1, r4",
+        "    bl gf_mul_fn",
+        "    mov r6, r0          @ a^3",
+        "    mov r1, r6",
+        "    bl gf_mul_fn        @ a^6",
+        "    mov r1, r0",
+        "    bl gf_mul_fn",
+        "    mov r7, r0          @ a^12",
+        "    mov r1, r6",
+        "    bl gf_mul_fn",
+        "    mov r8, r0          @ a^15",
+        "    mov r1, r8",
+        "    bl gf_mul_fn        @ a^30",
+        "    mov r1, r0",
+        "    bl gf_mul_fn        @ a^60",
+        "    mov r1, r0",
+        "    bl gf_mul_fn        @ a^120",
+        "    mov r1, r0",
+        "    bl gf_mul_fn",
+        "    mov r9, r0          @ a^240",
+        "    mov r1, r7",
+        "    bl gf_mul_fn        @ a^252",
+        "    mov r1, r5",
+        "    bl gf_mul_fn        @ a^254 = inverse",
+        "tf_affine_start:",
+        "@ ---- affine map: x ^ rol1 ^ rol2 ^ rol3 ^ rol4 ^ 0x63 ----",
+        "    mov r1, r0",
+    ]
+    for shift in (1, 2, 3, 4):
+        lines += [
+            f"    lsl r2, r0, #{shift}",
+            f"    lsr r3, r0, #{8 - shift}",
+            "    orr r2, r2, r3",
+            "    and r2, r2, #0xff",
+            "    eor r1, r1, r2",
+        ]
+    lines += [
+        "    eor r1, r1, #0x63",
+        "    ldr r3, =tf_output",
+        "    strb r1, [r3]",
+        "tf_done:",
+        "    ldr r3, =tf_saved_lr",
+        "    ldr lr, [r3]",
+        "    bx lr",
+    ]
+    _gf_mul_function(lines)
+    lines += [
+        f"    .org {layout.input:#x}",
+        "tf_input:",
+        "    .space 4",
+        f"    .org {layout.output:#x}",
+        "tf_output:",
+        "    .space 4",
+        f"    .org {layout.saved_lr:#x}",
+        "tf_saved_lr:",
+        "    .word 0",
+    ]
+    return "\n".join(lines)
+
+
+def tablefree_sbox_program(
+    key_byte: int, layout: TablefreeLayout = TABLEFREE_LAYOUT
+) -> Program:
+    return assemble(tablefree_sbox_source(key_byte, layout))
+
+
+_SBOX_ARRAY = np.frombuffer(SBOX, dtype=np.uint8)
+
+assert all(tablefree_sbox_byte(v) == SBOX[v] for v in (0x00, 0x01, 0x53, 0xFF))

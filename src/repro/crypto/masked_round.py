@@ -1,0 +1,191 @@
+"""Second-order masked AES round (Schramm-Paar style table recomputation).
+
+Each state byte is split into three shares ``x = x' ^ m1 ^ m2`` with two
+fresh input masks per execution.  The S-box layer goes through a
+recomputed table ``T'[i ^ m1 ^ m2] = S[i] ^ n1 ^ n2`` built sequentially
+before the round, so a lookup of the masked byte directly yields the
+output masked under the fresh pair ``(n1, n2)``.  The two masks of a
+pair are always combined *with* the table index or entry between them —
+no architectural value ever holds ``m1 ^ m2`` or ``n1 ^ n2`` alone,
+which is what makes the scheme second-order secure at the ISA level.
+
+The linear layers run on the masked share only: AddRoundKey is linear in
+the share, ShiftRows permutes bytes (the mask is uniform across bytes,
+so it is preserved), and MixColumns preserves a uniform byte mask ``n``
+because its row sums to 1 in GF(2^8) (``2 ^ 3 ^ 1 ^ 1 = 1``).  The
+ShiftRows / MixColumns / xtime code is literally the attacked AES
+implementation's, reused from :mod:`repro.crypto.aes_asm`, so the
+masked workload leaks through the same microarchitectural paths.
+
+The caller learns the output masks from its own inputs: the round
+output satisfies ``out ^ n1 ^ n2 == mix_columns(shift_rows(sub_bytes(
+add_round_key(pt, key))))`` — the recombination oracle the known-answer
+tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crypto.aes import (
+    add_round_key,
+    mix_columns,
+    shift_rows,
+    sub_bytes,
+)
+from repro.crypto.aes_asm import (
+    _add_round_key,
+    _mix_columns,
+    _shift_rows,
+    _sub_bytes,
+    _xtime_function,
+)
+from repro.crypto.sbox import SBOX
+from repro.isa.parser import assemble
+from repro.isa.program import Program
+from repro.isa.registers import Reg
+from repro.power.acquisition import BatchInputs
+
+
+@dataclass(frozen=True)
+class MaskedRoundLayout:
+    """Memory map of the masked round program."""
+
+    state: int = 0x2A000  # 16 bytes, masked state x' (input and output)
+    round_key: int = 0x2A020  # 16 bytes, round key 0 (baked)
+    sbox: int = 0x2A100  # 256 bytes, the plain S-box
+    table: int = 0x2A200  # 256 bytes, T' rebuilt per execution
+    saved_lr: int = 0x2A300
+    row_buffer: int = 0x2A310
+    zero_scratch: int = 0x2A320
+    stack_top: int = 0x2B000
+
+
+MASKED_ROUND_LAYOUT = MaskedRoundLayout()
+
+
+def masked_round_source(key: bytes, layout: MaskedRoundLayout = MASKED_ROUND_LAYOUT) -> str:
+    """ARK + SB + SHR + MC on three shares, masks in ``r8..r11`` at entry.
+
+    Register contract at entry: ``r8`` = m1, ``r9`` = m2 (input masks),
+    ``r10`` = n1, ``r11`` = n2 (output masks); the masked state
+    ``pt ^ m1 ^ m2`` is at ``layout.state``.  After the table build the
+    masks are dead and the registers are recycled by MixColumns.
+    """
+    if len(key) != 16:
+        raise ValueError("AES-128 key must be 16 bytes")
+    lines = [
+        "masked_round:",
+        "    ldr r3, =msaved_lr",
+        "    str lr, [r3]",
+        f"    ldr sp, ={layout.stack_top:#x}",
+        "    ldr r4, =state",
+        "    ldr r5, =mround_key",
+        "    ldr r6, =msbox_table",
+        "    ldr r7, =mtable",
+        "    and r8, r8, #0xff",
+        "    and r9, r9, #0xff",
+        "    and r10, r10, #0xff",
+        "    and r11, r11, #0xff",
+        "@ ---- build T'[i ^ m1 ^ m2] = S[i] ^ n1 ^ n2 (shares never meet) ----",
+        "mtable_start:",
+        "    mov r12, #0",
+        "mtloop:",
+        "    ldrb r0, [r6, r12]",
+        "    eor r0, r0, r10",
+        "    eor r0, r0, r11",
+        "    eor r1, r12, r8",
+        "    eor r1, r1, r9",
+        "    strb r0, [r7, r1]",
+        "    add r12, r12, #1",
+        "    cmp r12, #256",
+        "    bne mtloop",
+        "mround_start:",
+    ]
+    _add_round_key(lines)  # linear: applies to the masked share
+    lines.append("    mov r6, r7          @ SubBytes reads the masked table")
+    lines.append("msb_start:")
+    _sub_bytes(lines)
+    lines.append("mshr_start:")
+    _shift_rows(lines)
+    lines.append("mmc_start:")
+    _mix_columns(lines)
+    lines += [
+        "mround_end:",
+        "    ldr r3, =msaved_lr",
+        "    ldr lr, [r3]",
+        "    bx lr",
+    ]
+    _xtime_function(lines)
+    lines += [
+        f"    .org {layout.round_key:#x}",
+        "mround_key:",
+        "    .byte " + ", ".join(str(b) for b in key),
+        f"    .org {layout.sbox:#x}",
+        "msbox_table:",
+    ]
+    for off in range(0, 256, 16):
+        lines.append("    .byte " + ", ".join(str(b) for b in SBOX[off : off + 16]))
+    lines += [
+        f"    .org {layout.table:#x}",
+        "mtable:",
+        "    .space 256",
+        f"    .org {layout.saved_lr:#x}",
+        "msaved_lr:",
+        "    .word 0",
+        f"    .org {layout.row_buffer:#x}",
+        "row_buffer:",
+        "    .word 0",
+        f"    .org {layout.zero_scratch:#x}",
+        "zero_scratch:",
+        "    .word 0",
+        f"    .org {layout.state:#x}",
+        "state:",
+        "    .space 16",
+    ]
+    return "\n".join(lines)
+
+
+def masked_round_program(
+    key: bytes, layout: MaskedRoundLayout = MASKED_ROUND_LAYOUT
+) -> Program:
+    return assemble(masked_round_source(key, layout))
+
+
+def masked_round_reference(
+    plaintext: bytes, key: bytes, m1: int, m2: int, n1: int, n2: int
+) -> bytes:
+    """What the program leaves in the state buffer: ``round1 ^ n1 ^ n2``."""
+    out = mix_columns(shift_rows(sub_bytes(add_round_key(plaintext, key))))
+    mask = (n1 ^ n2) & 0xFF
+    return bytes(b ^ mask for b in out)
+
+
+def unmasked_round1(plaintext: bytes, key: bytes) -> bytes:
+    """The unmasked oracle for the recombination known-answer test."""
+    return mix_columns(shift_rows(sub_bytes(add_round_key(plaintext, key))))
+
+
+def masked_round_inputs(
+    n_traces: int,
+    key: bytes,
+    seed: int = 0x2B1D,
+    layout: MaskedRoundLayout = MASKED_ROUND_LAYOUT,
+) -> tuple[BatchInputs, np.ndarray]:
+    """Random plaintexts plus four fresh masks; returns (inputs, plaintexts)."""
+    rng = np.random.default_rng(seed)
+    plaintexts = rng.integers(0, 256, size=(n_traces, 16), dtype=np.uint16).astype(np.uint8)
+    masks = {
+        reg: rng.integers(0, 256, size=n_traces, dtype=np.uint16).astype(np.uint32)
+        for reg in (Reg.R8, Reg.R9, Reg.R10, Reg.R11)
+    }
+    share_mask = (masks[Reg.R8] ^ masks[Reg.R9]).astype(np.uint8)
+    masked_state = plaintexts ^ share_mask[:, None]
+    inputs = BatchInputs(
+        n_traces=n_traces,
+        regs=masks,
+        mem_bytes={layout.state: masked_state},
+    )
+    return inputs, plaintexts

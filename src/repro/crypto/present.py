@@ -1,0 +1,195 @@
+"""PRESENT-80 (Bogdanov et al., CHES 2007): reference cipher + attacked round.
+
+The reference implementation follows the paper's pseudocode directly
+(31 rounds of addRoundKey / sBoxLayer / pLayer plus a final key
+addition) and is pinned to the four test vectors from the paper's
+appendix.  The assembly workload is one round in the same code shape as
+the AES implementation the paper attacks: per-nibble table lookups for
+the S-box layer (two ``ldrb`` lookups per state byte) and a fully
+unrolled bit-gather for the pLayer, so control flow is input-independent
+as the batch executor requires.
+
+The 64-bit state lives in memory little-endian (byte ``i`` holds state
+bits ``8i+7 .. 8i``); the attacked intermediate is the S-box output of
+the lowest nibble, ``S[pt_nibble ^ key_nibble]`` — a 16-guess CPA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.isa.parser import assemble
+from repro.isa.program import Program
+
+#: The PRESENT S-box (a single 4-bit table for the whole cipher).
+PRESENT_SBOX = (0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD, 0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2)
+
+_PRESENT_SBOX_ARRAY = np.array(PRESENT_SBOX, dtype=np.uint8)
+
+_KEY_MASK_80 = (1 << 80) - 1
+
+
+def player_position(bit: int) -> int:
+    """Destination of state bit ``bit`` under the pLayer (bit 0 = LSB)."""
+    if not 0 <= bit < 64:
+        raise ValueError("PRESENT state bits are 0..63")
+    return 63 if bit == 63 else (16 * bit) % 63
+
+
+def player_permute(state: int) -> int:
+    """Apply the pLayer bit permutation to a 64-bit state."""
+    out = 0
+    for bit in range(64):
+        out |= ((state >> bit) & 1) << player_position(bit)
+    return out
+
+
+def sbox_layer(state: int) -> int:
+    """Apply the S-box to each of the sixteen state nibbles."""
+    out = 0
+    for nibble in range(16):
+        out |= PRESENT_SBOX[(state >> (4 * nibble)) & 0xF] << (4 * nibble)
+    return out
+
+
+def present80_round_keys(key: bytes) -> list[int]:
+    """The 32 64-bit round keys of the PRESENT-80 key schedule."""
+    if len(key) != 10:
+        raise ValueError("PRESENT-80 key must be 10 bytes")
+    register = int.from_bytes(key, "big")
+    round_keys = []
+    for counter in range(1, 33):
+        round_keys.append(register >> 16)
+        register = ((register << 61) | (register >> 19)) & _KEY_MASK_80
+        top = (register >> 76) & 0xF
+        register = (register & ~(0xF << 76)) | (PRESENT_SBOX[top] << 76)
+        register ^= counter << 15
+    return round_keys
+
+
+def present80_encrypt(plaintext: bytes, key: bytes) -> bytes:
+    """Encrypt one 8-byte block under a 10-byte key."""
+    if len(plaintext) != 8:
+        raise ValueError("PRESENT block must be 8 bytes")
+    round_keys = present80_round_keys(key)
+    state = int.from_bytes(plaintext, "big")
+    for round_index in range(31):
+        state = player_permute(sbox_layer(state ^ round_keys[round_index]))
+    return (state ^ round_keys[31]).to_bytes(8, "big")
+
+
+def present_round(state: int, round_key: int) -> int:
+    """One addRoundKey + sBoxLayer + pLayer step on 64-bit integers."""
+    return player_permute(sbox_layer(state ^ round_key))
+
+
+@dataclass(frozen=True)
+class PresentLayout:
+    """Memory map of the one-round PRESENT program."""
+
+    state: int = 0x21000  # 8 bytes, little-endian state, input and output
+    round_key: int = 0x21010  # 8 bytes, round key 1 (baked from the cipher key)
+    psbox: int = 0x21100  # 16-byte S-box table
+
+
+PRESENT_LAYOUT = PresentLayout()
+
+
+def present_round_source(key: bytes, layout: PresentLayout = PRESENT_LAYOUT) -> str:
+    """One PRESENT round, table lookups per nibble, unrolled pLayer.
+
+    Register conventions: ``r4`` state base, ``r5`` round-key base,
+    ``r6`` S-box base; ``r0``/``r1`` scratch; the pLayer gathers the
+    state words from ``r0``/``r1`` into ``r2``/``r3`` via ``r7``.
+    """
+    round_key = present80_round_keys(key)[0]
+    lines = [
+        "present_round:",
+        "    ldr r4, =pstate",
+        "    ldr r5, =pround_key",
+        "    ldr r6, =psbox_table",
+        "@ ---- addRoundKey ----",
+    ]
+    for i in range(8):
+        lines += [
+            f"    ldrb r0, [r4, #{i}]",
+            f"    ldrb r1, [r5, #{i}]",
+            "    eor r0, r0, r1",
+            f"    strb r0, [r4, #{i}]",
+        ]
+    lines.append("@ ---- sBoxLayer: two nibble lookups per state byte ----")
+    lines.append("psbox_start:")
+    for i in range(8):
+        lines += [
+            f"    ldrb r0, [r4, #{i}]",
+            "    and r1, r0, #0x0f",
+            "    ldrb r1, [r6, r1]",
+            "    lsr r0, r0, #4",
+            "    ldrb r0, [r6, r0]",
+            "    lsl r0, r0, #4",
+            "    orr r0, r0, r1",
+            f"    strb r0, [r4, #{i}]",
+        ]
+    lines.append("@ ---- pLayer: gather each state bit to 16*i mod 63 ----")
+    lines.append("player_start:")
+    lines += [
+        "    ldr r0, [r4]",
+        "    ldr r1, [r4, #4]",
+        "    mov r2, #0",
+        "    mov r3, #0",
+    ]
+    for src in range(64):
+        dst = player_position(src)
+        sreg = "r0" if src < 32 else "r1"
+        dreg = "r2" if dst < 32 else "r3"
+        sbit, dbit = src % 32, dst % 32
+        if sbit:
+            lines.append(f"    lsr r7, {sreg}, #{sbit}")
+            lines.append("    and r7, r7, #1")
+        else:
+            lines.append(f"    and r7, {sreg}, #1")
+        if dbit:
+            lines.append(f"    lsl r7, r7, #{dbit}")
+        lines.append(f"    orr {dreg}, {dreg}, r7")
+    lines += [
+        "    str r2, [r4]",
+        "    str r3, [r4, #4]",
+        "present_round_end:",
+        "    bx lr",
+        f"    .org {layout.round_key:#x}",
+        "pround_key:",
+        "    .byte " + ", ".join(str(b) for b in round_key.to_bytes(8, "little")),
+        f"    .org {layout.psbox:#x}",
+        "psbox_table:",
+        "    .byte " + ", ".join(str(b) for b in PRESENT_SBOX),
+        f"    .org {layout.state:#x}",
+        "pstate:",
+        "    .space 8",
+    ]
+    return "\n".join(lines)
+
+
+def present_round_program(key: bytes, layout: PresentLayout = PRESENT_LAYOUT) -> Program:
+    return assemble(present_round_source(key, layout))
+
+
+def state_to_bytes(state: int) -> bytes:
+    """The in-memory (little-endian) image of a 64-bit state."""
+    return state.to_bytes(8, "little")
+
+
+def state_from_bytes(data: bytes) -> int:
+    return int.from_bytes(data, "little")
+
+
+def present_sbox_model(plaintexts: np.ndarray, guess: int) -> np.ndarray:
+    """Hamming weight of ``S[pt_nibble ^ guess]`` for the low nibble.
+
+    ``plaintexts`` is ``uint8[n_traces]`` holding state byte 0; the
+    model targets its low nibble against a 4-bit key-nibble guess.
+    """
+    nibbles = np.asarray(plaintexts, dtype=np.uint8) & np.uint8(0xF)
+    outputs = _PRESENT_SBOX_ARRAY[nibbles ^ np.uint8(guess & 0xF)]
+    return np.unpackbits(outputs[:, None], axis=1).sum(axis=1).astype(np.float64)

@@ -1,0 +1,110 @@
+"""Memory primitives for leakage evaluation: memcpy and constant-time compare.
+
+Side-channel surveys (Lou et al. 2021, Ge et al. 2016) stress that
+leakage evaluation must cover the mundane primitives crypto code leans
+on, not just the cipher kernels: a byte-wise ``memcpy`` drags every
+payload byte through the load/store datapath, and a constant-time
+comparison architecturally computes ``input ^ secret`` for every byte —
+branch-free, yet each XOR result rides the operand buses.
+
+Both programs are fully unrolled byte loops (data-independent control
+flow).  The compare accumulates ``diff |= in[i] ^ secret[i]`` and stores
+the verdict word; the CPA model targets ``HW(in[0] ^ guess)``, which
+peaks at the secret byte (and, with opposite sign, at its complement —
+the usual XOR-model ambiguity).  For ``memcpy`` the "key" is the
+identity (guess 0): the copied byte itself is the leaking intermediate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.parser import assemble
+from repro.isa.program import Program
+
+
+@dataclass(frozen=True)
+class PrimitiveLayout:
+    """Memory map shared by the primitive programs."""
+
+    src: int = 0x26000  # 16 bytes, per-trace input buffer
+    dst: int = 0x26010  # 16 bytes, memcpy destination
+    secret: int = 0x26020  # 16 bytes, baked compare reference
+    verdict: int = 0x26030  # 4 bytes, 0 iff buffers equal
+
+
+PRIMITIVE_LAYOUT = PrimitiveLayout()
+
+
+def memcpy_source(n_bytes: int = 16, layout: PrimitiveLayout = PRIMITIVE_LAYOUT) -> str:
+    """Byte-wise copy of the input buffer: ldrb / strb per byte."""
+    if not 1 <= n_bytes <= 16:
+        raise ValueError("n_bytes must be in 1..16")
+    lines = [
+        "memcpy16:",
+        "    ldr r4, =prim_src",
+        "    ldr r5, =prim_dst",
+    ]
+    for i in range(n_bytes):
+        lines += [
+            f"    ldrb r0, [r4, #{i}]",
+            f"    strb r0, [r5, #{i}]",
+        ]
+    lines += [
+        "memcpy_done:",
+        "    bx lr",
+    ]
+    lines += _data_section(bytes(16), layout)
+    return "\n".join(lines)
+
+
+def memcpy_program(n_bytes: int = 16, layout: PrimitiveLayout = PRIMITIVE_LAYOUT) -> Program:
+    return assemble(memcpy_source(n_bytes, layout))
+
+
+def ct_compare_source(secret: bytes, layout: PrimitiveLayout = PRIMITIVE_LAYOUT) -> str:
+    """Branch-free comparison of the input buffer against a baked secret."""
+    if len(secret) != 16:
+        raise ValueError("secret must be 16 bytes")
+    lines = [
+        "ct_compare:",
+        "    ldr r4, =prim_src",
+        "    ldr r5, =prim_secret",
+        "    mov r6, #0",
+    ]
+    for i in range(16):
+        lines += [
+            f"    ldrb r0, [r4, #{i}]",
+            f"    ldrb r1, [r5, #{i}]",
+            "    eor r0, r0, r1",
+            "    orr r6, r6, r0",
+        ]
+    lines += [
+        "    ldr r0, =prim_verdict",
+        "    str r6, [r0]",
+        "ct_compare_done:",
+        "    bx lr",
+    ]
+    lines += _data_section(secret, layout)
+    return "\n".join(lines)
+
+
+def ct_compare_program(secret: bytes, layout: PrimitiveLayout = PRIMITIVE_LAYOUT) -> Program:
+    return assemble(ct_compare_source(secret, layout))
+
+
+def _data_section(secret: bytes, layout: PrimitiveLayout) -> list[str]:
+    return [
+        f"    .org {layout.src:#x}",
+        "prim_src:",
+        "    .space 16",
+        f"    .org {layout.dst:#x}",
+        "prim_dst:",
+        "    .space 16",
+        f"    .org {layout.secret:#x}",
+        "prim_secret:",
+        "    .byte " + ", ".join(str(b) for b in secret),
+        f"    .org {layout.verdict:#x}",
+        "prim_verdict:",
+        "    .word 0",
+    ]

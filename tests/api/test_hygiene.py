@@ -46,3 +46,33 @@ def test_no_service_spool_state_is_committed():
         or Path(path).name in ("port", "stop")
     ]
     assert offenders == [], f"service spool state committed to git: {offenders}"
+
+
+def test_no_bytecode_caches_are_committed():
+    """No `__pycache__`/.pyc anywhere tracked — including scripts/.
+
+    `scripts/` is importable by the tier-1 suite (sys.path insertion
+    above), so running the tests compiles bytecode right next to
+    tracked files; a careless `git add scripts` must not pick it up.
+    """
+    offenders = [
+        path
+        for path in tracked_files()
+        if path.endswith(".pyc") or "__pycache__" in Path(path).parts
+    ]
+    assert offenders == [], f"bytecode committed to git: {offenders}"
+
+
+def test_no_artifact_store_state_is_committed():
+    """The corpus artifact store must stay out of git.
+
+    `repro corpus run` persists content-addressed cell results under
+    `.repro-store/` relative to the cwd; like the service spool, that
+    runtime state is machine-local and must never be tracked.
+    """
+    offenders = [
+        path
+        for path in tracked_files()
+        if ".repro-store" in Path(path).parts
+    ]
+    assert offenders == [], f"artifact store state committed to git: {offenders}"

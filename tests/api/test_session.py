@@ -1,6 +1,7 @@
 """Session façade: every registered scenario round-trips to a valid envelope."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -18,6 +19,12 @@ from repro.campaigns import registry
 TINY_BUDGETS = {
     "ablations": {"n_traces": 96},
     "baselines": {"n_traces": 96},
+    "corpus": {
+        "n_traces": 32,
+        "manifest": str(
+            Path(__file__).resolve().parents[2] / "manifests" / "smoke.yaml"
+        ),
+    },
     "figure2": {"reps": 10},
     "figure3": {"n_traces": 64},
     "figure4": {"n_traces": 24},
@@ -34,7 +41,12 @@ def test_budget_table_covers_the_whole_registry():
 
 
 @pytest.mark.parametrize("name", sorted(TINY_BUDGETS))
-def test_every_scenario_roundtrips_to_a_schema_valid_envelope(name):
+def test_every_scenario_roundtrips_to_a_schema_valid_envelope(
+    name, tmp_path, monkeypatch
+):
+    # cwd-relative runtime state (the corpus artifact store) lands in
+    # the test's own directory, never the checkout.
+    monkeypatch.chdir(tmp_path)
     envelope = Session().run(name, **TINY_BUDGETS[name])
     assert isinstance(envelope, Envelope)
     assert envelope.ok

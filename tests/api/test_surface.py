@@ -43,6 +43,7 @@ LOCKED_CAPABILITIES = {
     "scope",
     "resilience",
     "reduce",
+    "manifest",
 }
 
 

@@ -1,0 +1,246 @@
+"""Manifest schema: JSON/YAML parity, strict validation, grid expansion."""
+
+import json
+
+import pytest
+
+from repro.corpus.manifest import (
+    MANIFEST_SCHEMA,
+    CorpusCell,
+    GridEntry,
+    Manifest,
+    ManifestError,
+    load_manifest,
+    parse_manifest,
+    parse_simple_yaml,
+)
+
+YAML_TEXT = """\
+# the smoke manifest
+schema: repro.manifest/1
+name: smoke
+seed: 7
+workloads:
+  - present-round
+  - memcpy
+configs:
+  - name: baseline
+  - name: single-issue
+    overrides:
+      dual_issue: false
+    only:
+      - present-round
+scopes:
+  - name: default
+budgets:
+  - 120
+"""
+
+JSON_RECORD = {
+    "schema": MANIFEST_SCHEMA,
+    "name": "smoke",
+    "seed": 7,
+    "workloads": ["present-round", "memcpy"],
+    "configs": [
+        {"name": "baseline"},
+        {
+            "name": "single-issue",
+            "overrides": {"dual_issue": False},
+            "only": ["present-round"],
+        },
+    ],
+    "scopes": [{"name": "default"}],
+    "budgets": [120],
+}
+
+
+class TestYamlSubset:
+    def test_yaml_and_json_parse_identically(self):
+        assert parse_simple_yaml(YAML_TEXT) == JSON_RECORD
+
+    def test_scalars(self):
+        text = "a: 3\nb: 1.5\nc: true\nd: false\ne: null\nf: ~\ng: 'x y'\nh: 0x10\n"
+        parsed = parse_simple_yaml(text)
+        assert parsed == {
+            "a": 3,
+            "b": 1.5,
+            "c": True,
+            "d": False,
+            "e": None,
+            "f": None,
+            "g": "x y",
+            "h": 16,
+        }
+
+    def test_comments_and_blank_lines_are_ignored(self):
+        parsed = parse_simple_yaml("# top\n\na: 1  # trailing\n\nb: 2\n")
+        assert parsed == {"a": 1, "b": 2}
+
+    def test_hash_inside_quotes_is_kept(self):
+        assert parse_simple_yaml("a: 'x # y'\n") == {"a": "x # y"}
+
+    def test_tabs_are_rejected(self):
+        with pytest.raises(ManifestError, match="tabs"):
+            parse_simple_yaml("a:\n\tb: 1\n")
+
+    def test_duplicate_keys_are_rejected(self):
+        with pytest.raises(ManifestError, match="duplicate"):
+            parse_simple_yaml("a: 1\na: 2\n")
+
+    def test_empty_input_is_rejected(self):
+        with pytest.raises(ManifestError, match="empty"):
+            parse_simple_yaml("# only a comment\n")
+
+    def test_nested_list_of_scalars(self):
+        parsed = parse_simple_yaml("xs:\n  - 1\n  - two\n")
+        assert parsed == {"xs": [1, "two"]}
+
+
+class TestParseManifest:
+    def test_minimal_record(self):
+        manifest = parse_manifest(
+            {"schema": MANIFEST_SCHEMA, "name": "m", "workloads": ["memcpy"]}
+        )
+        assert manifest.configs == (GridEntry("baseline"),)
+        assert manifest.scopes == (GridEntry("default"),)
+        assert manifest.budgets == (None,)
+
+    def test_name_defaults_to_source_stem(self):
+        manifest = parse_manifest(
+            {"schema": MANIFEST_SCHEMA, "workloads": ["memcpy"]},
+            source="path/to/nightly.yaml",
+        )
+        assert manifest.name == "nightly"
+
+    def test_wrong_schema_is_rejected(self):
+        with pytest.raises(ManifestError, match="schema"):
+            parse_manifest({"schema": "nope", "name": "m", "workloads": ["x"]})
+
+    def test_unknown_fields_are_rejected(self):
+        with pytest.raises(ManifestError, match="unknown field"):
+            parse_manifest(
+                {
+                    "schema": MANIFEST_SCHEMA,
+                    "name": "m",
+                    "workloads": ["x"],
+                    "worklods": ["typo"],
+                }
+            )
+
+    def test_all_problems_reported_at_once(self):
+        with pytest.raises(ManifestError) as excinfo:
+            parse_manifest({"schema": "nope", "workloads": []})
+        assert len(excinfo.value.problems) >= 3
+
+    def test_budgets_must_be_positive(self):
+        with pytest.raises(ManifestError, match="budgets"):
+            parse_manifest(
+                {
+                    "schema": MANIFEST_SCHEMA,
+                    "name": "m",
+                    "workloads": ["x"],
+                    "budgets": [0],
+                }
+            )
+
+    def test_null_budget_defers_to_workload_default(self):
+        manifest = parse_manifest(
+            {
+                "schema": MANIFEST_SCHEMA,
+                "name": "m",
+                "workloads": ["x"],
+                "budgets": [None, 100],
+            }
+        )
+        assert manifest.budgets == (None, 100)
+
+    def test_unknown_override_field_is_not_a_load_error(self):
+        # Poison isolation is per cell at run time, not at load time.
+        manifest = parse_manifest(
+            {
+                "schema": MANIFEST_SCHEMA,
+                "name": "m",
+                "workloads": ["x"],
+                "configs": [{"name": "bad", "overrides": {"no_such_field": 1}}],
+            }
+        )
+        assert manifest.configs[0].overrides == (("no_such_field", 1),)
+
+    def test_duplicate_grid_entry_names_are_rejected(self):
+        with pytest.raises(ManifestError, match="duplicate"):
+            parse_manifest(
+                {
+                    "schema": MANIFEST_SCHEMA,
+                    "name": "m",
+                    "workloads": ["x"],
+                    "configs": [{"name": "a"}, {"name": "a"}],
+                }
+            )
+
+
+class TestExpansion:
+    def test_grid_product_with_only_filter(self):
+        manifest = parse_manifest(JSON_RECORD)
+        cells = manifest.expand()
+        names = [cell.name for cell in cells]
+        assert names == [
+            "present-round/baseline/default/n120",
+            "present-round/single-issue/default/n120",
+            "memcpy/baseline/default/n120",
+        ]
+        assert [cell.index for cell in cells] == [0, 1, 2]
+
+    def test_zero_cells_is_an_error(self):
+        manifest = Manifest(
+            name="m",
+            workloads=("a",),
+            configs=(GridEntry("c", only=("other",)),),
+        )
+        with pytest.raises(ManifestError, match="zero cells"):
+            manifest.expand()
+
+    def test_cell_identity_covers_overrides(self):
+        plain = CorpusCell(0, "w", GridEntry("c"), GridEntry("s"), None)
+        tweaked = CorpusCell(
+            0, "w", GridEntry("c", overrides=(("x", 1),)), GridEntry("s"), None
+        )
+        assert plain.identity() != tweaked.identity()
+
+    def test_auto_budget_names_the_cell_nauto(self):
+        cell = CorpusCell(0, "w", GridEntry("c"), GridEntry("s"), None)
+        assert cell.name.endswith("/nauto")
+
+
+class TestLoadManifest:
+    def test_loads_yaml(self, tmp_path):
+        path = tmp_path / "m.yaml"
+        path.write_text(YAML_TEXT)
+        manifest = load_manifest(str(path))
+        assert manifest.name == "smoke"
+        assert manifest.seed == 7
+        assert manifest.source == str(path)
+
+    def test_loads_json(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(JSON_RECORD))
+        assert load_manifest(str(path)) == load_manifest_yaml_equiv(tmp_path)
+
+    def test_missing_file_is_a_manifest_error(self):
+        with pytest.raises(ManifestError, match="cannot read"):
+            load_manifest("/no/such/manifest.yaml")
+
+    def test_bad_json_is_a_manifest_error(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text("{not json")
+        with pytest.raises(ManifestError, match="JSON"):
+            load_manifest(str(path))
+
+    def test_roundtrip_to_json(self):
+        manifest = parse_manifest(JSON_RECORD)
+        assert parse_manifest(manifest.to_json()) == manifest
+
+
+def load_manifest_yaml_equiv(tmp_path):
+    path = tmp_path / "equiv.yaml"
+    path.write_text(YAML_TEXT)
+    return load_manifest(str(path))

@@ -1,0 +1,121 @@
+"""The corpus scenario through the Session/registry surface."""
+
+import json
+
+import pytest
+
+from repro.api import CapabilityError, Session
+from repro.api.capabilities import Capability, ManifestRequiredError
+from repro.campaigns import registry
+
+MANIFEST = {
+    "schema": "repro.manifest/1",
+    "name": "tiny",
+    "workloads": ["memcpy"],
+    "budgets": [32],
+}
+
+
+@pytest.fixture
+def manifest_path(tmp_path):
+    path = tmp_path / "tiny.json"
+    path.write_text(json.dumps(MANIFEST))
+    return str(path)
+
+
+@pytest.fixture
+def in_tmp(tmp_path, monkeypatch):
+    # The scenario writes its artifact store relative to the cwd.
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestRegistration:
+    def test_corpus_is_a_builtin(self):
+        assert "corpus" in registry.BUILTIN_NAMES
+        assert "corpus" in registry.names()
+
+    def test_capability_set(self):
+        scenario = registry.get("corpus")
+        assert Capability.MANIFEST in scenario.capabilities
+        # Manifests own the config/scope grids; session-level overrides
+        # would silently fight them.
+        assert Capability.PIPELINE_CONFIG not in scenario.capabilities
+        assert Capability.SCOPE not in scenario.capabilities
+
+    def test_no_default_trace_budget(self):
+        assert registry.get("corpus").default_traces is None
+
+
+class TestSessionRun:
+    def test_run_with_manifest(self, manifest_path, in_tmp):
+        with Session() as session:
+            envelope = session.run("corpus", manifest=manifest_path)
+        assert envelope.ok
+        assert envelope.matches_paper is None
+        assert "leakiest first" in envelope.render()
+        record = envelope.to_json()
+        assert record["data"]["manifest"] == "tiny"
+        assert (in_tmp / ".repro-store").is_dir()
+
+    def test_manifest_required(self):
+        with Session() as session:
+            with pytest.raises(ManifestRequiredError, match="requires a manifest"):
+                session.run("corpus")
+
+    def test_manifest_required_error_is_a_capability_error(self):
+        error = ManifestRequiredError("corpus", frozenset())
+        assert isinstance(error, CapabilityError)
+        assert "--manifest" in error.cli_message()
+
+    def test_session_level_manifest_default(self, manifest_path, in_tmp):
+        with Session(manifest=manifest_path) as session:
+            envelope = session.run("corpus")
+        assert envelope.ok
+
+    def test_other_scenarios_reject_the_manifest_knob(self):
+        with Session() as session:
+            with pytest.raises(CapabilityError, match="manifest"):
+                session.run("figure3", manifest="m.json")
+
+
+class TestRunAll:
+    def test_default_batch_skips_manifest_scenarios(self, monkeypatch):
+        with Session() as session:
+            ran = []
+            monkeypatch.setattr(
+                session,
+                "run",
+                lambda name, request=None, **k: ran.append(name)
+                or _fake_envelope(name),
+            )
+            session.run_all()
+        assert "corpus" not in ran
+        assert "figure3" in ran
+
+    def test_batch_includes_corpus_with_manifest(
+        self, manifest_path, in_tmp, monkeypatch
+    ):
+        with Session() as session:
+            ran = []
+            monkeypatch.setattr(
+                session,
+                "run",
+                lambda name, request=None, **k: ran.append(name)
+                or _fake_envelope(name),
+            )
+            session.run_all(manifest=manifest_path)
+        assert "corpus" in ran
+
+    def test_explicitly_named_corpus_without_manifest_fails_isolated(self):
+        with Session() as session:
+            envelopes = session.run_all(names=["corpus"])
+        assert len(envelopes) == 1
+        assert not envelopes[0].ok
+        assert "manifest" in envelopes[0].error
+
+
+def _fake_envelope(name):
+    from repro.api import Envelope
+
+    return Envelope(scenario=name, title=name, result=None, seconds=0.0)

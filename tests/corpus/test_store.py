@@ -1,0 +1,116 @@
+"""Artifact store: key identity, schema gating, roundtrip persistence."""
+
+import json
+
+from repro.corpus.manifest import CorpusCell, GridEntry
+from repro.corpus.store import ARTIFACT_SCHEMA, ArtifactStore, cell_key
+from repro.corpus.workloads import workload
+from repro.power.scope import ScopeConfig
+from repro.uarch.config import PipelineConfig
+
+
+def _key(**kwargs):
+    defaults = dict(
+        workload=workload("memcpy"),
+        config=PipelineConfig(),
+        scope=ScopeConfig(noise_sigma=20.0),
+        n_traces=100,
+        seed=7,
+    )
+    defaults.update(kwargs)
+    return cell_key(**defaults)
+
+
+class TestCellKey:
+    def test_deterministic(self):
+        assert _key() == _key()
+
+    def test_varies_with_result_knobs(self):
+        base = _key()
+        assert _key(n_traces=200) != base
+        assert _key(seed=8) != base
+        assert _key(workload=workload("ct-compare")) != base
+        assert _key(scope=ScopeConfig(noise_sigma=5.0)) != base
+        assert _key(config=PipelineConfig().with_overrides(dual_issue=False)) != base
+
+    def test_config_display_name_does_not_change_the_key(self):
+        from dataclasses import replace
+
+        renamed = replace(PipelineConfig(), name="renamed")
+        assert _key(config=renamed) == _key()
+
+    def test_chunk_size_in_key_only_for_exact_precision(self):
+        # float64-exact draws noise serially, so layout matters; the
+        # float32 chain is counter-addressed and layout-proof.
+        assert _key(chunk_size=50) != _key()
+        f32 = ScopeConfig(noise_sigma=20.0, precision="float32")
+        assert _key(scope=f32, chunk_size=50) == _key(scope=f32)
+
+    def test_precision_argument_folds_into_scope(self):
+        assert _key(precision="float32") == _key(
+            scope=ScopeConfig(noise_sigma=20.0, precision="float32")
+        )
+
+    def test_key_namespace_is_disjoint_from_service_scenarios(self):
+        # The shim scenario names are "corpus/<workload>"; no registry
+        # scenario name contains a slash, so a shared directory cannot
+        # collide.
+        from repro.campaigns.registry import BUILTIN_NAMES
+
+        assert all("/" not in name for name in BUILTIN_NAMES)
+
+
+class TestArtifactStore:
+    def _put_one(self, store):
+        cell = CorpusCell(0, "memcpy", GridEntry("baseline"), GridEntry("default"), 100)
+        return store.put_cell(
+            "k" * 64,
+            manifest_name="m",
+            cell=cell,
+            workload=workload("memcpy"),
+            n_traces=100,
+            seed=7,
+            metrics_record={"budgets": [100], "n_samples": 4, "per_budget": []},
+            seconds=0.5,
+        )
+
+    def test_roundtrip(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        record = self._put_one(store)
+        assert record["schema"] == ARTIFACT_SCHEMA
+        loaded = store.get("k" * 64)
+        assert loaded == record
+        assert loaded["cell"]["workload"] == "memcpy"
+        assert loaded["workload"]["rank_tolerance"] == 1
+
+    def test_missing_key_is_a_miss(self, tmp_path):
+        assert ArtifactStore(str(tmp_path)).get("0" * 64) is None
+
+    def test_foreign_schema_reads_as_miss(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.put("a" * 64, {"schema": "repro.envelope/1", "output": "x"})
+        assert store.get("a" * 64) is None
+
+    def test_torn_record_reads_as_miss(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        (tmp_path / ("b" * 64 + ".json")).write_text('{"schema": "repro.art')
+        assert store.get("b" * 64) is None
+
+    def test_shares_directory_with_service_cache(self, tmp_path):
+        # A service ResultCache and an ArtifactStore can point at the
+        # same directory: each reads the other's records as misses (the
+        # store by schema, the cache by key namespace).
+        from repro.service.cache import ResultCache
+
+        store = ArtifactStore(str(tmp_path))
+        self._put_one(store)
+        cache = ResultCache(str(tmp_path))
+        record = cache.get("k" * 64)
+        assert record is not None and record["schema"] == ARTIFACT_SCHEMA
+
+    def test_records_are_valid_json_files(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        self._put_one(store)
+        files = list(tmp_path.glob("*.json"))
+        assert len(files) == 1
+        assert json.loads(files[0].read_text())["key"] == "k" * 64

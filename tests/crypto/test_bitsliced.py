@@ -1,0 +1,63 @@
+"""Table-free S-box: exact equality with the table, and the program shape."""
+
+import numpy as np
+
+from repro.crypto.bitsliced import (
+    TABLEFREE_LAYOUT,
+    tablefree_sbox,
+    tablefree_sbox_byte,
+    tablefree_sbox_program,
+    tablefree_sbox_source,
+)
+from repro.crypto.sbox import SBOX
+from repro.isa.executor import run_program
+
+
+class TestReference:
+    def test_equals_table_sbox_over_all_256_bytes(self):
+        for value in range(256):
+            assert tablefree_sbox_byte(value) == SBOX[value], hex(value)
+
+    def test_vectorized_variant_matches(self):
+        values = np.arange(256, dtype=np.uint8)
+        expected = np.frombuffer(SBOX, dtype=np.uint8)
+        assert np.array_equal(tablefree_sbox(values), expected)
+        # shape is preserved
+        grid = values.reshape(16, 16)
+        assert tablefree_sbox(grid).shape == (16, 16)
+
+
+class TestProgram:
+    def test_program_computes_keyed_sbox(self):
+        key_byte = 0x4B
+        program = tablefree_sbox_program(key_byte)
+        for x in (0x00, 0x01, 0x4B, 0x7F, 0xFF, 0xA5):
+            result = run_program(
+                program,
+                memory_init={TABLEFREE_LAYOUT.input: bytes([x])},
+                entry="tf_sbox",
+            )
+            got = result.state.memory.read_bytes(TABLEFREE_LAYOUT.output, 1)[0]
+            assert got == SBOX[x ^ key_byte], hex(x)
+
+    def test_no_table_in_the_program_image(self):
+        program = tablefree_sbox_program(0x00)
+        # The only data blocks are the 3 scratch words -- no 256-byte table.
+        assert all(len(block.data) <= 4 for block in program.data_blocks)
+
+    def test_gf_mul_is_called_not_inlined(self):
+        source = tablefree_sbox_source(0x11)
+        assert source.count("bl gf_mul_fn") == 11  # 7 squarings + 4 products
+        assert "gf_mul_fn:" in source
+
+    def test_control_flow_is_input_independent(self):
+        program = tablefree_sbox_program(0x3C)
+        paths = set()
+        for x in (0x00, 0xFF, 0x5A):
+            result = run_program(
+                program,
+                memory_init={TABLEFREE_LAYOUT.input: bytes([x])},
+                entry="tf_sbox",
+            )
+            paths.add(tuple(result.path))
+        assert len(paths) == 1

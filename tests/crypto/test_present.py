@@ -1,0 +1,114 @@
+"""PRESENT-80: paper test vectors and the one-round assembly workload."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.present import (
+    PRESENT_LAYOUT,
+    PRESENT_SBOX,
+    player_permute,
+    player_position,
+    present80_encrypt,
+    present80_round_keys,
+    present_round,
+    present_round_program,
+    present_sbox_model,
+    state_from_bytes,
+    state_to_bytes,
+)
+from repro.isa.executor import run_program
+
+#: Appendix of Bogdanov et al., "PRESENT: An Ultra-Lightweight Block
+#: Cipher" (CHES 2007): all four published test vectors.
+PAPER_VECTORS = [
+    ("0000000000000000", "00000000000000000000", "5579c1387b228445"),
+    ("0000000000000000", "ffffffffffffffffffff", "e72c46c0f5945049"),
+    ("ffffffffffffffff", "00000000000000000000", "a112ffc72f68417b"),
+    ("ffffffffffffffff", "ffffffffffffffffffff", "3333dcd3213210d2"),
+]
+
+
+class TestReferenceCipher:
+    @pytest.mark.parametrize("pt_hex,key_hex,ct_hex", PAPER_VECTORS)
+    def test_paper_vectors(self, pt_hex, key_hex, ct_hex):
+        ct = present80_encrypt(bytes.fromhex(pt_hex), bytes.fromhex(key_hex))
+        assert ct.hex() == ct_hex
+
+    def test_sbox_is_a_permutation(self):
+        assert sorted(PRESENT_SBOX) == list(range(16))
+
+    def test_player_is_a_permutation_of_bit_positions(self):
+        positions = [player_position(i) for i in range(64)]
+        assert sorted(positions) == list(range(64))
+        # A full state round-trips through four applications (16^4 = 2^16
+        # acts as identity mod 63... not in general); instead pin the
+        # defining identity P(i) = 16 i mod 63.
+        assert player_position(1) == 16
+        assert player_position(4) == 1
+        assert player_position(63) == 63
+
+    def test_player_permute_moves_single_bits(self):
+        for bit in (0, 5, 31, 32, 62, 63):
+            assert player_permute(1 << bit) == 1 << player_position(bit)
+
+    def test_round_keys_shape(self):
+        keys = present80_round_keys(bytes(10))
+        assert len(keys) == 32
+        assert all(0 <= k < (1 << 64) for k in keys)
+
+    def test_key_length_enforced(self):
+        with pytest.raises(ValueError):
+            present80_round_keys(bytes(16))
+        with pytest.raises(ValueError):
+            present80_encrypt(bytes(8), bytes(16))
+        with pytest.raises(ValueError):
+            present80_encrypt(bytes(16), bytes(10))
+
+
+class TestRoundProgram:
+    def test_round_program_matches_reference_round(self):
+        key = bytes.fromhex("00112233445566778899")
+        round_key = present80_round_keys(key)[0]
+        program = present_round_program(key)
+        rng = np.random.default_rng(7)
+        for _ in range(4):
+            state = int(rng.integers(0, 1 << 63)) | (int(rng.integers(0, 2)) << 63)
+            result = run_program(
+                program,
+                memory_init={PRESENT_LAYOUT.state: state_to_bytes(state)},
+                entry="present_round",
+            )
+            got = state_from_bytes(
+                result.state.memory.read_bytes(PRESENT_LAYOUT.state, 8)
+            )
+            assert got == present_round(state, round_key)
+
+    def test_round_key_baked_into_data(self):
+        key = bytes(range(10))
+        program = present_round_program(key)
+        result = run_program(
+            program,
+            memory_init={PRESENT_LAYOUT.state: bytes(8)},
+            entry="present_round",
+        )
+        stored = result.state.memory.read_bytes(PRESENT_LAYOUT.round_key, 8)
+        assert state_from_bytes(stored) == present80_round_keys(key)[0]
+
+    def test_code_shape_has_nibble_lookups_and_unrolled_player(self):
+        from repro.crypto.present import present_round_source
+
+        source = present_round_source(bytes(10))
+        assert "ldrb r1, [r6, r1]" in source  # low-nibble table lookup
+        assert "ldrb r0, [r6, r0]" in source  # high-nibble table lookup
+        assert source.count("orr r2, r2, r7") + source.count("orr r3, r3, r7") == 64
+
+
+class TestModel:
+    def test_model_is_hw_of_sbox_output(self):
+        plaintexts = np.arange(256, dtype=np.uint8)
+        for guess in (0x0, 0x7, 0xF):
+            model = present_sbox_model(plaintexts, guess)
+            expected = [
+                bin(PRESENT_SBOX[(p & 0xF) ^ guess]).count("1") for p in plaintexts
+            ]
+            assert model.tolist() == expected

@@ -1,0 +1,79 @@
+"""Memory primitives: functional known answers and constant-time shape."""
+
+import numpy as np
+
+from repro.crypto.primitives import (
+    PRIMITIVE_LAYOUT,
+    ct_compare_program,
+    ct_compare_source,
+    memcpy_program,
+    memcpy_source,
+)
+from repro.isa.executor import run_program
+
+SECRET = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+
+
+class TestMemcpy:
+    def test_copies_the_buffer(self):
+        program = memcpy_program()
+        rng = np.random.default_rng(3)
+        src = bytes(int(b) for b in rng.integers(0, 256, size=16))
+        result = run_program(
+            program, memory_init={PRIMITIVE_LAYOUT.src: src}, entry="memcpy16"
+        )
+        assert result.state.memory.read_bytes(PRIMITIVE_LAYOUT.dst, 16) == src
+
+    def test_partial_length_copies_prefix_only(self):
+        program = memcpy_program(n_bytes=4)
+        src = bytes(range(16, 32))
+        result = run_program(
+            program, memory_init={PRIMITIVE_LAYOUT.src: src}, entry="memcpy16"
+        )
+        dst = result.state.memory.read_bytes(PRIMITIVE_LAYOUT.dst, 16)
+        assert dst[:4] == src[:4]
+        assert dst[4:] == bytes(12)
+
+    def test_no_branches_in_the_copy(self):
+        source = memcpy_source()
+        body = source.split(".org")[0]
+        assert "bne" not in body and "beq" not in body and "cmp" not in body
+
+
+class TestCtCompare:
+    def run_compare(self, data: bytes) -> int:
+        program = ct_compare_program(SECRET)
+        result = run_program(
+            program, memory_init={PRIMITIVE_LAYOUT.src: data}, entry="ct_compare"
+        )
+        return int.from_bytes(
+            result.state.memory.read_bytes(PRIMITIVE_LAYOUT.verdict, 4), "little"
+        )
+
+    def test_equal_buffers_verdict_zero(self):
+        assert self.run_compare(SECRET) == 0
+
+    def test_single_byte_difference_is_detected(self):
+        for i in (0, 7, 15):
+            tampered = bytearray(SECRET)
+            tampered[i] ^= 0x80
+            assert self.run_compare(bytes(tampered)) != 0, i
+
+    def test_verdict_is_or_of_byte_xors(self):
+        data = bytes(b ^ 0x0F for b in SECRET)
+        assert self.run_compare(data) == 0x0F
+
+    def test_control_flow_is_input_independent(self):
+        program = ct_compare_program(SECRET)
+        paths = set()
+        for data in (SECRET, bytes(16), bytes(reversed(SECRET))):
+            result = run_program(
+                program, memory_init={PRIMITIVE_LAYOUT.src: data}, entry="ct_compare"
+            )
+            paths.add(tuple(result.path))
+        assert len(paths) == 1
+
+    def test_no_branches_in_the_compare(self):
+        source = ct_compare_source(SECRET)
+        body = source.split(".org")[0]
+        assert "bne" not in body and "beq" not in body
